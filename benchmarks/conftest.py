@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index): it prints the same rows/series the paper reports, writes
+SVG/CSV artefacts into ``benchmarks/out/``, and asserts the qualitative
+shape. Timings come from pytest-benchmark in pedantic single-shot mode —
+the interesting cost is the one full regeneration, not micro-iteration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import app_models, index_app
+
+OUT = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def outdir() -> Path:
+    OUT.mkdir(exist_ok=True)
+    return OUT
+
+
+@pytest.fixture(scope="session")
+def tealeaf_all():
+    return index_app("tealeaf", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def cloverleaf_all():
+    return index_app("cloverleaf", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def minibude_all():
+    return index_app("minibude", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def babelstream_all():
+    return index_app("babelstream", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def fortran_all():
+    return index_app("babelstream-fortran", coverage=True)
+
+
+def run_once(benchmark, fn):
+    """Single-shot pedantic timing (figure regenerations are expensive)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""Figs. 11 & 12: TeaLeaf and CloverLeaf cascade plots on six platforms."""
+
+from conftest import run_once
+
+from repro.corpus import app_models
+from repro.perfport import PerfModel, cascade
+from repro.perfport.pp_metric import phi_table
+from repro.viz import ascii_bars, render_cascade_svg
+
+
+def _cascade_for(app):
+    models = app_models(app)
+    matrix = PerfModel().efficiency_matrix(app, models)
+    return matrix, cascade(matrix)
+
+
+def test_fig11_tealeaf_cascade(benchmark, outdir):
+    matrix, data = run_once(benchmark, lambda: _cascade_for("tealeaf"))
+    print("\nFig 11: TeaLeaf cascade (final Φ per model):")
+    print(ascii_bars(data.phi_bars()))
+    print("\n" + data.to_csv())
+    (outdir / "fig11_tealeaf_cascade.svg").write_text(
+        render_cascade_svg(data, "Fig 11: TeaLeaf cascade")
+    )
+    (outdir / "fig11_tealeaf_cascade.csv").write_text(data.to_csv())
+
+    bars = data.phi_bars()
+    # host-only and single-vendor models score Φ = 0 over the full set
+    for dead in ("serial", "omp", "cuda", "hip", "tbb", "stdpar"):
+        assert bars[dead] == 0.0, dead
+    # the portable trio survives
+    for alive in ("omp-target", "sycl-usm", "sycl-acc", "kokkos"):
+        assert bars[alive] > 0.5, alive
+    # every model starts its own cascade at its best platform (eff 1st pos)
+    for s in data.series:
+        assert s.efficiencies[0] >= max(s.efficiencies[1:], default=0.0)
+
+
+def test_fig12_cloverleaf_cascade(benchmark, outdir):
+    matrix, data = run_once(benchmark, lambda: _cascade_for("cloverleaf"))
+    print("\nFig 12: CloverLeaf cascade (final Φ per model):")
+    print(ascii_bars(data.phi_bars()))
+    (outdir / "fig12_cloverleaf_cascade.svg").write_text(
+        render_cascade_svg(data, "Fig 12: CloverLeaf cascade")
+    )
+    (outdir / "fig12_cloverleaf_cascade.csv").write_text(data.to_csv())
+
+    bars = data.phi_bars()
+    assert bars["kokkos"] > 0.5
+    assert bars["cuda"] == 0.0
+    # Φ bars match a direct phi_table computation
+    direct = phi_table(matrix)
+    for m, v in bars.items():
+        assert abs(direct[m] - v) < 1e-12

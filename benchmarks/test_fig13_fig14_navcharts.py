@@ -1,0 +1,55 @@
+"""Figs. 13 & 14: navigation charts — Φ against TBMD divergence."""
+
+from conftest import run_once
+
+from repro.corpus import app_models
+from repro.perfport import PerfModel, navigation_chart
+from repro.perfport.pp_metric import phi_table
+from repro.viz import render_navigation_svg
+from repro.workflow.comparer import MetricSpec, divergence_row
+
+
+def _navchart(app, indexed):
+    models = [m for m in app_models(app) if m != "serial"]
+    serial = indexed["serial"]
+    targets = [indexed[m] for m in models]
+    tsem = divergence_row(serial, targets, MetricSpec("Tsem"))
+    tsrc = divergence_row(serial, targets, MetricSpec("Tsrc"))
+    phis = phi_table(PerfModel().efficiency_matrix(app, models))
+    return navigation_chart(app, phis, tsem, tsrc, models)
+
+
+def test_fig13_cloverleaf_navchart(benchmark, cloverleaf_all, outdir):
+    chart = run_once(benchmark, lambda: _navchart("cloverleaf", cloverleaf_all))
+    print("\nFig 13: CloverLeaf navigation chart")
+    print(chart.to_csv())
+    (outdir / "fig13_cloverleaf_navchart.svg").write_text(
+        render_navigation_svg(chart, "Fig 13: CloverLeaf Φ vs TBMD")
+    )
+    (outdir / "fig13_cloverleaf_navchart.csv").write_text(chart.to_csv())
+
+    # §VI: the SYCL accessor variant's source "appear[s] much more complex
+    # than it is semantically" — perceived divergence above semantic
+    assert chart.by_model("sycl-acc").perceived_bloat > 0
+    # zero-Φ models still plotted with their divergences
+    assert chart.by_model("cuda").phi == 0.0
+    assert chart.by_model("cuda").tsem > 0.0
+    # the paper's ideal-quadrant reading: omp-target ranks near the top
+    ranked = [p.model for p in chart.ranked()]
+    assert ranked.index("omp-target") <= 2
+
+
+def test_fig14_tealeaf_navchart(benchmark, tealeaf_all, outdir):
+    chart = run_once(benchmark, lambda: _navchart("tealeaf", tealeaf_all))
+    print("\nFig 14: TeaLeaf navigation chart")
+    print(chart.to_csv())
+    (outdir / "fig14_tealeaf_navchart.svg").write_text(
+        render_navigation_svg(chart, "Fig 14: TeaLeaf Φ vs TBMD")
+    )
+    (outdir / "fig14_tealeaf_navchart.csv").write_text(chart.to_csv())
+
+    # "the ordering is similar between Fig. 13 and Fig. 14": omp-target
+    # stays the least semantically divergent portable model
+    portable = [p for p in chart.points if p.phi > 0]
+    best = min(portable, key=lambda p: p.tsem)
+    assert best.model == "omp-target"

@@ -1,0 +1,47 @@
+"""Fig. 15: the vendor-diversification navigation-chart scenario.
+
+Data point 1: a CUDA-only codebase on an NVIDIA-only platform set (Φ = 1).
+Data point 2: AMD hardware arrives — the platform set grows, CUDA's Φ
+collapses to 0. Data point 3: the chart (augmented with TeaLeaf's past
+results) identifies the better landing spot among portable models.
+"""
+
+from conftest import run_once
+
+from repro.corpus import app_models
+from repro.perfport import PerfModel, navigation_chart
+from repro.perfport.pp_metric import phi_subset
+from repro.viz import render_navigation_svg
+from repro.workflow.comparer import MetricSpec, divergence_row
+
+
+def test_fig15_migration_scenario(benchmark, tealeaf_all, outdir):
+    models = [m for m in app_models("tealeaf") if m != "serial"]
+    matrix = PerfModel().efficiency_matrix("tealeaf", models)
+
+    def make():
+        point1 = phi_subset(matrix, ["H100"])
+        point2 = phi_subset(matrix, ["H100", "MI250X"])
+        serial = tealeaf_all["serial"]
+        targets = [tealeaf_all[m] for m in models]
+        tsem = divergence_row(serial, targets, MetricSpec("Tsem"))
+        tsrc = divergence_row(serial, targets, MetricSpec("Tsrc"))
+        chart = navigation_chart("tealeaf (2 GPU vendors)", point2, tsem, tsrc, models)
+        return point1, point2, chart
+
+    point1, point2, chart = run_once(benchmark, make)
+    print("\nFig 15 scenario:")
+    print(f"  point 1 — CUDA on NVIDIA-only platform set: Φ = {point1['cuda']:.3f}")
+    print(f"  point 2 — CUDA once MI250X is added:        Φ = {point2['cuda']:.3f}")
+    best = [p for p in chart.ranked() if p.phi > 0][0]
+    print(f"  point 3 — recommended landing spot: {best.model} "
+          f"(Φ={best.phi:.2f}, Tsem={best.tsem:.2f})")
+    (outdir / "fig15_migration_navchart.svg").write_text(
+        render_navigation_svg(chart, "Fig 15: after AMD enters the platform set")
+    )
+
+    # the story's three beats
+    assert point1["cuda"] > 0.9  # Φ of one when only one platform exists
+    assert point2["cuda"] == 0.0  # not directly portable to HIP hardware
+    assert best.phi > 0.5  # a viable landing spot exists
+    assert best.model in ("omp-target", "kokkos", "sycl-usm", "sycl-acc", "hip")

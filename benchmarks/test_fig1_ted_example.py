@@ -1,0 +1,17 @@
+"""Fig. 1: two small ASTs with a TED distance of five."""
+
+from conftest import run_once
+
+from repro.distance import ted
+from repro.trees import from_sexpr
+
+
+def test_fig1_ted_example(benchmark):
+    t1 = from_sexpr("(call (args a b) (body c))")
+    t2 = from_sexpr("(ret c)")
+
+    result = run_once(benchmark, lambda: ted(t1, t2))
+    print(f"\nFig 1 analogue: |T1|={t1.size()}, |T2|={t2.size()}, TED={result.distance}")
+    # "Two ASTs with a TED distance of five: four outlined nodes are
+    # inserted or deleted with one relabelled node on the top."
+    assert result.distance == 5

@@ -1,0 +1,42 @@
+"""Fig. 2/3: the end-to-end workflow — compile DB in, Codebase DB out."""
+
+import json
+
+from conftest import run_once
+
+from repro.corpus import build_fs, get_spec
+from repro.workflow import options_from_command, parse_compile_db
+from repro.workflow.codebase import IndexedCodebase
+from repro.workflow.codebasedb import load_codebase_db, save_codebase_db
+from repro.workflow.indexer import index_codebase
+
+
+def test_fig2_end_to_end_workflow(benchmark, outdir):
+    """Compilation DB → index (+ coverage run) → compressed Codebase DB →
+    reload → identical trees. The Fig. 2 pipeline in one pass."""
+    compile_db = json.dumps(
+        [
+            {
+                "directory": "/build",
+                "file": "omp_stream.cpp",
+                "arguments": ["clang++", "-fopenmp", "-c", "omp_stream.cpp"],
+            }
+        ]
+    )
+
+    def pipeline() -> IndexedCodebase:
+        cmds = parse_compile_db(compile_db)
+        opts, defines = options_from_command(cmds[0])
+        assert opts.openmp
+        spec = get_spec("babelstream", "omp")
+        fs = build_fs("babelstream", "omp")
+        cb = index_codebase(spec, fs, run_coverage=True)
+        save_codebase_db(cb, outdir / "fig2_omp.svdb")
+        return load_codebase_db(outdir / "fig2_omp.svdb")
+
+    cb = run_once(benchmark, pipeline)
+    print(f"\nworkflow: indexed {len(cb.units)} unit(s), run={cb.run_value}, "
+          f"deps={cb.units['main'].deps}")
+    assert cb.run_value == 0
+    assert cb.units["main"].t_sem is not None
+    assert (outdir / "fig2_omp.svdb").stat().st_size > 0

@@ -1,0 +1,58 @@
+"""Fig. 4: TeaLeaf model clustering under T_sem (heatmap + dendrogram)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import cluster_models, cut_clusters
+from repro.analysis.heatmap import HeatmapData
+from repro.viz import ascii_dendrogram, render_dendrogram_svg, render_heatmap_svg
+from repro.workflow.comparer import MetricSpec, divergence_matrix
+
+
+def test_fig4_tealeaf_tsem_clustering(benchmark, tealeaf_all, outdir):
+    names = list(tealeaf_all)
+
+    def make():
+        matrix = divergence_matrix([tealeaf_all[m] for m in names], MetricSpec("Tsem"))
+        dend = cluster_models(matrix, names)
+        return matrix, dend
+
+    matrix, dend = run_once(benchmark, make)
+
+    print("\nTeaLeaf T_sem correlation matrix (cartesian product of models):")
+    data = HeatmapData(names, names, matrix)
+    print(data.to_csv())
+    print("\nTeaLeaf T_sem dendrogram (complete linkage, Euclidean):")
+    print(ascii_dendrogram(dend))
+    render_heatmap_svg(data, "Fig 4: TeaLeaf T_sem")
+    (outdir / "fig4_tealeaf_tsem_heatmap.svg").write_text(
+        render_heatmap_svg(data, "Fig 4: TeaLeaf T_sem")
+    )
+    (outdir / "fig4_tealeaf_tsem_dendrogram.svg").write_text(
+        render_dendrogram_svg(dend, "Fig 4: TeaLeaf T_sem clustering")
+    )
+
+    # ---- paper shape assertions (§V-A) ---------------------------------
+    # "a clear clustering of model variants and models that are related in
+    # terms of design philosophy"
+    def cluster_of(model, clusters):
+        return next(c for c in clusters if model in c)
+
+    heights = dend.merge_heights()
+    for cut in sorted(set(heights)):
+        clusters = cut_clusters(dend, cut)
+        # SYCL variants pair before SYCL joins CUDA's cluster
+        sycl = cluster_of("sycl-usm", clusters)
+        if "sycl-acc" in sycl:
+            assert "cuda" not in sycl or "serial" not in sycl
+            break
+    # CUDA and HIP merge earlier than CUDA merges with serial
+    from repro.analysis.cluster import cophenetic_matrix
+
+    coph = cophenetic_matrix(dend)
+    i = {m: k for k, m in enumerate(names)}
+    assert coph[i["cuda"], i["hip"]] < coph[i["cuda"], i["serial"]]
+    # "The serial model appears to be close to the OpenMP variants"
+    assert coph[i["serial"], i["omp"]] <= np.median(coph[i["serial"]][coph[i["serial"]] > 0])
+    # SYCL variants group
+    assert coph[i["sycl-usm"], i["sycl-acc"]] < coph[i["sycl-usm"], i["serial"]]

@@ -1,0 +1,81 @@
+"""Fig. 5: TeaLeaf clustering dendrograms under all six metrics."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import cluster_models, cophenetic_matrix
+from repro.viz import ascii_dendrogram, render_dendrogram_svg
+from repro.workflow.comparer import DEFAULT_METRICS, divergence_matrix
+
+
+def test_fig5_tealeaf_six_metric_dendrograms(benchmark, tealeaf_all, outdir):
+    names = list(tealeaf_all)
+    cbs = [tealeaf_all[m] for m in names]
+
+    def make():
+        out = {}
+        for spec in DEFAULT_METRICS:
+            matrix = divergence_matrix(cbs, spec)
+            out[spec.label] = (matrix, cluster_models(matrix, names))
+        return out
+
+    results = run_once(benchmark, make)
+
+    for label, (_matrix, dend) in results.items():
+        print(f"\n=== TeaLeaf dendrogram under {label} ===")
+        print(ascii_dendrogram(dend))
+        (outdir / f"fig5_tealeaf_{label.replace('+', '_')}.svg").write_text(
+            render_dendrogram_svg(dend, f"Fig 5: TeaLeaf {label}")
+        )
+
+    i = {m: k for k, m in enumerate(names)}
+
+    def coph(label):
+        return cophenetic_matrix(results[label][1])
+
+    # "Comparing Source, T_src, and T_sem, we start to see an almost
+    # identical clustering" — semantically informed metrics agree on the
+    # design-philosophy pairs:
+    for label in ("Source", "Tsrc", "Tsem"):
+        c = coph(label)
+        # CUDA–HIP merge below the median pairwise height
+        med = np.median(c[np.triu_indices_from(c, 1)])
+        assert c[i["cuda"], i["hip"]] < med, (label, "cuda-hip")
+        assert c[i["sycl-usm"], i["sycl-acc"]] < med, (label, "sycl pair")
+        # TBB and StdPar grouped (§V-A)
+        assert c[i["tbb"], i["stdpar"]] < med, (label, "tbb-stdpar")
+
+    # "SLOC and LLOC did not group related models together, and the
+    # clustering appears random" — quantified as cophenetic congruence with
+    # the semantic clustering: the line metrics agree weakly with T_sem
+    # while T_src agrees strongly.
+    iu = np.triu_indices(len(names), 1)
+
+    def congruence(label):
+        x, y = coph(label)[iu], coph("Tsem")[iu]
+        return float(np.corrcoef(x, y)[0, 1])
+
+    assert congruence("Tsrc") > 0.8
+    assert congruence("SLOC") < 0.5
+    assert congruence("LLOC") < 0.5
+    print(
+        f"\ncophenetic congruence with Tsem: "
+        f"Tsrc={congruence('Tsrc'):.2f} Source={congruence('Source'):.2f} "
+        f"SLOC={congruence('SLOC'):.2f} LLOC={congruence('LLOC'):.2f}"
+    )
+    # the line metrics' "randomness" in action: they merge at least one
+    # semantically-unrelated pair at (near-)zero height because two ports
+    # happen to have the same line count
+    related = {
+        frozenset(p)
+        for p in [("cuda", "hip"), ("sycl-usm", "sycl-acc"), ("tbb", "stdpar"), ("serial", "omp"), ("omp", "omp-target")]
+    }
+    for label in ("SLOC", "LLOC"):
+        c = coph(label)
+        accidental = [
+            (a, b)
+            for ai, a in enumerate(names)
+            for b in names[ai + 1 :]
+            if c[i[a], i[b]] < 0.1 and frozenset((a, b)) not in related
+        ]
+        assert accidental, f"{label} produced no accidental groupings"

@@ -1,0 +1,46 @@
+"""Fig. 6: BabelStream-Fortran clustering dendrograms, six metrics."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import cluster_models, cophenetic_matrix
+from repro.viz import ascii_dendrogram, render_dendrogram_svg
+from repro.workflow.comparer import DEFAULT_METRICS, divergence_matrix
+
+
+def test_fig6_fortran_dendrograms(benchmark, fortran_all, outdir):
+    names = list(fortran_all)
+    cbs = [fortran_all[m] for m in names]
+
+    def make():
+        out = {}
+        for spec in DEFAULT_METRICS:
+            matrix = divergence_matrix(cbs, spec)
+            out[spec.label] = (matrix, cluster_models(matrix, names))
+        return out
+
+    results = run_once(benchmark, make)
+    for label, (_m, dend) in results.items():
+        print(f"\n=== BabelStream Fortran dendrogram under {label} ===")
+        print(ascii_dendrogram(dend))
+        (outdir / f"fig6_fortran_{label.replace('+', '_')}.svg").write_text(
+            render_dendrogram_svg(dend, f"Fig 6: Fortran {label}")
+        )
+
+    i = {m: k for k, m in enumerate(names)}
+    # §V-B: "the OpenACC model, including the array variant, did not
+    # introduce extra tokens related to parallelism" — each OpenACC port
+    # clusters with its serial-syntax counterpart rather than forming a
+    # parallel-model group:
+    for label in ("Tsrc", "Tsem", "Source"):
+        c = cophenetic_matrix(results[label][1])
+        # openacc-array sticks to the plain array-syntax model
+        assert c[i["openacc-array"], i["array"]] < c[i["openacc-array"], i["omp"]], label
+    c = cophenetic_matrix(results["Tsem"][1])
+    # at T_sem, loop-form OpenACC is closer to sequential than OpenMP is
+    assert c[i["openacc"], i["sequential"]] < c[i["omp"], i["sequential"]]
+    # the OpenMP variants form their own group
+    assert c[i["omp"], i["omp-taskloop"]] < c[i["omp"], i["openacc"]]
+    # do concurrent stays near sequential (language-level parallelism with
+    # serial-looking source)
+    assert c[i["doconcurrent"], i["sequential"]] <= c[i["doconcurrent"], i["omp"]]

@@ -1,0 +1,32 @@
+"""Fig. 7: miniBUDE divergence-from-serial heatmap, all metric variants."""
+
+from conftest import run_once
+
+from repro.analysis.heatmap import HEATMAP_SPECS, divergence_heatmap
+from repro.viz import ascii_heatmap, render_heatmap_svg
+
+
+def test_fig7_minibude_heatmap(benchmark, minibude_all, outdir):
+    serial = minibude_all["serial"]
+    models = [cb for name, cb in minibude_all.items()]
+
+    data = run_once(benchmark, lambda: divergence_heatmap(serial, models, HEATMAP_SPECS))
+
+    print("\nFig 7: miniBUDE divergence from serial (rows = metric variants)")
+    print(ascii_heatmap(data, vmax=1.0))
+    (outdir / "fig7_minibude_heatmap.svg").write_text(
+        render_heatmap_svg(data, "Fig 7: miniBUDE divergence from serial")
+    )
+    (outdir / "fig7_minibude_heatmap.csv").write_text(data.to_csv())
+
+    # "a correct divergence of 0 for all metrics" in the serial column
+    for row in data.row_labels:
+        assert data.cell(row, "serial") == 0.0, row
+    # §V-C: SYCL Source+pp extreme (the 20 MB header artefact)
+    assert data.cell("SLOC+pp", "sycl-usm") > 3 * max(data.cell("SLOC+pp", "omp"), 0.01)
+    # OpenMP: semantic divergence above perceived (§V-C)
+    assert data.cell("Tsem", "omp") > data.cell("Tsrc", "omp")
+    # library models jump under inlining, OpenMP does not (§V-C)
+    omp_jump = data.cell("Tsem+i", "omp") - data.cell("Tsem", "omp")
+    kokkos_jump = data.cell("Tsem+i", "kokkos") - data.cell("Tsem", "kokkos")
+    assert omp_jump <= kokkos_jump + 0.05

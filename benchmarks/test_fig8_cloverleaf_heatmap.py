@@ -1,0 +1,31 @@
+"""Fig. 8: CloverLeaf divergence-from-serial heatmap, all metric variants."""
+
+from conftest import run_once
+
+from repro.analysis.heatmap import HEATMAP_SPECS, divergence_heatmap
+from repro.viz import ascii_heatmap, render_heatmap_svg
+
+
+def test_fig8_cloverleaf_heatmap(benchmark, cloverleaf_all, outdir):
+    serial = cloverleaf_all["serial"]
+    models = list(cloverleaf_all.values())
+
+    data = run_once(benchmark, lambda: divergence_heatmap(serial, models, HEATMAP_SPECS))
+
+    print("\nFig 8: CloverLeaf divergence from serial (rows = metric variants)")
+    print(ascii_heatmap(data, vmax=1.0))
+    (outdir / "fig8_cloverleaf_heatmap.svg").write_text(
+        render_heatmap_svg(data, "Fig 8: CloverLeaf divergence from serial")
+    )
+    (outdir / "fig8_cloverleaf_heatmap.csv").write_text(data.to_csv())
+
+    # self-comparison column is exactly zero
+    for row in data.row_labels:
+        assert data.cell(row, "serial") == 0.0, row
+    # first-party pair behaves identically
+    assert abs(data.cell("Tsem", "cuda") - data.cell("Tsem", "hip")) < 0.1
+    # directive model cheapest under T_sem; offload directives next
+    assert data.cell("Tsem", "omp") < data.cell("Tsem", "cuda")
+    assert data.cell("Tsem", "omp-target") < data.cell("Tsem", "sycl-acc")
+    # T_ir misbehaves for offload models (§V-C): offload > host under Tir
+    assert data.cell("Tir", "cuda") > data.cell("Tir", "omp")

@@ -1,0 +1,63 @@
+"""Figs. 9 & 10: divergence of TeaLeaf offload models from serial vs CUDA."""
+
+from conftest import run_once
+
+from repro.viz import ascii_bars, render_bars_svg
+from repro.workflow.comparer import MetricSpec, divergence_row
+
+OFFLOAD = ["omp-target", "cuda", "hip", "sycl-usm", "sycl-acc", "kokkos"]
+SPECS = [MetricSpec("Source"), MetricSpec("Tsrc"), MetricSpec("Tsem"), MetricSpec("Tir")]
+
+
+def test_fig9_divergence_from_serial(benchmark, tealeaf_all, outdir):
+    serial = tealeaf_all["serial"]
+    targets = [tealeaf_all[m] for m in OFFLOAD]
+
+    def make():
+        return {s.label: divergence_row(serial, targets, s) for s in SPECS}
+
+    rows = run_once(benchmark, make)
+    print("\nFig 9: TeaLeaf offload-model divergence from SERIAL")
+    for label, row in rows.items():
+        print(f"  {label}:")
+        print("  " + ascii_bars(row).replace("\n", "\n  "))
+    (outdir / "fig9_from_serial.svg").write_text(
+        render_bars_svg(rows["Tsem"], "Fig 9: Tsem divergence from serial")
+    )
+
+    # "The OpenMP target model stands out as having the lowest divergence
+    # overall when ported from serial" (§V-D)
+    tsem = rows["Tsem"]
+    for other in ("cuda", "hip", "sycl-usm", "sycl-acc"):
+        assert tsem["omp-target"] < tsem[other], other
+
+
+def test_fig10_divergence_from_cuda(benchmark, tealeaf_all, outdir):
+    cuda = tealeaf_all["cuda"]
+    serial = tealeaf_all["serial"]
+    targets = [tealeaf_all[m] for m in OFFLOAD if m != "cuda"]
+
+    def make():
+        from_cuda = {s.label: divergence_row(cuda, targets, s) for s in SPECS}
+        from_serial = {s.label: divergence_row(serial, targets, s) for s in SPECS}
+        return from_cuda, from_serial
+
+    from_cuda, from_serial = run_once(benchmark, make)
+    print("\nFig 10: TeaLeaf offload-model divergence from CUDA")
+    for label, row in from_cuda.items():
+        print(f"  {label}:")
+        print("  " + ascii_bars(row).replace("\n", "\n  "))
+    (outdir / "fig10_from_cuda.svg").write_text(
+        render_bars_svg(from_cuda["Tsem"], "Fig 10: Tsem divergence from CUDA")
+    )
+
+    # "The divergence when starting from serial is lower when compared to
+    # starting from CUDA. This is most obviously seen with the T_sem
+    # metric" (§V-D) — aggregate over the port targets (HIP excluded: it is
+    # CUDA's twin, which is exactly why migration studies single it out).
+    targets_wo_hip = [m for m in OFFLOAD if m not in ("cuda", "hip")]
+    total_from_serial = sum(from_serial["Tsem"][m] for m in targets_wo_hip)
+    total_from_cuda = sum(from_cuda["Tsem"][m] for m in targets_wo_hip)
+    assert total_from_cuda > total_from_serial
+    # HIP is the cheap escape from CUDA
+    assert from_cuda["Tsem"]["hip"] == min(from_cuda["Tsem"].values())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Model selection for a new project: the paper's §VI navigation chart.
+
+Scenario: you maintain the TeaLeaf heat-diffusion solver and must pick a
+programming model that is both productive (stays close to your serial
+code) and performance-portable (good Φ over the six Table-III platforms).
+
+This example indexes all ten TeaLeaf ports from the bundled corpus,
+computes their T_sem/T_src divergence from serial, combines them with Φ
+from the roofline performance model, and prints a recommendation. It also
+writes the navigation chart as SVG next to this script.
+
+Run:  python examples/model_selection.py        (~1 minute)
+"""
+
+from pathlib import Path
+
+from repro.corpus import app_models, index_app
+from repro.perfport import PerfModel, navigation_chart
+from repro.perfport.pp_metric import phi_table
+from repro.viz import render_navigation_svg
+from repro.workflow.comparer import MetricSpec, divergence_row
+
+APP = "tealeaf"
+
+
+def main() -> None:
+    print(f"indexing all {APP} model ports (parsing, sema, lowering, coverage runs)...")
+    indexed = index_app(APP, coverage=True)
+    models = [m for m in app_models(APP) if m != "serial"]
+    serial = indexed["serial"]
+    targets = [indexed[m] for m in models]
+
+    print("computing TBMD divergences from serial (tree edit distance)...")
+    tsem = divergence_row(serial, targets, MetricSpec("Tsem"))
+    tsrc = divergence_row(serial, targets, MetricSpec("Tsrc"))
+
+    print("evaluating Φ over the six platforms (roofline performance model)...")
+    phis = phi_table(PerfModel().efficiency_matrix(APP, models))
+
+    chart = navigation_chart(APP, phis, tsem, tsrc, models)
+    print(f"\n{'model':12s} {'Φ':>6s} {'Tsem':>6s} {'Tsrc':>6s}   note")
+    for p in chart.ranked():
+        note = ""
+        if p.phi == 0.0:
+            note = "not portable across the platform set"
+        elif p.perceived_bloat > 0.05:
+            note = "source looks more complex than its semantics"
+        print(f"{p.model:12s} {p.phi:6.3f} {p.tsem:6.3f} {p.tsrc:6.3f}   {note}")
+
+    best = [p for p in chart.ranked() if p.phi > 0][0]
+    print(
+        f"\nrecommendation: {best.model} — Φ={best.phi:.2f} with the lowest "
+        "semantic porting cost among portable models."
+    )
+
+    out = Path(__file__).parent / "tealeaf_navigation_chart.svg"
+    out.write_text(render_navigation_svg(chart, "TeaLeaf: Φ vs TBMD"))
+    print(f"navigation chart written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the TBMD divergence of one model port.
+
+Builds a tiny two-model codebase (serial + OpenMP) inline, runs the whole
+SilverVale-style pipeline — preprocess, parse, semantic analysis, IR
+lowering, coverage run — and prints every metric of the paper's Table I.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.lang.source import VirtualFS
+from repro.metrics import tbmd
+from repro.workflow.codebase import ModelSpec
+from repro.workflow.indexer import index_codebase
+
+SERIAL = """
+#include <cmath>
+
+double dot(const double* a, const double* b, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+int main() {
+  double* a = new double[64];
+  double* b = new double[64];
+  for (int i = 0; i < 64; i++) {
+    a[i] = 1.0;
+    b[i] = 2.0;
+  }
+  double s = dot(a, b, 64);
+  return fabs(s - 128.0) < 0.001 ? 0 : 1;
+}
+"""
+
+OMP = SERIAL.replace(
+    "  double sum = 0.0;\n  for (int i = 0",
+    "  double sum = 0.0;\n  #pragma omp parallel for reduction(+:sum)\n  for (int i = 0",
+)
+
+
+def main() -> None:
+    # A codebase is just files in a virtual filesystem.
+    fs = VirtualFS()
+    fs.add("<system>/cmath", "#pragma once\ndouble fabs(double x);\ndouble sqrt(double x);\n")
+    fs.add("serial.cpp", SERIAL)
+    fs.add("omp.cpp", OMP)
+
+    # Index both model ports; run_coverage interprets main() for real
+    # line-coverage data (both programs verify their own results).
+    serial = index_codebase(
+        ModelSpec(app="demo", model="serial", lang="cpp", units={"main": "serial.cpp"}),
+        fs,
+        run_coverage=True,
+    )
+    omp = index_codebase(
+        ModelSpec(app="demo", model="omp", lang="cpp", openmp=True, units={"main": "omp.cpp"}),
+        fs,
+        run_coverage=True,
+    )
+    print(f"serial verification run returned {serial.run_value}")
+    print(f"omp    verification run returned {omp.run_value}")
+
+    # The full TBMD profile of the OpenMP port relative to serial.
+    profile = tbmd(serial, omp)
+    print("\ndivergence of the OpenMP port from serial:")
+    for metric in profile.metrics():
+        print(f"  {metric:12s} {profile[metric]:.4f}")
+
+    # The paper's headline behaviour, visible even at this scale: the
+    # directive carries more semantics (Tsem) than source tokens (Tsrc).
+    assert profile["Tsem"] > profile["Tsrc"]
+    print("\nOpenMP's semantic divergence exceeds its perceived divergence —")
+    print("the pragma means more than it looks like (§V-C of the paper).")
+
+
+if __name__ == "__main__":
+    main()

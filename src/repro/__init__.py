@@ -1,0 +1,32 @@
+"""repro — a from-scratch reproduction of "A Metric for HPC Programming
+Model Productivity" (Lin, Deakin & McIntosh-Smith, SC 2024).
+
+The package implements TBMD (Tree-Based Model Divergence) end to end:
+
+* :mod:`repro.trees` / :mod:`repro.distance` — semantic-bearing trees and
+  the TED / diff kernels,
+* :mod:`repro.lang` — MiniC++ and MiniFortran frontends (lexer,
+  preprocessor, parser, sema, CSTs),
+* :mod:`repro.compiler` — MiniIR lowering with offload bundles (``T_ir``),
+* :mod:`repro.exec` / :mod:`repro.coverage` — AST interpreter and coverage,
+* :mod:`repro.metrics` — SLOC/LLOC/Source and the TBMD tree metrics,
+* :mod:`repro.analysis` / :mod:`repro.viz` — clustering, heatmaps, figures,
+* :mod:`repro.perfport` — Φ, cascade plots, navigation charts,
+* :mod:`repro.workflow` — compile-DB ingestion, indexing, Codebase DBs, CLI,
+* :mod:`repro.corpus` — BabelStream/miniBUDE/TeaLeaf/CloverLeaf ports.
+
+Quickstart::
+
+    from repro.corpus import index_app
+    from repro.workflow import MetricSpec, divergence
+
+    cbs = index_app("babelstream", models=["serial", "omp", "cuda"])
+    d = divergence(cbs["serial"], cbs["cuda"], MetricSpec("Tsem"))
+"""
+
+__version__ = "1.0.0"
+
+from repro.trees import Node, SourceSpan
+from repro.distance import ted, ted_normalized
+
+__all__ = ["Node", "SourceSpan", "ted", "ted_normalized", "__version__"]

@@ -1,0 +1,31 @@
+"""Analysis: hierarchical clustering, dendrograms, heatmaps, report tables.
+
+§V-A: "We generate the associated dendrogram around the map using complete
+linkage and Euclidean distance between points." Models are embedded as
+their divergence-vector rows of the cartesian comparison matrix; the
+agglomerative clustering is implemented from scratch (and cross-checked
+against SciPy in the test suite).
+"""
+
+from repro.analysis.cluster import (
+    Dendrogram,
+    agglomerative,
+    cluster_models,
+    cophenetic_matrix,
+    cut_clusters,
+    euclidean_rows,
+)
+from repro.analysis.heatmap import HeatmapData, divergence_heatmap
+from repro.analysis.report import render_table
+
+__all__ = [
+    "Dendrogram",
+    "agglomerative",
+    "cluster_models",
+    "cophenetic_matrix",
+    "cut_clusters",
+    "euclidean_rows",
+    "HeatmapData",
+    "divergence_heatmap",
+    "render_table",
+]

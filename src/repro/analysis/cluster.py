@@ -1,0 +1,154 @@
+"""Agglomerative hierarchical clustering (complete linkage), from scratch.
+
+Produces SciPy-compatible linkage matrices so results can be cross-checked
+against ``scipy.cluster.hierarchy.linkage`` and consumed by any downstream
+tooling, while the implementation itself stays dependency-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Dendrogram:
+    """A clustering result over named leaves."""
+
+    labels: list[str]
+    #: SciPy-style linkage: rows of (idx_a, idx_b, height, count)
+    linkage: np.ndarray
+
+    def merge_heights(self) -> list[float]:
+        return [float(r[2]) for r in self.linkage]
+
+    def newick(self) -> str:
+        """Newick text form (handy for golden tests and docs)."""
+        n = len(self.labels)
+        names: dict[int, str] = {i: self.labels[i] for i in range(n)}
+        heights: dict[int, float] = {i: 0.0 for i in range(n)}
+        for k, (a, b, h, _cnt) in enumerate(self.linkage):
+            ia, ib = int(a), int(b)
+            la = f"{names[ia]}:{h - heights[ia]:.4f}"
+            lb = f"{names[ib]}:{h - heights[ib]:.4f}"
+            names[n + k] = f"({la},{lb})"
+            heights[n + k] = float(h)
+        return names[n + len(self.linkage) - 1] + ";" if len(self.linkage) else self.labels[0] + ";"
+
+    def leaf_order(self) -> list[str]:
+        """Left-to-right leaf order of the tree (plot order)."""
+        n = len(self.labels)
+        def walk(idx: int) -> list[int]:
+            if idx < n:
+                return [idx]
+            row = self.linkage[idx - n]
+            return walk(int(row[0])) + walk(int(row[1]))
+        root = n + len(self.linkage) - 1 if len(self.linkage) else 0
+        return [self.labels[i] for i in walk(root)]
+
+
+def euclidean_rows(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distance between the rows of ``matrix``.
+
+    This is the paper's embedding: each model is represented by its row of
+    divergences to all models, and clustering runs on Euclidean distances
+    between these rows.
+    """
+    m = np.asarray(matrix, dtype=float)
+    sq = np.sum(m * m, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (m @ m.T)
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)
+
+
+def agglomerative(
+    dist: np.ndarray,
+    labels: Sequence[str],
+    linkage: str = "complete",
+) -> Dendrogram:
+    """Agglomerative clustering over a precomputed distance matrix.
+
+    Supports complete (paper default), single and average linkage. Naive
+    O(n³) merge loop — n is the model count (≤ a dozen).
+    """
+    n = len(labels)
+    if dist.shape != (n, n):
+        raise ValueError("distance matrix does not match label count")
+    active: dict[int, list[int]] = {i: [i] for i in range(n)}  # cluster id -> leaves
+    cluster_idx: dict[int, int] = {i: i for i in range(n)}  # cluster id -> linkage idx
+    rows: list[list[float]] = []
+    next_idx = n
+
+    def cluster_dist(a: list[int], b: list[int]) -> float:
+        vals = [dist[i, j] for i in a for j in b]
+        if linkage == "complete":
+            return max(vals)
+        if linkage == "single":
+            return min(vals)
+        if linkage == "average":
+            return sum(vals) / len(vals)
+        raise ValueError(f"unknown linkage {linkage!r}")
+
+    while len(active) > 1:
+        best: Optional[tuple[float, int, int]] = None
+        ids = sorted(active)
+        for ai in range(len(ids)):
+            for bi in range(ai + 1, len(ids)):
+                a, b = ids[ai], ids[bi]
+                d = cluster_dist(active[a], active[b])
+                if best is None or d < best[0]:
+                    best = (d, a, b)
+        assert best is not None
+        d, a, b = best
+        leaves = active[a] + active[b]
+        rows.append([float(cluster_idx[a]), float(cluster_idx[b]), float(d), float(len(leaves))])
+        del active[a], active[b]
+        new_id = next_idx
+        active[new_id] = leaves
+        cluster_idx[new_id] = next_idx
+        next_idx += 1
+
+    return Dendrogram(list(labels), np.asarray(rows, dtype=float).reshape(-1, 4))
+
+
+def cluster_models(
+    divergence_matrix: np.ndarray,
+    labels: Sequence[str],
+    linkage: str = "complete",
+) -> Dendrogram:
+    """The paper's model-clustering recipe: rows → Euclidean → agglomerate."""
+    return agglomerative(euclidean_rows(divergence_matrix), labels, linkage)
+
+
+def cophenetic_matrix(dend: Dendrogram) -> np.ndarray:
+    """Pairwise cophenetic distances (merge height joining each leaf pair)."""
+    n = len(dend.labels)
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+    out = np.zeros((n, n))
+    for k, (a, b, h, _cnt) in enumerate(dend.linkage):
+        la = members[int(a)]
+        lb = members[int(b)]
+        for i in la:
+            for j in lb:
+                out[i, j] = out[j, i] = h
+        members[n + k] = la + lb
+    return out
+
+
+def cut_clusters(dend: Dendrogram, height: float) -> list[set[str]]:
+    """Flat clusters obtained by cutting the tree at ``height``."""
+    n = len(dend.labels)
+    members: dict[int, set[int]] = {i: {i} for i in range(n)}
+    alive: set[int] = set(range(n))
+    for k, (a, b, h, _cnt) in enumerate(dend.linkage):
+        ia, ib = int(a), int(b)
+        new = n + k
+        members[new] = members[ia] | members[ib]
+        # Only merges at or below the cut height collapse their children.
+        if h <= height and ia in alive and ib in alive:
+            alive.discard(ia)
+            alive.discard(ib)
+            alive.add(new)
+    return [{dend.labels[i] for i in members[c]} for c in sorted(alive)]

@@ -1,0 +1,72 @@
+"""Heatmap data model (Figs. 4, 7, 8).
+
+A heatmap is rows (metric variants) × columns (models) of divergence-from-
+baseline values in [0, 1]; the clustering heatmap variant is models ×
+models. Rendering lives in :mod:`repro.viz`; this module only assembles
+the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.workflow.codebase import IndexedCodebase
+from repro.workflow.comparer import MetricSpec, divergence
+
+
+@dataclass
+class HeatmapData:
+    row_labels: list[str]
+    col_labels: list[str]
+    values: np.ndarray  # rows × cols
+
+    def row(self, label: str) -> dict[str, float]:
+        i = self.row_labels.index(label)
+        return dict(zip(self.col_labels, self.values[i].tolist()))
+
+    def cell(self, row: str, col: str) -> float:
+        return float(self.values[self.row_labels.index(row), self.col_labels.index(col)])
+
+    def to_csv(self) -> str:
+        lines = ["metric," + ",".join(self.col_labels)]
+        for label, row in zip(self.row_labels, self.values):
+            lines.append(label + "," + ",".join(f"{v:.4f}" for v in row))
+        return "\n".join(lines)
+
+
+#: Metric-variant rows of the Fig. 7/8 heatmaps.
+HEATMAP_SPECS: tuple[MetricSpec, ...] = (
+    MetricSpec("SLOC"),
+    MetricSpec("SLOC", pp=True),
+    MetricSpec("LLOC"),
+    MetricSpec("LLOC", pp=True),
+    MetricSpec("Source"),
+    MetricSpec("Source", pp=True),
+    MetricSpec("Source", coverage=True),
+    MetricSpec("Tsrc"),
+    MetricSpec("Tsrc", pp=True),
+    MetricSpec("Tsrc", coverage=True),
+    MetricSpec("Tsem"),
+    MetricSpec("Tsem", inlining=True),
+    MetricSpec("Tsem", coverage=True),
+    MetricSpec("Tir"),
+    MetricSpec("Tir", coverage=True),
+)
+
+
+def divergence_heatmap(
+    baseline: IndexedCodebase,
+    models: Sequence[IndexedCodebase],
+    specs: Sequence[MetricSpec] = HEATMAP_SPECS,
+) -> HeatmapData:
+    """Divergence-from-baseline heatmap over metric variants × models."""
+    cols = [cb.model for cb in models]
+    rows = [s.label for s in specs]
+    values = np.zeros((len(rows), len(cols)))
+    for i, spec in enumerate(specs):
+        for j, cb in enumerate(models):
+            values[i, j] = divergence(baseline, cb, spec)
+    return HeatmapData(rows, cols, values)

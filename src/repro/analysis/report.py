@@ -1,0 +1,19 @@
+"""Plain-text table rendering for benchmark output and reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table (the benches print the paper's tables)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [fmt(cells[0]), sep]
+    out.extend(fmt(r) for r in cells[1:])
+    return "\n".join(out)

@@ -1,0 +1,120 @@
+"""MiniIR data model.
+
+A deliberately LLVM-shaped IR: modules own globals and functions; functions
+own basic blocks; blocks own instructions in SSA-ish form (each value-
+producing instruction defines a fresh virtual register ``%n``). Platform-
+specific details are absent by construction — the paper requires "the IR
+used must be stripped of architecture-specific information" for ``T_ir``
+comparability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.trees.node import SourceSpan
+
+
+@dataclass
+class IRInstr:
+    """One instruction: ``op`` is the opcode, ``operands`` are register
+    names, literals, symbols or block labels; ``result`` is the defined
+    register (empty for void ops)."""
+
+    op: str
+    operands: list[str] = field(default_factory=list)
+    result: str = ""
+    span: Optional[SourceSpan] = None
+
+    def render(self) -> str:
+        head = f"{self.result} = {self.op}" if self.result else self.op
+        return f"{head} {', '.join(self.operands)}".rstrip()
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in ("ret", "br", "condbr", "unreachable")
+
+
+@dataclass
+class IRBlock:
+    label: str
+    instrs: list[IRInstr] = field(default_factory=list)
+
+    def add(self, instr: IRInstr) -> IRInstr:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminated(self) -> bool:
+        return bool(self.instrs) and self.instrs[-1].is_terminator
+
+
+@dataclass
+class IRFunction:
+    name: str
+    params: list[str] = field(default_factory=list)
+    blocks: list[IRBlock] = field(default_factory=list)
+    #: "define" for bodies, "declare" for externals (runtime symbols)
+    linkage: str = "define"
+    attrs: list[str] = field(default_factory=list)  # e.g. ["kernel"]
+    span: Optional[SourceSpan] = None
+
+    def new_block(self, label: str) -> IRBlock:
+        b = IRBlock(label)
+        self.blocks.append(b)
+        return b
+
+    def instr_count(self) -> int:
+        return sum(len(b.instrs) for b in self.blocks)
+
+
+@dataclass
+class IRGlobal:
+    name: str
+    kind: str = "global"  # global | const | fatbin | handle
+    init: str = ""
+    span: Optional[SourceSpan] = None
+
+
+@dataclass
+class IRModule:
+    name: str
+    target: str = "host"  # host | device:<dialect>
+    globals: list[IRGlobal] = field(default_factory=list)
+    functions: list[IRFunction] = field(default_factory=list)
+
+    def function(self, name: str) -> Optional[IRFunction]:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        return None
+
+    def declare(self, name: str, nparams: int = 0) -> IRFunction:
+        """Add (or return existing) runtime-symbol declaration."""
+        f = self.function(name)
+        if f is None:
+            f = IRFunction(name, [f"p{i}" for i in range(nparams)], linkage="declare")
+            self.functions.append(f)
+        return f
+
+    def render(self) -> str:
+        """Textual dump (debugging, golden tests)."""
+        out = [f"; module {self.name} target={self.target}"]
+        for g in self.globals:
+            out.append(f"@{g.name} = {g.kind} {g.init}".rstrip())
+        for f in self.functions:
+            head = f"{f.linkage} @{f.name}({', '.join(f.params)})"
+            if f.linkage == "declare":
+                out.append(head)
+                continue
+            out.append(head + " {")
+            for b in f.blocks:
+                out.append(f"{b.label}:")
+                for ins in b.instrs:
+                    out.append("  " + ins.render())
+            out.append("}")
+        return "\n".join(out)
+
+    def instr_count(self) -> int:
+        return sum(f.instr_count() for f in self.functions)

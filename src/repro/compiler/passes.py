@@ -1,0 +1,99 @@
+"""MiniIR optimisation passes.
+
+``T_ir`` is extracted from "platform-independent IR ... before machine code
+generation"; real toolchains run at least light cleanups first, so the
+default pipeline applies constant folding and dead-instruction elimination.
+Both passes are exposed individually for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import IRInstr, IRModule
+
+_FOLDABLE = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b if b else 0,
+    "rem": lambda a, b: a % b if b else 0,
+}
+
+#: Ops with no side effects; a dead result makes them removable.
+_PURE = frozenset(
+    "add sub mul div rem shl shr and or xor land lor neg not bnot pos cast "
+    "cmp.eq cmp.ne cmp.lt cmp.le cmp.gt cmp.ge select gep load aggregate seq".split()
+)
+
+
+def _const_value(operand: str):
+    if not operand.startswith("const:"):
+        return None
+    text = operand[6:]
+    try:
+        return int(text, 0)
+    except ValueError:
+        try:
+            return float(text.rstrip("fF"))
+        except ValueError:
+            return None
+
+
+def fold_constants(module: IRModule) -> int:
+    """Fold binary ops over two constants; returns number of folds."""
+    folds = 0
+    for f in module.functions:
+        for b in f.blocks:
+            replace: dict[str, str] = {}
+            new_instrs: list[IRInstr] = []
+            for ins in b.instrs:
+                ops = [replace.get(o, o) for o in ins.operands]
+                ins.operands = ops
+                if ins.op in _FOLDABLE and len(ops) == 2 and ins.result:
+                    a = _const_value(ops[0])
+                    c = _const_value(ops[1])
+                    if a is not None and c is not None:
+                        val = _FOLDABLE[ins.op](a, c)
+                        if isinstance(val, float) and val.is_integer() and isinstance(a, int) and isinstance(c, int):
+                            val = int(val)
+                        replace[ins.result] = f"const:{val}"
+                        folds += 1
+                        continue
+                new_instrs.append(ins)
+            b.instrs = new_instrs
+    return folds
+
+
+def eliminate_dead_instrs(module: IRModule) -> int:
+    """Remove pure instructions whose results are never used."""
+    removed = 0
+    for f in module.functions:
+        used: set[str] = set()
+        for b in f.blocks:
+            for ins in b.instrs:
+                used.update(ins.operands)
+        changed = True
+        while changed:
+            changed = False
+            for b in f.blocks:
+                keep: list[IRInstr] = []
+                for ins in b.instrs:
+                    if ins.result and ins.op in _PURE and ins.result not in used:
+                        removed += 1
+                        changed = True
+                        continue
+                    keep.append(ins)
+                b.instrs = keep
+            if changed:
+                used = set()
+                for b in f.blocks:
+                    for ins in b.instrs:
+                        used.update(ins.operands)
+    return removed
+
+
+def run_default_pipeline(module: IRModule) -> dict[str, int]:
+    """Constant folding then DCE; returns per-pass change counts."""
+    return {
+        "folds": fold_constants(module),
+        "dce": eliminate_dead_instrs(module),
+    }

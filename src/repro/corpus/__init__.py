@@ -1,0 +1,29 @@
+"""The mini-app corpus: BabelStream, miniBUDE, TeaLeaf and CloverLeaf,
+each ported idiomatically to every programming model of the paper's Table
+II, written in MiniC++ / MiniFortran.
+
+Every port verifies its own output (the paper: "each mini-app contains
+built-in verification for correctness") and runs under the interpreter at a
+reduced problem size for coverage. The registry exposes model specs,
+virtual filesystems, and cached indexing.
+"""
+
+from repro.corpus.registry import (
+    APPS,
+    app_models,
+    build_fs,
+    get_spec,
+    index_app,
+    index_model,
+    clear_index_cache,
+)
+
+__all__ = [
+    "APPS",
+    "app_models",
+    "build_fs",
+    "get_spec",
+    "index_app",
+    "index_model",
+    "clear_index_cache",
+]

@@ -1,0 +1,843 @@
+"""BabelStream (C++) — memory-bandwidth mini-app, ten model ports.
+
+McCalpin STREAM's five kernels (copy, mul, add, triad, dot) in every model
+of the paper's Table II. All ports share ``stream_common.h`` (identical
+boilerplate → zero divergence contribution, §V) and verify their results
+against the closed-form expected values, returning 0 on success.
+"""
+
+from __future__ import annotations
+
+STREAM_COMMON_H = """
+#pragma once
+#include <cmath>
+#include <cstdio>
+#ifndef ARRAY_SIZE
+#define ARRAY_SIZE 64
+#endif
+#define NTIMES 2
+#define START_A 0.1
+#define START_B 0.2
+#define START_C 0.0
+#define SCALAR 0.4
+
+int check_solution(double sum_a, double sum_b, double sum_c, double dot) {
+  double a = START_A;
+  double b = START_B;
+  double c = START_C;
+  double gold_dot = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    c = a;
+    b = SCALAR * c;
+    c = a + b;
+    a = b + SCALAR * c;
+  }
+  gold_dot = a * b * ARRAY_SIZE;
+  double err = 0.0;
+  err += fabs(sum_a - a * ARRAY_SIZE);
+  err += fabs(sum_b - b * ARRAY_SIZE);
+  err += fabs(sum_c - c * ARRAY_SIZE);
+  err += fabs(dot - gold_dot);
+  if (err > 0.0001) {
+    printf("validation failed\\n");
+    return 1;
+  }
+  return 0;
+}
+"""
+
+SERIAL = """
+#include "stream_common.h"
+
+void init_arrays(double* a, double* b, double* c) {
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+void copy(const double* a, double* c) {
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    c[i] = a[i];
+  }
+}
+
+void mul(double* b, const double* c) {
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+void add(const double* a, const double* b, double* c) {
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void triad(double* a, const double* b, const double* c) {
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+double dot(const double* a, const double* b) {
+  double sum = 0.0;
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double sum_array(const double* x) {
+  double s = 0.0;
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    s += x[i];
+  }
+  return s;
+}
+
+int main() {
+  double* a = new double[ARRAY_SIZE];
+  double* b = new double[ARRAY_SIZE];
+  double* c = new double[ARRAY_SIZE];
+  init_arrays(a, b, c);
+  double d = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c);
+    mul(b, c);
+    add(a, b, c);
+    triad(a, b, c);
+    d = dot(a, b);
+  }
+  int rc = check_solution(sum_array(a), sum_array(b), sum_array(c), d);
+  delete[] a;
+  delete[] b;
+  delete[] c;
+  return rc;
+}
+"""
+
+OMP = """
+#include "stream_common.h"
+#include <omp.h>
+
+void init_arrays(double* a, double* b, double* c) {
+  #pragma omp parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+void copy(const double* a, double* c) {
+  #pragma omp parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    c[i] = a[i];
+  }
+}
+
+void mul(double* b, const double* c) {
+  #pragma omp parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+void add(const double* a, const double* b, double* c) {
+  #pragma omp parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void triad(double* a, const double* b, const double* c) {
+  #pragma omp parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+double dot(const double* a, const double* b) {
+  double sum = 0.0;
+  #pragma omp parallel for reduction(+:sum)
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double sum_array(const double* x) {
+  double s = 0.0;
+  #pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    s += x[i];
+  }
+  return s;
+}
+
+int main() {
+  double* a = new double[ARRAY_SIZE];
+  double* b = new double[ARRAY_SIZE];
+  double* c = new double[ARRAY_SIZE];
+  init_arrays(a, b, c);
+  double d = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c);
+    mul(b, c);
+    add(a, b, c);
+    triad(a, b, c);
+    d = dot(a, b);
+  }
+  int rc = check_solution(sum_array(a), sum_array(b), sum_array(c), d);
+  delete[] a;
+  delete[] b;
+  delete[] c;
+  return rc;
+}
+"""
+
+OMP_TARGET = """
+#include "stream_common.h"
+#include <omp.h>
+
+void init_arrays(double* a, double* b, double* c) {
+  #pragma omp target teams distribute parallel for map(tofrom: a[0:ARRAY_SIZE], b[0:ARRAY_SIZE], c[0:ARRAY_SIZE])
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+void copy(const double* a, double* c) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    c[i] = a[i];
+  }
+}
+
+void mul(double* b, const double* c) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+void add(const double* a, const double* b, double* c) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void triad(double* a, const double* b, const double* c) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+double dot(const double* a, const double* b) {
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for map(tofrom: sum) reduction(+:sum)
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double sum_array(const double* x) {
+  double s = 0.0;
+  #pragma omp target teams distribute parallel for map(tofrom: s) reduction(+:s)
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    s += x[i];
+  }
+  return s;
+}
+
+int main() {
+  double* a = new double[ARRAY_SIZE];
+  double* b = new double[ARRAY_SIZE];
+  double* c = new double[ARRAY_SIZE];
+  #pragma omp target enter data map(to: a[0:ARRAY_SIZE], b[0:ARRAY_SIZE], c[0:ARRAY_SIZE])
+  init_arrays(a, b, c);
+  double d = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c);
+    mul(b, c);
+    add(a, b, c);
+    triad(a, b, c);
+    d = dot(a, b);
+  }
+  #pragma omp target exit data map(from: a[0:ARRAY_SIZE], b[0:ARRAY_SIZE], c[0:ARRAY_SIZE])
+  int rc = check_solution(sum_array(a), sum_array(b), sum_array(c), d);
+  delete[] a;
+  delete[] b;
+  delete[] c;
+  return rc;
+}
+"""
+
+CUDA = """
+#include "stream_common.h"
+#include <cuda_runtime.h>
+#define TBSIZE 16
+
+__global__ void init_kernel(double* a, double* b, double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i] = START_A;
+  b[i] = START_B;
+  c[i] = START_C;
+}
+
+__global__ void copy_kernel(const double* a, double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  c[i] = a[i];
+}
+
+__global__ void mul_kernel(double* b, const double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  b[i] = SCALAR * c[i];
+}
+
+__global__ void add_kernel(const double* a, const double* b, double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  c[i] = a[i] + b[i];
+}
+
+__global__ void triad_kernel(double* a, const double* b, const double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i] = b[i] + SCALAR * c[i];
+}
+
+__global__ void dot_kernel(const double* a, const double* b, double* partial) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  partial[i] = a[i] * b[i];
+}
+
+double reduce_partial(const double* partial, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) {
+    sum += partial[i];
+  }
+  return sum;
+}
+
+double sum_device(const double* d_x) {
+  double* h = new double[ARRAY_SIZE];
+  cudaMemcpy(h, d_x, ARRAY_SIZE * sizeof(double), cudaMemcpyDeviceToHost);
+  double s = reduce_partial(h, ARRAY_SIZE);
+  delete[] h;
+  return s;
+}
+
+int main() {
+  double* d_a;
+  double* d_b;
+  double* d_c;
+  double* d_partial;
+  cudaMalloc(&d_a, ARRAY_SIZE * sizeof(double));
+  cudaMalloc(&d_b, ARRAY_SIZE * sizeof(double));
+  cudaMalloc(&d_c, ARRAY_SIZE * sizeof(double));
+  cudaMalloc(&d_partial, ARRAY_SIZE * sizeof(double));
+  init_kernel<<<ARRAY_SIZE / TBSIZE, TBSIZE>>>(d_a, d_b, d_c);
+  cudaDeviceSynchronize();
+  double d = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy_kernel<<<ARRAY_SIZE / TBSIZE, TBSIZE>>>(d_a, d_c);
+    mul_kernel<<<ARRAY_SIZE / TBSIZE, TBSIZE>>>(d_b, d_c);
+    add_kernel<<<ARRAY_SIZE / TBSIZE, TBSIZE>>>(d_a, d_b, d_c);
+    triad_kernel<<<ARRAY_SIZE / TBSIZE, TBSIZE>>>(d_a, d_b, d_c);
+    dot_kernel<<<ARRAY_SIZE / TBSIZE, TBSIZE>>>(d_a, d_b, d_partial);
+    cudaDeviceSynchronize();
+    d = sum_device(d_partial);
+  }
+  int rc = check_solution(sum_device(d_a), sum_device(d_b), sum_device(d_c), d);
+  cudaFree(d_a);
+  cudaFree(d_b);
+  cudaFree(d_c);
+  cudaFree(d_partial);
+  return rc;
+}
+"""
+
+HIP = """
+#include "stream_common.h"
+#include <hip/hip_runtime.h>
+#define TBSIZE 16
+
+__global__ void init_kernel(double* a, double* b, double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i] = START_A;
+  b[i] = START_B;
+  c[i] = START_C;
+}
+
+__global__ void copy_kernel(const double* a, double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  c[i] = a[i];
+}
+
+__global__ void mul_kernel(double* b, const double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  b[i] = SCALAR * c[i];
+}
+
+__global__ void add_kernel(const double* a, const double* b, double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  c[i] = a[i] + b[i];
+}
+
+__global__ void triad_kernel(double* a, const double* b, const double* c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i] = b[i] + SCALAR * c[i];
+}
+
+__global__ void dot_kernel(const double* a, const double* b, double* partial) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  partial[i] = a[i] * b[i];
+}
+
+double reduce_partial(const double* partial, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) {
+    sum += partial[i];
+  }
+  return sum;
+}
+
+double sum_device(const double* d_x) {
+  double* h = new double[ARRAY_SIZE];
+  hipMemcpy(h, d_x, ARRAY_SIZE * sizeof(double), hipMemcpyDeviceToHost);
+  double s = reduce_partial(h, ARRAY_SIZE);
+  delete[] h;
+  return s;
+}
+
+int main() {
+  double* d_a;
+  double* d_b;
+  double* d_c;
+  double* d_partial;
+  hipMalloc(&d_a, ARRAY_SIZE * sizeof(double));
+  hipMalloc(&d_b, ARRAY_SIZE * sizeof(double));
+  hipMalloc(&d_c, ARRAY_SIZE * sizeof(double));
+  hipMalloc(&d_partial, ARRAY_SIZE * sizeof(double));
+  hipLaunchKernelGGL(init_kernel, ARRAY_SIZE / TBSIZE, TBSIZE, 0, 0, d_a, d_b, d_c);
+  hipDeviceSynchronize();
+  double d = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    hipLaunchKernelGGL(copy_kernel, ARRAY_SIZE / TBSIZE, TBSIZE, 0, 0, d_a, d_c);
+    hipLaunchKernelGGL(mul_kernel, ARRAY_SIZE / TBSIZE, TBSIZE, 0, 0, d_b, d_c);
+    hipLaunchKernelGGL(add_kernel, ARRAY_SIZE / TBSIZE, TBSIZE, 0, 0, d_a, d_b, d_c);
+    hipLaunchKernelGGL(triad_kernel, ARRAY_SIZE / TBSIZE, TBSIZE, 0, 0, d_a, d_b, d_c);
+    hipLaunchKernelGGL(dot_kernel, ARRAY_SIZE / TBSIZE, TBSIZE, 0, 0, d_a, d_b, d_partial);
+    hipDeviceSynchronize();
+    d = sum_device(d_partial);
+  }
+  int rc = check_solution(sum_device(d_a), sum_device(d_b), sum_device(d_c), d);
+  hipFree(d_a);
+  hipFree(d_b);
+  hipFree(d_c);
+  hipFree(d_partial);
+  return rc;
+}
+"""
+
+SYCL_USM = """
+#include "stream_common.h"
+#include <sycl/sycl.hpp>
+
+void init_arrays(sycl::queue& q, double* a, double* b, double* c) {
+  q.parallel_for<class init_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+    a[i.get(0)] = START_A;
+    b[i.get(0)] = START_B;
+    c[i.get(0)] = START_C;
+  });
+  q.wait();
+}
+
+void copy(sycl::queue& q, const double* a, double* c) {
+  q.parallel_for<class copy_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+    c[i.get(0)] = a[i.get(0)];
+  });
+  q.wait();
+}
+
+void mul(sycl::queue& q, double* b, const double* c) {
+  q.parallel_for<class mul_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+    b[i.get(0)] = SCALAR * c[i.get(0)];
+  });
+  q.wait();
+}
+
+void add(sycl::queue& q, const double* a, const double* b, double* c) {
+  q.parallel_for<class add_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+    c[i.get(0)] = a[i.get(0)] + b[i.get(0)];
+  });
+  q.wait();
+}
+
+void triad(sycl::queue& q, double* a, const double* b, const double* c) {
+  q.parallel_for<class triad_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+    a[i.get(0)] = b[i.get(0)] + SCALAR * c[i.get(0)];
+  });
+  q.wait();
+}
+
+double dot(sycl::queue& q, const double* a, const double* b) {
+  double* sum = sycl::malloc_shared<double>(1, q);
+  sum[0] = 0.0;
+  q.parallel_for<class dot_k>(
+      sycl::range<1>(ARRAY_SIZE),
+      sycl::reduction(sum, sycl::plus<double>()),
+      [=](sycl::id<1> i, double& acc) {
+    acc += a[i.get(0)] * b[i.get(0)];
+  });
+  q.wait();
+  double result = sum[0];
+  sycl::free(sum, q);
+  return result;
+}
+
+double sum_array(sycl::queue& q, const double* x) {
+  double s = 0.0;
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    s += x[i];
+  }
+  return s;
+}
+
+int main() {
+  sycl::queue q;
+  double* a = sycl::malloc_shared<double>(ARRAY_SIZE, q);
+  double* b = sycl::malloc_shared<double>(ARRAY_SIZE, q);
+  double* c = sycl::malloc_shared<double>(ARRAY_SIZE, q);
+  init_arrays(q, a, b, c);
+  double d = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(q, a, c);
+    mul(q, b, c);
+    add(q, a, b, c);
+    triad(q, a, b, c);
+    d = dot(q, a, b);
+  }
+  int rc = check_solution(sum_array(q, a), sum_array(q, b), sum_array(q, c), d);
+  sycl::free(a, q);
+  sycl::free(b, q);
+  sycl::free(c, q);
+  return rc;
+}
+"""
+
+SYCL_ACC = """
+#include "stream_common.h"
+#include <sycl/sycl.hpp>
+
+int main() {
+  sycl::queue q;
+  double* h_a = new double[ARRAY_SIZE];
+  double* h_b = new double[ARRAY_SIZE];
+  double* h_c = new double[ARRAY_SIZE];
+  double* h_sum = new double[1];
+  double d = 0.0;
+  {
+    sycl::buffer<double, 1> buf_a(h_a, sycl::range<1>(ARRAY_SIZE));
+    sycl::buffer<double, 1> buf_b(h_b, sycl::range<1>(ARRAY_SIZE));
+    sycl::buffer<double, 1> buf_c(h_c, sycl::range<1>(ARRAY_SIZE));
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor<double, 1> a(buf_a, h, read_write);
+      sycl::accessor<double, 1> b(buf_b, h, read_write);
+      sycl::accessor<double, 1> c(buf_c, h, read_write);
+      h.parallel_for<class init_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+        a[i.get(0)] = START_A;
+        b[i.get(0)] = START_B;
+        c[i.get(0)] = START_C;
+      });
+    });
+    for (int t = 0; t < NTIMES; t++) {
+      q.submit([&](sycl::handler& h) {
+        sycl::accessor<double, 1> a(buf_a, h, read_only);
+        sycl::accessor<double, 1> c(buf_c, h, write_only);
+        h.parallel_for<class copy_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+          c[i.get(0)] = a[i.get(0)];
+        });
+      });
+      q.submit([&](sycl::handler& h) {
+        sycl::accessor<double, 1> b(buf_b, h, write_only);
+        sycl::accessor<double, 1> c(buf_c, h, read_only);
+        h.parallel_for<class mul_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+          b[i.get(0)] = SCALAR * c[i.get(0)];
+        });
+      });
+      q.submit([&](sycl::handler& h) {
+        sycl::accessor<double, 1> a(buf_a, h, read_only);
+        sycl::accessor<double, 1> b(buf_b, h, read_only);
+        sycl::accessor<double, 1> c(buf_c, h, write_only);
+        h.parallel_for<class add_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+          c[i.get(0)] = a[i.get(0)] + b[i.get(0)];
+        });
+      });
+      q.submit([&](sycl::handler& h) {
+        sycl::accessor<double, 1> a(buf_a, h, write_only);
+        sycl::accessor<double, 1> b(buf_b, h, read_only);
+        sycl::accessor<double, 1> c(buf_c, h, read_only);
+        h.parallel_for<class triad_k>(sycl::range<1>(ARRAY_SIZE), [=](sycl::id<1> i) {
+          a[i.get(0)] = b[i.get(0)] + SCALAR * c[i.get(0)];
+        });
+      });
+      sycl::buffer<double, 1> buf_sum(h_sum, sycl::range<1>(1));
+      q.submit([&](sycl::handler& h) {
+        sycl::accessor<double, 1> a(buf_a, h, read_only);
+        sycl::accessor<double, 1> b(buf_b, h, read_only);
+        sycl::accessor<double, 1> s(buf_sum, h, read_write);
+        h.single_task<class dot_k>([=]() {
+          double acc = 0.0;
+          for (int i = 0; i < ARRAY_SIZE; i++) {
+            acc += a[i] * b[i];
+          }
+          h_sum[0] = acc;
+        });
+      });
+      q.wait();
+      d = h_sum[0];
+    }
+    q.wait_and_throw();
+  }
+  double sa = 0.0;
+  double sb = 0.0;
+  double sc = 0.0;
+  for (int i = 0; i < ARRAY_SIZE; i++) {
+    sa += h_a[i];
+    sb += h_b[i];
+    sc += h_c[i];
+  }
+  int rc = check_solution(sa, sb, sc, d);
+  delete[] h_a;
+  delete[] h_b;
+  delete[] h_c;
+  delete[] h_sum;
+  return rc;
+}
+"""
+
+KOKKOS = """
+#include "stream_common.h"
+#include <Kokkos_Core.hpp>
+#define KOKKOS_LAMBDA [=]
+
+int main() {
+  Kokkos::initialize();
+  int rc = 1;
+  {
+    Kokkos::View<double*> a("a", ARRAY_SIZE);
+    Kokkos::View<double*> b("b", ARRAY_SIZE);
+    Kokkos::View<double*> c("c", ARRAY_SIZE);
+    Kokkos::parallel_for("init", ARRAY_SIZE, KOKKOS_LAMBDA(const int i) {
+      a(i) = START_A;
+      b(i) = START_B;
+      c(i) = START_C;
+    });
+    Kokkos::fence();
+    double d = 0.0;
+    for (int t = 0; t < NTIMES; t++) {
+      Kokkos::parallel_for("copy", ARRAY_SIZE, KOKKOS_LAMBDA(const int i) {
+        c(i) = a(i);
+      });
+      Kokkos::parallel_for("mul", ARRAY_SIZE, KOKKOS_LAMBDA(const int i) {
+        b(i) = SCALAR * c(i);
+      });
+      Kokkos::parallel_for("add", ARRAY_SIZE, KOKKOS_LAMBDA(const int i) {
+        c(i) = a(i) + b(i);
+      });
+      Kokkos::parallel_for("triad", ARRAY_SIZE, KOKKOS_LAMBDA(const int i) {
+        a(i) = b(i) + SCALAR * c(i);
+      });
+      double sum = 0.0;
+      Kokkos::parallel_reduce("dot", ARRAY_SIZE, KOKKOS_LAMBDA(const int i, double& acc) {
+        acc += a(i) * b(i);
+      }, sum);
+      Kokkos::fence();
+      d = sum;
+    }
+    double sa = 0.0;
+    double sb = 0.0;
+    double sc = 0.0;
+    Kokkos::parallel_reduce("suma", ARRAY_SIZE, KOKKOS_LAMBDA(const int i, double& acc) {
+      acc += a(i);
+    }, sa);
+    Kokkos::parallel_reduce("sumb", ARRAY_SIZE, KOKKOS_LAMBDA(const int i, double& acc) {
+      acc += b(i);
+    }, sb);
+    Kokkos::parallel_reduce("sumc", ARRAY_SIZE, KOKKOS_LAMBDA(const int i, double& acc) {
+      acc += c(i);
+    }, sc);
+    rc = check_solution(sa, sb, sc, d);
+  }
+  Kokkos::finalize();
+  return rc;
+}
+"""
+
+TBB = """
+#include "stream_common.h"
+#include <tbb/tbb.h>
+
+void init_arrays(double* a, double* b, double* c) {
+  tbb::parallel_for(0, ARRAY_SIZE, [=](int i) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  });
+}
+
+void copy(const double* a, double* c) {
+  tbb::parallel_for(0, ARRAY_SIZE, [=](int i) {
+    c[i] = a[i];
+  });
+}
+
+void mul(double* b, const double* c) {
+  tbb::parallel_for(0, ARRAY_SIZE, [=](int i) {
+    b[i] = SCALAR * c[i];
+  });
+}
+
+void add(const double* a, const double* b, double* c) {
+  tbb::parallel_for(0, ARRAY_SIZE, [=](int i) {
+    c[i] = a[i] + b[i];
+  });
+}
+
+void triad(double* a, const double* b, const double* c) {
+  tbb::parallel_for(0, ARRAY_SIZE, [=](int i) {
+    a[i] = b[i] + SCALAR * c[i];
+  });
+}
+
+double dot(const double* a, const double* b) {
+  return tbb::parallel_reduce(
+      tbb::blocked_range<int>(0, ARRAY_SIZE), 0.0,
+      [=](const tbb::blocked_range<int>& r, double acc) {
+        for (int i = r.begin(); i != r.end(); ++i) {
+          acc += a[i] * b[i];
+        }
+        return acc;
+      },
+      std::plus<double>());
+}
+
+double sum_array(const double* x) {
+  return tbb::parallel_reduce(
+      tbb::blocked_range<int>(0, ARRAY_SIZE), 0.0,
+      [=](const tbb::blocked_range<int>& r, double acc) {
+        for (int i = r.begin(); i != r.end(); ++i) {
+          acc += x[i];
+        }
+        return acc;
+      },
+      std::plus<double>());
+}
+
+int main() {
+  double* a = new double[ARRAY_SIZE];
+  double* b = new double[ARRAY_SIZE];
+  double* c = new double[ARRAY_SIZE];
+  init_arrays(a, b, c);
+  double d = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c);
+    mul(b, c);
+    add(a, b, c);
+    triad(a, b, c);
+    d = dot(a, b);
+  }
+  int rc = check_solution(sum_array(a), sum_array(b), sum_array(c), d);
+  delete[] a;
+  delete[] b;
+  delete[] c;
+  return rc;
+}
+"""
+
+STDPAR = """
+#include "stream_common.h"
+#include <algorithm>
+#include <execution>
+
+void init_arrays(double* a, double* b, double* c) {
+  std::fill(std::execution::par_unseq, a, a + ARRAY_SIZE, START_A);
+  std::fill(std::execution::par_unseq, b, b + ARRAY_SIZE, START_B);
+  std::fill(std::execution::par_unseq, c, c + ARRAY_SIZE, START_C);
+}
+
+void copy(const double* a, double* c) {
+  std::for_each_n(std::execution::par_unseq, 0, ARRAY_SIZE, [=](int i) {
+    c[i] = a[i];
+  });
+}
+
+void mul(double* b, const double* c) {
+  std::for_each_n(std::execution::par_unseq, 0, ARRAY_SIZE, [=](int i) {
+    b[i] = SCALAR * c[i];
+  });
+}
+
+void add(const double* a, const double* b, double* c) {
+  std::for_each_n(std::execution::par_unseq, 0, ARRAY_SIZE, [=](int i) {
+    c[i] = a[i] + b[i];
+  });
+}
+
+void triad(double* a, const double* b, const double* c) {
+  std::for_each_n(std::execution::par_unseq, 0, ARRAY_SIZE, [=](int i) {
+    a[i] = b[i] + SCALAR * c[i];
+  });
+}
+
+double dot(const double* a, const double* b) {
+  return std::transform_reduce(std::execution::par_unseq, a, a + ARRAY_SIZE, b, 0.0);
+}
+
+double sum_array(const double* x) {
+  return std::reduce(std::execution::par_unseq, x, x + ARRAY_SIZE, 0.0);
+}
+
+int main() {
+  double* a = new double[ARRAY_SIZE];
+  double* b = new double[ARRAY_SIZE];
+  double* c = new double[ARRAY_SIZE];
+  init_arrays(a, b, c);
+  double d = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c);
+    mul(b, c);
+    add(a, b, c);
+    triad(a, b, c);
+    d = dot(a, b);
+  }
+  int rc = check_solution(sum_array(a), sum_array(b), sum_array(c), d);
+  delete[] a;
+  delete[] b;
+  delete[] c;
+  return rc;
+}
+"""
+
+#: model name -> (dialect, openmp flag, main file name, source)
+MODELS: dict[str, tuple[str, bool, str, str]] = {
+    "serial": ("host", False, "serial_stream.cpp", SERIAL),
+    "omp": ("host", True, "omp_stream.cpp", OMP),
+    "omp-target": ("host", True, "omp_target_stream.cpp", OMP_TARGET),
+    "cuda": ("cuda", False, "cuda_stream.cu", CUDA),
+    "hip": ("hip", False, "hip_stream.cpp", HIP),
+    "sycl-usm": ("sycl", False, "sycl_usm_stream.cpp", SYCL_USM),
+    "sycl-acc": ("sycl", False, "sycl_acc_stream.cpp", SYCL_ACC),
+    "kokkos": ("host", False, "kokkos_stream.cpp", KOKKOS),
+    "tbb": ("host", False, "tbb_stream.cpp", TBB),
+    "stdpar": ("host", False, "stdpar_stream.cpp", STDPAR),
+}
+
+SHARED_FILES = {"stream_common.h": STREAM_COMMON_H}

@@ -1,0 +1,271 @@
+"""BabelStream Fortran — the §V-B evaluation corpus, seven model ports.
+
+The Hammond et al. BabelStream-Fortran variants: Sequential (explicit do
+loops), Array (whole-array syntax), DoConcurrent, OpenMP, OpenMP Taskloop,
+OpenACC, and OpenACC Array. The OpenACC ports deliberately carry only their
+directive surface — their GCC lowering is single-threaded (the paper's
+quality-of-implementation observation), which the MiniFortran backend
+mirrors.
+"""
+
+from __future__ import annotations
+
+_PROLOGUE = """
+program babelstream
+  implicit none
+  integer, parameter :: n = 64
+  integer, parameter :: ntimes = 2
+  real(kind=8), parameter :: start_a = 0.1
+  real(kind=8), parameter :: start_b = 0.2
+  real(kind=8), parameter :: start_c = 0.0
+  real(kind=8), parameter :: scalar = 0.4
+  real(kind=8), allocatable, dimension(:) :: a, b, c
+  real(kind=8) :: dot_sum, ga, gb, gc, err
+  integer :: i, t
+  allocate(a(n), b(n), c(n))
+"""
+
+_EPILOGUE = """
+  ga = start_a
+  gb = start_b
+  gc = start_c
+  do t = 1, ntimes
+    gc = ga
+    gb = scalar * gc
+    gc = ga + gb
+    ga = gb + scalar * gc
+  end do
+  err = abs(sum(a) - ga * n) + abs(sum(b) - gb * n) + abs(sum(c) - gc * n)
+  err = err + abs(dot_sum - ga * gb * n)
+  if (err > 0.0001) then
+    print *, 'validation failed'
+    stop 1
+  end if
+  deallocate(a, b, c)
+end program babelstream
+"""
+
+SEQUENTIAL = _PROLOGUE + """
+  do i = 1, n
+    a(i) = start_a
+    b(i) = start_b
+    c(i) = start_c
+  end do
+  do t = 1, ntimes
+    do i = 1, n
+      c(i) = a(i)
+    end do
+    do i = 1, n
+      b(i) = scalar * c(i)
+    end do
+    do i = 1, n
+      c(i) = a(i) + b(i)
+    end do
+    do i = 1, n
+      a(i) = b(i) + scalar * c(i)
+    end do
+    dot_sum = 0.0
+    do i = 1, n
+      dot_sum = dot_sum + a(i) * b(i)
+    end do
+  end do
+""" + _EPILOGUE
+
+ARRAY = _PROLOGUE + """
+  a(:) = start_a
+  b(:) = start_b
+  c(:) = start_c
+  do t = 1, ntimes
+    c(:) = a(:)
+    b(:) = scalar * c(:)
+    c(:) = a(:) + b(:)
+    a(:) = b(:) + scalar * c(:)
+    dot_sum = dot_product(a, b)
+  end do
+""" + _EPILOGUE
+
+DOCONCURRENT = _PROLOGUE + """
+  do concurrent (i = 1:n)
+    a(i) = start_a
+    b(i) = start_b
+    c(i) = start_c
+  end do
+  do t = 1, ntimes
+    do concurrent (i = 1:n)
+      c(i) = a(i)
+    end do
+    do concurrent (i = 1:n)
+      b(i) = scalar * c(i)
+    end do
+    do concurrent (i = 1:n)
+      c(i) = a(i) + b(i)
+    end do
+    do concurrent (i = 1:n)
+      a(i) = b(i) + scalar * c(i)
+    end do
+    dot_sum = 0.0
+    do i = 1, n
+      dot_sum = dot_sum + a(i) * b(i)
+    end do
+  end do
+""" + _EPILOGUE
+
+OMP = _PROLOGUE + """
+  !$omp parallel do
+  do i = 1, n
+    a(i) = start_a
+    b(i) = start_b
+    c(i) = start_c
+  end do
+  !$omp end parallel do
+  do t = 1, ntimes
+    !$omp parallel do
+    do i = 1, n
+      c(i) = a(i)
+    end do
+    !$omp end parallel do
+    !$omp parallel do
+    do i = 1, n
+      b(i) = scalar * c(i)
+    end do
+    !$omp end parallel do
+    !$omp parallel do
+    do i = 1, n
+      c(i) = a(i) + b(i)
+    end do
+    !$omp end parallel do
+    !$omp parallel do
+    do i = 1, n
+      a(i) = b(i) + scalar * c(i)
+    end do
+    !$omp end parallel do
+    dot_sum = 0.0
+    !$omp parallel do reduction(+:dot_sum)
+    do i = 1, n
+      dot_sum = dot_sum + a(i) * b(i)
+    end do
+    !$omp end parallel do
+  end do
+""" + _EPILOGUE
+
+OMP_TASKLOOP = _PROLOGUE + """
+  !$omp parallel
+  !$omp single
+  !$omp taskloop
+  do i = 1, n
+    a(i) = start_a
+    b(i) = start_b
+    c(i) = start_c
+  end do
+  !$omp end taskloop
+  !$omp end single
+  !$omp end parallel
+  do t = 1, ntimes
+    !$omp parallel
+    !$omp single
+    !$omp taskloop
+    do i = 1, n
+      c(i) = a(i)
+    end do
+    !$omp end taskloop
+    !$omp taskloop
+    do i = 1, n
+      b(i) = scalar * c(i)
+    end do
+    !$omp end taskloop
+    !$omp taskloop
+    do i = 1, n
+      c(i) = a(i) + b(i)
+    end do
+    !$omp end taskloop
+    !$omp taskloop
+    do i = 1, n
+      a(i) = b(i) + scalar * c(i)
+    end do
+    !$omp end taskloop
+    !$omp end single
+    !$omp end parallel
+    dot_sum = 0.0
+    !$omp parallel do reduction(+:dot_sum)
+    do i = 1, n
+      dot_sum = dot_sum + a(i) * b(i)
+    end do
+    !$omp end parallel do
+  end do
+""" + _EPILOGUE
+
+OPENACC = _PROLOGUE + """
+  !$acc parallel loop
+  do i = 1, n
+    a(i) = start_a
+    b(i) = start_b
+    c(i) = start_c
+  end do
+  !$acc end parallel loop
+  do t = 1, ntimes
+    !$acc parallel loop
+    do i = 1, n
+      c(i) = a(i)
+    end do
+    !$acc end parallel loop
+    !$acc parallel loop
+    do i = 1, n
+      b(i) = scalar * c(i)
+    end do
+    !$acc end parallel loop
+    !$acc parallel loop
+    do i = 1, n
+      c(i) = a(i) + b(i)
+    end do
+    !$acc end parallel loop
+    !$acc parallel loop
+    do i = 1, n
+      a(i) = b(i) + scalar * c(i)
+    end do
+    !$acc end parallel loop
+    dot_sum = 0.0
+    !$acc parallel loop reduction(+:dot_sum)
+    do i = 1, n
+      dot_sum = dot_sum + a(i) * b(i)
+    end do
+    !$acc end parallel loop
+  end do
+""" + _EPILOGUE
+
+OPENACC_ARRAY = _PROLOGUE + """
+  !$acc kernels
+  a(:) = start_a
+  b(:) = start_b
+  c(:) = start_c
+  !$acc end kernels
+  do t = 1, ntimes
+    !$acc kernels
+    c(:) = a(:)
+    !$acc end kernels
+    !$acc kernels
+    b(:) = scalar * c(:)
+    !$acc end kernels
+    !$acc kernels
+    c(:) = a(:) + b(:)
+    !$acc end kernels
+    !$acc kernels
+    a(:) = b(:) + scalar * c(:)
+    !$acc end kernels
+    dot_sum = dot_product(a, b)
+  end do
+""" + _EPILOGUE
+
+LANG = "fortran"
+
+#: model name -> (file name, source)
+MODELS: dict[str, tuple[str, str]] = {
+    "sequential": ("sequential_stream.f90", SEQUENTIAL),
+    "array": ("array_stream.f90", ARRAY),
+    "doconcurrent": ("doconcurrent_stream.f90", DOCONCURRENT),
+    "omp": ("omp_stream.f90", OMP),
+    "omp-taskloop": ("taskloop_stream.f90", OMP_TASKLOOP),
+    "openacc": ("openacc_stream.f90", OPENACC),
+    "openacc-array": ("openacc_array_stream.f90", OPENACC_ARRAY),
+}
+
+SHARED_FILES: dict[str, str] = {}

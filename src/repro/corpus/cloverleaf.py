@@ -1,0 +1,685 @@
+"""CloverLeaf — compressible-hydro structured-grid mini-app, eight ports.
+
+A simplified Lagrangian-Eulerian step: ideal-gas EOS, pressure-gradient
+acceleration, face-flux computation and cell advection over a small 2D
+grid, run for a few steps. The shared ``clover_common.h`` holds setup, the
+serial reference step and the field-summary validation every port checks
+against (CloverLeaf's own ``field_summary`` idiom).
+"""
+
+from __future__ import annotations
+
+CLOVER_COMMON_H = """
+#pragma once
+#include <cmath>
+#include <cstdio>
+#define CL_N 8
+#define CL_CELLS 64
+#define CL_STEPS 3
+#define GAMMA 1.4
+#define DT 0.04
+
+int cidx(int i, int j) {
+  return j * CL_N + i;
+}
+
+int cl_interior(int i, int j) {
+  return i > 0 && i < CL_N - 1 && j > 0 && j < CL_N - 1;
+}
+
+void clover_setup(double* density, double* energy, double* pressure, double* xvel, double* yvel, double* flux) {
+  for (int j = 0; j < CL_N; j++) {
+    for (int i = 0; i < CL_N; i++) {
+      int k = cidx(i, j);
+      density[k] = (i < CL_N / 2) ? 1.0 : 0.125;
+      energy[k] = (i < CL_N / 2) ? 2.5 : 2.0;
+      pressure[k] = 0.0;
+      xvel[k] = 0.0;
+      yvel[k] = 0.0;
+      flux[k] = 0.0;
+    }
+  }
+}
+
+void ref_ideal_gas(const double* density, const double* energy, double* pressure, int k) {
+  pressure[k] = (GAMMA - 1.0) * density[k] * energy[k];
+}
+
+void ref_accelerate(const double* density, const double* pressure, double* xvel, double* yvel, int i, int j) {
+  int k = cidx(i, j);
+  double gx = pressure[cidx(i + 1, j)] - pressure[cidx(i - 1, j)];
+  double gy = pressure[cidx(i, j + 1)] - pressure[cidx(i, j - 1)];
+  xvel[k] -= DT * gx / (density[k] + 0.1);
+  yvel[k] -= DT * gy / (density[k] + 0.1);
+}
+
+void ref_flux_calc(const double* xvel, const double* yvel, double* flux, int i, int j) {
+  int k = cidx(i, j);
+  flux[k] = 0.5 * DT * (xvel[cidx(i + 1, j)] - xvel[cidx(i - 1, j)] + yvel[cidx(i, j + 1)] - yvel[cidx(i, j - 1)]);
+}
+
+void ref_advec_cell(double* density, double* energy, const double* flux, int k) {
+  density[k] = density[k] * (1.0 - flux[k]);
+  energy[k] = energy[k] * (1.0 - 0.5 * flux[k]);
+}
+
+void clover_reference_run(double* density, double* energy, double* pressure, double* xvel, double* yvel, double* flux) {
+  for (int step = 0; step < CL_STEPS; step++) {
+    for (int k = 0; k < CL_CELLS; k++) {
+      ref_ideal_gas(density, energy, pressure, k);
+    }
+    for (int j = 1; j < CL_N - 1; j++) {
+      for (int i = 1; i < CL_N - 1; i++) {
+        ref_accelerate(density, pressure, xvel, yvel, i, j);
+      }
+    }
+    for (int j = 1; j < CL_N - 1; j++) {
+      for (int i = 1; i < CL_N - 1; i++) {
+        ref_flux_calc(xvel, yvel, flux, i, j);
+      }
+    }
+    for (int k = 0; k < CL_CELLS; k++) {
+      ref_advec_cell(density, energy, flux, k);
+    }
+  }
+}
+
+double field_summary(const double* density, const double* energy) {
+  double total = 0.0;
+  for (int k = 0; k < CL_CELLS; k++) {
+    total += density[k] * 2.0 + energy[k];
+  }
+  return total;
+}
+
+int clover_validate(const double* density, const double* energy) {
+  double d[CL_CELLS];
+  double e[CL_CELLS];
+  double pr[CL_CELLS];
+  double xv[CL_CELLS];
+  double yv[CL_CELLS];
+  double fl[CL_CELLS];
+  clover_setup(d, e, pr, xv, yv, fl);
+  clover_reference_run(d, e, pr, xv, yv, fl);
+  double err = fabs(field_summary(density, energy) - field_summary(d, e));
+  for (int k = 0; k < CL_CELLS; k++) {
+    err += fabs(density[k] - d[k]);
+  }
+  if (err > 0.0001) {
+    printf("cloverleaf validation failed\\n");
+    return 1;
+  }
+  return 0;
+}
+"""
+
+SERIAL = """
+#include "clover_common.h"
+
+void ideal_gas(const double* density, const double* energy, double* pressure) {
+  for (int k = 0; k < CL_CELLS; k++) {
+    ref_ideal_gas(density, energy, pressure, k);
+  }
+}
+
+void accelerate(const double* density, const double* pressure, double* xvel, double* yvel) {
+  for (int j = 1; j < CL_N - 1; j++) {
+    for (int i = 1; i < CL_N - 1; i++) {
+      ref_accelerate(density, pressure, xvel, yvel, i, j);
+    }
+  }
+}
+
+void flux_calc(const double* xvel, const double* yvel, double* flux) {
+  for (int j = 1; j < CL_N - 1; j++) {
+    for (int i = 1; i < CL_N - 1; i++) {
+      ref_flux_calc(xvel, yvel, flux, i, j);
+    }
+  }
+}
+
+void advec_cell(double* density, double* energy, const double* flux) {
+  for (int k = 0; k < CL_CELLS; k++) {
+    ref_advec_cell(density, energy, flux, k);
+  }
+}
+
+void hydro_cycle(double* density, double* energy, double* pressure, double* xvel, double* yvel, double* flux) {
+  for (int step = 0; step < CL_STEPS; step++) {
+    ideal_gas(density, energy, pressure);
+    accelerate(density, pressure, xvel, yvel);
+    flux_calc(xvel, yvel, flux);
+    advec_cell(density, energy, flux);
+  }
+}
+
+int main() {
+  double* density = new double[CL_CELLS];
+  double* energy = new double[CL_CELLS];
+  double* pressure = new double[CL_CELLS];
+  double* xvel = new double[CL_CELLS];
+  double* yvel = new double[CL_CELLS];
+  double* flux = new double[CL_CELLS];
+  clover_setup(density, energy, pressure, xvel, yvel, flux);
+  hydro_cycle(density, energy, pressure, xvel, yvel, flux);
+  int rc = clover_validate(density, energy);
+  delete[] density;
+  delete[] energy;
+  delete[] pressure;
+  delete[] xvel;
+  delete[] yvel;
+  delete[] flux;
+  return rc;
+}
+"""
+
+OMP = """
+#include "clover_common.h"
+#include <omp.h>
+
+void ideal_gas(const double* density, const double* energy, double* pressure) {
+  #pragma omp parallel for
+  for (int k = 0; k < CL_CELLS; k++) {
+    ref_ideal_gas(density, energy, pressure, k);
+  }
+}
+
+void accelerate(const double* density, const double* pressure, double* xvel, double* yvel) {
+  #pragma omp parallel for
+  for (int j = 1; j < CL_N - 1; j++) {
+    for (int i = 1; i < CL_N - 1; i++) {
+      ref_accelerate(density, pressure, xvel, yvel, i, j);
+    }
+  }
+}
+
+void flux_calc(const double* xvel, const double* yvel, double* flux) {
+  #pragma omp parallel for
+  for (int j = 1; j < CL_N - 1; j++) {
+    for (int i = 1; i < CL_N - 1; i++) {
+      ref_flux_calc(xvel, yvel, flux, i, j);
+    }
+  }
+}
+
+void advec_cell(double* density, double* energy, const double* flux) {
+  #pragma omp parallel for
+  for (int k = 0; k < CL_CELLS; k++) {
+    ref_advec_cell(density, energy, flux, k);
+  }
+}
+
+void hydro_cycle(double* density, double* energy, double* pressure, double* xvel, double* yvel, double* flux) {
+  for (int step = 0; step < CL_STEPS; step++) {
+    ideal_gas(density, energy, pressure);
+    accelerate(density, pressure, xvel, yvel);
+    flux_calc(xvel, yvel, flux);
+    advec_cell(density, energy, flux);
+  }
+}
+
+int main() {
+  double* density = new double[CL_CELLS];
+  double* energy = new double[CL_CELLS];
+  double* pressure = new double[CL_CELLS];
+  double* xvel = new double[CL_CELLS];
+  double* yvel = new double[CL_CELLS];
+  double* flux = new double[CL_CELLS];
+  clover_setup(density, energy, pressure, xvel, yvel, flux);
+  hydro_cycle(density, energy, pressure, xvel, yvel, flux);
+  int rc = clover_validate(density, energy);
+  delete[] density;
+  delete[] energy;
+  delete[] pressure;
+  delete[] xvel;
+  delete[] yvel;
+  delete[] flux;
+  return rc;
+}
+"""
+
+OMP_TARGET = """
+#include "clover_common.h"
+#include <omp.h>
+
+void ideal_gas(const double* density, const double* energy, double* pressure) {
+  #pragma omp target teams distribute parallel for
+  for (int k = 0; k < CL_CELLS; k++) {
+    ref_ideal_gas(density, energy, pressure, k);
+  }
+}
+
+void accelerate(const double* density, const double* pressure, double* xvel, double* yvel) {
+  #pragma omp target teams distribute parallel for collapse(2)
+  for (int j = 1; j < CL_N - 1; j++) {
+    for (int i = 1; i < CL_N - 1; i++) {
+      ref_accelerate(density, pressure, xvel, yvel, i, j);
+    }
+  }
+}
+
+void flux_calc(const double* xvel, const double* yvel, double* flux) {
+  #pragma omp target teams distribute parallel for collapse(2)
+  for (int j = 1; j < CL_N - 1; j++) {
+    for (int i = 1; i < CL_N - 1; i++) {
+      ref_flux_calc(xvel, yvel, flux, i, j);
+    }
+  }
+}
+
+void advec_cell(double* density, double* energy, const double* flux) {
+  #pragma omp target teams distribute parallel for
+  for (int k = 0; k < CL_CELLS; k++) {
+    ref_advec_cell(density, energy, flux, k);
+  }
+}
+
+void hydro_cycle(double* density, double* energy, double* pressure, double* xvel, double* yvel, double* flux) {
+  #pragma omp target enter data map(to: density[0:CL_CELLS], energy[0:CL_CELLS], pressure[0:CL_CELLS], xvel[0:CL_CELLS], yvel[0:CL_CELLS], flux[0:CL_CELLS])
+  for (int step = 0; step < CL_STEPS; step++) {
+    ideal_gas(density, energy, pressure);
+    accelerate(density, pressure, xvel, yvel);
+    flux_calc(xvel, yvel, flux);
+    advec_cell(density, energy, flux);
+  }
+  #pragma omp target exit data map(from: density[0:CL_CELLS], energy[0:CL_CELLS])
+}
+
+int main() {
+  double* density = new double[CL_CELLS];
+  double* energy = new double[CL_CELLS];
+  double* pressure = new double[CL_CELLS];
+  double* xvel = new double[CL_CELLS];
+  double* yvel = new double[CL_CELLS];
+  double* flux = new double[CL_CELLS];
+  clover_setup(density, energy, pressure, xvel, yvel, flux);
+  hydro_cycle(density, energy, pressure, xvel, yvel, flux);
+  int rc = clover_validate(density, energy);
+  delete[] density;
+  delete[] energy;
+  delete[] pressure;
+  delete[] xvel;
+  delete[] yvel;
+  delete[] flux;
+  return rc;
+}
+"""
+
+CUDA = """
+#include "clover_common.h"
+#include <cuda_runtime.h>
+#define BLOCK 16
+
+__global__ void ideal_gas_kernel(const double* density, const double* energy, double* pressure) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  ref_ideal_gas(density, energy, pressure, k);
+}
+
+__global__ void accelerate_kernel(const double* density, const double* pressure, double* xvel, double* yvel) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = k % CL_N;
+  int j = k / CL_N;
+  if (cl_interior(i, j)) {
+    ref_accelerate(density, pressure, xvel, yvel, i, j);
+  }
+}
+
+__global__ void flux_calc_kernel(const double* xvel, const double* yvel, double* flux) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = k % CL_N;
+  int j = k / CL_N;
+  if (cl_interior(i, j)) {
+    ref_flux_calc(xvel, yvel, flux, i, j);
+  }
+}
+
+__global__ void advec_cell_kernel(double* density, double* energy, const double* flux) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  ref_advec_cell(density, energy, flux, k);
+}
+
+int main() {
+  double* h_density = new double[CL_CELLS];
+  double* h_energy = new double[CL_CELLS];
+  double* h_pressure = new double[CL_CELLS];
+  double* h_xvel = new double[CL_CELLS];
+  double* h_yvel = new double[CL_CELLS];
+  double* h_flux = new double[CL_CELLS];
+  clover_setup(h_density, h_energy, h_pressure, h_xvel, h_yvel, h_flux);
+  double* d_density;
+  double* d_energy;
+  double* d_pressure;
+  double* d_xvel;
+  double* d_yvel;
+  double* d_flux;
+  cudaMalloc(&d_density, CL_CELLS * sizeof(double));
+  cudaMalloc(&d_energy, CL_CELLS * sizeof(double));
+  cudaMalloc(&d_pressure, CL_CELLS * sizeof(double));
+  cudaMalloc(&d_xvel, CL_CELLS * sizeof(double));
+  cudaMalloc(&d_yvel, CL_CELLS * sizeof(double));
+  cudaMalloc(&d_flux, CL_CELLS * sizeof(double));
+  cudaMemcpy(d_density, h_density, CL_CELLS * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_energy, h_energy, CL_CELLS * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_pressure, h_pressure, CL_CELLS * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_xvel, h_xvel, CL_CELLS * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_yvel, h_yvel, CL_CELLS * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_flux, h_flux, CL_CELLS * sizeof(double), cudaMemcpyHostToDevice);
+  for (int step = 0; step < CL_STEPS; step++) {
+    ideal_gas_kernel<<<CL_CELLS / BLOCK, BLOCK>>>(d_density, d_energy, d_pressure);
+    accelerate_kernel<<<CL_CELLS / BLOCK, BLOCK>>>(d_density, d_pressure, d_xvel, d_yvel);
+    flux_calc_kernel<<<CL_CELLS / BLOCK, BLOCK>>>(d_xvel, d_yvel, d_flux);
+    advec_cell_kernel<<<CL_CELLS / BLOCK, BLOCK>>>(d_density, d_energy, d_flux);
+    cudaDeviceSynchronize();
+  }
+  cudaMemcpy(h_density, d_density, CL_CELLS * sizeof(double), cudaMemcpyDeviceToHost);
+  cudaMemcpy(h_energy, d_energy, CL_CELLS * sizeof(double), cudaMemcpyDeviceToHost);
+  int rc = clover_validate(h_density, h_energy);
+  cudaFree(d_density);
+  cudaFree(d_energy);
+  cudaFree(d_pressure);
+  cudaFree(d_xvel);
+  cudaFree(d_yvel);
+  cudaFree(d_flux);
+  delete[] h_density;
+  delete[] h_energy;
+  delete[] h_pressure;
+  delete[] h_xvel;
+  delete[] h_yvel;
+  delete[] h_flux;
+  return rc;
+}
+"""
+
+HIP = """
+#include "clover_common.h"
+#include <hip/hip_runtime.h>
+#define BLOCK 16
+
+__global__ void ideal_gas_kernel(const double* density, const double* energy, double* pressure) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  ref_ideal_gas(density, energy, pressure, k);
+}
+
+__global__ void accelerate_kernel(const double* density, const double* pressure, double* xvel, double* yvel) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = k % CL_N;
+  int j = k / CL_N;
+  if (cl_interior(i, j)) {
+    ref_accelerate(density, pressure, xvel, yvel, i, j);
+  }
+}
+
+__global__ void flux_calc_kernel(const double* xvel, const double* yvel, double* flux) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = k % CL_N;
+  int j = k / CL_N;
+  if (cl_interior(i, j)) {
+    ref_flux_calc(xvel, yvel, flux, i, j);
+  }
+}
+
+__global__ void advec_cell_kernel(double* density, double* energy, const double* flux) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  ref_advec_cell(density, energy, flux, k);
+}
+
+int main() {
+  double* h_density = new double[CL_CELLS];
+  double* h_energy = new double[CL_CELLS];
+  double* h_pressure = new double[CL_CELLS];
+  double* h_xvel = new double[CL_CELLS];
+  double* h_yvel = new double[CL_CELLS];
+  double* h_flux = new double[CL_CELLS];
+  clover_setup(h_density, h_energy, h_pressure, h_xvel, h_yvel, h_flux);
+  double* d_density;
+  double* d_energy;
+  double* d_pressure;
+  double* d_xvel;
+  double* d_yvel;
+  double* d_flux;
+  hipMalloc(&d_density, CL_CELLS * sizeof(double));
+  hipMalloc(&d_energy, CL_CELLS * sizeof(double));
+  hipMalloc(&d_pressure, CL_CELLS * sizeof(double));
+  hipMalloc(&d_xvel, CL_CELLS * sizeof(double));
+  hipMalloc(&d_yvel, CL_CELLS * sizeof(double));
+  hipMalloc(&d_flux, CL_CELLS * sizeof(double));
+  hipMemcpy(d_density, h_density, CL_CELLS * sizeof(double), hipMemcpyHostToDevice);
+  hipMemcpy(d_energy, h_energy, CL_CELLS * sizeof(double), hipMemcpyHostToDevice);
+  hipMemcpy(d_pressure, h_pressure, CL_CELLS * sizeof(double), hipMemcpyHostToDevice);
+  hipMemcpy(d_xvel, h_xvel, CL_CELLS * sizeof(double), hipMemcpyHostToDevice);
+  hipMemcpy(d_yvel, h_yvel, CL_CELLS * sizeof(double), hipMemcpyHostToDevice);
+  hipMemcpy(d_flux, h_flux, CL_CELLS * sizeof(double), hipMemcpyHostToDevice);
+  for (int step = 0; step < CL_STEPS; step++) {
+    hipLaunchKernelGGL(ideal_gas_kernel, CL_CELLS / BLOCK, BLOCK, 0, 0, d_density, d_energy, d_pressure);
+    hipLaunchKernelGGL(accelerate_kernel, CL_CELLS / BLOCK, BLOCK, 0, 0, d_density, d_pressure, d_xvel, d_yvel);
+    hipLaunchKernelGGL(flux_calc_kernel, CL_CELLS / BLOCK, BLOCK, 0, 0, d_xvel, d_yvel, d_flux);
+    hipLaunchKernelGGL(advec_cell_kernel, CL_CELLS / BLOCK, BLOCK, 0, 0, d_density, d_energy, d_flux);
+    hipDeviceSynchronize();
+  }
+  hipMemcpy(h_density, d_density, CL_CELLS * sizeof(double), hipMemcpyDeviceToHost);
+  hipMemcpy(h_energy, d_energy, CL_CELLS * sizeof(double), hipMemcpyDeviceToHost);
+  int rc = clover_validate(h_density, h_energy);
+  hipFree(d_density);
+  hipFree(d_energy);
+  hipFree(d_pressure);
+  hipFree(d_xvel);
+  hipFree(d_yvel);
+  hipFree(d_flux);
+  delete[] h_density;
+  delete[] h_energy;
+  delete[] h_pressure;
+  delete[] h_xvel;
+  delete[] h_yvel;
+  delete[] h_flux;
+  return rc;
+}
+"""
+
+SYCL_USM = """
+#include "clover_common.h"
+#include <sycl/sycl.hpp>
+
+void hydro_cycle(sycl::queue& q, double* density, double* energy, double* pressure, double* xvel, double* yvel, double* flux) {
+  for (int step = 0; step < CL_STEPS; step++) {
+    q.parallel_for<class ideal_gas_k>(sycl::range<1>(CL_CELLS), [=](sycl::id<1> kk) {
+      ref_ideal_gas(density, energy, pressure, kk.get(0));
+    });
+    q.wait();
+    q.parallel_for<class accelerate_k>(sycl::range<1>(CL_CELLS), [=](sycl::id<1> kk) {
+      int k = kk.get(0);
+      int i = k % CL_N;
+      int j = k / CL_N;
+      if (cl_interior(i, j)) {
+        ref_accelerate(density, pressure, xvel, yvel, i, j);
+      }
+    });
+    q.wait();
+    q.parallel_for<class flux_calc_k>(sycl::range<1>(CL_CELLS), [=](sycl::id<1> kk) {
+      int k = kk.get(0);
+      int i = k % CL_N;
+      int j = k / CL_N;
+      if (cl_interior(i, j)) {
+        ref_flux_calc(xvel, yvel, flux, i, j);
+      }
+    });
+    q.wait();
+    q.parallel_for<class advec_cell_k>(sycl::range<1>(CL_CELLS), [=](sycl::id<1> kk) {
+      ref_advec_cell(density, energy, flux, kk.get(0));
+    });
+    q.wait();
+  }
+}
+
+int main() {
+  sycl::queue q;
+  double* density = sycl::malloc_shared<double>(CL_CELLS, q);
+  double* energy = sycl::malloc_shared<double>(CL_CELLS, q);
+  double* pressure = sycl::malloc_shared<double>(CL_CELLS, q);
+  double* xvel = sycl::malloc_shared<double>(CL_CELLS, q);
+  double* yvel = sycl::malloc_shared<double>(CL_CELLS, q);
+  double* flux = sycl::malloc_shared<double>(CL_CELLS, q);
+  clover_setup(density, energy, pressure, xvel, yvel, flux);
+  hydro_cycle(q, density, energy, pressure, xvel, yvel, flux);
+  int rc = clover_validate(density, energy);
+  sycl::free(density, q);
+  sycl::free(energy, q);
+  sycl::free(pressure, q);
+  sycl::free(xvel, q);
+  sycl::free(yvel, q);
+  sycl::free(flux, q);
+  return rc;
+}
+"""
+
+SYCL_ACC = """
+#include "clover_common.h"
+#include <sycl/sycl.hpp>
+
+void hydro_cycle(sycl::queue& q, double* h_density, double* h_energy, double* h_pressure, double* h_xvel, double* h_yvel, double* h_flux) {
+  sycl::buffer<double, 1> buf_density(h_density, sycl::range<1>(CL_CELLS));
+  sycl::buffer<double, 1> buf_energy(h_energy, sycl::range<1>(CL_CELLS));
+  sycl::buffer<double, 1> buf_pressure(h_pressure, sycl::range<1>(CL_CELLS));
+  sycl::buffer<double, 1> buf_xvel(h_xvel, sycl::range<1>(CL_CELLS));
+  sycl::buffer<double, 1> buf_yvel(h_yvel, sycl::range<1>(CL_CELLS));
+  sycl::buffer<double, 1> buf_flux(h_flux, sycl::range<1>(CL_CELLS));
+  for (int step = 0; step < CL_STEPS; step++) {
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor<double, 1> density(buf_density, h, read_only);
+      sycl::accessor<double, 1> energy(buf_energy, h, read_only);
+      sycl::accessor<double, 1> pressure(buf_pressure, h, write_only);
+      h.parallel_for<class ideal_gas_k>(sycl::range<1>(CL_CELLS), [=](sycl::id<1> kk) {
+        ref_ideal_gas(h_density, h_energy, h_pressure, kk.get(0));
+      });
+    });
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor<double, 1> density(buf_density, h, read_only);
+      sycl::accessor<double, 1> pressure(buf_pressure, h, read_only);
+      sycl::accessor<double, 1> xvel(buf_xvel, h, read_write);
+      sycl::accessor<double, 1> yvel(buf_yvel, h, read_write);
+      h.parallel_for<class accelerate_k>(sycl::range<1>(CL_CELLS), [=](sycl::id<1> kk) {
+        int k = kk.get(0);
+        int i = k % CL_N;
+        int j = k / CL_N;
+        if (cl_interior(i, j)) {
+          ref_accelerate(h_density, h_pressure, h_xvel, h_yvel, i, j);
+        }
+      });
+    });
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor<double, 1> xvel(buf_xvel, h, read_only);
+      sycl::accessor<double, 1> yvel(buf_yvel, h, read_only);
+      sycl::accessor<double, 1> flux(buf_flux, h, write_only);
+      h.parallel_for<class flux_calc_k>(sycl::range<1>(CL_CELLS), [=](sycl::id<1> kk) {
+        int k = kk.get(0);
+        int i = k % CL_N;
+        int j = k / CL_N;
+        if (cl_interior(i, j)) {
+          ref_flux_calc(h_xvel, h_yvel, h_flux, i, j);
+        }
+      });
+    });
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor<double, 1> density(buf_density, h, read_write);
+      sycl::accessor<double, 1> energy(buf_energy, h, read_write);
+      sycl::accessor<double, 1> flux(buf_flux, h, read_only);
+      h.parallel_for<class advec_cell_k>(sycl::range<1>(CL_CELLS), [=](sycl::id<1> kk) {
+        ref_advec_cell(h_density, h_energy, h_flux, kk.get(0));
+      });
+    });
+    q.wait();
+  }
+  q.wait_and_throw();
+}
+
+int main() {
+  sycl::queue q;
+  double* density = new double[CL_CELLS];
+  double* energy = new double[CL_CELLS];
+  double* pressure = new double[CL_CELLS];
+  double* xvel = new double[CL_CELLS];
+  double* yvel = new double[CL_CELLS];
+  double* flux = new double[CL_CELLS];
+  clover_setup(density, energy, pressure, xvel, yvel, flux);
+  hydro_cycle(q, density, energy, pressure, xvel, yvel, flux);
+  int rc = clover_validate(density, energy);
+  delete[] density;
+  delete[] energy;
+  delete[] pressure;
+  delete[] xvel;
+  delete[] yvel;
+  delete[] flux;
+  return rc;
+}
+"""
+
+KOKKOS = """
+#include "clover_common.h"
+#include <Kokkos_Core.hpp>
+#define KOKKOS_LAMBDA [=]
+
+void hydro_cycle(double* density, double* energy, double* pressure, double* xvel, double* yvel, double* flux) {
+  for (int step = 0; step < CL_STEPS; step++) {
+    Kokkos::parallel_for("ideal_gas", CL_CELLS, KOKKOS_LAMBDA(const int k) {
+      ref_ideal_gas(density, energy, pressure, k);
+    });
+    Kokkos::fence();
+    Kokkos::parallel_for("accelerate", CL_CELLS, KOKKOS_LAMBDA(const int k) {
+      int i = k % CL_N;
+      int j = k / CL_N;
+      if (cl_interior(i, j)) {
+        ref_accelerate(density, pressure, xvel, yvel, i, j);
+      }
+    });
+    Kokkos::fence();
+    Kokkos::parallel_for("flux_calc", CL_CELLS, KOKKOS_LAMBDA(const int k) {
+      int i = k % CL_N;
+      int j = k / CL_N;
+      if (cl_interior(i, j)) {
+        ref_flux_calc(xvel, yvel, flux, i, j);
+      }
+    });
+    Kokkos::fence();
+    Kokkos::parallel_for("advec_cell", CL_CELLS, KOKKOS_LAMBDA(const int k) {
+      ref_advec_cell(density, energy, flux, k);
+    });
+    Kokkos::fence();
+  }
+}
+
+int main() {
+  Kokkos::initialize();
+  int rc = 1;
+  {
+    double* density = new double[CL_CELLS];
+    double* energy = new double[CL_CELLS];
+    double* pressure = new double[CL_CELLS];
+    double* xvel = new double[CL_CELLS];
+    double* yvel = new double[CL_CELLS];
+    double* flux = new double[CL_CELLS];
+    clover_setup(density, energy, pressure, xvel, yvel, flux);
+    hydro_cycle(density, energy, pressure, xvel, yvel, flux);
+    rc = clover_validate(density, energy);
+    delete[] density;
+    delete[] energy;
+    delete[] pressure;
+    delete[] xvel;
+    delete[] yvel;
+    delete[] flux;
+  }
+  Kokkos::finalize();
+  return rc;
+}
+"""
+
+MODELS: dict[str, tuple[str, bool, str, str]] = {
+    "serial": ("host", False, "serial_clover.cpp", SERIAL),
+    "omp": ("host", True, "omp_clover.cpp", OMP),
+    "omp-target": ("host", True, "omp_target_clover.cpp", OMP_TARGET),
+    "cuda": ("cuda", False, "cuda_clover.cu", CUDA),
+    "hip": ("hip", False, "hip_clover.cpp", HIP),
+    "sycl-usm": ("sycl", False, "sycl_usm_clover.cpp", SYCL_USM),
+    "sycl-acc": ("sycl", False, "sycl_acc_clover.cpp", SYCL_ACC),
+    "kokkos": ("host", False, "kokkos_clover.cpp", KOKKOS),
+}
+
+SHARED_FILES = {"clover_common.h": CLOVER_COMMON_H}

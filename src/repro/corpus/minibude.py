@@ -1,0 +1,345 @@
+"""miniBUDE — compute-bound molecular-docking mini-app, ten model ports.
+
+Each pose accumulates a pairwise ligand/protein-atom interaction energy
+(distance, electrostatics, steric terms — heavy FLOPs per byte, matching
+Table II's "Compute" characterisation). The shared header carries the atom
+deck and the serial reference implementation every port verifies against.
+"""
+
+from __future__ import annotations
+
+BUDE_COMMON_H = """
+#pragma once
+#include <cmath>
+#include <cstdio>
+#define NPOSES 8
+#define NATOMS 12
+#define CUTOFF 4.0
+#define ELECTROSTATIC 45.0
+
+double atom_coord(int i, int axis) {
+  return 0.37 * (i + 1) + 0.11 * axis * (i % 3);
+}
+
+double atom_charge(int i) {
+  return (i % 2 == 0) ? 0.2 : -0.2;
+}
+
+double pose_shift(int p, int axis) {
+  return 0.05 * p + 0.02 * axis;
+}
+
+double pair_energy(int l, int q, int pose) {
+  double dx = atom_coord(l, 0) + pose_shift(pose, 0) - atom_coord(q, 0);
+  double dy = atom_coord(l, 1) + pose_shift(pose, 1) - atom_coord(q, 1);
+  double dz = atom_coord(l, 2) + pose_shift(pose, 2) - atom_coord(q, 2);
+  double r = sqrt(dx * dx + dy * dy + dz * dz) + 0.01;
+  double steric = (r < CUTOFF) ? (1.0 - r / CUTOFF) : 0.0;
+  double elect = ELECTROSTATIC * atom_charge(l) * atom_charge(q) / r;
+  return steric * 2.0 + elect;
+}
+
+double reference_energy(int pose) {
+  double e = 0.0;
+  for (int l = 0; l < NATOMS; l++) {
+    for (int q = 0; q < NATOMS; q++) {
+      e += pair_energy(l, q, pose);
+    }
+  }
+  return e;
+}
+
+int validate(const double* energies) {
+  double err = 0.0;
+  for (int p = 0; p < NPOSES; p++) {
+    err += fabs(energies[p] - reference_energy(p));
+  }
+  if (err > 0.0001) {
+    printf("validation failed\\n");
+    return 1;
+  }
+  return 0;
+}
+"""
+
+SERIAL = """
+#include "bude_common.h"
+
+void fasten_main(double* energies) {
+  for (int p = 0; p < NPOSES; p++) {
+    double e = 0.0;
+    for (int l = 0; l < NATOMS; l++) {
+      for (int q = 0; q < NATOMS; q++) {
+        e += pair_energy(l, q, p);
+      }
+    }
+    energies[p] = e;
+  }
+}
+
+int main() {
+  double* energies = new double[NPOSES];
+  fasten_main(energies);
+  int rc = validate(energies);
+  delete[] energies;
+  return rc;
+}
+"""
+
+OMP = """
+#include "bude_common.h"
+#include <omp.h>
+
+void fasten_main(double* energies) {
+  #pragma omp parallel for
+  for (int p = 0; p < NPOSES; p++) {
+    double e = 0.0;
+    for (int l = 0; l < NATOMS; l++) {
+      for (int q = 0; q < NATOMS; q++) {
+        e += pair_energy(l, q, p);
+      }
+    }
+    energies[p] = e;
+  }
+}
+
+int main() {
+  double* energies = new double[NPOSES];
+  fasten_main(energies);
+  int rc = validate(energies);
+  delete[] energies;
+  return rc;
+}
+"""
+
+OMP_TARGET = """
+#include "bude_common.h"
+#include <omp.h>
+
+void fasten_main(double* energies) {
+  #pragma omp target teams distribute parallel for map(from: energies[0:NPOSES])
+  for (int p = 0; p < NPOSES; p++) {
+    double e = 0.0;
+    for (int l = 0; l < NATOMS; l++) {
+      for (int q = 0; q < NATOMS; q++) {
+        e += pair_energy(l, q, p);
+      }
+    }
+    energies[p] = e;
+  }
+}
+
+int main() {
+  double* energies = new double[NPOSES];
+  fasten_main(energies);
+  int rc = validate(energies);
+  delete[] energies;
+  return rc;
+}
+"""
+
+CUDA = """
+#include "bude_common.h"
+#include <cuda_runtime.h>
+#define WGSIZE 4
+
+__global__ void fasten_kernel(double* energies) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  double e = 0.0;
+  for (int l = 0; l < NATOMS; l++) {
+    for (int q = 0; q < NATOMS; q++) {
+      e += pair_energy(l, q, p);
+    }
+  }
+  energies[p] = e;
+}
+
+int main() {
+  double* d_energies;
+  cudaMalloc(&d_energies, NPOSES * sizeof(double));
+  fasten_kernel<<<NPOSES / WGSIZE, WGSIZE>>>(d_energies);
+  cudaDeviceSynchronize();
+  double* h_energies = new double[NPOSES];
+  cudaMemcpy(h_energies, d_energies, NPOSES * sizeof(double), cudaMemcpyDeviceToHost);
+  int rc = validate(h_energies);
+  cudaFree(d_energies);
+  delete[] h_energies;
+  return rc;
+}
+"""
+
+HIP = """
+#include "bude_common.h"
+#include <hip/hip_runtime.h>
+#define WGSIZE 4
+
+__global__ void fasten_kernel(double* energies) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  double e = 0.0;
+  for (int l = 0; l < NATOMS; l++) {
+    for (int q = 0; q < NATOMS; q++) {
+      e += pair_energy(l, q, p);
+    }
+  }
+  energies[p] = e;
+}
+
+int main() {
+  double* d_energies;
+  hipMalloc(&d_energies, NPOSES * sizeof(double));
+  hipLaunchKernelGGL(fasten_kernel, NPOSES / WGSIZE, WGSIZE, 0, 0, d_energies);
+  hipDeviceSynchronize();
+  double* h_energies = new double[NPOSES];
+  hipMemcpy(h_energies, d_energies, NPOSES * sizeof(double), hipMemcpyDeviceToHost);
+  int rc = validate(h_energies);
+  hipFree(d_energies);
+  delete[] h_energies;
+  return rc;
+}
+"""
+
+SYCL_USM = """
+#include "bude_common.h"
+#include <sycl/sycl.hpp>
+
+int main() {
+  sycl::queue q;
+  double* energies = sycl::malloc_shared<double>(NPOSES, q);
+  q.parallel_for<class fasten_k>(sycl::range<1>(NPOSES), [=](sycl::id<1> idx) {
+    int p = idx.get(0);
+    double e = 0.0;
+    for (int l = 0; l < NATOMS; l++) {
+      for (int qq = 0; qq < NATOMS; qq++) {
+        e += pair_energy(l, qq, p);
+      }
+    }
+    energies[p] = e;
+  });
+  q.wait();
+  int rc = validate(energies);
+  sycl::free(energies, q);
+  return rc;
+}
+"""
+
+SYCL_ACC = """
+#include "bude_common.h"
+#include <sycl/sycl.hpp>
+
+int main() {
+  sycl::queue q;
+  double* h_energies = new double[NPOSES];
+  {
+    sycl::buffer<double, 1> buf(h_energies, sycl::range<1>(NPOSES));
+    q.submit([&](sycl::handler& h) {
+      sycl::accessor<double, 1> energies(buf, h, write_only);
+      h.parallel_for<class fasten_k>(sycl::range<1>(NPOSES), [=](sycl::id<1> idx) {
+        int p = idx.get(0);
+        double e = 0.0;
+        for (int l = 0; l < NATOMS; l++) {
+          for (int qq = 0; qq < NATOMS; qq++) {
+            e += pair_energy(l, qq, p);
+          }
+        }
+        h_energies[p] = e;
+      });
+    });
+    q.wait_and_throw();
+  }
+  int rc = validate(h_energies);
+  delete[] h_energies;
+  return rc;
+}
+"""
+
+KOKKOS = """
+#include "bude_common.h"
+#include <Kokkos_Core.hpp>
+#define KOKKOS_LAMBDA [=]
+
+int main() {
+  Kokkos::initialize();
+  int rc = 1;
+  {
+    Kokkos::View<double*> energies("energies", NPOSES);
+    Kokkos::parallel_for("fasten", NPOSES, KOKKOS_LAMBDA(const int p) {
+      double e = 0.0;
+      for (int l = 0; l < NATOMS; l++) {
+        for (int q = 0; q < NATOMS; q++) {
+          e += pair_energy(l, q, p);
+        }
+      }
+      energies(p) = e;
+    });
+    Kokkos::fence();
+    double* host = new double[NPOSES];
+    for (int p = 0; p < NPOSES; p++) {
+      host[p] = energies(p);
+    }
+    rc = validate(host);
+    delete[] host;
+  }
+  Kokkos::finalize();
+  return rc;
+}
+"""
+
+TBB = """
+#include "bude_common.h"
+#include <tbb/tbb.h>
+
+int main() {
+  double* energies = new double[NPOSES];
+  tbb::parallel_for(tbb::blocked_range<int>(0, NPOSES), [=](const tbb::blocked_range<int>& r) {
+    for (int p = r.begin(); p != r.end(); ++p) {
+      double e = 0.0;
+      for (int l = 0; l < NATOMS; l++) {
+        for (int q = 0; q < NATOMS; q++) {
+          e += pair_energy(l, q, p);
+        }
+      }
+      energies[p] = e;
+    }
+  });
+  int rc = validate(energies);
+  delete[] energies;
+  return rc;
+}
+"""
+
+STDPAR = """
+#include "bude_common.h"
+#include <algorithm>
+#include <execution>
+
+int main() {
+  double* energies = new double[NPOSES];
+  std::for_each_n(std::execution::par_unseq, 0, NPOSES, [=](int p) {
+    double e = 0.0;
+    for (int l = 0; l < NATOMS; l++) {
+      for (int q = 0; q < NATOMS; q++) {
+        e += pair_energy(l, q, p);
+      }
+    }
+    energies[p] = e;
+  });
+  int rc = validate(energies);
+  delete[] energies;
+  return rc;
+}
+"""
+
+MODELS: dict[str, tuple[str, bool, str, str]] = {
+    "serial": ("host", False, "serial_bude.cpp", SERIAL),
+    "omp": ("host", True, "omp_bude.cpp", OMP),
+    "omp-target": ("host", True, "omp_target_bude.cpp", OMP_TARGET),
+    "cuda": ("cuda", False, "cuda_bude.cu", CUDA),
+    "hip": ("hip", False, "hip_bude.cpp", HIP),
+    "sycl-usm": ("sycl", False, "sycl_usm_bude.cpp", SYCL_USM),
+    "sycl-acc": ("sycl", False, "sycl_acc_bude.cpp", SYCL_ACC),
+    "kokkos": ("host", False, "kokkos_bude.cpp", KOKKOS),
+    "tbb": ("host", False, "tbb_bude.cpp", TBB),
+    "stdpar": ("host", False, "stdpar_bude.cpp", STDPAR),
+}
+
+SHARED_FILES = {"bude_common.h": BUDE_COMMON_H}

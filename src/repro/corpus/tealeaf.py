@@ -1,0 +1,912 @@
+"""TeaLeaf — structured-grid heat-equation solver (CG method), ten ports.
+
+The paper picks TeaLeaf for the clustering study because "the amount of
+code expressed in any given programming model is balanced in terms of
+shared and specialised model code": here the setup, CG reference and
+validation live in the shared ``tea_common.h`` (identical across ports →
+zero divergence), while each model file implements the five CG kernels
+(init, w = Ap stencil, dot, u/r update, p update) idiomatically.
+
+Every port runs a small conjugate-gradient solve of the implicit heat
+equation on an N×N grid and validates the solution field against the
+serial reference recomputed in the shared header.
+"""
+
+from __future__ import annotations
+
+TEA_COMMON_H = """
+#pragma once
+#include <cmath>
+#include <cstdio>
+#define GRID_N 8
+#define GRID_CELLS 64
+#define CG_ITERS 6
+#define RX 0.12
+
+int tidx(int i, int j) {
+  return j * GRID_N + i;
+}
+
+int is_interior(int i, int j) {
+  return i > 0 && i < GRID_N - 1 && j > 0 && j < GRID_N - 1;
+}
+
+void tea_setup(double* u) {
+  for (int j = 0; j < GRID_N; j++) {
+    for (int i = 0; i < GRID_N; i++) {
+      double hot = (i >= 2 && i <= 4 && j >= 2 && j <= 4) ? 4.0 : 1.0;
+      u[tidx(i, j)] = hot;
+    }
+  }
+}
+
+double ref_apply(const double* p, int i, int j) {
+  double lap = p[tidx(i - 1, j)] + p[tidx(i + 1, j)] + p[tidx(i, j - 1)] + p[tidx(i, j + 1)] - 4.0 * p[tidx(i, j)];
+  return p[tidx(i, j)] - RX * lap;
+}
+
+void tea_reference_solve(double* u) {
+  double r[GRID_CELLS];
+  double p[GRID_CELLS];
+  double w[GRID_CELLS];
+  for (int k = 0; k < GRID_CELLS; k++) {
+    r[k] = u[k];
+    p[k] = u[k];
+    w[k] = 0.0;
+  }
+  double rro = 0.0;
+  for (int k = 0; k < GRID_CELLS; k++) {
+    rro += r[k] * r[k];
+  }
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    double pw = 0.0;
+    for (int j = 1; j < GRID_N - 1; j++) {
+      for (int i = 1; i < GRID_N - 1; i++) {
+        w[tidx(i, j)] = ref_apply(p, i, j);
+      }
+    }
+    for (int k = 0; k < GRID_CELLS; k++) {
+      pw += p[k] * w[k];
+    }
+    double alpha = rro / pw;
+    double rrn = 0.0;
+    for (int k = 0; k < GRID_CELLS; k++) {
+      u[k] += alpha * p[k];
+      r[k] -= alpha * w[k];
+      rrn += r[k] * r[k];
+    }
+    double beta = rrn / rro;
+    for (int k = 0; k < GRID_CELLS; k++) {
+      p[k] = r[k] + beta * p[k];
+    }
+    rro = rrn;
+  }
+}
+
+int tea_validate(const double* u) {
+  double u_ref[GRID_CELLS];
+  tea_setup(u_ref);
+  tea_reference_solve(u_ref);
+  double err = 0.0;
+  for (int k = 0; k < GRID_CELLS; k++) {
+    err += fabs(u[k] - u_ref[k]);
+  }
+  if (err > 0.0001) {
+    printf("tealeaf validation failed\\n");
+    return 1;
+  }
+  return 0;
+}
+"""
+
+SERIAL = """
+#include "tea_common.h"
+
+void cg_init(const double* u, double* r, double* p, double* w) {
+  for (int k = 0; k < GRID_CELLS; k++) {
+    r[k] = u[k];
+    p[k] = u[k];
+    w[k] = 0.0;
+  }
+}
+
+void cg_calc_w(const double* p, double* w) {
+  for (int j = 1; j < GRID_N - 1; j++) {
+    for (int i = 1; i < GRID_N - 1; i++) {
+      w[tidx(i, j)] = ref_apply(p, i, j);
+    }
+  }
+}
+
+double cg_dot(const double* a, const double* b) {
+  double sum = 0.0;
+  for (int k = 0; k < GRID_CELLS; k++) {
+    sum += a[k] * b[k];
+  }
+  return sum;
+}
+
+void cg_update_u_r(double alpha, double* u, double* r, const double* p, const double* w) {
+  for (int k = 0; k < GRID_CELLS; k++) {
+    u[k] += alpha * p[k];
+    r[k] -= alpha * w[k];
+  }
+}
+
+void cg_update_p(double beta, double* p, const double* r) {
+  for (int k = 0; k < GRID_CELLS; k++) {
+    p[k] = r[k] + beta * p[k];
+  }
+}
+
+void cg_solve(double* u) {
+  double* r = new double[GRID_CELLS];
+  double* p = new double[GRID_CELLS];
+  double* w = new double[GRID_CELLS];
+  cg_init(u, r, p, w);
+  double rro = cg_dot(r, r);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    cg_calc_w(p, w);
+    double pw = cg_dot(p, w);
+    double alpha = rro / pw;
+    cg_update_u_r(alpha, u, r, p, w);
+    double rrn = cg_dot(r, r);
+    double beta = rrn / rro;
+    cg_update_p(beta, p, r);
+    rro = rrn;
+  }
+  delete[] r;
+  delete[] p;
+  delete[] w;
+}
+
+int main() {
+  double* u = new double[GRID_CELLS];
+  tea_setup(u);
+  cg_solve(u);
+  int rc = tea_validate(u);
+  delete[] u;
+  return rc;
+}
+"""
+
+OMP = """
+#include "tea_common.h"
+#include <omp.h>
+
+void cg_init(const double* u, double* r, double* p, double* w) {
+  #pragma omp parallel for
+  for (int k = 0; k < GRID_CELLS; k++) {
+    r[k] = u[k];
+    p[k] = u[k];
+    w[k] = 0.0;
+  }
+}
+
+void cg_calc_w(const double* p, double* w) {
+  #pragma omp parallel for
+  for (int j = 1; j < GRID_N - 1; j++) {
+    for (int i = 1; i < GRID_N - 1; i++) {
+      w[tidx(i, j)] = ref_apply(p, i, j);
+    }
+  }
+}
+
+double cg_dot(const double* a, const double* b) {
+  double sum = 0.0;
+  #pragma omp parallel for reduction(+:sum)
+  for (int k = 0; k < GRID_CELLS; k++) {
+    sum += a[k] * b[k];
+  }
+  return sum;
+}
+
+void cg_update_u_r(double alpha, double* u, double* r, const double* p, const double* w) {
+  #pragma omp parallel for
+  for (int k = 0; k < GRID_CELLS; k++) {
+    u[k] += alpha * p[k];
+    r[k] -= alpha * w[k];
+  }
+}
+
+void cg_update_p(double beta, double* p, const double* r) {
+  #pragma omp parallel for
+  for (int k = 0; k < GRID_CELLS; k++) {
+    p[k] = r[k] + beta * p[k];
+  }
+}
+
+void cg_solve(double* u) {
+  double* r = new double[GRID_CELLS];
+  double* p = new double[GRID_CELLS];
+  double* w = new double[GRID_CELLS];
+  cg_init(u, r, p, w);
+  double rro = cg_dot(r, r);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    cg_calc_w(p, w);
+    double pw = cg_dot(p, w);
+    double alpha = rro / pw;
+    cg_update_u_r(alpha, u, r, p, w);
+    double rrn = cg_dot(r, r);
+    double beta = rrn / rro;
+    cg_update_p(beta, p, r);
+    rro = rrn;
+  }
+  delete[] r;
+  delete[] p;
+  delete[] w;
+}
+
+int main() {
+  double* u = new double[GRID_CELLS];
+  tea_setup(u);
+  cg_solve(u);
+  int rc = tea_validate(u);
+  delete[] u;
+  return rc;
+}
+"""
+
+OMP_TARGET = """
+#include "tea_common.h"
+#include <omp.h>
+
+void cg_init(const double* u, double* r, double* p, double* w) {
+  #pragma omp target teams distribute parallel for
+  for (int k = 0; k < GRID_CELLS; k++) {
+    r[k] = u[k];
+    p[k] = u[k];
+    w[k] = 0.0;
+  }
+}
+
+void cg_calc_w(const double* p, double* w) {
+  #pragma omp target teams distribute parallel for collapse(2)
+  for (int j = 1; j < GRID_N - 1; j++) {
+    for (int i = 1; i < GRID_N - 1; i++) {
+      w[tidx(i, j)] = ref_apply(p, i, j);
+    }
+  }
+}
+
+double cg_dot(const double* a, const double* b) {
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for map(tofrom: sum) reduction(+:sum)
+  for (int k = 0; k < GRID_CELLS; k++) {
+    sum += a[k] * b[k];
+  }
+  return sum;
+}
+
+void cg_update_u_r(double alpha, double* u, double* r, const double* p, const double* w) {
+  #pragma omp target teams distribute parallel for
+  for (int k = 0; k < GRID_CELLS; k++) {
+    u[k] += alpha * p[k];
+    r[k] -= alpha * w[k];
+  }
+}
+
+void cg_update_p(double beta, double* p, const double* r) {
+  #pragma omp target teams distribute parallel for
+  for (int k = 0; k < GRID_CELLS; k++) {
+    p[k] = r[k] + beta * p[k];
+  }
+}
+
+void cg_solve(double* u) {
+  double* r = new double[GRID_CELLS];
+  double* p = new double[GRID_CELLS];
+  double* w = new double[GRID_CELLS];
+  #pragma omp target enter data map(to: u[0:GRID_CELLS], r[0:GRID_CELLS], p[0:GRID_CELLS], w[0:GRID_CELLS])
+  cg_init(u, r, p, w);
+  double rro = cg_dot(r, r);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    cg_calc_w(p, w);
+    double pw = cg_dot(p, w);
+    double alpha = rro / pw;
+    cg_update_u_r(alpha, u, r, p, w);
+    double rrn = cg_dot(r, r);
+    double beta = rrn / rro;
+    cg_update_p(beta, p, r);
+    rro = rrn;
+  }
+  #pragma omp target exit data map(from: u[0:GRID_CELLS])
+  delete[] r;
+  delete[] p;
+  delete[] w;
+}
+
+int main() {
+  double* u = new double[GRID_CELLS];
+  tea_setup(u);
+  cg_solve(u);
+  int rc = tea_validate(u);
+  delete[] u;
+  return rc;
+}
+"""
+
+CUDA = """
+#include "tea_common.h"
+#include <cuda_runtime.h>
+#define BLOCK 16
+
+__global__ void cg_init_kernel(const double* u, double* r, double* p, double* w) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  r[k] = u[k];
+  p[k] = u[k];
+  w[k] = 0.0;
+}
+
+__global__ void cg_calc_w_kernel(const double* p, double* w) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = k % GRID_N;
+  int j = k / GRID_N;
+  if (is_interior(i, j)) {
+    w[k] = ref_apply(p, i, j);
+  }
+}
+
+__global__ void cg_dot_kernel(const double* a, const double* b, double* partial) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  partial[k] = a[k] * b[k];
+}
+
+__global__ void cg_update_u_r_kernel(double alpha, double* u, double* r, const double* p, const double* w) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  u[k] += alpha * p[k];
+  r[k] -= alpha * w[k];
+}
+
+__global__ void cg_update_p_kernel(double beta, double* p, const double* r) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  p[k] = r[k] + beta * p[k];
+}
+
+double device_dot(const double* d_a, const double* d_b, double* d_partial, double* h_partial) {
+  cg_dot_kernel<<<GRID_CELLS / BLOCK, BLOCK>>>(d_a, d_b, d_partial);
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_partial, d_partial, GRID_CELLS * sizeof(double), cudaMemcpyDeviceToHost);
+  double sum = 0.0;
+  for (int k = 0; k < GRID_CELLS; k++) {
+    sum += h_partial[k];
+  }
+  return sum;
+}
+
+void cg_solve(double* u) {
+  double* d_u;
+  double* d_r;
+  double* d_p;
+  double* d_w;
+  double* d_partial;
+  cudaMalloc(&d_u, GRID_CELLS * sizeof(double));
+  cudaMalloc(&d_r, GRID_CELLS * sizeof(double));
+  cudaMalloc(&d_p, GRID_CELLS * sizeof(double));
+  cudaMalloc(&d_w, GRID_CELLS * sizeof(double));
+  cudaMalloc(&d_partial, GRID_CELLS * sizeof(double));
+  double* h_partial = new double[GRID_CELLS];
+  cudaMemcpy(d_u, u, GRID_CELLS * sizeof(double), cudaMemcpyHostToDevice);
+  cg_init_kernel<<<GRID_CELLS / BLOCK, BLOCK>>>(d_u, d_r, d_p, d_w);
+  cudaDeviceSynchronize();
+  double rro = device_dot(d_r, d_r, d_partial, h_partial);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    cg_calc_w_kernel<<<GRID_CELLS / BLOCK, BLOCK>>>(d_p, d_w);
+    cudaDeviceSynchronize();
+    double pw = device_dot(d_p, d_w, d_partial, h_partial);
+    double alpha = rro / pw;
+    cg_update_u_r_kernel<<<GRID_CELLS / BLOCK, BLOCK>>>(alpha, d_u, d_r, d_p, d_w);
+    cudaDeviceSynchronize();
+    double rrn = device_dot(d_r, d_r, d_partial, h_partial);
+    double beta = rrn / rro;
+    cg_update_p_kernel<<<GRID_CELLS / BLOCK, BLOCK>>>(beta, d_p, d_r);
+    cudaDeviceSynchronize();
+    rro = rrn;
+  }
+  cudaMemcpy(u, d_u, GRID_CELLS * sizeof(double), cudaMemcpyDeviceToHost);
+  cudaFree(d_u);
+  cudaFree(d_r);
+  cudaFree(d_p);
+  cudaFree(d_w);
+  cudaFree(d_partial);
+  delete[] h_partial;
+}
+
+int main() {
+  double* u = new double[GRID_CELLS];
+  tea_setup(u);
+  cg_solve(u);
+  int rc = tea_validate(u);
+  delete[] u;
+  return rc;
+}
+"""
+
+HIP = """
+#include "tea_common.h"
+#include <hip/hip_runtime.h>
+#define BLOCK 16
+
+__global__ void cg_init_kernel(const double* u, double* r, double* p, double* w) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  r[k] = u[k];
+  p[k] = u[k];
+  w[k] = 0.0;
+}
+
+__global__ void cg_calc_w_kernel(const double* p, double* w) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = k % GRID_N;
+  int j = k / GRID_N;
+  if (is_interior(i, j)) {
+    w[k] = ref_apply(p, i, j);
+  }
+}
+
+__global__ void cg_dot_kernel(const double* a, const double* b, double* partial) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  partial[k] = a[k] * b[k];
+}
+
+__global__ void cg_update_u_r_kernel(double alpha, double* u, double* r, const double* p, const double* w) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  u[k] += alpha * p[k];
+  r[k] -= alpha * w[k];
+}
+
+__global__ void cg_update_p_kernel(double beta, double* p, const double* r) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  p[k] = r[k] + beta * p[k];
+}
+
+double device_dot(const double* d_a, const double* d_b, double* d_partial, double* h_partial) {
+  hipLaunchKernelGGL(cg_dot_kernel, GRID_CELLS / BLOCK, BLOCK, 0, 0, d_a, d_b, d_partial);
+  hipDeviceSynchronize();
+  hipMemcpy(h_partial, d_partial, GRID_CELLS * sizeof(double), hipMemcpyDeviceToHost);
+  double sum = 0.0;
+  for (int k = 0; k < GRID_CELLS; k++) {
+    sum += h_partial[k];
+  }
+  return sum;
+}
+
+void cg_solve(double* u) {
+  double* d_u;
+  double* d_r;
+  double* d_p;
+  double* d_w;
+  double* d_partial;
+  hipMalloc(&d_u, GRID_CELLS * sizeof(double));
+  hipMalloc(&d_r, GRID_CELLS * sizeof(double));
+  hipMalloc(&d_p, GRID_CELLS * sizeof(double));
+  hipMalloc(&d_w, GRID_CELLS * sizeof(double));
+  hipMalloc(&d_partial, GRID_CELLS * sizeof(double));
+  double* h_partial = new double[GRID_CELLS];
+  hipMemcpy(d_u, u, GRID_CELLS * sizeof(double), hipMemcpyHostToDevice);
+  hipLaunchKernelGGL(cg_init_kernel, GRID_CELLS / BLOCK, BLOCK, 0, 0, d_u, d_r, d_p, d_w);
+  hipDeviceSynchronize();
+  double rro = device_dot(d_r, d_r, d_partial, h_partial);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    hipLaunchKernelGGL(cg_calc_w_kernel, GRID_CELLS / BLOCK, BLOCK, 0, 0, d_p, d_w);
+    hipDeviceSynchronize();
+    double pw = device_dot(d_p, d_w, d_partial, h_partial);
+    double alpha = rro / pw;
+    hipLaunchKernelGGL(cg_update_u_r_kernel, GRID_CELLS / BLOCK, BLOCK, 0, 0, alpha, d_u, d_r, d_p, d_w);
+    hipDeviceSynchronize();
+    double rrn = device_dot(d_r, d_r, d_partial, h_partial);
+    double beta = rrn / rro;
+    hipLaunchKernelGGL(cg_update_p_kernel, GRID_CELLS / BLOCK, BLOCK, 0, 0, beta, d_p, d_r);
+    hipDeviceSynchronize();
+    rro = rrn;
+  }
+  hipMemcpy(u, d_u, GRID_CELLS * sizeof(double), hipMemcpyDeviceToHost);
+  hipFree(d_u);
+  hipFree(d_r);
+  hipFree(d_p);
+  hipFree(d_w);
+  hipFree(d_partial);
+  delete[] h_partial;
+}
+
+int main() {
+  double* u = new double[GRID_CELLS];
+  tea_setup(u);
+  cg_solve(u);
+  int rc = tea_validate(u);
+  delete[] u;
+  return rc;
+}
+"""
+
+SYCL_USM = """
+#include "tea_common.h"
+#include <sycl/sycl.hpp>
+
+double usm_dot(sycl::queue& q, const double* a, const double* b) {
+  double* sum = sycl::malloc_shared<double>(1, q);
+  sum[0] = 0.0;
+  q.parallel_for<class dot_k>(
+      sycl::range<1>(GRID_CELLS),
+      sycl::reduction(sum, sycl::plus<double>()),
+      [=](sycl::id<1> k, double& acc) {
+    acc += a[k.get(0)] * b[k.get(0)];
+  });
+  q.wait();
+  double out = sum[0];
+  sycl::free(sum, q);
+  return out;
+}
+
+void cg_solve(sycl::queue& q, double* u) {
+  double* r = sycl::malloc_shared<double>(GRID_CELLS, q);
+  double* p = sycl::malloc_shared<double>(GRID_CELLS, q);
+  double* w = sycl::malloc_shared<double>(GRID_CELLS, q);
+  q.parallel_for<class init_k>(sycl::range<1>(GRID_CELLS), [=](sycl::id<1> k) {
+    r[k.get(0)] = u[k.get(0)];
+    p[k.get(0)] = u[k.get(0)];
+    w[k.get(0)] = 0.0;
+  });
+  q.wait();
+  double rro = usm_dot(q, r, r);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    q.parallel_for<class calc_w_k>(sycl::range<1>(GRID_CELLS), [=](sycl::id<1> kk) {
+      int k = kk.get(0);
+      int i = k % GRID_N;
+      int j = k / GRID_N;
+      if (is_interior(i, j)) {
+        w[k] = ref_apply(p, i, j);
+      }
+    });
+    q.wait();
+    double pw = usm_dot(q, p, w);
+    double alpha = rro / pw;
+    q.parallel_for<class update_ur_k>(sycl::range<1>(GRID_CELLS), [=](sycl::id<1> k) {
+      u[k.get(0)] += alpha * p[k.get(0)];
+      r[k.get(0)] -= alpha * w[k.get(0)];
+    });
+    q.wait();
+    double rrn = usm_dot(q, r, r);
+    double beta = rrn / rro;
+    q.parallel_for<class update_p_k>(sycl::range<1>(GRID_CELLS), [=](sycl::id<1> k) {
+      p[k.get(0)] = r[k.get(0)] + beta * p[k.get(0)];
+    });
+    q.wait();
+    rro = rrn;
+  }
+  sycl::free(r, q);
+  sycl::free(p, q);
+  sycl::free(w, q);
+}
+
+int main() {
+  sycl::queue q;
+  double* u = sycl::malloc_shared<double>(GRID_CELLS, q);
+  tea_setup(u);
+  cg_solve(q, u);
+  int rc = tea_validate(u);
+  sycl::free(u, q);
+  return rc;
+}
+"""
+
+SYCL_ACC = """
+#include "tea_common.h"
+#include <sycl/sycl.hpp>
+
+void cg_init(sycl::queue& q, sycl::buffer<double, 1>& buf_u, sycl::buffer<double, 1>& buf_r, sycl::buffer<double, 1>& buf_p, sycl::buffer<double, 1>& buf_w, double* h_u, double* h_r, double* h_p, double* h_w) {
+  q.submit([&](sycl::handler& h) {
+    sycl::accessor<double, 1> u(buf_u, h, read_only);
+    sycl::accessor<double, 1> r(buf_r, h, write_only);
+    sycl::accessor<double, 1> p(buf_p, h, write_only);
+    sycl::accessor<double, 1> w(buf_w, h, write_only);
+    h.parallel_for<class init_k>(sycl::range<1>(GRID_CELLS), [=](sycl::id<1> k) {
+      h_r[k.get(0)] = u[k.get(0)];
+      h_p[k.get(0)] = u[k.get(0)];
+      h_w[k.get(0)] = 0.0;
+    });
+  });
+  q.wait();
+}
+
+void cg_calc_w(sycl::queue& q, sycl::buffer<double, 1>& buf_p, sycl::buffer<double, 1>& buf_w, double* h_p, double* h_w) {
+  q.submit([&](sycl::handler& h) {
+    sycl::accessor<double, 1> p(buf_p, h, read_only);
+    sycl::accessor<double, 1> w(buf_w, h, write_only);
+    h.parallel_for<class calc_w_k>(sycl::range<1>(GRID_CELLS), [=](sycl::id<1> kk) {
+      int k = kk.get(0);
+      int i = k % GRID_N;
+      int j = k / GRID_N;
+      if (is_interior(i, j)) {
+        h_w[k] = ref_apply(h_p, i, j);
+      }
+    });
+  });
+  q.wait();
+}
+
+double cg_dot(sycl::queue& q, sycl::buffer<double, 1>& buf_a, sycl::buffer<double, 1>& buf_b, sycl::buffer<double, 1>& buf_dot, double* h_dot) {
+  q.submit([&](sycl::handler& h) {
+    sycl::accessor<double, 1> a(buf_a, h, read_only);
+    sycl::accessor<double, 1> b(buf_b, h, read_only);
+    sycl::accessor<double, 1> d(buf_dot, h, read_write);
+    h.single_task<class dot_k>([=]() {
+      double acc = 0.0;
+      for (int k = 0; k < GRID_CELLS; k++) {
+        acc += a[k] * b[k];
+      }
+      h_dot[0] = acc;
+    });
+  });
+  q.wait();
+  return h_dot[0];
+}
+
+void cg_update_u_r(sycl::queue& q, double alpha, sycl::buffer<double, 1>& buf_u, sycl::buffer<double, 1>& buf_r, sycl::buffer<double, 1>& buf_p, sycl::buffer<double, 1>& buf_w, double* h_u, double* h_r) {
+  q.submit([&](sycl::handler& h) {
+    sycl::accessor<double, 1> u(buf_u, h, read_write);
+    sycl::accessor<double, 1> r(buf_r, h, read_write);
+    sycl::accessor<double, 1> p(buf_p, h, read_only);
+    sycl::accessor<double, 1> w(buf_w, h, read_only);
+    h.parallel_for<class update_ur_k>(sycl::range<1>(GRID_CELLS), [=](sycl::id<1> k) {
+      h_u[k.get(0)] += alpha * p[k.get(0)];
+      h_r[k.get(0)] -= alpha * w[k.get(0)];
+    });
+  });
+  q.wait();
+}
+
+void cg_update_p(sycl::queue& q, double beta, sycl::buffer<double, 1>& buf_p, sycl::buffer<double, 1>& buf_r, double* h_p) {
+  q.submit([&](sycl::handler& h) {
+    sycl::accessor<double, 1> p(buf_p, h, read_write);
+    sycl::accessor<double, 1> r(buf_r, h, read_only);
+    h.parallel_for<class update_p_k>(sycl::range<1>(GRID_CELLS), [=](sycl::id<1> k) {
+      h_p[k.get(0)] = r[k.get(0)] + beta * p[k.get(0)];
+    });
+  });
+  q.wait();
+}
+
+void cg_solve(sycl::queue& q, double* h_u) {
+  double* h_r = new double[GRID_CELLS];
+  double* h_p = new double[GRID_CELLS];
+  double* h_w = new double[GRID_CELLS];
+  double* h_dot = new double[1];
+  {
+    sycl::buffer<double, 1> buf_u(h_u, sycl::range<1>(GRID_CELLS));
+    sycl::buffer<double, 1> buf_r(h_r, sycl::range<1>(GRID_CELLS));
+    sycl::buffer<double, 1> buf_p(h_p, sycl::range<1>(GRID_CELLS));
+    sycl::buffer<double, 1> buf_w(h_w, sycl::range<1>(GRID_CELLS));
+    sycl::buffer<double, 1> buf_dot(h_dot, sycl::range<1>(1));
+    cg_init(q, buf_u, buf_r, buf_p, buf_w, h_u, h_r, h_p, h_w);
+    double rro = cg_dot(q, buf_r, buf_r, buf_dot, h_dot);
+    for (int iter = 0; iter < CG_ITERS; iter++) {
+      cg_calc_w(q, buf_p, buf_w, h_p, h_w);
+      double pw = cg_dot(q, buf_p, buf_w, buf_dot, h_dot);
+      double alpha = rro / pw;
+      cg_update_u_r(q, alpha, buf_u, buf_r, buf_p, buf_w, h_u, h_r);
+      double rrn = cg_dot(q, buf_r, buf_r, buf_dot, h_dot);
+      double beta = rrn / rro;
+      cg_update_p(q, beta, buf_p, buf_r, h_p);
+      rro = rrn;
+    }
+    q.wait_and_throw();
+  }
+  delete[] h_r;
+  delete[] h_p;
+  delete[] h_w;
+  delete[] h_dot;
+}
+
+int main() {
+  sycl::queue q;
+  double* u = new double[GRID_CELLS];
+  tea_setup(u);
+  cg_solve(q, u);
+  int rc = tea_validate(u);
+  delete[] u;
+  return rc;
+}
+"""
+
+KOKKOS = """
+#include "tea_common.h"
+#include <Kokkos_Core.hpp>
+#define KOKKOS_LAMBDA [=]
+
+void cg_solve(double* u, double* r, double* p, double* w) {
+  Kokkos::parallel_for("cg_init", GRID_CELLS, KOKKOS_LAMBDA(const int k) {
+    r[k] = u[k];
+    p[k] = u[k];
+    w[k] = 0.0;
+  });
+  Kokkos::fence();
+  double rro = 0.0;
+  Kokkos::parallel_reduce("dot_rr0", GRID_CELLS, KOKKOS_LAMBDA(const int k, double& acc) {
+    acc += r[k] * r[k];
+  }, rro);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    Kokkos::parallel_for("calc_w", GRID_CELLS, KOKKOS_LAMBDA(const int k) {
+      int i = k % GRID_N;
+      int j = k / GRID_N;
+      if (is_interior(i, j)) {
+        w[k] = ref_apply(p, i, j);
+      }
+    });
+    Kokkos::fence();
+    double pw = 0.0;
+    Kokkos::parallel_reduce("dot_pw", GRID_CELLS, KOKKOS_LAMBDA(const int k, double& acc) {
+      acc += p[k] * w[k];
+    }, pw);
+    double alpha = rro / pw;
+    Kokkos::parallel_for("update_ur", GRID_CELLS, KOKKOS_LAMBDA(const int k) {
+      u[k] += alpha * p[k];
+      r[k] -= alpha * w[k];
+    });
+    Kokkos::fence();
+    double rrn = 0.0;
+    Kokkos::parallel_reduce("dot_rrn", GRID_CELLS, KOKKOS_LAMBDA(const int k, double& acc) {
+      acc += r[k] * r[k];
+    }, rrn);
+    double beta = rrn / rro;
+    Kokkos::parallel_for("update_p", GRID_CELLS, KOKKOS_LAMBDA(const int k) {
+      p[k] = r[k] + beta * p[k];
+    });
+    Kokkos::fence();
+    rro = rrn;
+  }
+}
+
+int main() {
+  Kokkos::initialize();
+  int rc = 1;
+  {
+    double* u = new double[GRID_CELLS];
+    double* r = new double[GRID_CELLS];
+    double* p = new double[GRID_CELLS];
+    double* w = new double[GRID_CELLS];
+    tea_setup(u);
+    cg_solve(u, r, p, w);
+    rc = tea_validate(u);
+    delete[] u;
+    delete[] r;
+    delete[] p;
+    delete[] w;
+  }
+  Kokkos::finalize();
+  return rc;
+}
+"""
+
+TBB = """
+#include "tea_common.h"
+#include <tbb/tbb.h>
+
+double tbb_dot(const double* a, const double* b) {
+  return tbb::parallel_reduce(
+      tbb::blocked_range<int>(0, GRID_CELLS), 0.0,
+      [=](const tbb::blocked_range<int>& rng, double acc) {
+        for (int k = rng.begin(); k != rng.end(); ++k) {
+          acc += a[k] * b[k];
+        }
+        return acc;
+      },
+      std::plus<double>());
+}
+
+void cg_solve(double* u) {
+  double* r = new double[GRID_CELLS];
+  double* p = new double[GRID_CELLS];
+  double* w = new double[GRID_CELLS];
+  tbb::parallel_for(tbb::blocked_range<int>(0, GRID_CELLS), [=](const tbb::blocked_range<int>& rng) {
+    for (int k = rng.begin(); k != rng.end(); ++k) {
+      r[k] = u[k];
+      p[k] = u[k];
+      w[k] = 0.0;
+    }
+  });
+  double rro = tbb_dot(r, r);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    tbb::parallel_for(tbb::blocked_range<int>(0, GRID_CELLS), [=](const tbb::blocked_range<int>& rng) {
+      for (int k = rng.begin(); k != rng.end(); ++k) {
+        int i = k % GRID_N;
+        int j = k / GRID_N;
+        if (is_interior(i, j)) {
+          w[k] = ref_apply(p, i, j);
+        }
+      }
+    });
+    double pw = tbb_dot(p, w);
+    double alpha = rro / pw;
+    tbb::parallel_for(tbb::blocked_range<int>(0, GRID_CELLS), [=](const tbb::blocked_range<int>& rng) {
+      for (int k = rng.begin(); k != rng.end(); ++k) {
+        u[k] += alpha * p[k];
+        r[k] -= alpha * w[k];
+      }
+    });
+    double rrn = tbb_dot(r, r);
+    double beta = rrn / rro;
+    tbb::parallel_for(tbb::blocked_range<int>(0, GRID_CELLS), [=](const tbb::blocked_range<int>& rng) {
+      for (int k = rng.begin(); k != rng.end(); ++k) {
+        p[k] = r[k] + beta * p[k];
+      }
+    });
+    rro = rrn;
+  }
+  delete[] r;
+  delete[] p;
+  delete[] w;
+}
+
+int main() {
+  double* u = new double[GRID_CELLS];
+  tea_setup(u);
+  cg_solve(u);
+  int rc = tea_validate(u);
+  delete[] u;
+  return rc;
+}
+"""
+
+STDPAR = """
+#include "tea_common.h"
+#include <algorithm>
+#include <execution>
+
+void cg_solve(double* u) {
+  double* r = new double[GRID_CELLS];
+  double* p = new double[GRID_CELLS];
+  double* w = new double[GRID_CELLS];
+  std::copy(std::execution::par_unseq, u, u + GRID_CELLS, r);
+  std::copy(std::execution::par_unseq, u, u + GRID_CELLS, p);
+  std::fill(std::execution::par_unseq, w, w + GRID_CELLS, 0.0);
+  double rro = std::transform_reduce(std::execution::par_unseq, r, r + GRID_CELLS, r, 0.0);
+  for (int iter = 0; iter < CG_ITERS; iter++) {
+    std::for_each_n(std::execution::par_unseq, 0, GRID_CELLS, [=](int k) {
+      int i = k % GRID_N;
+      int j = k / GRID_N;
+      if (is_interior(i, j)) {
+        w[k] = ref_apply(p, i, j);
+      }
+    });
+    double pw = std::transform_reduce(std::execution::par_unseq, p, p + GRID_CELLS, w, 0.0);
+    double alpha = rro / pw;
+    std::for_each_n(std::execution::par_unseq, 0, GRID_CELLS, [=](int k) {
+      u[k] += alpha * p[k];
+      r[k] -= alpha * w[k];
+    });
+    double rrn = std::transform_reduce(std::execution::par_unseq, r, r + GRID_CELLS, r, 0.0);
+    double beta = rrn / rro;
+    std::for_each_n(std::execution::par_unseq, 0, GRID_CELLS, [=](int k) {
+      p[k] = r[k] + beta * p[k];
+    });
+    rro = rrn;
+  }
+  delete[] r;
+  delete[] p;
+  delete[] w;
+}
+
+int main() {
+  double* u = new double[GRID_CELLS];
+  tea_setup(u);
+  cg_solve(u);
+  int rc = tea_validate(u);
+  delete[] u;
+  return rc;
+}
+"""
+
+MODELS: dict[str, tuple[str, bool, str, str]] = {
+    "serial": ("host", False, "serial_tea.cpp", SERIAL),
+    "omp": ("host", True, "omp_tea.cpp", OMP),
+    "omp-target": ("host", True, "omp_target_tea.cpp", OMP_TARGET),
+    "cuda": ("cuda", False, "cuda_tea.cu", CUDA),
+    "hip": ("hip", False, "hip_tea.cpp", HIP),
+    "sycl-usm": ("sycl", False, "sycl_usm_tea.cpp", SYCL_USM),
+    "sycl-acc": ("sycl", False, "sycl_acc_tea.cpp", SYCL_ACC),
+    "kokkos": ("host", False, "kokkos_tea.cpp", KOKKOS),
+    "tbb": ("host", False, "tbb_tea.cpp", TBB),
+    "stdpar": ("host", False, "stdpar_tea.cpp", STDPAR),
+}
+
+SHARED_FILES = {"tea_common.h": TEA_COMMON_H}

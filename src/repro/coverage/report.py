@@ -1,0 +1,28 @@
+"""GCov-style textual coverage report."""
+
+from __future__ import annotations
+
+from repro.coverage.profile import CoverageProfile
+from repro.lang.source import VirtualFS
+
+
+def gcov_report(profile: CoverageProfile, fs: VirtualFS, path: str) -> str:
+    """Annotated source in the classic ``gcov`` column format.
+
+    Lines with hits show the count; never-hit lines with code show
+    ``#####``; blank/comment lines show ``-``.
+    """
+    src = fs.get(path)
+    covered = profile.covered_lines(path)
+    hits = {l: profile.hits[(path, l)] for l in covered}
+    out = [f"        -:    0:Source:{path}"]
+    for i, line in enumerate(src.lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//") or stripped.startswith("!"):
+            col = "-"
+        elif i in hits:
+            col = str(hits[i])
+        else:
+            col = "#####"
+        out.append(f"{col:>9}:{i:>5}:{line}")
+    return "\n".join(out)

@@ -1,0 +1,34 @@
+"""Distance kernels (paper §III-B, §IV-E).
+
+Tree Edit Distance is the basis of TBMD; string/sequence distances back the
+``Source`` metric. The production path is a NumPy-vectorised Zhang–Shasha
+TED with keyroot decomposition (exact, unit costs — matching the paper's
+choice of "unit weight of one for all nodes and operations"); a pure-Python
+general-cost implementation and an exponential brute-force reference exist
+for custom weights and property testing.
+"""
+
+from repro.distance.ted import ted, ted_normalized, TedResult, UnitCost, Cost
+from repro.distance.zhang_shasha import zhang_shasha_distance, zhang_shasha_generic
+from repro.distance.reference import brute_force_ted
+from repro.distance.wu_manber import onp_edit_distance, lcs_length
+from repro.distance.myers import myers_edit_distance
+from repro.distance.levenshtein import levenshtein
+from repro.distance.matrix import pairwise_matrix, condensed_to_square
+
+__all__ = [
+    "ted",
+    "ted_normalized",
+    "TedResult",
+    "UnitCost",
+    "Cost",
+    "zhang_shasha_distance",
+    "zhang_shasha_generic",
+    "brute_force_ted",
+    "onp_edit_distance",
+    "lcs_length",
+    "myers_edit_distance",
+    "levenshtein",
+    "pairwise_matrix",
+    "condensed_to_square",
+]

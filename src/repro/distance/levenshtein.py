@@ -1,0 +1,45 @@
+"""Levenshtein distance with NumPy row sweeps.
+
+Mentioned in §III of the paper as one of the "slightly more involved" edit
+distance alternatives to SLOC; included both for completeness of the metric
+registry and as a building block for token-level comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+def levenshtein(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Classic edit distance with insert/delete/substitute, all unit cost.
+
+    Row-sweep DP: the substitution/deletion candidates vectorise over the
+    row; the insertion dependency is resolved with the same running-min
+    transform used in the TED kernel.
+    """
+    if len(a) < len(b):
+        a, b = b, a
+    n, m = len(a), len(b)
+    if m == 0:
+        return n
+    # Intern to ints for fast equality.
+    vocab: dict[Hashable, int] = {}
+    aa = np.fromiter((vocab.setdefault(x, len(vocab)) for x in a), np.int64, n)
+    bb = np.fromiter((vocab.setdefault(x, len(vocab)) for x in b), np.int64, m)
+
+    prev = np.arange(m + 1, dtype=np.int64)
+    jr = np.arange(1, m + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        sub = prev[:-1] + (aa[i - 1] != bb)
+        dele = prev[1:] + 1
+        cand = np.minimum(sub, dele)
+        # insertion scan: cur[j] = min(cand[j], cur[j-1]+1), cur[0] = i
+        shifted = cand - jr
+        np.minimum.accumulate(shifted, out=shifted)
+        cur = np.empty(m + 1, dtype=np.int64)
+        cur[0] = i
+        cur[1:] = np.minimum(shifted + jr, i + jr)
+        prev = cur
+    return int(prev[m])

@@ -1,0 +1,59 @@
+"""Pairwise distance-matrix assembly.
+
+The paper "run[s] the comparison step over the cartesian product of all
+models to yield a correlation matrix" (§V-A); this module builds those
+matrices once and reuses them across clustering, heatmaps and navigation
+charts (HPC-guide idiom: compute the expensive thing once).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def pairwise_matrix(
+    items: Sequence[T],
+    dist: Callable[[T, T], float],
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Dense pairwise distance matrix over ``items``.
+
+    When ``symmetric`` is True only the upper triangle is computed and
+    mirrored; the diagonal is always computed (relative metrics must return
+    0 for self-comparison — the paper checks exactly this as a built-in
+    validation).
+    """
+    n = len(items)
+    out = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        out[i, i] = dist(items[i], items[i])
+        start = i + 1 if symmetric else 0
+        for j in range(start, n):
+            if j == i:
+                continue
+            d = dist(items[i], items[j])
+            out[i, j] = d
+            if symmetric:
+                out[j, i] = d
+    return out
+
+
+def condensed_to_square(condensed: np.ndarray, n: int) -> np.ndarray:
+    """Expand a SciPy-style condensed distance vector into a square matrix."""
+    out = np.zeros((n, n), dtype=np.float64)
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = condensed[k]
+            k += 1
+    return out
+
+
+def square_to_condensed(square: np.ndarray) -> np.ndarray:
+    """Upper triangle of a square distance matrix, SciPy condensed order."""
+    n = square.shape[0]
+    return np.asarray([square[i, j] for i in range(n) for j in range(i + 1, n)])

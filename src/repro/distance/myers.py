@@ -1,0 +1,37 @@
+"""Myers O(ND) greedy diff — the reference oracle for the O(NP) kernel.
+
+Eugene Myers, "An O(ND) Difference Algorithm and Its Variations", 1986.
+Computes the same insert/delete edit distance as :mod:`repro.distance.wu_manber`
+with a simpler (but asymptotically slower when P ≪ D) recurrence; the two are
+cross-checked by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+
+def myers_edit_distance(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Shortest edit script length (insertions + deletions)."""
+    n, m = len(a), len(b)
+    if n == 0:
+        return m
+    if m == 0:
+        return n
+    max_d = n + m
+    offset = max_d
+    v = [0] * (2 * max_d + 1)
+    for d in range(max_d + 1):
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v[k - 1 + offset] < v[k + 1 + offset]):
+                x = v[k + 1 + offset]  # down: insertion
+            else:
+                x = v[k - 1 + offset] + 1  # right: deletion
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k + offset] = x
+            if x >= n and y >= m:
+                return d
+    raise AssertionError("unreachable: D bounded by N+M")

@@ -1,0 +1,54 @@
+"""Exponential brute-force TED used as a property-test oracle.
+
+Implements the textbook forest-distance recursion directly on node lists
+(memoised on forest identity). Only usable for tiny trees (≲ 12 nodes per
+side) — exactly what Hypothesis generates.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.trees.node import Node
+
+
+def brute_force_ted(t1: Node, t2: Node) -> int:
+    """Unit-cost TED by direct recursion on forests."""
+
+    # Forests are represented as tuples of node ids; a side table maps ids
+    # back to nodes so the memo key stays hashable and small.
+    table: dict[int, Node] = {}
+
+    def reg(n: Node) -> int:
+        table[id(n)] = n
+        return id(n)
+
+    def forest_of(n: Node) -> Tuple[int, ...]:
+        return tuple(reg(c) for c in n.children)
+
+    @lru_cache(maxsize=None)
+    def fdist(f1: Tuple[int, ...], f2: Tuple[int, ...]) -> int:
+        if not f1 and not f2:
+            return 0
+        if not f1:
+            last = table[f2[-1]]
+            return fdist(f1, f2[:-1] + forest_of(last)) + 1
+        if not f2:
+            last = table[f1[-1]]
+            return fdist(f1[:-1] + forest_of(last), f2) + 1
+        a = table[f1[-1]]
+        b = table[f2[-1]]
+        # delete rightmost root of f1
+        d1 = fdist(f1[:-1] + forest_of(a), f2) + 1
+        # insert rightmost root of f2
+        d2 = fdist(f1, f2[:-1] + forest_of(b)) + 1
+        # match the two rightmost trees
+        d3 = (
+            fdist(forest_of(a), forest_of(b))
+            + fdist(f1[:-1], f2[:-1])
+            + (0 if a.label == b.label else 1)
+        )
+        return min(d1, d2, d3)
+
+    return fdist((reg(t1),), (reg(t2),))

@@ -1,0 +1,136 @@
+"""Public TED API (paper §III-B).
+
+``ted(t1, t2)`` returns the exact tree edit distance under the paper's
+unit-cost model; ``ted_normalized`` divides by ``dmax`` (Eq. 7): the size of
+the *target* tree, i.e. the change budget needed to delete everything from
+one codebase and reintroduce the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.distance.zhang_shasha import zhang_shasha_distance, zhang_shasha_generic
+from repro.trees.hashing import structural_hash
+from repro.trees.node import Node
+from repro.trees.stats import histogram_lower_bound, label_histogram
+from repro.util.timing import timed
+
+
+@dataclass(frozen=True)
+class Cost:
+    """Per-operation TED cost model.
+
+    The paper uses unit weight one for all operations but explicitly leaves
+    room for weighted variants ("adding new code may have a different
+    productivity impact than removing existing code").
+    """
+
+    delete: Callable[[Node], float]
+    insert: Callable[[Node], float]
+    relabel: Callable[[Node, Node], float]
+
+    def is_unit(self) -> bool:
+        return False
+
+
+class UnitCost(Cost):
+    """The paper's cost model: every operation costs one."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            delete=lambda n: 1.0,
+            insert=lambda n: 1.0,
+            relabel=lambda a, b: 0.0 if a.label == b.label else 1.0,
+        )
+
+    def is_unit(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class TedResult:
+    """Outcome of one TED computation."""
+
+    distance: float
+    size1: int
+    size2: int
+    #: True when the identical-hash shortcut fired and no DP ran.
+    shortcut: bool = False
+
+    @property
+    def dmax(self) -> int:
+        """Maximum divergence per Eq. (7): |T(F_C2)| (target tree size)."""
+        return self.size2
+
+    @property
+    def normalized(self) -> float:
+        """distance / dmax, clipped into [0, inf); 0 for two empty trees."""
+        return self.distance / self.dmax if self.dmax else 0.0
+
+
+#: Memo of unit-cost distances keyed by structural-hash pairs. Trees are
+#: treated as frozen once they enter the metric pipeline; callers who mutate
+#: trees between calls must invalidate via :func:`clear_ted_cache`.
+_CACHE: dict[tuple[str, str], float] = {}
+_CACHE_LIMIT = 65536
+
+
+def clear_ted_cache() -> None:
+    """Drop all memoised TED results."""
+    _CACHE.clear()
+
+
+def _cached_hash(t: Node) -> str:
+    """Structural hash memoised on the root's attrs.
+
+    Metric-pipeline trees are frozen once built; callers who mutate a tree
+    after it has entered a distance computation must drop the ``_shash``
+    attr (or rebuild the tree, which is the idiomatic path).
+    """
+    h = t.attrs.get("_shash")
+    if h is None:
+        h = structural_hash(t)
+        t.attrs["_shash"] = h
+    return h
+
+
+@timed("ted")
+def ted(t1: Node, t2: Node, cost: Optional[Cost] = None) -> TedResult:
+    """Exact TED between two trees.
+
+    Unit costs route to the hybrid vectorised kernel and are memoised by
+    structural hash (divergence matrices revisit the same tree pairs across
+    clustering, heatmaps and navigation charts). Custom costs use the
+    pure-Python generic kernel, uncached. Structurally identical trees
+    short-circuit to zero (shared boilerplate between models "simply
+    evaluate[s] to a divergence of zero", §V).
+    """
+    n1 = t1.size()
+    n2 = t2.size()
+    h1 = _cached_hash(t1)
+    h2 = _cached_hash(t2)
+    if h1 == h2:
+        return TedResult(0.0, n1, n2, shortcut=True)
+    if cost is None or cost.is_unit():
+        key = (h1, h2)
+        if key in _CACHE:
+            return TedResult(_CACHE[key], n1, n2, shortcut=True)
+        d = float(zhang_shasha_distance(t1, t2))
+        if len(_CACHE) < _CACHE_LIMIT:
+            _CACHE[key] = d
+            _CACHE[(h2, h1)] = d  # unit-cost TED is symmetric
+    else:
+        d = zhang_shasha_generic(t1, t2, cost.delete, cost.insert, cost.relabel)
+    return TedResult(d, n1, n2)
+
+
+def ted_lower_bound(t1: Node, t2: Node) -> int:
+    """Cheap lower bound on unit-cost TED (label-histogram filter)."""
+    return histogram_lower_bound(label_histogram(t1), label_histogram(t2))
+
+
+def ted_normalized(t1: Node, t2: Node) -> float:
+    """Normalised divergence d/dmax of ``t2`` relative to ``t1``."""
+    return ted(t1, t2).normalized

@@ -1,0 +1,52 @@
+"""Wu–Manber–Myers–Miller O(NP) sequence comparison (paper §IV-E).
+
+This is the algorithm behind the ``dtl`` library the paper integrates (and
+behind GNU diff): edit distance restricted to insertions and deletions.
+``D = N + M - 2·LCS`` where P = D/2 - (M - N)/2 is typically small, giving
+O((N+M)·P) time. Reference: Wu, Manber, Myers & Miller, "An O(NP) sequence
+comparison algorithm", IPL 35(6), 1990.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+
+def onp_edit_distance(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Insert/delete edit distance between two sequences (diff distance)."""
+    # The algorithm requires len(a) <= len(b); swap is symmetric.
+    if len(a) > len(b):
+        a, b = b, a
+    n, m = len(a), len(b)
+    if n == 0:
+        return m
+    delta = m - n
+    offset = n + 1
+    size = n + m + 3
+    fp = [-1] * size
+
+    def snake(k: int, y: int) -> int:
+        x = y - k
+        while x < n and y < m and a[x] == b[y]:
+            x += 1
+            y += 1
+        return y
+
+    p = -1
+    while True:
+        p += 1
+        for k in range(-p, delta):
+            fp[k + offset] = snake(k, max(fp[k - 1 + offset] + 1, fp[k + 1 + offset]))
+        for k in range(delta + p, delta, -1):
+            fp[k + offset] = snake(k, max(fp[k - 1 + offset] + 1, fp[k + 1 + offset]))
+        fp[delta + offset] = snake(
+            delta, max(fp[delta - 1 + offset] + 1, fp[delta + 1 + offset])
+        )
+        if fp[delta + offset] >= m:
+            return delta + 2 * p
+
+
+def lcs_length(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Length of the longest common subsequence, via the O(NP) distance."""
+    d = onp_edit_distance(a, b)
+    return (len(a) + len(b) - d) // 2

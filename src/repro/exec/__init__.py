@@ -1,0 +1,23 @@
+"""MiniC++ AST interpreter (coverage substrate).
+
+The paper's coverage variant recompiles the application with coverage flags
+and runs it on a reduced problem; the resulting line profile masks the
+trees. We reproduce the *run* itself: an AST interpreter with serial
+semantics for every parallel construct (OpenMP regions run inline, CUDA
+grids iterate sequentially, SYCL/Kokkos/TBB/StdPar launchers invoke their
+lambdas in a loop), recording per-line hit counts that convert directly to
+a :class:`repro.trees.coverage_mask.LineMask`.
+"""
+
+from repro.exec.interpreter import Interpreter, ExecutionResult, run_program
+from repro.exec.values import Pointer, Buffer, Lambda, StructVal
+
+__all__ = [
+    "Interpreter",
+    "ExecutionResult",
+    "run_program",
+    "Pointer",
+    "Buffer",
+    "Lambda",
+    "StructVal",
+]

@@ -1,0 +1,764 @@
+"""The MiniC++ AST interpreter.
+
+Serial reference semantics for everything, including the parallel dialects:
+
+* ``#pragma omp …`` bodies run inline (master-thread semantics),
+* CUDA/HIP ``<<<grid, block>>>`` launches iterate the whole index space,
+* SYCL/Kokkos/TBB/StdPar launchers call their lambdas in a loop via the
+  intrinsics registry (:mod:`repro.exec.intrinsics`).
+
+Every executed statement (and every call/lambda entry) records its source
+line; :meth:`ExecutionResult.line_mask` converts the profile into the tree
+mask used by the ``+coverage`` metric variants.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.lang.cpp.astnodes import (
+    AssignExpr,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    ClassDecl,
+    CompoundStmt,
+    CondExpr,
+    ContinueStmt,
+    DeclStmt,
+    DeleteExpr,
+    DoStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDecl,
+    IdentExpr,
+    IfStmt,
+    InitListExpr,
+    KernelLaunchExpr,
+    LambdaExpr,
+    LiteralExpr,
+    MemberExpr,
+    NewExpr,
+    PragmaStmt,
+    ReturnStmt,
+    SizeofExpr,
+    Stmt,
+    SubscriptExpr,
+    ThisExpr,
+    TranslationUnit,
+    UnaryExpr,
+    VarDecl,
+    WhileStmt,
+)
+from repro.lang.cpp.sema import SemaResult
+from repro.trees.coverage_mask import LineMask
+from repro.util.errors import InterpreterError
+
+from repro.exec.values import Buffer, Cell, Environment, Lambda, Pointer, StructVal
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one interpreted run."""
+
+    value: Any
+    coverage: Counter  # (file, line) -> hits
+    stdout: list[str] = field(default_factory=list)
+    steps: int = 0
+
+    def line_mask(self) -> LineMask:
+        """Coverage profile as a tree mask (GCov-style line records)."""
+        per_file: dict[str, set[int]] = {}
+        for (f, line), _count in self.coverage.items():
+            per_file.setdefault(f, set()).add(line)
+        return LineMask(per_file, unknown_covered=False)
+
+    def hits(self, file: str, line: int) -> int:
+        return self.coverage.get((file, line), 0)
+
+
+class Interpreter:
+    """Interprets one analysed translation unit."""
+
+    #: execution fuel — guards accidental infinite loops in corpus code.
+    MAX_STEPS = 30_000_000
+
+    def __init__(self, tu: TranslationUnit, sema: SemaResult):
+        self.tu = tu
+        self.sema = sema
+        self.coverage: Counter = Counter()
+        self.stdout: list[str] = []
+        self.steps = 0
+        self.globals = Environment()
+        # late import: the registry needs Interpreter types
+        from repro.exec import intrinsics as _intr
+
+        self.intrinsics = _intr
+
+    # -- bookkeeping --------------------------------------------------------
+    def record(self, node) -> None:
+        span = getattr(node, "span", None)
+        if span is not None:
+            self.coverage[(span.file, span.line_start)] += 1
+        self.steps += 1
+        if self.steps > self.MAX_STEPS:
+            raise InterpreterError("execution fuel exhausted (possible infinite loop)")
+
+    # -- entry ---------------------------------------------------------------
+    def run(self, entry: str = "main", args: Optional[list[Any]] = None) -> ExecutionResult:
+        fn = self.sema.functions.get(entry)
+        if fn is None or fn.body is None:
+            raise InterpreterError(f"no definition for entry point {entry!r}")
+        # global variables (including namespace-nested ones from headers)
+        def define_globals(decls) -> None:
+            from repro.lang.cpp.astnodes import NamespaceDecl
+
+            for d in decls:
+                if isinstance(d, VarDecl):
+                    self.globals.define(
+                        d.name,
+                        self.eval_expr(d.init, self.globals) if d.init is not None else 0,
+                    )
+                elif isinstance(d, NamespaceDecl):
+                    define_globals(d.decls)
+
+        define_globals(self.tu.decls)
+        try:
+            value = self.call_function(fn, args or [])
+        except _Return as r:  # top-level return leaks only on misuse
+            value = r.value
+        return ExecutionResult(value, self.coverage, self.stdout, self.steps)
+
+    # -- functions ------------------------------------------------------------
+    def call_function(
+        self, fn: FunctionDecl, args: list[Any], this: Optional[StructVal] = None
+    ) -> Any:
+        if fn.body is None:
+            raise InterpreterError(f"call to undefined function {fn.name!r}")
+        env = Environment(self.globals)
+        self.record(fn)
+        for p, a in zip(fn.params, args):
+            if p.name:
+                if isinstance(a, Cell) and p.type is not None and p.type.is_ref:
+                    env.bind_cell(p.name, a)
+                else:
+                    # Cells passed to non-reference params are pointer-to-
+                    # scalar values (&x) and stay wrapped.
+                    env.define(p.name, a)
+        # defaulted trailing params
+        for p in fn.params[len(args) :]:
+            if p.name:
+                env.define(
+                    p.name, self.eval_expr(p.default, env) if p.default is not None else 0
+                )
+        if this is not None:
+            env.define("this", this)
+            for name, cell in this.fields.items():
+                env.bind_cell(name, cell)
+        try:
+            self.exec_stmt(fn.body, env)
+        except _Return as r:
+            return r.value
+        return None
+
+    def call_lambda(self, lam: Lambda, args: list[Any]) -> Any:
+        node: LambdaExpr = lam.node
+        env = Environment(lam.env)
+        for p, a in zip(node.params, args):
+            if p.name:
+                if isinstance(a, Cell) and p.type is not None and p.type.is_ref:
+                    env.bind_cell(p.name, a)
+                else:
+                    env.define(p.name, a)
+        try:
+            if node.body is not None:
+                self.exec_stmt(node.body, env)
+        except _Return as r:
+            return r.value
+        return None
+
+    def call_value(self, value: Any, args: list[Any]) -> Any:
+        """Invoke a callable runtime value (lambda, functor, function)."""
+        if isinstance(value, Lambda):
+            return self.call_lambda(value, args)
+        if isinstance(value, FunctionDecl):
+            return self.call_function(value, args)
+        if isinstance(value, StructVal):
+            # functor: operator()
+            cls = self._class_of(value)
+            if cls is not None:
+                for m in cls.methods:
+                    if m.is_operator and m.name == "operator()" and m.body is not None:
+                        return self.call_function(m, args, this=value)
+            hit = self.intrinsics.method(value.class_name, "operator()")
+            if hit is not None:
+                return hit(self, value, args)
+        if callable(value):
+            return value(*args)
+        raise InterpreterError(f"value is not callable: {value!r}")
+
+    def _class_of(self, v: StructVal) -> Optional[ClassDecl]:
+        cls = self.sema.classes.get(v.class_name)
+        if cls is not None:
+            return cls
+        short = v.class_name.rsplit("::", 1)[-1]
+        for q, c in self.sema.classes.items():
+            if q.rsplit("::", 1)[-1] == short:
+                return c
+        return None
+
+    # -- statements ---------------------------------------------------------------
+    def exec_stmt(self, s: Optional[Stmt], env: Environment) -> None:
+        if s is None:
+            return
+        self.record(s)
+        if isinstance(s, CompoundStmt):
+            inner = Environment(env)
+            for st in s.stmts:
+                self.exec_stmt(st, inner)
+        elif isinstance(s, ExprStmt):
+            if s.expr is not None:
+                self.eval_expr(s.expr, env)
+        elif isinstance(s, DeclStmt):
+            for v in s.decls:
+                self.exec_var(v, env)
+        elif isinstance(s, IfStmt):
+            if self.truthy(self.eval_expr(s.cond, env)):
+                self.exec_stmt(s.then, env)
+            elif s.other is not None:
+                self.exec_stmt(s.other, env)
+        elif isinstance(s, ForStmt):
+            inner = Environment(env)
+            self.exec_stmt(s.init, inner)
+            while s.cond is None or self.truthy(self.eval_expr(s.cond, inner)):
+                try:
+                    self.exec_stmt(s.body, inner)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if s.inc is not None:
+                    self.eval_expr(s.inc, inner)
+        elif isinstance(s, WhileStmt):
+            while self.truthy(self.eval_expr(s.cond, env)):
+                try:
+                    self.exec_stmt(s.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(s, DoStmt):
+            while True:
+                try:
+                    self.exec_stmt(s.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if not self.truthy(self.eval_expr(s.cond, env)):
+                    break
+        elif isinstance(s, ReturnStmt):
+            raise _Return(self.eval_expr(s.value, env) if s.value is not None else None)
+        elif isinstance(s, BreakStmt):
+            raise _Break()
+        elif isinstance(s, ContinueStmt):
+            raise _Continue()
+        elif isinstance(s, PragmaStmt):
+            # serial semantics: run the structured block on one thread
+            self.exec_stmt(s.body, env)
+
+    def exec_var(self, v: VarDecl, env: Environment) -> None:
+        self.record(v)
+        if v.init is not None:
+            env.define(v.name, self.eval_expr(v.init, env))
+            return
+        # C array declarator (T name[size]): the parser folds the size into
+        # the type's template_args and bumps pointer depth.
+        if (
+            v.type is not None
+            and v.type.pointer > 0
+            and v.type.template_args
+            and not isinstance(v.type.template_args[-1], type(v.type))
+        ):
+            size_expr = v.type.template_args[-1]
+            try:
+                n = int(self.eval_expr(size_expr, env))
+            except (InterpreterError, TypeError, ValueError):
+                n = 0
+            if n > 0:
+                env.define(v.name, Pointer(Buffer(n, label=v.name)))
+                return
+        if v.ctor_args is not None or (v.type is not None and self._is_class_type(v.type)):
+            args = [self.eval_expr(a, env) for a in (v.ctor_args or [])]
+            val = self.construct(v.type, args, v)
+            env.define(v.name, val)
+            return
+        env.define(v.name, 0)
+
+    def _is_class_type(self, ty) -> bool:
+        if ty is None or ty.pointer:
+            return False
+        name = ty.base_name
+        if self.intrinsics.ctor(name) is not None:
+            return True
+        return (
+            name in self.sema.classes
+            or name.rsplit("::", 1)[-1] in {q.rsplit("::", 1)[-1] for q in self.sema.classes}
+        ) and name not in ("int", "double", "float", "bool", "auto")
+
+    def construct(self, ty, args: list[Any], site) -> Any:
+        name = ty.base_name if ty is not None else "struct"
+        ctor = self.intrinsics.ctor(name)
+        if ctor is not None:
+            targs = [str(a) for a in (ty.template_args if ty is not None else [])]
+            return ctor(self, targs, args)
+        cls = self.sema.classes.get(name) or self._class_of(StructVal(name))
+        inst = StructVal(name)
+        if cls is not None:
+            for f in cls.fields:
+                init_val = 0
+                inst.fields[f.name] = Cell(init_val)
+            for m in cls.methods:
+                if m.is_ctor and m.body is not None and len(m.params) == len(args):
+                    self.call_function(m, args, this=inst)
+                    break
+        return inst
+
+    # -- expressions --------------------------------------------------------------
+    def truthy(self, v: Any) -> bool:
+        if isinstance(v, Pointer):
+            return True
+        return bool(v)
+
+    def eval_expr(self, e: Optional[Expr], env: Environment) -> Any:
+        if e is None:
+            return None
+        if isinstance(e, LiteralExpr):
+            return self._literal(e)
+        if isinstance(e, IdentExpr):
+            return self._ident(e, env)
+        if isinstance(e, BinaryExpr):
+            return self._binary(e, env)
+        if isinstance(e, AssignExpr):
+            return self._assign(e, env)
+        if isinstance(e, UnaryExpr):
+            return self._unary(e, env)
+        if isinstance(e, CondExpr):
+            if self.truthy(self.eval_expr(e.cond, env)):
+                return self.eval_expr(e.then, env)
+            return self.eval_expr(e.other, env)
+        if isinstance(e, CallExpr):
+            return self._call(e, env)
+        if isinstance(e, KernelLaunchExpr):
+            return self._launch(e, env)
+        if isinstance(e, MemberExpr):
+            return self._member(e, env)
+        if isinstance(e, SubscriptExpr):
+            base = self.eval_expr(e.base, env)
+            idx = self.eval_expr(e.index, env)
+            return self._load_index(base, idx)
+        if isinstance(e, LambdaExpr):
+            cap_env = env if "&" in (e.capture or "=") else env.snapshot()
+            this_cell = env.lookup("this")
+            return Lambda(e, cap_env, this_cell.value if this_cell else None)
+        if isinstance(e, CastExpr):
+            v = self.eval_expr(e.operand, env)
+            return self._cast(e, v)
+        if isinstance(e, NewExpr):
+            if e.array_size is not None:
+                n = int(self.eval_expr(e.array_size, env))
+                return Pointer(Buffer(n))
+            args = [self.eval_expr(a, env) for a in e.ctor_args]
+            return self.construct(e.type, args, e)
+        if isinstance(e, DeleteExpr):
+            self.eval_expr(e.operand, env)
+            return None
+        if isinstance(e, SizeofExpr):
+            return 8  # every scalar is a 64-bit slot in MiniC++
+        if isinstance(e, InitListExpr):
+            return [self.eval_expr(x, env) for x in e.items]
+        if isinstance(e, ThisExpr):
+            c = env.lookup("this")
+            return c.value if c else None
+        raise InterpreterError(f"cannot evaluate {type(e).__name__}")
+
+    def _literal(self, e: LiteralExpr) -> Any:
+        if e.kind == "int":
+            return int(e.value.rstrip("uUlL"), 0)
+        if e.kind == "float":
+            return float(e.value.rstrip("fFlL"))
+        if e.kind == "string":
+            return e.value[1:-1]
+        if e.kind == "char":
+            return e.value[1:-1]
+        if e.kind == "bool":
+            return e.value == "true"
+        return None  # nullptr
+
+    def _ident(self, e: IdentExpr, env: Environment) -> Any:
+        # Qualified names (std::execution::par_unseq, cudaMemcpyHostToDevice)
+        # prefer intrinsic constants over header placeholder globals.
+        if len(e.parts) > 1:
+            const = self.intrinsics.constant(e.name)
+            if const is not None:
+                return const
+        name = e.parts[-1]
+        c = env.lookup(name) or env.lookup(e.name)
+        if c is not None:
+            return c.value
+        const = self.intrinsics.constant(e.name)
+        if const is not None:
+            return const
+        fn = self.sema.functions.get(e.name)
+        if fn is None:
+            short = e.name.rsplit("::", 1)[-1]
+            fn = self.sema.functions.get(short)
+        if fn is not None and fn.body is not None:
+            return fn
+        raise InterpreterError(f"undefined identifier {e.name!r}")
+
+    _NUM_OPS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "%": lambda a, b: int(a) % int(b),
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<<": lambda a, b: int(a) << int(b),
+        ">>": lambda a, b: int(a) >> int(b),
+        "&": lambda a, b: int(a) & int(b),
+        "|": lambda a, b: int(a) | int(b),
+        "^": lambda a, b: int(a) ^ int(b),
+    }
+
+    def _binary(self, e: BinaryExpr, env: Environment) -> Any:
+        if e.op == "&&":
+            return self.truthy(self.eval_expr(e.lhs, env)) and self.truthy(
+                self.eval_expr(e.rhs, env)
+            )
+        if e.op == "||":
+            return self.truthy(self.eval_expr(e.lhs, env)) or self.truthy(
+                self.eval_expr(e.rhs, env)
+            )
+        if e.op == ",":
+            self.eval_expr(e.lhs, env)
+            return self.eval_expr(e.rhs, env)
+        a = self.eval_expr(e.lhs, env)
+        b = self.eval_expr(e.rhs, env)
+        if isinstance(a, Pointer) and e.op in ("+", "-"):
+            if isinstance(b, Pointer):
+                if e.op == "-":
+                    return a.offset - b.offset
+                raise InterpreterError("pointer + pointer")
+            return a.add(int(b) if e.op == "+" else -int(b))
+        if e.op == "/":
+            if isinstance(a, int) and isinstance(b, int):
+                return a // b if b else 0
+            return a / b if b else float("inf")
+        op = self._NUM_OPS.get(e.op)
+        if op is None:
+            raise InterpreterError(f"unsupported binary op {e.op!r}")
+        return op(a, b)
+
+    def _unary(self, e: UnaryExpr, env: Environment) -> Any:
+        if e.op == "&":
+            return self._lvalue_cell(e.operand, env)
+        if e.op == "*":
+            v = self.eval_expr(e.operand, env)
+            if isinstance(v, Pointer):
+                return v.load(0)
+            if isinstance(v, Cell):
+                return v.value
+            raise InterpreterError("dereference of non-pointer")
+        if e.op in ("++", "--"):
+            cell_or_slot = self._lvalue(e.operand, env)
+            cur = self._slot_load(cell_or_slot)
+            delta = 1 if e.op == "++" else -1
+            nxt = (cur.add(delta) if isinstance(cur, Pointer) else cur + delta)
+            self._slot_store(cell_or_slot, nxt)
+            return nxt if e.prefix else cur
+        v = self.eval_expr(e.operand, env)
+        if e.op == "-":
+            return -v
+        if e.op == "+":
+            return v
+        if e.op == "!":
+            return not self.truthy(v)
+        if e.op == "~":
+            return ~int(v)
+        raise InterpreterError(f"unsupported unary op {e.op!r}")
+
+    # -- lvalues -------------------------------------------------------------------
+    # An lvalue slot is ("cell", Cell) | ("ptr", Pointer, index) |
+    # ("struct", StructVal, field)
+    def _lvalue(self, e: Optional[Expr], env: Environment):
+        if isinstance(e, IdentExpr):
+            name = e.parts[-1]
+            c = env.lookup(name)
+            if c is None:
+                c = env.define(name, 0)
+            return ("cell", c)
+        if isinstance(e, SubscriptExpr):
+            base = self.eval_expr(e.base, env)
+            idx = self.eval_expr(e.index, env)
+            return self._index_slot(base, idx)
+        if isinstance(e, MemberExpr):
+            base = self.eval_expr(e.base, env)
+            if isinstance(base, StructVal):
+                return ("cell", base.field_cell(e.member))
+            raise InterpreterError(f"member store on non-struct: {e.member}")
+        if isinstance(e, UnaryExpr) and e.op == "*":
+            v = self.eval_expr(e.operand, env)
+            if isinstance(v, Pointer):
+                return ("ptr", v, 0)
+            if isinstance(v, Cell):
+                return ("cell", v)
+            raise InterpreterError("store through non-pointer")
+        if isinstance(e, CallExpr):
+            # functor element store: view(i) = x
+            base = self.eval_expr(e.callee, env)
+            idxs = [self.eval_expr(a, env) for a in e.args]
+            if isinstance(base, StructVal) and "ptr" in base.payload:
+                ptr: Pointer = base.payload["ptr"]
+                flat = self._flatten_index(base, idxs)
+                return ("ptr", ptr, flat)
+            raise InterpreterError("call expression is not assignable")
+        raise InterpreterError(f"not an lvalue: {type(e).__name__}")
+
+    def _index_slot(self, base: Any, idx: Any):
+        if isinstance(base, Pointer):
+            return ("ptr", base, int(idx))
+        if isinstance(base, StructVal):
+            if "ptr" in base.payload:
+                off = int(idx.payload.get("index", 0)) if isinstance(idx, StructVal) else int(idx)
+                return ("ptr", base.payload["ptr"], off)
+        if isinstance(base, list):
+            return ("list", base, int(idx))
+        raise InterpreterError(f"cannot index into {type(base).__name__}")
+
+    def _flatten_index(self, view: StructVal, idxs: list[Any]) -> int:
+        dims = view.payload.get("dims")
+        ints = [int(i) for i in idxs]
+        if not dims or len(ints) == 1:
+            return ints[0]
+        flat = 0
+        for d, i in zip(dims, ints):
+            flat = flat * d + i
+        return flat
+
+    def _slot_load(self, slot) -> Any:
+        kind = slot[0]
+        if kind == "cell":
+            return slot[1].value
+        if kind == "ptr":
+            return slot[1].load(slot[2])
+        if kind == "list":
+            return slot[1][slot[2]]
+        raise InterpreterError("bad slot")
+
+    def _slot_store(self, slot, value: Any) -> None:
+        kind = slot[0]
+        if kind == "cell":
+            slot[1].value = value
+        elif kind == "ptr":
+            slot[1].store(slot[2], value)
+        elif kind == "list":
+            slot[1][slot[2]] = value
+        else:
+            raise InterpreterError("bad slot")
+
+    def _lvalue_cell(self, e: Optional[Expr], env: Environment) -> Any:
+        """&expr — returns a Cell for scalars or a Pointer for elements."""
+        slot = self._lvalue(e, env)
+        if slot[0] == "cell":
+            return slot[1]
+        if slot[0] == "ptr":
+            return slot[1].add(slot[2])
+        raise InterpreterError("cannot take address")
+
+    def _assign(self, e: AssignExpr, env: Environment) -> Any:
+        slot = self._lvalue(e.lhs, env)
+        if e.op == "=":
+            val = self.eval_expr(e.rhs, env)
+        else:
+            cur = self._slot_load(slot)
+            rhs = self.eval_expr(e.rhs, env)
+            binop = BinaryExpr(op=e.op[:-1], span=e.span)
+            if isinstance(cur, Pointer) and e.op in ("+=", "-="):
+                val = cur.add(int(rhs) if e.op == "+=" else -int(rhs))
+            else:
+                fn = self._NUM_OPS.get(e.op[:-1])
+                if fn is None:
+                    if e.op[:-1] == "/":
+                        val = (cur // rhs) if isinstance(cur, int) and isinstance(rhs, int) else cur / rhs
+                    else:
+                        raise InterpreterError(f"unsupported compound op {e.op!r}")
+                else:
+                    val = fn(cur, rhs)
+        self._slot_store(slot, val)
+        return val
+
+    # -- member / call -----------------------------------------------------------------
+    def _member(self, e: MemberExpr, env: Environment) -> Any:
+        base = self.eval_expr(e.base, env)
+        if isinstance(base, StructVal):
+            if e.member in base.fields:
+                return base.fields[e.member].value
+            if e.member in base.payload:
+                return base.payload[e.member]
+            # zero-arg intrinsic property (e.g. threadIdx.x)
+            hit = self.intrinsics.member_value(base, e.member)
+            if hit is not None:
+                return hit
+            return base.field_cell(e.member).value
+        raise InterpreterError(f"member access on {type(base).__name__}: {e.member}")
+
+    def _call(self, e: CallExpr, env: Environment) -> Any:
+        self.record(e)
+        callee = e.callee
+        # method call?
+        if isinstance(callee, MemberExpr):
+            base = self.eval_expr(callee.base, env)
+            args = [self.eval_expr(a, env) for a in e.args]
+            if isinstance(base, StructVal):
+                hit = self.intrinsics.method(base.class_name, callee.member)
+                if hit is not None:
+                    return hit(self, base, args)
+                cls = self._class_of(base)
+                if cls is not None:
+                    for m in cls.methods:
+                        if m.name == callee.member and m.body is not None:
+                            return self.call_function(m, args, this=base)
+                raise InterpreterError(
+                    f"no method {callee.member!r} on {base.class_name}"
+                )
+            if isinstance(base, Lambda) and callee.member == "operator()":
+                return self.call_lambda(base, args)
+            raise InterpreterError(f"method call on non-struct {type(base).__name__}")
+        # free call
+        if isinstance(callee, IdentExpr):
+            name = callee.name
+            fn = self.sema.functions.get(name)
+            if fn is None:
+                short = name.rsplit("::", 1)[-1]
+                fn = self.sema.functions.get(short)
+            if fn is not None and fn.body is not None:
+                args = self._eval_args(fn, e.args, env)
+                return self.call_function(fn, args)
+            special = self.intrinsics.special(name)
+            if special is not None:
+                targs = [str(t) for t in e.template_args]
+                return special(self, env, targs, e.args)
+            intr = self.intrinsics.function(name)
+            if intr is not None:
+                targs = [str(t) for t in e.template_args]
+                args = [self.eval_expr(a, env) for a in e.args]
+                return intr(self, targs, args)
+            ctor = self.intrinsics.ctor(name)
+            if ctor is not None:
+                targs = [str(t) for t in e.template_args]
+                args = [self.eval_expr(a, env) for a in e.args]
+                return ctor(self, targs, args)
+            # user class constructor-expression: Foo(args)
+            if name in self.sema.classes or name.rsplit("::", 1)[-1] in {
+                q.rsplit("::", 1)[-1] for q in self.sema.classes
+            }:
+                from repro.lang.cpp.astnodes import TypeRef
+
+                args = [self.eval_expr(a, env) for a in e.args]
+                return self.construct(TypeRef(name=name.split("::")), args, e)
+            # local callable (lambda in a variable)
+            c = env.lookup(name.rsplit("::", 1)[-1])
+            if c is not None:
+                return self.call_value(c.value, [self.eval_expr(a, env) for a in e.args])
+            raise InterpreterError(f"call to unknown function {name!r}")
+        # computed callee
+        target = self.eval_expr(callee, env)
+        args = [self.eval_expr(a, env) for a in e.args]
+        return self.call_value(target, args)
+
+    def _eval_args(self, fn: FunctionDecl, arg_exprs: list[Expr], env: Environment) -> list[Any]:
+        """Evaluate args, passing Cells for reference parameters."""
+        out: list[Any] = []
+        for p, a in zip(fn.params, arg_exprs):
+            if p.type is not None and p.type.is_ref and not p.type.is_const:
+                try:
+                    out.append(self._lvalue_cell(a, env))
+                    continue
+                except InterpreterError:
+                    pass
+            out.append(self.eval_expr(a, env))
+        for a in arg_exprs[len(fn.params) :]:
+            out.append(self.eval_expr(a, env))
+        return out
+
+    def _launch(self, e: KernelLaunchExpr, env: Environment) -> Any:
+        self.record(e)
+        grid = int(self.eval_expr(e.config[0], env)) if e.config else 1
+        block = int(self.eval_expr(e.config[1], env)) if len(e.config) > 1 else 1
+        name = e.callee.name if isinstance(e.callee, IdentExpr) else ""
+        fn = self.sema.functions.get(name) or self.sema.functions.get(
+            name.rsplit("::", 1)[-1]
+        )
+        if fn is None or fn.body is None:
+            raise InterpreterError(f"launch of unknown kernel {name!r}")
+        args = [self.eval_expr(a, env) for a in e.args]
+        for b in range(grid):
+            for t in range(block):
+                kenv = Environment(self.globals)
+                kenv.define("blockIdx", StructVal("dim3", {"x": Cell(b), "y": Cell(0), "z": Cell(0)}))
+                kenv.define("threadIdx", StructVal("dim3", {"x": Cell(t), "y": Cell(0), "z": Cell(0)}))
+                kenv.define("blockDim", StructVal("dim3", {"x": Cell(block), "y": Cell(1), "z": Cell(1)}))
+                kenv.define("gridDim", StructVal("dim3", {"x": Cell(grid), "y": Cell(1), "z": Cell(1)}))
+                saved = self.globals
+                self.globals = kenv
+                try:
+                    self.call_function(fn, args)
+                finally:
+                    self.globals = saved
+        return None
+
+    def _load_index(self, base: Any, idx: Any) -> Any:
+        slot = self._index_slot(base, idx)
+        return self._slot_load(slot)
+
+    def _cast(self, e: CastExpr, v: Any) -> Any:
+        tname = e.type.base_name if e.type is not None else ""
+        if tname in ("int", "long", "unsigned", "unsigned int", "long long", "size_t"):
+            return int(v)
+        if tname in ("double", "float"):
+            return float(v)
+        if tname == "bool":
+            return bool(v)
+        return v
+
+
+def run_program(
+    tu: TranslationUnit,
+    sema: SemaResult,
+    entry: str = "main",
+    args: Optional[list[Any]] = None,
+) -> ExecutionResult:
+    """Interpret ``entry`` (default ``main``) and return the result/profile."""
+    return Interpreter(tu, sema).run(entry, args)

@@ -1,0 +1,120 @@
+"""Runtime value representations for the MiniC++ interpreter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Cell:
+    """A mutable variable slot. Reference captures/aliases share cells."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = 0):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Cell({self.value!r})"
+
+
+class Buffer:
+    """Backing storage for ``new[]`` / device allocations."""
+
+    __slots__ = ("data", "label")
+
+    def __init__(self, size: int, fill: float = 0.0, label: str = ""):
+        self.data = [fill] * size
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.label or len(self.data)})"
+
+
+class Pointer:
+    """A (buffer, offset) pair supporting arithmetic and indexing."""
+
+    __slots__ = ("buffer", "offset")
+
+    def __init__(self, buffer: Buffer, offset: int = 0):
+        self.buffer = buffer
+        self.offset = offset
+
+    def load(self, index: int = 0) -> Any:
+        return self.buffer.data[self.offset + index]
+
+    def store(self, index: int, value: Any) -> None:
+        self.buffer.data[self.offset + index] = value
+
+    def add(self, n: int) -> "Pointer":
+        return Pointer(self.buffer, self.offset + int(n))
+
+    def __repr__(self) -> str:
+        return f"Pointer({self.buffer!r}+{self.offset})"
+
+
+@dataclass
+class Lambda:
+    """A closure: the AST lambda plus its captured environment."""
+
+    node: Any  # LambdaExpr
+    env: Any  # Environment at capture time (shared for [&], copied for [=])
+    this: Optional["StructVal"] = None
+
+
+@dataclass
+class StructVal:
+    """An instance of a user-defined (or intrinsic) class."""
+
+    class_name: str
+    fields: dict[str, Cell] = field(default_factory=dict)
+    #: intrinsic payload (e.g. the range size of a sycl::range)
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def field_cell(self, name: str) -> Cell:
+        if name not in self.fields:
+            self.fields[name] = Cell(0)
+        return self.fields[name]
+
+
+class Environment:
+    """Lexically chained scopes of name → Cell."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["Environment"] = None):
+        self.vars: dict[str, Cell] = {}
+        self.parent = parent
+
+    def define(self, name: str, value: Any) -> Cell:
+        c = Cell(value)
+        self.vars[name] = c
+        return c
+
+    def bind_cell(self, name: str, cell: Cell) -> None:
+        self.vars[name] = cell
+
+    def lookup(self, name: str) -> Optional[Cell]:
+        env: Optional[Environment] = self
+        while env is not None:
+            c = env.vars.get(name)
+            if c is not None:
+                return c
+            env = env.parent
+        return None
+
+    def snapshot(self) -> "Environment":
+        """Flattened by-value copy (for ``[=]`` captures)."""
+        flat = Environment()
+        seen: set[str] = set()
+        env: Optional[Environment] = self
+        while env is not None:
+            for k, c in env.vars.items():
+                if k not in seen:
+                    flat.vars[k] = Cell(c.value)
+                    seen.add(k)
+            env = env.parent
+        return flat

@@ -1,0 +1,10 @@
+"""Language substrates: MiniC++ and MiniFortran frontends.
+
+The paper extracts semantic-bearing trees via Clang/GCC plugins and
+tree-sitter. Offline, we implement the frontends themselves: full lexers
+(trivia-preserving, for CSTs and SLOC), a C preprocessor, recursive-descent
+parsers, and semantic analysis that models the behaviours the paper's
+findings hinge on (OpenMP pragmas becoming first-class semantic AST tokens,
+template expansion inflating ``T_sem`` for library-based models, CUDA/HIP
+dialect nodes, Fortran directives living in comments).
+"""

@@ -1,0 +1,382 @@
+"""MiniC++ abstract syntax tree node definitions.
+
+Modelled after ClangAST at the granularity TBMD needs: declarations,
+statements and expressions, with dialect nodes for OpenMP/OpenACC pragmas
+(first-class ``PragmaStmt``/``PragmaDecl``) and CUDA/HIP kernel launches.
+Every node records its source span for coverage masking and dependency
+closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.trees.node import SourceSpan
+
+
+@dataclass
+class AstNode:
+    """Base: every node carries a span (None for synthesised nodes)."""
+
+    span: Optional[SourceSpan] = field(default=None, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeRef(AstNode):
+    """A (possibly qualified, possibly templated) type reference.
+
+    ``name`` holds the qualified name parts, e.g. ``["sycl", "range"]``;
+    ``template_args`` holds nested :class:`TypeRef` or :class:`Expr`
+    arguments; ``pointer`` counts ``*``; ``is_ref``/``is_const`` record
+    ``&``/``const``.
+    """
+
+    name: list[str] = field(default_factory=list)
+    template_args: list[Union["TypeRef", "Expr"]] = field(default_factory=list)
+    pointer: int = 0
+    is_ref: bool = False
+    is_const: bool = False
+
+    @property
+    def base_name(self) -> str:
+        return "::".join(self.name)
+
+    def __str__(self) -> str:
+        s = ("const " if self.is_const else "") + self.base_name
+        if self.template_args:
+            s += "<" + ", ".join(str(a) for a in self.template_args) + ">"
+        s += "*" * self.pointer + ("&" if self.is_ref else "")
+        return s
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(AstNode):
+    pass
+
+
+@dataclass
+class IdentExpr(Expr):
+    """Possibly-qualified name use: ``x``, ``std::execution::par_unseq``."""
+
+    parts: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return "::".join(self.parts)
+
+
+@dataclass
+class LiteralExpr(Expr):
+    kind: str = "int"  # int | float | string | char | bool | nullptr
+    value: str = ""
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = "+"
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = "-"
+    operand: Optional[Expr] = None
+    prefix: bool = True
+
+
+@dataclass
+class AssignExpr(Expr):
+    op: str = "="  # =, +=, -=, ...
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class CondExpr(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    other: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: Optional[Expr] = None
+    args: list[Expr] = field(default_factory=list)
+    template_args: list[Union[TypeRef, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class KernelLaunchExpr(Expr):
+    """CUDA/HIP triple-chevron launch: ``k<<<grid, block>>>(args)``."""
+
+    callee: Optional[Expr] = None
+    config: list[Expr] = field(default_factory=list)
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class MemberExpr(Expr):
+    base: Optional[Expr] = None
+    member: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class SubscriptExpr(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class LambdaExpr(Expr):
+    """``[capture](params) { body }`` — the workhorse of library models."""
+
+    capture: str = "="  # "=", "&", "", or explicit list text
+    params: list["ParamDecl"] = field(default_factory=list)
+    body: Optional["CompoundStmt"] = None
+
+
+@dataclass
+class CastExpr(Expr):
+    type: Optional[TypeRef] = None
+    operand: Optional[Expr] = None
+    kind: str = "c"  # c | static | reinterpret
+
+
+@dataclass
+class NewExpr(Expr):
+    type: Optional[TypeRef] = None
+    array_size: Optional[Expr] = None
+    ctor_args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class DeleteExpr(Expr):
+    operand: Optional[Expr] = None
+    is_array: bool = False
+
+
+@dataclass
+class SizeofExpr(Expr):
+    type: Optional[TypeRef] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class InitListExpr(Expr):
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ThisExpr(Expr):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(AstNode):
+    pass
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list["VarDecl"] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None  # DeclStmt or ExprStmt
+    cond: Optional[Expr] = None
+    inc: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoStmt(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class PragmaClause(AstNode):
+    """One clause of a retained pragma, e.g. ``reduction(+ : sum)``."""
+
+    name: str = ""
+    arguments: list[str] = field(default_factory=list)
+
+
+@dataclass
+class PragmaStmt(Stmt):
+    """A retained ``#pragma omp``/``acc`` directive as a semantic AST token.
+
+    This is the behaviour §V-C of the paper highlights: directives carry
+    semantics "above the laws of the host language", so they live in the
+    AST (and hence in ``T_sem``) rather than vanishing as trivia.
+    """
+
+    family: str = "omp"  # omp | acc
+    directives: list[str] = field(default_factory=list)  # e.g. ["target","teams","distribute"]
+    clauses: list[PragmaClause] = field(default_factory=list)
+    body: Optional[Stmt] = None  # attached structured block, when applicable
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(AstNode):
+    pass
+
+
+@dataclass
+class ParamDecl(Decl):
+    name: str = ""
+    type: Optional[TypeRef] = None
+    #: Default argument — "non-visible but semantic-bearing" (§V-A): SYCL's
+    #: defaulted template/call parameters inflate T_sem without appearing
+    #: at call sites.
+    default: Optional[Expr] = None
+
+
+@dataclass
+class VarDecl(Decl):
+    name: str = ""
+    type: Optional[TypeRef] = None
+    init: Optional[Expr] = None
+    ctor_args: Optional[list[Expr]] = None  # T x(a, b);
+    is_static: bool = False
+
+
+@dataclass
+class FieldDecl(Decl):
+    name: str = ""
+    type: Optional[TypeRef] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class TemplateParam(Decl):
+    kind: str = "type"  # type | nontype
+    name: str = ""
+    value_type: Optional[TypeRef] = None  # for nontype params
+
+
+@dataclass
+class FunctionDecl(Decl):
+    name: str = ""
+    ret: Optional[TypeRef] = None
+    params: list[ParamDecl] = field(default_factory=list)
+    body: Optional[CompoundStmt] = None
+    attrs: list[str] = field(default_factory=list)  # __global__, __device__, inline, static...
+    template_params: list[TemplateParam] = field(default_factory=list)
+    is_method: bool = False
+    is_ctor: bool = False
+    is_operator: bool = False
+    qualifiers: list[str] = field(default_factory=list)  # const etc.
+
+    @property
+    def is_kernel(self) -> bool:
+        """True for CUDA/HIP ``__global__`` device entry points."""
+        return "__global__" in self.attrs
+
+
+@dataclass
+class ClassDecl(Decl):
+    name: str = ""
+    kind: str = "class"  # class | struct
+    bases: list[TypeRef] = field(default_factory=list)
+    fields: list[FieldDecl] = field(default_factory=list)
+    methods: list[FunctionDecl] = field(default_factory=list)
+    template_params: list[TemplateParam] = field(default_factory=list)
+
+
+@dataclass
+class NamespaceDecl(Decl):
+    name: str = ""
+    decls: list[Decl] = field(default_factory=list)
+
+
+@dataclass
+class UsingDecl(Decl):
+    text: str = ""
+    alias: str = ""
+    target: Optional[TypeRef] = None
+
+
+@dataclass
+class TypedefDecl(Decl):
+    name: str = ""
+    type: Optional[TypeRef] = None
+
+
+@dataclass
+class PragmaDecl(Decl):
+    """A retained pragma at file scope."""
+
+    family: str = "omp"
+    directives: list[str] = field(default_factory=list)
+    clauses: list[PragmaClause] = field(default_factory=list)
+
+
+@dataclass
+class TranslationUnit(AstNode):
+    """Root of a parsed unit (main file + its preprocessed includes)."""
+
+    path: str = "<memory>"
+    decls: list[Decl] = field(default_factory=list)

@@ -1,0 +1,244 @@
+"""MiniC++ lexer.
+
+Produces the *complete* token stream including trivia (whitespace and
+comments) so the same lexer feeds four consumers with different needs:
+
+* the pre/post-preprocessor CSTs (``T_src`` wants comments and control
+  tokens identified so normalisation can strip them),
+* SLOC/LLOC counting (Nguyen-style whitespace/comment normalisation),
+* the preprocessor (line structure matters for directives), and
+* the parser (skips trivia).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.util.errors import ParseError
+
+
+class TokenType(Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int-lit"
+    FLOAT = "float-lit"
+    STRING = "str-lit"
+    CHAR = "char-lit"
+    PUNCT = "punct"
+    DIRECTIVE = "directive"  # a whole preprocessor line, tokenized lazily
+    COMMENT = "comment"
+    WHITESPACE = "ws"
+    NEWLINE = "nl"
+    EOF = "eof"
+
+
+#: C++ keywords recognised by MiniC++ (subset + dialect extensions).
+KEYWORDS = frozenset(
+    """
+    auto bool break case char class const constexpr continue default delete
+    do double else enum extern false float for if inline int long namespace
+    new nullptr operator private public return short signed sizeof static
+    struct switch template this true typedef typename union unsigned using
+    void volatile while
+    __global__ __device__ __host__ __shared__ __restrict__
+    """.split()
+)
+
+#: Multi-character punctuators, longest-match-first.
+_PUNCTS = [
+    "<<<", ">>>",
+    "<<=", ">>=", "...", "->*", "::",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", ".", "#",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its original source location."""
+
+    type: TokenType
+    text: str
+    file: str
+    line: int
+    col: int
+
+    @property
+    def is_trivia(self) -> bool:
+        return self.type in (TokenType.WHITESPACE, TokenType.NEWLINE, TokenType.COMMENT)
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.text!r}, {self.file}:{self.line})"
+
+
+def lex(text: str, file: str = "<memory>") -> list[Token]:
+    """Tokenise MiniC++ source; raises :class:`ParseError` on bad input."""
+    return list(_lex_iter(text, file))
+
+
+def _lex_iter(text: str, file: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    line = 1
+    col = 1
+    at_line_start = True
+
+    def make(tt: TokenType, s: str, l: int, c: int) -> Token:
+        return Token(tt, s, file, l, c)
+
+    while i < n:
+        ch = text[i]
+        start_line, start_col = line, col
+
+        # newline
+        if ch == "\n":
+            yield make(TokenType.NEWLINE, "\n", line, col)
+            i += 1
+            line += 1
+            col = 1
+            at_line_start = True
+            continue
+
+        # horizontal whitespace
+        if ch in " \t\r":
+            j = i
+            while j < n and text[j] in " \t\r":
+                j += 1
+            yield make(TokenType.WHITESPACE, text[i:j], start_line, start_col)
+            col += j - i
+            i = j
+            continue
+
+        # preprocessor directive: '#' first non-ws on the line; consume the
+        # whole (possibly continued) line as one DIRECTIVE token.
+        if ch == "#" and at_line_start:
+            j = i
+            while j < n:
+                if text[j] == "\\" and j + 1 < n and text[j + 1] == "\n":
+                    j += 2
+                    line += 1
+                    continue
+                if text[j] == "\n":
+                    break
+                j += 1
+            raw = text[i:j]
+            yield make(TokenType.DIRECTIVE, raw, start_line, start_col)
+            col = 1  # continuation handling resets precision; directives end lines
+            i = j
+            at_line_start = False
+            continue
+
+        at_line_start = False
+
+        # comments
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            yield make(TokenType.COMMENT, text[i:j], start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                raise ParseError("unterminated block comment", file, start_line, start_col)
+            j += 2
+            segment = text[i:j]
+            yield make(TokenType.COMMENT, segment, start_line, start_col)
+            nl = segment.count("\n")
+            if nl:
+                line += nl
+                col = len(segment) - segment.rfind("\n")
+            else:
+                col += len(segment)
+            i = j
+            continue
+
+        # string / char literals
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                if j < n and text[j] == "\n":
+                    raise ParseError("unterminated literal", file, start_line, start_col)
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated literal", file, start_line, start_col)
+            j += 1
+            tt = TokenType.STRING if quote == '"' else TokenType.CHAR
+            yield make(tt, text[i:j], start_line, start_col)
+            col += j - i
+            i = j
+            continue
+
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if text[j : j + 2].lower() == "0x":
+                j += 2
+                while j < n and (text[j].isalnum()):
+                    j += 1
+            else:
+                while j < n and text[j].isdigit():
+                    j += 1
+                if j < n and text[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and text[j].isdigit():
+                        j += 1
+                if j < n and text[j] in "eE":
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k].isdigit():
+                        is_float = True
+                        j = k
+                        while j < n and text[j].isdigit():
+                            j += 1
+                # suffixes
+                while j < n and text[j] in "fFlLuU":
+                    if text[j] in "fF":
+                        is_float = True
+                    j += 1
+            tt = TokenType.FLOAT if is_float else TokenType.INT
+            yield make(tt, text[i:j], start_line, start_col)
+            col += j - i
+            i = j
+            continue
+
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            tt = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            yield make(tt, word, start_line, start_col)
+            col += j - i
+            i = j
+            continue
+
+        # punctuation (longest match first)
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                yield make(TokenType.PUNCT, p, start_line, start_col)
+                col += len(p)
+                i += len(p)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", file, start_line, start_col)
+
+    yield Token(TokenType.EOF, "", file, line, col)
+
+
+def significant(tokens: list[Token]) -> list[Token]:
+    """Strip trivia (whitespace/comments/newlines) for the parser."""
+    return [t for t in tokens if not t.is_trivia and t.type is not TokenType.EOF]

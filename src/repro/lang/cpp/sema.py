@@ -1,0 +1,398 @@
+"""MiniC++ semantic analysis.
+
+Resolves names to declarations across the whole translation unit (including
+decls that arrived from headers via preprocessing), propagates variable
+types far enough to resolve method calls, and records *template
+instantiations* at call sites.
+
+The instantiation record is the mechanism behind a key paper finding: "the
+core SYCL API surface is heavily templated with non-visible but
+semantic-bearing elements such as default values of parameters or even
+templates" (§V-A) — every call into a templated API contributes an
+instantiation subtree to ``T_sem``, so library-based models diverge more
+semantically than they look in source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.lang.cpp.astnodes import (
+    AssignExpr,
+    BinaryExpr,
+    CallExpr,
+    CastExpr,
+    ClassDecl,
+    CompoundStmt,
+    CondExpr,
+    Decl,
+    DeclStmt,
+    DeleteExpr,
+    DoStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDecl,
+    IdentExpr,
+    IfStmt,
+    InitListExpr,
+    KernelLaunchExpr,
+    LambdaExpr,
+    MemberExpr,
+    NamespaceDecl,
+    NewExpr,
+    PragmaStmt,
+    ReturnStmt,
+    SizeofExpr,
+    Stmt,
+    SubscriptExpr,
+    TranslationUnit,
+    TypeRef,
+    UnaryExpr,
+    VarDecl,
+    WhileStmt,
+)
+from repro.lang.source import is_system_path
+
+
+@dataclass
+class Instantiation:
+    """One template instantiation observed at a call site."""
+
+    callee: str  # qualified function/method name
+    template_args: list[str]  # stringified
+    arg_types: list[str]
+    site_file: str
+    site_line: int
+    decl: Optional[FunctionDecl] = None
+
+
+@dataclass
+class SemaResult:
+    """Symbol tables and derived facts for one translation unit."""
+
+    tu: TranslationUnit
+    functions: dict[str, FunctionDecl] = field(default_factory=dict)
+    classes: dict[str, ClassDecl] = field(default_factory=dict)
+    instantiations: list[Instantiation] = field(default_factory=list)
+    #: call-graph edges (caller qualified name -> callee qualified name)
+    calls: list[tuple[str, str]] = field(default_factory=list)
+    #: resolution map: id(CallExpr) -> (qualified name, decl, is_system)
+    resolved: dict[int, tuple[str, Optional[FunctionDecl], bool]] = field(default_factory=dict)
+    #: constructor-expression resolution: id(CallExpr) -> (qname, ClassDecl)
+    ctor_resolved: dict[int, tuple[str, ClassDecl]] = field(default_factory=dict)
+    diagnostics: list[str] = field(default_factory=list)
+
+    def function_bodies(self) -> dict[str, FunctionDecl]:
+        """Functions that have definitions (used by inlining and coverage)."""
+        return {k: v for k, v in self.functions.items() if v.body is not None}
+
+
+class _Scope:
+    """Lexical scope chain mapping variable name -> TypeRef."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.vars: dict[str, TypeRef] = {}
+
+    def define(self, name: str, ty: Optional[TypeRef]) -> None:
+        if name and ty is not None:
+            self.vars[name] = ty
+
+    def lookup(self, name: str) -> Optional[TypeRef]:
+        s: Optional[_Scope] = self
+        while s is not None:
+            if name in s.vars:
+                return s.vars[name]
+            s = s.parent
+        return None
+
+
+def analyze(tu: TranslationUnit) -> SemaResult:
+    """Run semantic analysis over a parsed translation unit."""
+    res = SemaResult(tu)
+    _collect(tu.decls, "", res)
+    an = _Analyzer(res)
+    for qname, fn in list(res.functions.items()):
+        if fn.body is not None:
+            an.visit_function(qname, fn)
+    for cname, cls in res.classes.items():
+        for m in cls.methods:
+            if m.body is not None:
+                an.visit_function(f"{cname}::{m.name}", m, owner=cls)
+    return res
+
+
+def _collect(decls: list[Decl], prefix: str, res: SemaResult) -> None:
+    for d in decls:
+        if isinstance(d, NamespaceDecl):
+            sub = f"{prefix}{d.name}::" if d.name else prefix
+            _collect(d.decls, sub, res)
+        elif isinstance(d, FunctionDecl):
+            q = prefix + d.name
+            existing = res.functions.get(q)
+            # A definition wins over a forward declaration.
+            if existing is None or (existing.body is None and d.body is not None):
+                res.functions[q] = d
+        elif isinstance(d, ClassDecl):
+            res.classes[prefix + d.name] = d
+
+
+def _decl_is_system(d: Optional[Decl]) -> bool:
+    return d is not None and d.span is not None and is_system_path(d.span.file)
+
+
+class _Analyzer:
+    def __init__(self, res: SemaResult):
+        self.res = res
+        # unqualified-name index for lookup fallbacks
+        self.fn_short: dict[str, str] = {}
+        for q in res.functions:
+            short = q.rsplit("::", 1)[-1]
+            self.fn_short.setdefault(short, q)
+        self.cls_short: dict[str, str] = {}
+        for q in res.classes:
+            short = q.rsplit("::", 1)[-1]
+            self.cls_short.setdefault(short, q)
+
+    # -- lookup helpers -----------------------------------------------------
+    def find_function(self, name: str) -> Optional[tuple[str, FunctionDecl]]:
+        if name in self.res.functions:
+            return name, self.res.functions[name]
+        if name in self.fn_short:
+            q = self.fn_short[name]
+            return q, self.res.functions[q]
+        return None
+
+    def find_class(self, name: str) -> Optional[tuple[str, ClassDecl]]:
+        if name in self.res.classes:
+            return name, self.res.classes[name]
+        short = name.rsplit("::", 1)[-1]
+        if short in self.cls_short:
+            q = self.cls_short[short]
+            return q, self.res.classes[q]
+        return None
+
+    def find_method(self, class_name: str, method: str) -> Optional[tuple[str, FunctionDecl]]:
+        hit = self.find_class(class_name)
+        if hit is None:
+            return None
+        cname, cls = hit
+        for m in cls.methods:
+            if m.name == method:
+                return f"{cname}::{method}", m
+        # single level of base-class lookup
+        for b in cls.bases:
+            base_hit = self.find_method(b.base_name, method)
+            if base_hit is not None:
+                return base_hit
+        return None
+
+    # -- traversal ------------------------------------------------------------
+    def visit_function(self, qname: str, fn: FunctionDecl, owner: Optional[ClassDecl] = None) -> None:
+        scope = _Scope()
+        for p in fn.params:
+            scope.define(p.name, p.type)
+        if owner is not None:
+            for f in owner.fields:
+                scope.define(f.name, f.type)
+        if fn.body is not None:
+            self.visit_stmt(fn.body, scope, qname)
+
+    def visit_stmt(self, s: Optional[Stmt], scope: _Scope, caller: str) -> None:
+        if s is None:
+            return
+        if isinstance(s, CompoundStmt):
+            inner = _Scope(scope)
+            for st in s.stmts:
+                self.visit_stmt(st, inner, caller)
+        elif isinstance(s, DeclStmt):
+            for v in s.decls:
+                self.visit_var(v, scope, caller)
+        elif isinstance(s, ExprStmt):
+            self.visit_expr(s.expr, scope, caller)
+        elif isinstance(s, IfStmt):
+            self.visit_expr(s.cond, scope, caller)
+            self.visit_stmt(s.then, scope, caller)
+            self.visit_stmt(s.other, scope, caller)
+        elif isinstance(s, ForStmt):
+            inner = _Scope(scope)
+            self.visit_stmt(s.init, inner, caller)
+            self.visit_expr(s.cond, inner, caller)
+            self.visit_expr(s.inc, inner, caller)
+            self.visit_stmt(s.body, inner, caller)
+        elif isinstance(s, WhileStmt):
+            self.visit_expr(s.cond, scope, caller)
+            self.visit_stmt(s.body, scope, caller)
+        elif isinstance(s, DoStmt):
+            self.visit_stmt(s.body, scope, caller)
+            self.visit_expr(s.cond, scope, caller)
+        elif isinstance(s, ReturnStmt):
+            self.visit_expr(s.value, scope, caller)
+        elif isinstance(s, PragmaStmt):
+            self.visit_stmt(s.body, scope, caller)
+        # break/continue: nothing to do
+
+    def visit_var(self, v: VarDecl, scope: _Scope, caller: str) -> None:
+        scope.define(v.name, v.type)
+        if v.init is not None:
+            self.visit_expr(v.init, scope, caller)
+        for a in v.ctor_args or []:
+            self.visit_expr(a, scope, caller)
+        # constructing a templated class instantiates it
+        if v.type is not None and v.type.template_args:
+            hit = self.find_class(v.type.base_name)
+            if hit is not None and _decl_is_system(hit[1]):
+                self.res.instantiations.append(
+                    Instantiation(
+                        callee=hit[0],
+                        template_args=[str(a) for a in v.type.template_args],
+                        arg_types=[],
+                        site_file=v.span.file if v.span else "?",
+                        site_line=v.span.line_start if v.span else 0,
+                    )
+                )
+
+    # -- expressions -----------------------------------------------------------
+    def visit_expr(self, e: Optional[Expr], scope: _Scope, caller: str) -> None:
+        if e is None:
+            return
+        if isinstance(e, (BinaryExpr, AssignExpr)):
+            self.visit_expr(e.lhs, scope, caller)
+            self.visit_expr(e.rhs, scope, caller)
+        elif isinstance(e, UnaryExpr):
+            self.visit_expr(e.operand, scope, caller)
+        elif isinstance(e, CondExpr):
+            self.visit_expr(e.cond, scope, caller)
+            self.visit_expr(e.then, scope, caller)
+            self.visit_expr(e.other, scope, caller)
+        elif isinstance(e, CallExpr):
+            self.visit_call(e, scope, caller)
+        elif isinstance(e, KernelLaunchExpr):
+            for c in e.config:
+                self.visit_expr(c, scope, caller)
+            for a in e.args:
+                self.visit_expr(a, scope, caller)
+            if isinstance(e.callee, IdentExpr):
+                hit = self.find_function(e.callee.name)
+                if hit is not None:
+                    self.res.resolved[id(e)] = (hit[0], hit[1], _decl_is_system(hit[1]))
+                    self.res.calls.append((caller, hit[0]))
+        elif isinstance(e, MemberExpr):
+            self.visit_expr(e.base, scope, caller)
+        elif isinstance(e, SubscriptExpr):
+            self.visit_expr(e.base, scope, caller)
+            self.visit_expr(e.index, scope, caller)
+        elif isinstance(e, LambdaExpr):
+            inner = _Scope(scope)
+            for p in e.params:
+                inner.define(p.name, p.type)
+            self.visit_stmt(e.body, inner, caller)
+        elif isinstance(e, CastExpr):
+            self.visit_expr(e.operand, scope, caller)
+        elif isinstance(e, (NewExpr,)):
+            self.visit_expr(e.array_size, scope, caller)
+            for a in e.ctor_args:
+                self.visit_expr(a, scope, caller)
+        elif isinstance(e, DeleteExpr):
+            self.visit_expr(e.operand, scope, caller)
+        elif isinstance(e, SizeofExpr):
+            self.visit_expr(e.operand, scope, caller)
+        elif isinstance(e, InitListExpr):
+            for item in e.items:
+                self.visit_expr(item, scope, caller)
+        # Ident/Literal/This: leaves
+
+    def visit_call(self, e: CallExpr, scope: _Scope, caller: str) -> None:
+        for a in e.args:
+            self.visit_expr(a, scope, caller)
+        qname: Optional[str] = None
+        decl: Optional[FunctionDecl] = None
+
+        callee = e.callee
+        if isinstance(callee, IdentExpr):
+            hit = self.find_function(callee.name)
+            if hit is not None:
+                qname, decl = hit
+            else:
+                # constructor expression: range<1>(n), dim3(64), plus<T>()
+                chit = self.find_class(callee.name)
+                if chit is not None:
+                    cq, cls = chit
+                    self.res.ctor_resolved[id(e)] = (cq, cls)
+                    if cls.template_params and _decl_is_system(cls):
+                        self.res.instantiations.append(
+                            Instantiation(
+                                callee=cq,
+                                template_args=[str(a) for a in e.template_args],
+                                arg_types=[],
+                                site_file=e.span.file if e.span else "?",
+                                site_line=e.span.line_start if e.span else 0,
+                            )
+                        )
+        elif isinstance(callee, MemberExpr):
+            self.visit_expr(callee.base, scope, caller)
+            base_ty = self.infer_type(callee.base, scope)
+            if base_ty is not None:
+                mhit = self.find_method(base_ty.base_name, callee.member)
+                if mhit is not None:
+                    qname, decl = mhit
+        if qname is not None:
+            is_sys = _decl_is_system(decl)
+            self.res.resolved[id(e)] = (qname, decl, is_sys)
+            self.res.calls.append((caller, qname))
+            if decl is not None and decl.template_params:
+                self.res.instantiations.append(
+                    Instantiation(
+                        callee=qname,
+                        template_args=[str(a) for a in e.template_args],
+                        arg_types=[str(self.infer_type(a, scope) or "?") for a in e.args],
+                        site_file=e.span.file if e.span else "?",
+                        site_line=e.span.line_start if e.span else 0,
+                        decl=decl,
+                    )
+                )
+
+    # -- light type inference ---------------------------------------------------
+    def infer_type(self, e: Optional[Expr], scope: _Scope) -> Optional[TypeRef]:
+        if e is None:
+            return None
+        if isinstance(e, IdentExpr):
+            t = scope.lookup(e.parts[-1]) or scope.lookup(e.name)
+            return t
+        if isinstance(e, MemberExpr):
+            base = self.infer_type(e.base, scope)
+            if base is not None:
+                # method call results / field types: one-level field lookup
+                hit = self.find_class(base.base_name)
+                if hit is not None:
+                    for f in hit[1].fields:
+                        if f.name == e.member:
+                            return f.type
+            return None
+        if isinstance(e, CallExpr):
+            # return type of resolved callee when known
+            r = self.res.resolved.get(id(e))
+            if r is not None and r[1] is not None:
+                return r[1].ret
+            return None
+        if isinstance(e, SubscriptExpr):
+            base = self.infer_type(e.base, scope)
+            if base is not None and base.pointer > 0:
+                return TypeRef(
+                    name=base.name, template_args=base.template_args, pointer=base.pointer - 1
+                )
+            return None
+        if isinstance(e, UnaryExpr) and e.op == "*":
+            base = self.infer_type(e.operand, scope)
+            if base is not None and base.pointer > 0:
+                return TypeRef(name=base.name, pointer=base.pointer - 1)
+            return None
+        if isinstance(e, CastExpr):
+            return e.type
+        if isinstance(e, NewExpr):
+            if e.type is None:
+                return None
+            return TypeRef(name=e.type.name, pointer=e.type.pointer + 1)
+        return None

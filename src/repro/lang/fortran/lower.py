@@ -1,0 +1,428 @@
+"""MiniFortran → MiniIR lowering (the GFortran Low-GIMPLE analogue).
+
+Behavioural choices match the paper's §V-B observations:
+
+* whole-array / section assignments lower to elementwise loops (GCC's
+  scalarisation),
+* ``do concurrent`` lowers as a plain countable loop on the host,
+* host **OpenMP** directives outline + ``__kmpc_fork_call`` exactly like
+  the C++ side,
+* **OpenACC** lowers the region essentially serially behind a single
+  ``GOACC_parallel_keyed`` veneer — the single-threaded quality-of-
+  implementation behaviour the BabelStream-Fortran authors reported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.ir import IRBlock, IRFunction, IRGlobal, IRInstr, IRModule
+from repro.compiler.lower import CompileResult, CompileOptions
+from repro.lang.fortran.astnodes import (
+    FtAllocate,
+    FtAssign,
+    FtBinOp,
+    FtCallOrIndex,
+    FtCallStmt,
+    FtDecl,
+    FtDirective,
+    FtDo,
+    FtDoConcurrent,
+    FtExitCycle,
+    FtExpr,
+    FtFile,
+    FtIdent,
+    FtIf,
+    FtLiteral,
+    FtPrint,
+    FtRange,
+    FtReturn,
+    FtStmt,
+    FtStop,
+    FtUnit,
+    FtUnOp,
+    FtWhile,
+)
+
+_BIN_OPS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "**": "pow",
+    "==": "cmp.eq",
+    ".eq.": "cmp.eq",
+    "/=": "cmp.ne",
+    ".ne.": "cmp.ne",
+    "<": "cmp.lt",
+    ".lt.": "cmp.lt",
+    "<=": "cmp.le",
+    ".le.": "cmp.le",
+    ">": "cmp.gt",
+    ".gt.": "cmp.gt",
+    ">=": "cmp.ge",
+    ".ge.": "cmp.ge",
+    ".and.": "land",
+    ".or.": "lor",
+    ".eqv.": "cmp.eq",
+    ".neqv.": "cmp.ne",
+}
+
+
+def lower_fortran(f: FtFile, options: Optional[CompileOptions] = None) -> CompileResult:
+    opts = options or CompileOptions(name=f.path)
+    lw = _FtLowerer(opts)
+    for u in f.units:
+        lw.lower_unit(u)
+    return CompileResult(lw.host, lw.devices, opts)
+
+
+class _FtLowerer:
+    def __init__(self, opts: CompileOptions):
+        self.opts = opts
+        self.host = IRModule(opts.name, "host")
+        self.devices: list[IRModule] = []
+        self._device: Optional[IRModule] = None
+        self.outline_n = 0
+        self.kernel_n = 0
+        self.fn: Optional[IRFunction] = None
+        self.block: Optional[IRBlock] = None
+        self.module: Optional[IRModule] = None
+        self.reg_n = 0
+        self.blk_n = 0
+        self.vars: dict[str, str] = {}
+        self.loops: list[tuple[str, str]] = []  # (break label, cycle label)
+
+    # -- plumbing (mirrors the C++ lowerer) ---------------------------------
+    def fresh_reg(self) -> str:
+        self.reg_n += 1
+        return f"%{self.reg_n}"
+
+    def fresh_block(self, hint: str) -> IRBlock:
+        assert self.fn is not None
+        self.blk_n += 1
+        return self.fn.new_block(f"{hint}.{self.blk_n}")
+
+    def emit(self, op: str, operands: list[str], result: bool = False, span=None) -> str:
+        assert self.block is not None
+        res = self.fresh_reg() if result else ""
+        self.block.add(IRInstr(op, operands, res, span))
+        return res
+
+    # -- units -----------------------------------------------------------------
+    def lower_unit(self, u: FtUnit, module: Optional[IRModule] = None) -> None:
+        module = module or self.host
+        saved = (self.fn, self.block, self.module, self.reg_n, self.blk_n, self.vars, self.loops)
+        fn = IRFunction(u.name, list(u.params), span=u.span)
+        module.functions.append(fn)
+        self.fn = fn
+        self.module = module
+        self.block = fn.new_block("entry")
+        self.reg_n = 0
+        self.blk_n = 0
+        self.vars = {}
+        self.loops = []
+        for p in u.params:
+            slot = self.emit("alloca", [p], result=True, span=u.span)
+            self.emit("store", [f"%{p}", slot], span=u.span)
+            self.vars[p] = slot
+        for s in u.body:
+            if self.block is None or self.block.terminated:
+                break
+            self.stmt(s)
+        if self.block is not None and not self.block.terminated:
+            self.block.add(IRInstr("ret", []))
+        self.fn, self.block, self.module, self.reg_n, self.blk_n, self.vars, self.loops = saved
+        for sub in u.contains:
+            self.lower_unit(sub, module)
+
+    # -- statements ---------------------------------------------------------------
+    def stmt(self, s: FtStmt) -> None:
+        if self.block is None:
+            return
+        if isinstance(s, FtDecl):
+            for name, dims, init in s.entities:
+                slot = self.emit("alloca", [name], result=True, span=s.span)
+                self.vars[name.lower()] = slot
+                if init is not None:
+                    self.emit("store", [self.expr(init), slot], span=s.span)
+        elif isinstance(s, FtAssign):
+            self.lower_assign(s)
+        elif isinstance(s, FtCallStmt):
+            args = [self.expr(a) for a in s.args]
+            self.emit("call", [f"@{s.name}", *args], span=s.span)
+            assert self.module is not None
+            if self.module.function(s.name) is None:
+                self.module.declare(s.name, len(args))
+        elif isinstance(s, FtPrint):
+            vals = [self.expr(e) for e in s.items]
+            self.emit("call", ["@_gfortran_st_write", *vals], span=s.span)
+            assert self.module is not None
+            self.module.declare("_gfortran_st_write", 1)
+        elif isinstance(s, FtAllocate):
+            sym = "@_gfortran_deallocate" if s.dealloc else "@_gfortran_allocate"
+            for item in s.items:
+                dims = [self.expr(a) for a in item.args]
+                self.emit("call", [sym, self.addr(item.name), *dims], span=s.span)
+            assert self.module is not None
+            self.module.declare(sym[1:], 2)
+        elif isinstance(s, FtDo):
+            self.lower_counted_loop(s.var, s.lo, s.hi, s.step, s.body, s.span)
+        elif isinstance(s, FtDoConcurrent):
+            # host lowering: plain countable loop (annotated parallelisable)
+            self.emit("call", ["@llvm.loop.parallel_accesses"], span=s.span)
+            assert self.module is not None
+            self.module.declare("llvm.loop.parallel_accesses", 0)
+            self.lower_counted_loop(s.var, s.lo, s.hi, None, s.body, s.span)
+        elif isinstance(s, FtWhile):
+            self.lower_while(s)
+        elif isinstance(s, FtIf):
+            self.lower_if(s)
+        elif isinstance(s, FtReturn):
+            self.emit("ret", [], span=s.span)
+        elif isinstance(s, FtStop):
+            code = self.expr(s.code) if s.code is not None else "const:0"
+            self.emit("call", ["@_gfortran_stop", code], span=s.span)
+            self.emit("ret", [], span=s.span)
+            assert self.module is not None
+            self.module.declare("_gfortran_stop", 1)
+        elif isinstance(s, FtExitCycle):
+            if self.loops:
+                target = self.loops[-1][0] if s.kind == "exit" else self.loops[-1][1]
+                self.emit("br", [target], span=s.span)
+        elif isinstance(s, FtDirective):
+            self.lower_directive(s)
+
+    def lower_assign(self, s: FtAssign) -> None:
+        if self._assign_is_array(s):
+            self._lower_array_assign(s)
+            return
+        addr = self.lvalue(s.lhs)
+        val = self.expr(s.rhs)
+        self.emit("store", [val, addr], span=s.span)
+
+    def _assign_is_array(self, s: FtAssign) -> bool:
+        lhs = s.lhs
+        if isinstance(lhs, FtCallOrIndex) and lhs.is_index:
+            return any(isinstance(a, FtRange) for a in lhs.args)
+        return False
+
+    def _lower_array_assign(self, s: FtAssign) -> None:
+        """Scalarise: cond/body/inc loop with elementwise gep/load/store."""
+        cond_b = self.fresh_block("arr.cond")
+        body_b = self.fresh_block("arr.body")
+        end_b = self.fresh_block("arr.end")
+        idx = self.emit("alloca", ["arr.idx"], result=True, span=s.span)
+        self.emit("store", ["const:1", idx], span=s.span)
+        bound = self.emit("call", ["@_gfortran_size"], result=True, span=s.span)
+        assert self.module is not None
+        self.module.declare("_gfortran_size", 1)
+        self.emit("br", [cond_b.label], span=s.span)
+        self.block = cond_b
+        cur = self.emit("load", [idx], result=True, span=s.span)
+        c = self.emit("cmp.le", [cur, bound], result=True, span=s.span)
+        self.emit("condbr", [c, body_b.label, end_b.label])
+        self.block = body_b
+        # elementwise rhs then store to lhs element
+        val = self.expr(s.rhs)
+        assert isinstance(s.lhs, FtCallOrIndex)
+        base = self.addr(s.lhs.name)
+        ptr = self.emit("gep", [base, cur], result=True, span=s.span)
+        self.emit("store", [val, ptr], span=s.span)
+        nxt = self.emit("add", [cur, "const:1"], result=True, span=s.span)
+        self.emit("store", [nxt, idx], span=s.span)
+        self.emit("br", [cond_b.label])
+        self.block = end_b
+
+    def lower_counted_loop(self, var, lo, hi, step, body, span) -> None:
+        slot = self.vars.get(var.lower())
+        if slot is None:
+            slot = self.emit("alloca", [var], result=True, span=span)
+            self.vars[var.lower()] = slot
+        self.emit("store", [self.expr(lo), slot], span=span)
+        cond_b = self.fresh_block("do.cond")
+        body_b = self.fresh_block("do.body")
+        inc_b = self.fresh_block("do.inc")
+        end_b = self.fresh_block("do.end")
+        self.emit("br", [cond_b.label], span=span)
+        self.block = cond_b
+        cur = self.emit("load", [slot], result=True, span=span)
+        c = self.emit("cmp.le", [cur, self.expr(hi)], result=True, span=span)
+        self.emit("condbr", [c, body_b.label, end_b.label])
+        self.block = body_b
+        self.loops.append((end_b.label, inc_b.label))
+        for st in body:
+            if self.block is None or self.block.terminated:
+                break
+            self.stmt(st)
+        self.loops.pop()
+        if not self.block.terminated:
+            self.emit("br", [inc_b.label])
+        self.block = inc_b
+        cur2 = self.emit("load", [slot], result=True, span=span)
+        stepv = self.expr(step) if step is not None else "const:1"
+        nxt = self.emit("add", [cur2, stepv], result=True, span=span)
+        self.emit("store", [nxt, slot], span=span)
+        self.emit("br", [cond_b.label])
+        self.block = end_b
+
+    def lower_while(self, s: FtWhile) -> None:
+        cond_b = self.fresh_block("while.cond")
+        body_b = self.fresh_block("while.body")
+        end_b = self.fresh_block("while.end")
+        self.emit("br", [cond_b.label], span=s.span)
+        self.block = cond_b
+        c = self.expr(s.cond)
+        self.emit("condbr", [c, body_b.label, end_b.label])
+        self.block = body_b
+        self.loops.append((end_b.label, cond_b.label))
+        for st in s.body:
+            if self.block is None or self.block.terminated:
+                break
+            self.stmt(st)
+        self.loops.pop()
+        if not self.block.terminated:
+            self.emit("br", [cond_b.label])
+        self.block = end_b
+
+    def lower_if(self, s: FtIf) -> None:
+        c = self.expr(s.cond)
+        then_b = self.fresh_block("if.then")
+        merge_b = self.fresh_block("if.end")
+        else_b = self.fresh_block("if.else") if (s.other or s.elifs) else merge_b
+        self.emit("condbr", [c, then_b.label, else_b.label], span=s.span)
+        self.block = then_b
+        for st in s.then:
+            if self.block.terminated:
+                break
+            self.stmt(st)
+        if not self.block.terminated:
+            self.emit("br", [merge_b.label])
+        if s.other or s.elifs:
+            self.block = else_b
+            for ec, blk in s.elifs:
+                inner = FtIf(cond=ec, then=blk, span=s.span)
+                self.lower_if(inner)
+            for st in s.other:
+                if self.block.terminated:
+                    break
+                self.stmt(st)
+            if not self.block.terminated:
+                self.emit("br", [merge_b.label])
+        self.block = merge_b
+
+    # -- directives ---------------------------------------------------------------
+    def device_module(self) -> IRModule:
+        if self._device is None:
+            m = IRModule(f"{self.opts.name}.omp-device", "device:omp")
+            m.globals.append(IRGlobal(".omp_offloading.img", "fatbin", "section .llvm.offloading"))
+            m.globals.append(IRGlobal(".offload_entries", "const"))
+            m.declare("__tgt_register_requires", 1)
+            self.devices.append(m)
+            self._device = m
+        return self._device
+
+    def _outline(self, body: list[FtStmt], name: str, module: IRModule, kernel: bool = False) -> None:
+        saved = (self.fn, self.block, self.module, self.reg_n, self.blk_n, self.vars, self.loops)
+        fn = IRFunction(name, [], attrs=(["kernel"] if kernel else []))
+        module.functions.append(fn)
+        self.fn = fn
+        self.module = module
+        self.block = fn.new_block("entry")
+        self.reg_n = 0
+        self.blk_n = 0
+        self.vars = dict(saved[5])
+        self.loops = []
+        for st in body:
+            if self.block is None or self.block.terminated:
+                break
+            self.stmt(st)
+        if self.block is not None and not self.block.terminated:
+            self.block.add(IRInstr("ret", []))
+        self.fn, self.block, self.module, self.reg_n, self.blk_n, self.vars, self.loops = saved
+
+    def lower_directive(self, s: FtDirective) -> None:
+        assert self.module is not None
+        self.outline_n += 1
+        base = self.fn.name if self.fn is not None else "unit"
+        if s.family == "acc":
+            # GCC OpenACC host fallback: serial region + one veneer call.
+            name = f"{base}.acc_outlined.{self.outline_n}"
+            self._outline(s.body, name, self.host)
+            self.emit("call", ["@GOACC_parallel_keyed", f"@{name}"], span=s.span)
+            self.host.declare("GOACC_parallel_keyed", 2)
+            return
+        if "target" in s.directives:
+            self.kernel_n += 1
+            dev = self.device_module()
+            name = f"__omp_offloading_ft_{self.kernel_n:02d}_{base}"
+            self._outline(s.body, name, dev, kernel=True)
+            self.emit("call", ["@__tgt_target_kernel", f"@{name}.region_id"], span=s.span)
+            self.host.globals.append(IRGlobal(f"{name}.region_id", "const"))
+            self.host.declare("__tgt_target_kernel", 2)
+            return
+        if set(s.directives) & {"barrier", "taskwait"}:
+            self.emit("call", ["@__kmpc_barrier"], span=s.span)
+            self.host.declare("__kmpc_barrier", 0)
+            return
+        name = f"{base}.omp_outlined.{self.outline_n}"
+        self._outline(s.body, name, self.host)
+        self.emit("call", ["@__kmpc_fork_call", f"@{name}"], span=s.span)
+        self.host.declare("__kmpc_fork_call", 2)
+        if any(c[0] == "reduction" for c in s.clauses):
+            self.emit("call", ["@__kmpc_reduce_nowait"], span=s.span)
+            self.host.declare("__kmpc_reduce_nowait", 1)
+        if "taskloop" in s.directives:
+            self.emit("call", ["@__kmpc_taskloop"], span=s.span)
+            self.host.declare("__kmpc_taskloop", 1)
+
+    # -- expressions --------------------------------------------------------------
+    def addr(self, name: str) -> str:
+        slot = self.vars.get(name.lower())
+        return slot if slot is not None else f"@{name}"
+
+    def lvalue(self, e: Optional[FtExpr]) -> str:
+        if isinstance(e, FtIdent):
+            return self.addr(e.name)
+        if isinstance(e, FtCallOrIndex):
+            base = self.addr(e.name)
+            idxs = [self.expr(a) for a in e.args]
+            return self.emit("gep", [base, *idxs], result=True, span=e.span)
+        v = self.expr(e)
+        slot = self.emit("alloca", ["tmp"], result=True)
+        self.emit("store", [v, slot])
+        return slot
+
+    def expr(self, e: Optional[FtExpr]) -> str:
+        if e is None or self.block is None:
+            return "undef"
+        if isinstance(e, FtLiteral):
+            return f"const:{e.value}"
+        if isinstance(e, FtIdent):
+            return self.emit("load", [self.addr(e.name)], result=True, span=e.span)
+        if isinstance(e, FtBinOp):
+            lhs = self.expr(e.lhs)
+            rhs = self.expr(e.rhs)
+            return self.emit(_BIN_OPS.get(e.op, "bin"), [lhs, rhs], result=True, span=e.span)
+        if isinstance(e, FtUnOp):
+            v = self.expr(e.operand)
+            opmap = {"-": "neg", "+": "pos", ".not.": "not"}
+            if e.op == "+":
+                return v
+            return self.emit(opmap.get(e.op, "unop"), [v], result=True, span=e.span)
+        if isinstance(e, FtRange):
+            # inside an elementwise loop a section reads the current element;
+            # conservatively load through gep with the loop register elided.
+            return "%section"
+        if isinstance(e, FtCallOrIndex):
+            if e.is_index:
+                base = self.addr(e.name)
+                idxs = [self.expr(a) for a in e.args]
+                ptr = self.emit("gep", [base, *idxs], result=True, span=e.span)
+                return self.emit("load", [ptr], result=True, span=e.span)
+            args = [self.expr(a) for a in e.args]
+            assert self.module is not None
+            if self.module.function(e.name) is None:
+                self.module.declare(e.name, len(args))
+            return self.emit("call", [f"@{e.name}", *args], result=True, span=e.span)
+        return "undef"

@@ -1,0 +1,36 @@
+"""Module coupling — a secondary metric enabled by source back-references.
+
+The paper (§III-A) notes that tree back-references allow "reconstructing
+the dependency tree between all source units", enabling "secondary metrics
+such as module coupling [Offutt et al.]". We expose the dependency graph
+(networkx) and a coupling score: mean fan-out of user files.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.lang.source import is_system_path
+from repro.workflow.codebase import IndexedCodebase
+
+
+def dependency_graph(cb: IndexedCodebase, include_system: bool = False) -> "nx.DiGraph":
+    """Unit → dependency edges recovered from the indexed units."""
+    g = nx.DiGraph()
+    for unit in cb.units.values():
+        if not include_system and is_system_path(unit.path):
+            continue
+        g.add_node(unit.path)
+        for dep in unit.deps:
+            if not include_system and is_system_path(dep):
+                continue
+            g.add_edge(unit.path, dep)
+    return g
+
+
+def module_coupling(cb: IndexedCodebase, include_system: bool = False) -> float:
+    """Mean out-degree over files (0.0 for a single-file codebase)."""
+    g = dependency_graph(cb, include_system)
+    if g.number_of_nodes() == 0:
+        return 0.0
+    return g.number_of_edges() / g.number_of_nodes()

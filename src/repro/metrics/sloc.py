@@ -1,0 +1,45 @@
+"""SLOC — source lines of code (paper Eq. 2, Nguyen et al. normalisation).
+
+Counted after whitespace/comment normalisation: a line counts when it
+carries at least one significant token. ``variant="pp"`` counts over the
+post-preprocessor stream (headers and macro expansions included);
+``mask`` restricts to covered lines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.source import is_system_path
+from repro.trees.coverage_mask import LineMask
+from repro.workflow.codebase import IndexedCodebase
+
+
+def sloc_per_file(
+    cb: IndexedCodebase,
+    variant: str = "pre",
+    mask: Optional[LineMask] = None,
+    include_system: bool = True,
+) -> dict[str, int]:
+    """SLOC per file, summed over units (shared headers count per unit, as
+    Eq. 2's per-unit sum prescribes)."""
+    out: dict[str, int] = {}
+    for unit in cb.units.values():
+        table = unit.sig_lines_pre if variant == "pre" else unit.sig_lines_post
+        for f, lines in table.items():
+            if not include_system and is_system_path(f):
+                continue
+            if mask is not None:
+                lines = {l for l in lines if mask.covered(f, l)}
+            out[f] = out.get(f, 0) + len(lines)
+    return out
+
+
+def sloc(
+    cb: IndexedCodebase,
+    variant: str = "pre",
+    mask: Optional[LineMask] = None,
+    include_system: bool = True,
+) -> int:
+    """Total SLOC of a codebase (Eq. 2)."""
+    return sum(sloc_per_file(cb, variant, mask, include_system).values())

@@ -1,0 +1,95 @@
+"""TBMD tree metrics: ``T_src``, ``T_sem``, ``T_ir`` (paper Eq. 5/6/7).
+
+The distance between two codebases under a tree metric is the summed TED
+over matched unit-tree pairs (Eq. 6); ``dmax`` is the summed size of the
+target trees (Eq. 7) — "the amount of change necessary to remove all nodes
+from one codebase and then fully reintroducing nodes from another".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.distance.ted import ted
+from repro.lang.source import is_system_path
+from repro.trees.coverage_mask import LineMask
+from repro.trees.node import Node
+from repro.util.timing import timed
+from repro.workflow.codebase import IndexedCodebase, IndexedUnit, match_units
+
+#: variant spellings accepted by :func:`tree_distance`.
+TREE_KINDS = ("src", "src+pp", "sem", "sem+i", "ir")
+
+
+def _strip_system(tree: Node) -> Node:
+    """Mask out subtrees whose spans live in the system-include tree.
+
+    The paper: "artefacts such as system headers ... can simply be masked
+    out during the analysis phase".
+    """
+
+    def keep(n: Node) -> bool:
+        return n.span is None or not is_system_path(n.span.file)
+
+    out = tree.filter_subtrees(keep)
+    return out if out is not None else Node(tree.label, tree.kind)
+
+
+def unit_trees(
+    unit: IndexedUnit,
+    which: str,
+    mask: Optional[LineMask] = None,
+    include_system: bool = False,
+) -> Optional[Node]:
+    """The (optionally masked / system-stripped) tree of one unit."""
+    t = unit.tree(which)
+    if t is None:
+        return None
+    if not include_system:
+        # stripping copies the tree; memoise per unit (matrices revisit the
+        # same unit dozens of times)
+        cache = unit.__dict__.setdefault("_stripped_cache", {})
+        if which not in cache:
+            cache[which] = _strip_system(t)
+        t = cache[which]
+    if mask is not None:
+        from repro.trees.coverage_mask import mask_tree
+
+        masked = mask_tree(t, mask)
+        t = masked if masked is not None else Node(t.label, t.kind)
+    return t
+
+
+@timed("metric.tree")
+def tree_distance(
+    a: IndexedCodebase,
+    b: IndexedCodebase,
+    which: str = "sem",
+    mask_a: Optional[LineMask] = None,
+    mask_b: Optional[LineMask] = None,
+    include_system: bool = False,
+) -> tuple[float, float]:
+    """Summed TED over matched unit pairs; returns (d, dmax)."""
+    if which not in TREE_KINDS:
+        raise ValueError(f"unknown tree metric {which!r}; expected one of {TREE_KINDS}")
+    d = 0.0
+    dmax = 0.0
+    for ua, ub in match_units(a, b):
+        ta = unit_trees(ua, which, mask_a, include_system) if ua is not None else None
+        tb = unit_trees(ub, which, mask_b, include_system) if ub is not None else None
+        if ta is None and tb is None:
+            continue
+        if ta is None:
+            size = tb.size()
+            d += size
+            dmax += size
+            continue
+        if tb is None:
+            size = ta.size()
+            d += size
+            dmax += size
+            continue
+        r = ted(ta, tb)
+        d += r.distance
+        dmax += max(r.size2, r.size1)
+    return d, dmax

@@ -1,0 +1,69 @@
+"""Cascade plots (Sewall et al. 2020) — Figs. 11 & 12.
+
+For each model, platforms are ordered by decreasing efficiency and Φ is
+re-evaluated over the growing subsets; an unsupported platform collapses
+the tail to zero. The right-hand panel is the final Φ bar per model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfport.perfmodel import EfficiencyMatrix
+from repro.perfport.pp_metric import phi
+
+
+@dataclass
+class CascadeSeries:
+    model: str
+    #: platform abbreviations in this model's cascade order
+    order: list[str]
+    #: efficiency at each cascade position
+    efficiencies: list[float]
+    #: Φ over the first k platforms, k = 1..n
+    phis: list[float]
+
+    @property
+    def final_phi(self) -> float:
+        return self.phis[-1] if self.phis else 0.0
+
+
+@dataclass
+class CascadeData:
+    app: str
+    series: list[CascadeSeries] = field(default_factory=list)
+
+    def by_model(self, model: str) -> CascadeSeries:
+        for s in self.series:
+            if s.model == model:
+                return s
+        raise KeyError(model)
+
+    def phi_bars(self) -> dict[str, float]:
+        return {s.model: s.final_phi for s in self.series}
+
+    def to_csv(self) -> str:
+        lines = ["model,position,platform,efficiency,phi"]
+        for s in self.series:
+            for k, (p, e, f) in enumerate(zip(s.order, s.efficiencies, s.phis), start=1):
+                lines.append(f"{s.model},{k},{p},{e:.4f},{f:.4f}")
+        return "\n".join(lines)
+
+
+def cascade(matrix: EfficiencyMatrix) -> CascadeData:
+    """Build the cascade series for every model of an efficiency matrix."""
+    data = CascadeData(app=matrix.app)
+    for i, model in enumerate(matrix.models):
+        effs = matrix.eff[i].tolist()
+        order = sorted(range(len(effs)), key=lambda j: -effs[j])
+        ordered_eff = [effs[j] for j in order]
+        phis = [phi(ordered_eff[: k + 1]) for k in range(len(order))]
+        data.series.append(
+            CascadeSeries(
+                model=model,
+                order=[matrix.platforms[j] for j in order],
+                efficiencies=ordered_eff,
+                phis=phis,
+            )
+        )
+    return data

@@ -1,0 +1,75 @@
+"""Navigation charts (Figs. 13, 14, 15): Φ against model divergence.
+
+Each model contributes two connected points — its ``T_sem`` (★) and
+``T_src`` (●) divergence from the serial baseline — at its Φ height. "The
+ideal model is located in the top right quadrant, where it shares proximity
+to the serial model and has good performance portability"; the x-axis runs
+*towards no resemblance of serial code* as divergence grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+
+@dataclass
+class NavPoint:
+    model: str
+    phi: float
+    #: divergence under T_sem (semantic) and T_src (perceived)
+    tsem: float
+    tsrc: float
+
+    @property
+    def perceived_bloat(self) -> float:
+        """Positive when the source *looks* more complex than it is
+        semantically (the SYCL-accessor observation of §VI)."""
+        return self.tsrc - self.tsem
+
+
+@dataclass
+class NavigationChart:
+    app: str
+    points: list[NavPoint] = field(default_factory=list)
+
+    def by_model(self, model: str) -> NavPoint:
+        for p in self.points:
+            if p.model == model:
+                return p
+        raise KeyError(model)
+
+    def ranked(self) -> list[NavPoint]:
+        """Models ranked by a simple ideal-quadrant score: Φ minus semantic
+        divergence (top-right is best)."""
+        return sorted(self.points, key=lambda p: -(p.phi - p.tsem))
+
+    def to_csv(self) -> str:
+        lines = ["model,phi,tsem,tsrc"]
+        for p in self.points:
+            lines.append(f"{p.model},{p.phi:.4f},{p.tsem:.4f},{p.tsrc:.4f}")
+        return "\n".join(lines)
+
+
+def navigation_chart(
+    app: str,
+    phis: Mapping[str, float],
+    tsem: Mapping[str, float],
+    tsrc: Mapping[str, float],
+    models: Optional[Sequence[str]] = None,
+) -> NavigationChart:
+    """Assemble a navigation chart from Φ and divergence tables.
+
+    Models with Φ = 0 are still plotted: "divergence is unaffected by Φ".
+    """
+    chart = NavigationChart(app=app)
+    for m in models if models is not None else sorted(phis):
+        chart.points.append(
+            NavPoint(
+                model=m,
+                phi=float(phis.get(m, 0.0)),
+                tsem=float(tsem.get(m, 0.0)),
+                tsrc=float(tsrc.get(m, 0.0)),
+            )
+        )
+    return chart

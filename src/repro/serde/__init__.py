@@ -1,0 +1,13 @@
+"""Codebase DB serialisation (paper §IV).
+
+SilverVale stores "a portable set of semantic-bearing trees and metadata
+files all stored in a Zstd compressed MessagePack format". We reproduce the
+format family with a from-scratch, spec-conformant MessagePack codec plus a
+zlib-compressed container (Zstd is unavailable offline; zlib preserves the
+compressed-binary-container behaviour — see DESIGN.md substitutions).
+"""
+
+from repro.serde.msgpack import pack, unpack
+from repro.serde.container import write_blob, read_blob, MAGIC
+
+__all__ = ["pack", "unpack", "write_blob", "read_blob", "MAGIC"]

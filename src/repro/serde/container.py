@@ -1,0 +1,47 @@
+"""Compressed Codebase DB container.
+
+Layout: 8-byte magic, 1-byte format version, 4-byte big-endian length of
+the compressed payload, then zlib-compressed MessagePack bytes. The magic
+lets tooling reject foreign files with a clear error instead of a zlib
+backtrace.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Any
+
+from repro.serde.msgpack import pack, unpack
+from repro.util.errors import SerdeError
+
+MAGIC = b"SVALEDB\x00"
+VERSION = 1
+
+
+def write_blob(path: str | Path, obj: Any, level: int = 6) -> int:
+    """Serialise ``obj`` into the container at ``path``; returns bytes written."""
+    payload = zlib.compress(pack(obj), level)
+    data = MAGIC + bytes([VERSION]) + struct.pack(">I", len(payload)) + payload
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_blob(path: str | Path) -> Any:
+    """Read one object back from a container file."""
+    data = Path(path).read_bytes()
+    if len(data) < len(MAGIC) + 5 or not data.startswith(MAGIC):
+        raise SerdeError(f"{path}: not a Codebase DB container")
+    version = data[len(MAGIC)]
+    if version != VERSION:
+        raise SerdeError(f"{path}: unsupported container version {version}")
+    (length,) = struct.unpack(">I", data[len(MAGIC) + 1 : len(MAGIC) + 5])
+    payload = data[len(MAGIC) + 5 :]
+    if len(payload) != length:
+        raise SerdeError(f"{path}: payload length mismatch ({len(payload)} != {length})")
+    try:
+        raw = zlib.decompress(payload)
+    except zlib.error as e:
+        raise SerdeError(f"{path}: corrupt payload: {e}") from e
+    return unpack(raw)

@@ -1,0 +1,31 @@
+"""Deterministic structural hashing of trees.
+
+Used for cheap identical-tree detection (divergence of zero without running
+TED — the paper notes boilerplate shared between models "simply evaluate[s]
+to a divergence of zero as the trees will be identical") and for Codebase DB
+content addressing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.trees.node import Node
+
+
+def structural_hash(root: Node) -> str:
+    """SHA-256 over the (label, kind, shape) structure; ignores spans/attrs.
+
+    Computed iteratively over the postorder so deep trees don't recurse.
+    """
+    memo: dict[int, str] = {}
+    for node in root.postorder():
+        h = hashlib.sha256()
+        h.update(node.label.encode())
+        h.update(b"\x00")
+        h.update(node.kind.encode())
+        for c in node.children:
+            h.update(b"\x01")
+            h.update(memo[id(c)].encode())
+        memo[id(node)] = h.hexdigest()
+    return memo[id(root)]

@@ -1,0 +1,84 @@
+"""Call inlining for the ``T_sem+i`` metric variant (paper §IV-A, §V-C).
+
+``T_sem+i`` inlines every function invocation *that originated from the same
+codebase at the tree level* — system headers and external libraries are
+excluded. This captures the case where a codebase abstracts over a parallel
+programming model: library-based models (Kokkos, SYCL, TBB, StdPar) pull
+large amounts of foreign code into the tree, while compiler-directive models
+(OpenMP) barely change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.trees.node import Node
+
+#: Default recursion fuel: a call chain deeper than this stops inlining, which
+#: also terminates (mutually) recursive functions.
+DEFAULT_MAX_DEPTH = 8
+
+
+def inline_calls(
+    root: Node,
+    definitions: Mapping[str, Node],
+    is_local: Optional[Callable[[Node], bool]] = None,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+) -> Node:
+    """Return a copy of ``root`` with local call sites expanded in place.
+
+    Parameters
+    ----------
+    root:
+        A ``T_sem`` tree. Call sites are nodes with ``kind == "call"`` whose
+        ``attrs["callee"]`` names the invoked function.
+    definitions:
+        Map from function name to the *body* subtree of its definition.
+        Bodies are cloned on insertion, so sharing is safe.
+    is_local:
+        Predicate deciding whether a given call node refers to codebase-local
+        code (default: the callee has a definition and the call is not marked
+        ``attrs["system"]``).
+    max_depth:
+        Inlining fuel; bounds recursive expansion.
+    """
+    if is_local is None:
+
+        def is_local(node: Node) -> bool:
+            return not node.attrs.get("system", False)
+
+    def expand(node: Node, depth: int, active: frozenset[str]) -> Node:
+        new_children = [expand(c, depth, active) for c in node.children]
+        clone = Node(node.label, node.kind, new_children, node.span, dict(node.attrs))
+        callee = clone.attrs.get("callee")
+        if (
+            clone.kind == "call"
+            and callee is not None
+            and callee in definitions
+            and callee not in active
+            and depth < max_depth
+            and is_local(clone)
+        ):
+            body = expand(definitions[callee].copy(), depth + 1, active | {callee})
+            inlined = Node("inlined-body", "inline", [body], clone.span, {"callee": callee})
+            clone.children.append(inlined)
+            clone.attrs["inlined"] = True
+        return clone
+
+    return expand(root, 0, frozenset())
+
+
+def collect_definitions(root: Node) -> dict[str, Node]:
+    """Harvest function-name → body-subtree from a ``T_sem`` tree.
+
+    Recognises nodes with ``kind == "fn"`` and an ``attrs["name"]`` (set by
+    name normalisation) or a label that is the function name; the body is
+    the last child (our frontends emit ``fn(params..., body)``).
+    """
+    defs: dict[str, Node] = {}
+    for node in root.preorder():
+        if node.kind == "fn" and node.children:
+            name = node.attrs.get("name", node.label)
+            if name and name != "fn":
+                defs[name] = node.children[-1]
+    return defs

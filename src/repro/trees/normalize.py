@@ -1,0 +1,82 @@
+"""Name normalisation and non-semantic-node stripping (paper §III-B, §IV-A).
+
+The paper normalises programmer-introduced names to their token *type* so
+that TED "preserv[es] the overall semantic structure and control flow graph";
+a subtree with the closest structure then has the minimal distance. It also
+discards non-semantic ClangAST noise (implicit casts, value-category nodes)
+when forming ``T_sem``.
+"""
+
+from __future__ import annotations
+
+from repro.trees.node import Node
+
+#: Node kinds whose labels are programmer-introduced names. Normalisation
+#: replaces the label with the kind itself ("var", "call", "fn", ...).
+NAMED_KINDS = frozenset(
+    {
+        "var",
+        "param",
+        "field",
+        "fn",
+        "call",
+        "type-name",
+        "class",
+        "struct",
+        "module",
+        "label",
+        "namespace-ref",
+        "kernel",
+        "member",
+    }
+)
+
+#: Labels of nodes the frontend emits for C++ nuance but that carry no
+#: semantics of their own (ClangAST's implicit casts et al.).
+NON_SEMANTIC_LABELS = frozenset(
+    {
+        "implicit-cast",
+        "lvalue-to-rvalue",
+        "paren",
+        "exprstmt-cleanup",
+        "materialize-temporary",
+    }
+)
+
+
+def normalize_names(root: Node) -> Node:
+    """Return a copy of ``root`` with programmer names erased.
+
+    Nodes whose ``kind`` appears in :data:`NAMED_KINDS` get their label
+    replaced by the kind; the original name is preserved in
+    ``attrs["name"]`` for tooling but is invisible to TED.
+    """
+
+    def fix(node: Node) -> Node:
+        if node.kind in NAMED_KINDS and node.label != node.kind:
+            node.attrs.setdefault("name", node.label)
+            node.label = node.kind
+        return node
+
+    return root.map_nodes(fix)
+
+
+def strip_non_semantic(root: Node) -> Node:
+    """Return a copy of ``root`` with non-semantic wrapper nodes spliced out.
+
+    A non-semantic node is replaced by its children (hoisted into the
+    parent), mirroring how the paper discards implicit/value-category casts
+    when generating ``T_sem``. The root is never spliced.
+    """
+
+    def rebuild(node: Node) -> Node:
+        new_children: list[Node] = []
+        for c in node.children:
+            rc = rebuild(c)
+            if rc.label in NON_SEMANTIC_LABELS:
+                new_children.extend(rc.children)
+            else:
+                new_children.append(rc)
+        return Node(node.label, node.kind, new_children, node.span, dict(node.attrs))
+
+    return rebuild(root)

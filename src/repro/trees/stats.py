@@ -1,0 +1,75 @@
+"""Secondary tree metrics: size, depth, fanout, label histograms.
+
+The paper mentions "overall tree complexity" as a secondary metric enabled
+by source back-references; these statistics also power the TED
+label-histogram lower bound used to prefilter distance computations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.trees.node import Node
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary statistics of one tree."""
+
+    size: int
+    depth: int
+    leaves: int
+    max_fanout: int
+    mean_fanout: float
+    distinct_labels: int
+
+
+def tree_stats(root: Node) -> TreeStats:
+    """Compute :class:`TreeStats` in a single traversal."""
+    size = 0
+    leaves = 0
+    max_fanout = 0
+    internal = 0
+    child_total = 0
+    labels: set[str] = set()
+    depth = 0
+    stack = [(root, 1)]
+    while stack:
+        node, d = stack.pop()
+        size += 1
+        labels.add(node.label)
+        if d > depth:
+            depth = d
+        n = len(node.children)
+        if n == 0:
+            leaves += 1
+        else:
+            internal += 1
+            child_total += n
+            if n > max_fanout:
+                max_fanout = n
+        for c in node.children:
+            stack.append((c, d + 1))
+    mean_fanout = child_total / internal if internal else 0.0
+    return TreeStats(size, depth, leaves, max_fanout, mean_fanout, len(labels))
+
+
+def label_histogram(root: Node) -> Counter:
+    """Multiset of node labels; basis of the TED lower bound."""
+    return Counter(n.label for n in root.preorder())
+
+
+def histogram_lower_bound(h1: Counter, h2: Counter) -> int:
+    """A valid lower bound on unit-cost TED from label multisets.
+
+    TED must at least account for the size difference (insertions or
+    deletions) and for every label present in one multiset but not the
+    other (each such node must be relabelled, inserted, or deleted). The
+    bound ``max(|n1-n2|, multiset_symmetric_difference/2)`` is classic and
+    cheap: O(distinct labels).
+    """
+    n1 = sum(h1.values())
+    n2 = sum(h2.values())
+    sym = sum((h1 - h2).values()) + sum((h2 - h1).values())
+    return max(abs(n1 - n2), (sym + 1) // 2)

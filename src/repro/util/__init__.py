@@ -1,0 +1,13 @@
+"""Shared utilities: errors, timing, deterministic hashing."""
+
+from repro.util.errors import ReproError, ParseError, LoweringError, SemanticError
+from repro.util.timing import Timer, timed
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "SemanticError",
+    "LoweringError",
+    "Timer",
+    "timed",
+]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch a single base type at workflow boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """A source file could not be lexed or parsed.
+
+    Carries the offending location so tooling can point at the source.
+    """
+
+    def __init__(self, message: str, file: str = "<unknown>", line: int = 0, col: int = 0):
+        self.file = file
+        self.line = line
+        self.col = col
+        super().__init__(f"{file}:{line}:{col}: {message}")
+
+
+class SemanticError(ReproError):
+    """Semantic analysis failed (unknown symbol, bad redefinition, ...)."""
+
+    def __init__(self, message: str, file: str = "<unknown>", line: int = 0):
+        self.file = file
+        self.line = line
+        super().__init__(f"{file}:{line}: {message}")
+
+
+class LoweringError(ReproError):
+    """AST-to-IR lowering hit a construct it cannot translate."""
+
+
+class InterpreterError(ReproError):
+    """The MiniC++ interpreter hit an unsupported construct or runtime fault."""
+
+
+class SerdeError(ReproError):
+    """Codebase-DB (de)serialisation failure."""
+
+
+class WorkflowError(ReproError):
+    """End-to-end workflow misconfiguration (bad compile DB, missing unit...)."""

@@ -1,0 +1,79 @@
+"""Lightweight profiling hooks.
+
+The HPC guides emphasise "no optimisation without measuring"; the analysis
+pipeline uses these timers to report where indexing / TED time goes without
+pulling in a full profiler.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    >>> t = Timer("ted")
+    >>> with t:
+    ...     _ = sum(range(10))
+    >>> t.calls
+    1
+    """
+
+    name: str
+    elapsed: float = 0.0
+    calls: int = 0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed += time.perf_counter() - self._start
+        self.calls += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed call (0.0 when never entered)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+
+_REGISTRY: dict[str, Timer] = {}
+
+
+def get_timer(name: str) -> Timer:
+    """Return (creating on first use) the process-wide timer ``name``."""
+    if name not in _REGISTRY:
+        _REGISTRY[name] = Timer(name)
+    return _REGISTRY[name]
+
+
+def all_timers() -> dict[str, Timer]:
+    """Snapshot of all registered timers, keyed by name."""
+    return dict(_REGISTRY)
+
+
+def reset_timers() -> None:
+    """Clear the global timer registry (used by tests/benchmarks)."""
+    _REGISTRY.clear()
+
+
+def timed(name: str) -> Callable[[F], F]:
+    """Decorator: accumulate the wrapped function's wall time under ``name``."""
+
+    def deco(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with get_timer(name):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco

@@ -1,0 +1,29 @@
+"""Figure rendering without matplotlib: SVG and ASCII backends.
+
+Each renderer consumes the plain data models from ``repro.analysis`` /
+``repro.perfport`` and emits either a standalone SVG document or a terminal
+rendering, so every paper figure is regenerable as an artefact on disk and
+as console output inside the benches.
+"""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.charts import (
+    render_dendrogram_svg,
+    render_heatmap_svg,
+    render_cascade_svg,
+    render_navigation_svg,
+    render_bars_svg,
+)
+from repro.viz.ascii import ascii_dendrogram, ascii_heatmap, ascii_bars
+
+__all__ = [
+    "SvgCanvas",
+    "render_dendrogram_svg",
+    "render_heatmap_svg",
+    "render_cascade_svg",
+    "render_navigation_svg",
+    "render_bars_svg",
+    "ascii_dendrogram",
+    "ascii_heatmap",
+    "ascii_bars",
+]

@@ -1,0 +1,61 @@
+"""Terminal renderings of the figure data (bench console output)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.cluster import Dendrogram
+from repro.analysis.heatmap import HeatmapData
+
+_SHADES = " ░▒▓█"
+
+
+def ascii_dendrogram(dend: Dendrogram, width: int = 48) -> str:
+    """Indented text dendrogram (children of later merges nest deeper)."""
+    n = len(dend.labels)
+    # Build a nested structure from the linkage.
+    trees: dict[int, object] = {i: dend.labels[i] for i in range(n)}
+    heights: dict[int, float] = {i: 0.0 for i in range(n)}
+    for k, (a, b, h, _c) in enumerate(dend.linkage):
+        trees[n + k] = (trees[int(a)], trees[int(b)], float(h))
+        heights[n + k] = float(h)
+    root = trees[n + len(dend.linkage) - 1] if len(dend.linkage) else trees[0]
+    lines: list[str] = []
+
+    def walk(node, prefix: str, is_last: bool) -> None:
+        connector = "└─ " if is_last else "├─ "
+        if isinstance(node, str):
+            lines.append(prefix + connector + node)
+            return
+        a, b, h = node
+        lines.append(prefix + connector + f"[h={h:.3f}]")
+        ext = "   " if is_last else "│  "
+        walk(a, prefix + ext, False)
+        walk(b, prefix + ext, True)
+
+    walk(root, "", True)
+    return "\n".join(lines)
+
+
+def ascii_heatmap(data: HeatmapData, vmax: float = 1.0) -> str:
+    label_w = max((len(r) for r in data.row_labels), default=8) + 1
+    head = " " * label_w + " ".join(f"{c[:7]:>7}" for c in data.col_labels)
+    lines = [head]
+    for label, row in zip(data.row_labels, data.values):
+        cells = []
+        for v in row:
+            frac = min(max(float(v) / vmax if vmax else float(v), 0.0), 1.0)
+            shade = _SHADES[min(int(frac * (len(_SHADES) - 1) + 0.5), len(_SHADES) - 1)]
+            cells.append(f"{shade}{float(v):6.2f}")
+        lines.append(f"{label:<{label_w}}" + " ".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_bars(values: Mapping[str, float], width: int = 40, vmax: float = 1.0) -> str:
+    label_w = max((len(k) for k in values), default=8) + 1
+    lines = []
+    for k, v in values.items():
+        frac = min(max(v / vmax if vmax else v, 0.0), 1.0)
+        bar = "█" * int(frac * width)
+        lines.append(f"{k:<{label_w}}|{bar:<{width}}| {v:.3f}")
+    return "\n".join(lines)

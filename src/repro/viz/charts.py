@@ -1,0 +1,187 @@
+"""SVG renderers for every figure family in the paper."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.cluster import Dendrogram
+from repro.analysis.heatmap import HeatmapData
+from repro.perfport.cascade import CascadeData
+from repro.perfport.navigation import NavigationChart
+from repro.viz.svg import SvgCanvas, viridis
+
+_PALETTE = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+    "#aa3377", "#bbbbbb", "#000000", "#e07b39", "#5d5d9e",
+]
+
+
+def render_dendrogram_svg(dend: Dendrogram, title: str = "") -> str:
+    """Horizontal dendrogram (Figs. 4–6 panels)."""
+    leaves = dend.leaf_order()
+    n = len(leaves)
+    row_h = 24.0
+    label_w = 120.0
+    plot_w = 320.0
+    height = n * row_h + 50
+    canvas = SvgCanvas(label_w + plot_w + 40, height)
+    if title:
+        canvas.text(10, 18, title, size=13)
+    ypos = {leaf: 35 + i * row_h for i, leaf in enumerate(leaves)}
+    max_h = max(dend.merge_heights(), default=1.0) or 1.0
+
+    def x_of(h: float) -> float:
+        return label_w + plot_w * (1.0 - h / max_h)
+
+    for leaf in leaves:
+        canvas.text(label_w - 6, ypos[leaf] + 4, leaf, anchor="end")
+    # cluster positions: id -> (x, y)
+    pos: dict[int, tuple[float, float]] = {
+        i: (label_w, ypos[dend.labels[i]]) for i in range(len(dend.labels))
+    }
+    for k, (a, b, h, _cnt) in enumerate(dend.linkage):
+        (xa, ya) = pos[int(a)]
+        (xb, yb) = pos[int(b)]
+        x = x_of(float(h))
+        canvas.line(xa, ya, x, ya)
+        canvas.line(xb, yb, x, yb)
+        canvas.line(x, ya, x, yb)
+        pos[len(dend.labels) + k] = (x, (ya + yb) / 2.0)
+    canvas.line(label_w, height - 18, label_w + plot_w, height - 18, stroke="#999")
+    canvas.text(label_w, height - 4, f"{max_h:.2f}", size=9)
+    canvas.text(label_w + plot_w, height - 4, "0", size=9, anchor="end")
+    return canvas.to_svg()
+
+
+def render_heatmap_svg(data: HeatmapData, title: str = "", vmax: float = 1.0) -> str:
+    """Heatmap with row/column labels (Figs. 4, 7, 8)."""
+    cell = 34.0
+    label_w = 110.0
+    top = 90.0
+    width = label_w + cell * len(data.col_labels) + 30
+    height = top + cell * len(data.row_labels) + 20
+    canvas = SvgCanvas(width, height)
+    if title:
+        canvas.text(10, 18, title, size=13)
+    for j, col in enumerate(data.col_labels):
+        canvas.text(label_w + j * cell + cell / 2, top - 8, col, size=10, anchor="start", rotate=-45.0)
+    for i, row in enumerate(data.row_labels):
+        canvas.text(label_w - 6, top + i * cell + cell / 2 + 4, row, anchor="end", size=10)
+        for j in range(len(data.col_labels)):
+            v = float(data.values[i, j])
+            canvas.rect(label_w + j * cell, top + i * cell, cell, cell, fill=viridis(v / vmax if vmax else v))
+            tcol = "#fff" if (v / vmax if vmax else v) < 0.6 else "#000"
+            canvas.text(
+                label_w + j * cell + cell / 2,
+                top + i * cell + cell / 2 + 4,
+                f"{v:.2f}",
+                size=8,
+                anchor="middle",
+                fill=tcol,
+            )
+    return canvas.to_svg()
+
+
+def render_cascade_svg(data: CascadeData, title: str = "") -> str:
+    """Cascade plot with efficiency lines and final-Φ bars (Figs. 11, 12)."""
+    plot_w, plot_h = 360.0, 240.0
+    bar_w = 160.0
+    left, top = 60.0, 50.0
+    width = left + plot_w + 60 + bar_w + 30
+    height = top + plot_h + 70
+    canvas = SvgCanvas(width, height)
+    canvas.text(10, 20, title or f"Cascade: {data.app}", size=13)
+    nplat = max((len(s.order) for s in data.series), default=1)
+
+    def x_of(k: int) -> float:
+        return left + plot_w * (k / max(nplat - 1, 1))
+
+    def y_of(v: float) -> float:
+        return top + plot_h * (1.0 - v)
+
+    # axes
+    canvas.line(left, top, left, top + plot_h)
+    canvas.line(left, top + plot_h, left + plot_w, top + plot_h)
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        canvas.text(left - 8, y_of(frac) + 4, f"{frac:.2f}", size=9, anchor="end")
+        canvas.line(left - 3, y_of(frac), left, y_of(frac))
+    canvas.text(left + plot_w / 2, top + plot_h + 30, "platforms (per-model cascade order)", size=10, anchor="middle")
+    for i, s in enumerate(data.series):
+        color = _PALETTE[i % len(_PALETTE)]
+        pts = [(x_of(k), y_of(e)) for k, e in enumerate(s.efficiencies)]
+        if pts:
+            canvas.polyline(pts, stroke=color)
+            for x, y in pts:
+                canvas.circle(x, y, 2.5, fill=color)
+        canvas.text(left + plot_w + 8, top + 14 * i + 10, s.model, size=10, fill=color)
+    # Φ bars
+    bx = left + plot_w + 120
+    bars = data.phi_bars()
+    bh = plot_h / max(len(bars), 1)
+    canvas.text(bx, top - 10, "Φ", size=12)
+    for i, (model, val) in enumerate(bars.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        canvas.rect(bx, top + i * bh + 2, bar_w * val, bh - 4, fill=color, stroke="none")
+        canvas.text(bx + bar_w * val + 4, top + i * bh + bh / 2 + 3, f"{val:.2f}", size=9)
+    return canvas.to_svg()
+
+
+def render_navigation_svg(chart: NavigationChart, title: str = "") -> str:
+    """Navigation chart: Φ vs divergence, ★ = T_sem, ● = T_src (Figs. 13–15)."""
+    plot_w, plot_h = 420.0, 300.0
+    left, top = 60.0, 50.0
+    width = left + plot_w + 170
+    height = top + plot_h + 60
+    canvas = SvgCanvas(width, height)
+    canvas.text(10, 20, title or f"Navigation chart: {chart.app}", size=13)
+    dmax = max([max(p.tsem, p.tsrc) for p in chart.points] + [1.0])
+
+    def x_of(div: float) -> float:
+        # x grows towards zero divergence on the right (top-right = ideal)
+        return left + plot_w * (1.0 - div / dmax)
+
+    def y_of(p: float) -> float:
+        return top + plot_h * (1.0 - p)
+
+    canvas.line(left, top, left, top + plot_h)
+    canvas.line(left, top + plot_h, left + plot_w, top + plot_h)
+    canvas.text(left + plot_w, top + plot_h + 28, "0 (≡ serial)", size=9, anchor="end")
+    canvas.text(left, top + plot_h + 28, f"{dmax:.2f} ◀ towards no resemblance of serial code", size=9)
+    canvas.text(left - 30, top + plot_h / 2, "Φ", size=12)
+    for frac in (0.0, 0.5, 1.0):
+        canvas.text(left - 8, y_of(frac) + 4, f"{frac:.1f}", size=9, anchor="end")
+    for i, p in enumerate(chart.points):
+        color = _PALETTE[i % len(_PALETTE)]
+        y = y_of(p.phi)
+        xs, xc = x_of(p.tsem), x_of(p.tsrc)
+        canvas.line(xs, y, xc, y, stroke=color, width=1.0, dash="3,2")
+        canvas.star(xs, y, 6, fill=color)
+        canvas.circle(xc, y, 3.5, fill=color)
+        canvas.text(left + plot_w + 10, top + 16 * i + 10, f"{p.model} (Φ={p.phi:.2f})", size=10, fill=color)
+    canvas.text(left + plot_w + 10, top + 16 * len(chart.points) + 20, "★ T_sem   ● T_src", size=10)
+    return canvas.to_svg()
+
+
+def render_bars_svg(
+    values: Mapping[str, float],
+    title: str = "",
+    vmax: Optional[float] = None,
+) -> str:
+    """Simple horizontal bar chart (Φ bars, SLOC comparisons, ablations)."""
+    bar_h = 22.0
+    label_w = 130.0
+    plot_w = 300.0
+    height = 40 + bar_h * len(values) + 20
+    canvas = SvgCanvas(label_w + plot_w + 80, height)
+    if title:
+        canvas.text(10, 18, title, size=13)
+    top = 35.0
+    m = vmax if vmax is not None else max(list(values.values()) + [1e-9])
+    for i, (label, v) in enumerate(values.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        canvas.text(label_w - 6, top + i * bar_h + bar_h / 2 + 4, label, anchor="end", size=10)
+        canvas.rect(label_w, top + i * bar_h + 3, plot_w * (v / m if m else 0), bar_h - 6, fill=color, stroke="none")
+        canvas.text(label_w + plot_w * (v / m if m else 0) + 5, top + i * bar_h + bar_h / 2 + 4, f"{v:.3f}", size=9)
+    return canvas.to_svg()

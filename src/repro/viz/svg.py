@@ -1,0 +1,99 @@
+"""A minimal SVG document builder."""
+
+from __future__ import annotations
+
+from typing import Optional
+from xml.sax.saxutils import escape
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serialises a standalone document."""
+
+    def __init__(self, width: float, height: float, background: str = "white"):
+        self.width = width
+        self.height = height
+        self.elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # -- primitives ---------------------------------------------------------
+    def line(self, x1: float, y1: float, x2: float, y2: float, stroke: str = "#333", width: float = 1.0, dash: Optional[str] = None) -> None:
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{d}/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str = "#ccc", stroke: str = "#333", width: float = 0.5) -> None:
+        self.elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float, fill: str = "#333", stroke: str = "none") -> None:
+        self.elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def star(self, cx: float, cy: float, r: float, fill: str = "#333") -> None:
+        import math
+
+        pts = []
+        for k in range(10):
+            rad = r if k % 2 == 0 else r * 0.45
+            ang = -math.pi / 2 + k * math.pi / 5
+            pts.append(f"{cx + rad * math.cos(ang):.2f},{cy + rad * math.sin(ang):.2f}")
+        self.elements.append(f'<polygon points="{" ".join(pts)}" fill="{fill}"/>')
+
+    def polyline(self, points: list[tuple[float, float]], stroke: str = "#333", width: float = 1.5) -> None:
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self.elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 11,
+        anchor: str = "start",
+        rotate: Optional[float] = None,
+        fill: str = "#111",
+    ) -> None:
+        t = f' transform="rotate({rotate:.1f} {x:.2f} {y:.2f})"' if rotate is not None else ""
+        self.elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" font-family="Helvetica,Arial,sans-serif" '
+            f'text-anchor="{anchor}" fill="{fill}"{t}>{escape(content)}</text>'
+        )
+
+    # -- output ----------------------------------------------------------------
+    def to_svg(self) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
+            f'height="{self.height:.0f}" viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_svg())
+
+
+def viridis(v: float) -> str:
+    """Viridis-like colormap for heatmaps; v in [0, 1]."""
+    v = min(max(v, 0.0), 1.0)
+    stops = [
+        (0.0, (68, 1, 84)),
+        (0.25, (59, 82, 139)),
+        (0.5, (33, 145, 140)),
+        (0.75, (94, 201, 98)),
+        (1.0, (253, 231, 37)),
+    ]
+    for (p0, c0), (p1, c1) in zip(stops, stops[1:]):
+        if v <= p1:
+            t = (v - p0) / (p1 - p0) if p1 > p0 else 0.0
+            rgb = tuple(round(a + t * (b - a)) for a, b in zip(c0, c1))
+            return f"rgb({rgb[0]},{rgb[1]},{rgb[2]})"
+    return "rgb(253,231,37)"

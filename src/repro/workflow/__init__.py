@@ -1,0 +1,34 @@
+"""End-to-end workflow (paper Fig. 2).
+
+``compile_commands.json`` → index (per-unit semantic-bearing trees +
+metadata, persistable as a compressed Codebase DB) → compare (cartesian
+product of models) → analyse (clustering, heatmaps, navigation charts).
+"""
+
+from repro.workflow.codebase import IndexedUnit, IndexedCodebase, ModelSpec
+from repro.workflow.compiledb import CompileCommand, parse_compile_db, options_from_command
+from repro.workflow.indexer import index_codebase, index_cpp_unit, index_fortran_unit
+from repro.workflow.comparer import (
+    divergence,
+    divergence_row,
+    divergence_matrix,
+    MetricSpec,
+    DEFAULT_METRICS,
+)
+
+__all__ = [
+    "IndexedUnit",
+    "IndexedCodebase",
+    "ModelSpec",
+    "CompileCommand",
+    "parse_compile_db",
+    "options_from_command",
+    "index_codebase",
+    "index_cpp_unit",
+    "index_fortran_unit",
+    "divergence",
+    "divergence_row",
+    "divergence_matrix",
+    "MetricSpec",
+    "DEFAULT_METRICS",
+]

@@ -1,0 +1,203 @@
+"""``silvervale`` command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+* ``index``   — index a corpus app/model into a Codebase DB file,
+* ``compare`` — divergence of one model from a baseline under a metric,
+* ``cluster`` — dendrogram of all models of an app under a metric,
+* ``heatmap`` — divergence-from-serial heatmap rows,
+* ``phi``     — Φ table / cascade data from the performance model,
+* ``apps``    — list corpus apps and models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.cluster import cluster_models
+from repro.analysis.heatmap import HEATMAP_SPECS, divergence_heatmap
+from repro.corpus import APPS, app_models, index_app, index_model
+from repro.perfport.cascade import cascade
+from repro.perfport.perfmodel import PerfModel
+from repro.perfport.pp_metric import phi_table
+from repro.viz.ascii import ascii_bars, ascii_dendrogram, ascii_heatmap
+from repro.workflow.codebasedb import save_codebase_db
+from repro.workflow.comparer import MetricSpec, divergence, divergence_matrix
+
+
+def _metric_spec(name: str) -> MetricSpec:
+    base = name
+    pp = cov = inl = False
+    for suffix, flag in (("+pp", "pp"), ("+cov", "cov"), ("+i", "inl")):
+        if suffix in base:
+            base = base.replace(suffix, "")
+            if flag == "pp":
+                pp = True
+            elif flag == "cov":
+                cov = True
+            else:
+                inl = True
+    return MetricSpec(base, pp=pp, coverage=cov, inlining=inl)
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    for app in APPS:
+        print(f"{app}: {', '.join(app_models(app))}")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    cb = index_model(args.app, args.model, coverage=args.coverage)
+    out = args.output or f"{args.app}-{args.model}.svdb"
+    size = save_codebase_db(cb, out)
+    print(f"indexed {args.app}/{args.model}: {len(cb.units)} unit(s), {size} bytes -> {out}")
+    if cb.run_value is not None:
+        print(f"verification run returned {cb.run_value}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    spec = _metric_spec(args.metric)
+    base = index_model(args.app, args.baseline, coverage=spec.coverage)
+    other = index_model(args.app, args.model, coverage=spec.coverage)
+    d = divergence(base, other, spec)
+    print(f"{args.app}: divergence({args.baseline} -> {args.model}, {spec.label}) = {d:.4f}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    spec = _metric_spec(args.metric)
+    cbs = index_app(args.app, coverage=spec.coverage)
+    names = list(cbs)
+    matrix = divergence_matrix([cbs[m] for m in names], spec)
+    dend = cluster_models(matrix, names)
+    print(f"{args.app} clustering under {spec.label} (complete linkage, Euclidean):")
+    print(ascii_dendrogram(dend))
+    return 0
+
+
+def cmd_heatmap(args: argparse.Namespace) -> int:
+    cbs = index_app(args.app, coverage=True)
+    baseline = cbs[args.baseline]
+    models = [cb for m, cb in cbs.items() if m != args.baseline]
+    data = divergence_heatmap(baseline, models, HEATMAP_SPECS)
+    print(f"{args.app}: divergence from {args.baseline}")
+    print(ascii_heatmap(data))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Render every figure family for one app into a directory."""
+    from pathlib import Path
+
+    from repro.perfport.navigation import navigation_chart
+    from repro.perfport.pp_metric import phi_table
+    from repro.viz import (
+        render_cascade_svg,
+        render_dendrogram_svg,
+        render_heatmap_svg,
+        render_navigation_svg,
+    )
+    from repro.workflow.comparer import divergence_row
+
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    cbs = index_app(args.app, coverage=True)
+    names = list(cbs)
+    spec = _metric_spec(args.metric)
+
+    matrix = divergence_matrix([cbs[m] for m in names], spec)
+    dend = cluster_models(matrix, names)
+    (out / f"{args.app}_dendrogram_{spec.label}.svg").write_text(
+        render_dendrogram_svg(dend, f"{args.app}: {spec.label} clustering")
+    )
+
+    baseline = cbs.get(args.baseline)
+    if baseline is not None:
+        data = divergence_heatmap(baseline, [cbs[m] for m in names], HEATMAP_SPECS)
+        (out / f"{args.app}_heatmap.svg").write_text(
+            render_heatmap_svg(data, f"{args.app}: divergence from {args.baseline}")
+        )
+        (out / f"{args.app}_heatmap.csv").write_text(data.to_csv())
+
+    models = [m for m in names if m != args.baseline]
+    eff = PerfModel().efficiency_matrix(args.app, models)
+    (out / f"{args.app}_cascade.svg").write_text(
+        render_cascade_svg(cascade(eff), f"{args.app}: cascade")
+    )
+    if baseline is not None:
+        tsem = divergence_row(baseline, [cbs[m] for m in models], _metric_spec("Tsem"))
+        tsrc = divergence_row(baseline, [cbs[m] for m in models], _metric_spec("Tsrc"))
+        chart = navigation_chart(args.app, phi_table(eff), tsem, tsrc, models)
+        (out / f"{args.app}_navchart.svg").write_text(
+            render_navigation_svg(chart, f"{args.app}: Φ vs TBMD")
+        )
+    print(f"figures written to {out}/")
+    return 0
+
+
+def cmd_phi(args: argparse.Namespace) -> int:
+    models = app_models(args.app)
+    matrix = PerfModel().efficiency_matrix(args.app, models)
+    bars = phi_table(matrix)
+    print(f"Φ over all six platforms ({args.app}):")
+    print(ascii_bars(bars))
+    if args.cascade:
+        data = cascade(matrix)
+        print()
+        print(data.to_csv())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="silvervale", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list corpus apps and models").set_defaults(fn=cmd_apps)
+
+    pi = sub.add_parser("index", help="index one model port into a Codebase DB")
+    pi.add_argument("app")
+    pi.add_argument("model")
+    pi.add_argument("-o", "--output")
+    pi.add_argument("--coverage", action="store_true", help="run for coverage first")
+    pi.set_defaults(fn=cmd_index)
+
+    pc = sub.add_parser("compare", help="divergence of a model from a baseline")
+    pc.add_argument("app")
+    pc.add_argument("model")
+    pc.add_argument("-b", "--baseline", default="serial")
+    pc.add_argument("-m", "--metric", default="Tsem")
+    pc.set_defaults(fn=cmd_compare)
+
+    pk = sub.add_parser("cluster", help="dendrogram of all models under a metric")
+    pk.add_argument("app")
+    pk.add_argument("-m", "--metric", default="Tsem")
+    pk.set_defaults(fn=cmd_cluster)
+
+    ph = sub.add_parser("heatmap", help="divergence-from-baseline heatmap")
+    ph.add_argument("app")
+    ph.add_argument("-b", "--baseline", default="serial")
+    ph.set_defaults(fn=cmd_heatmap)
+
+    pp = sub.add_parser("phi", help="Φ table from the performance model")
+    pp.add_argument("app")
+    pp.add_argument("--cascade", action="store_true")
+    pp.set_defaults(fn=cmd_phi)
+
+    pf = sub.add_parser("figures", help="render all figure SVGs for an app")
+    pf.add_argument("app")
+    pf.add_argument("-o", "--output", default="figures")
+    pf.add_argument("-b", "--baseline", default="serial")
+    pf.add_argument("-m", "--metric", default="Tsem")
+    pf.set_defaults(fn=cmd_figures)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

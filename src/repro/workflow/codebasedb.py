@@ -1,0 +1,119 @@
+"""Codebase DB persistence (paper Fig. 2).
+
+The index step's output — "a portable set of semantic-bearing trees and
+metadata files" — serialised with the from-scratch MessagePack codec into
+the compressed container, and restored without re-running the frontends.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.coverage.profile import CoverageProfile
+from repro.lang.source import VirtualFS
+from repro.serde.container import read_blob, write_blob
+from repro.trees.node import Node
+from repro.util.errors import SerdeError
+from repro.workflow.codebase import IndexedCodebase, IndexedUnit, ModelSpec
+
+_FORMAT = 2
+
+
+def _unit_to_obj(u: IndexedUnit) -> dict:
+    def tree(t):
+        return t.to_dict() if t is not None else None
+
+    return {
+        "role": u.role,
+        "path": u.path,
+        "deps": u.deps,
+        "sig_pre": {f: sorted(ls) for f, ls in u.sig_lines_pre.items()},
+        "sig_post": {f: sorted(ls) for f, ls in u.sig_lines_post.items()},
+        "lloc_pre": u.lloc_pre,
+        "lloc_post": u.lloc_post,
+        "src_lines_pre": u.source_lines_pre,
+        "src_lines_post": u.source_lines_post,
+        "src_tags_pre": [list(t) for t in u.source_tags_pre],
+        "src_tags_post": [list(t) for t in u.source_tags_post],
+        "t_src_pre": tree(u.t_src_pre),
+        "t_src_post": tree(u.t_src_post),
+        "t_sem": tree(u.t_sem),
+        "t_sem_i": tree(u.t_sem_inlined),
+        "t_ir": tree(u.t_ir),
+    }
+
+
+def _unit_from_obj(o: dict) -> IndexedUnit:
+    def tree(d):
+        return Node.from_dict(d) if d is not None else None
+
+    u = IndexedUnit(role=o["role"], path=o["path"], deps=list(o["deps"]))
+    u.sig_lines_pre = {f: set(ls) for f, ls in o["sig_pre"].items()}
+    u.sig_lines_post = {f: set(ls) for f, ls in o["sig_post"].items()}
+    u.lloc_pre = dict(o["lloc_pre"])
+    u.lloc_post = dict(o["lloc_post"])
+    u.source_lines_pre = list(o["src_lines_pre"])
+    u.source_lines_post = list(o["src_lines_post"])
+    u.source_tags_pre = [tuple(t) for t in o["src_tags_pre"]]
+    u.source_tags_post = [tuple(t) for t in o["src_tags_post"]]
+    u.t_src_pre = tree(o["t_src_pre"])
+    u.t_src_post = tree(o["t_src_post"])
+    u.t_sem = tree(o["t_sem"])
+    u.t_sem_inlined = tree(o["t_sem_i"])
+    u.t_ir = tree(o["t_ir"])
+    return u
+
+
+def save_codebase_db(cb: IndexedCodebase, path: Union[str, Path]) -> int:
+    """Persist an indexed codebase; returns bytes written."""
+    obj = {
+        "format": _FORMAT,
+        "spec": {
+            "app": cb.spec.app,
+            "model": cb.spec.model,
+            "lang": cb.spec.lang,
+            "dialect": cb.spec.dialect,
+            "openmp": cb.spec.openmp,
+            "units": cb.spec.units,
+            "defines": cb.spec.defines,
+            "entry": cb.spec.entry,
+        },
+        "files": dict(cb.fs.files),
+        "units": {role: _unit_to_obj(u) for role, u in cb.units.items()},
+        "coverage": (
+            [[f, l, c] for (f, l), c in cb.coverage.hits.items()]
+            if cb.coverage is not None
+            else None
+        ),
+        "run_value": cb.run_value if isinstance(cb.run_value, (int, float, str)) else None,
+    }
+    return write_blob(path, obj)
+
+
+def load_codebase_db(path: Union[str, Path]) -> IndexedCodebase:
+    """Restore an indexed codebase from disk."""
+    obj = read_blob(path)
+    if obj.get("format") != _FORMAT:
+        raise SerdeError(f"{path}: unsupported Codebase DB format {obj.get('format')!r}")
+    s = obj["spec"]
+    spec = ModelSpec(
+        app=s["app"],
+        model=s["model"],
+        lang=s["lang"],
+        dialect=s["dialect"],
+        openmp=s["openmp"],
+        units=dict(s["units"]),
+        defines=dict(s["defines"]),
+        entry=s["entry"],
+    )
+    fs = VirtualFS(files=dict(obj["files"]))
+    cb = IndexedCodebase(spec=spec, fs=fs)
+    cb.units = {role: _unit_from_obj(o) for role, o in obj["units"].items()}
+    if obj["coverage"] is not None:
+        prof = CoverageProfile()
+        for f, l, c in obj["coverage"]:
+            prof.hits[(f, l)] = c
+        cb.coverage = prof
+    cb.run_value = obj.get("run_value")
+    return cb

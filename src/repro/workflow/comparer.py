@@ -1,0 +1,117 @@
+"""The compare step: divergences over the cartesian product of models.
+
+§V-A: "We run the comparison step over the cartesian product of all models
+to yield a correlation matrix" — :func:`divergence_matrix` is that matrix
+for any metric; :func:`divergence_row` produces divergence-from-baseline
+rows (Figs. 7–10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.workflow.codebase import IndexedCodebase
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """A metric + variant selection, e.g. ``MetricSpec("Tsem")`` or
+    ``MetricSpec("Source", pp=True, coverage=True)``."""
+
+    name: str  # SLOC | LLOC | Source | Tsrc | Tsem | Tir
+    pp: bool = False
+    coverage: bool = False
+    inlining: bool = False
+    include_system: bool = False
+
+    @property
+    def label(self) -> str:
+        s = self.name
+        if self.inlining:
+            s += "+i"
+        if self.pp:
+            s += "+pp"
+        if self.coverage:
+            s += "+cov"
+        return s
+
+
+#: The six metrics of the Fig. 5/6 dendrogram panels.
+DEFAULT_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("LLOC"),
+    MetricSpec("SLOC"),
+    MetricSpec("Source"),
+    MetricSpec("Tsrc"),
+    MetricSpec("Tsem"),
+    MetricSpec("Tir"),
+)
+
+
+def divergence(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> float:
+    """Normalised divergence of ``b`` from ``a`` under ``spec`` (0 = identical)."""
+    # deferred imports: repro.metrics consumes the codebase model this
+    # package defines, so importing it at module scope would be circular
+    from repro.metrics.lloc import lloc
+    from repro.metrics.sloc import sloc
+    from repro.metrics.source_dist import source_distance
+    from repro.metrics.treemetrics import tree_distance
+
+    mask_a = a.mask() if spec.coverage else None
+    mask_b = b.mask() if spec.coverage else None
+    variant = "pp" if spec.pp else "pre"
+    if spec.name == "SLOC":
+        va = sloc(a, variant, mask_a)
+        vb = sloc(b, variant, mask_b)
+        return abs(vb - va) / max(va, vb, 1)
+    if spec.name == "LLOC":
+        va = lloc(a, variant, mask_a)
+        vb = lloc(b, variant, mask_b)
+        return abs(vb - va) / max(va, vb, 1)
+    if spec.name == "Source":
+        d, dmax = source_distance(a, b, variant, mask_a, mask_b)
+        return d / dmax if dmax else 0.0
+    if spec.name in ("Tsrc", "Tsem", "Tir"):
+        which = {"Tsrc": "src", "Tsem": "sem", "Tir": "ir"}[spec.name]
+        if spec.pp and spec.name == "Tsrc":
+            which = "src+pp"
+        if spec.inlining and spec.name == "Tsem":
+            which = "sem+i"
+        d, dmax = tree_distance(a, b, which, mask_a, mask_b, spec.include_system)
+        return d / dmax if dmax else 0.0
+    raise ValueError(f"unknown metric {spec.name!r}")
+
+
+def divergence_row(
+    base: IndexedCodebase,
+    others: Sequence[IndexedCodebase],
+    spec: MetricSpec,
+) -> dict[str, float]:
+    """Divergence of every model from ``base`` (one heatmap row)."""
+    return {cb.model: divergence(base, cb, spec) for cb in others}
+
+
+def divergence_matrix(
+    codebases: Sequence[IndexedCodebase],
+    spec: MetricSpec,
+    symmetrize: bool = True,
+) -> np.ndarray:
+    """Dense divergence matrix over all model pairs.
+
+    TED with unit costs is symmetric but ``dmax`` normalisation is not;
+    ``symmetrize`` averages the two directions so clustering sees a proper
+    dissimilarity (the paper's correlation-matrix step does the same
+    cartesian product).
+    """
+    n = len(codebases)
+    m = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            m[i, j] = divergence(codebases[i], codebases[j], spec)
+    if symmetrize:
+        m = (m + m.T) / 2.0
+    return m

@@ -1,0 +1,95 @@
+"""Compilation Database ingestion (paper §IV).
+
+SilverVale "ingests a Compilation DB file from a codebase that has been
+successfully compiled previously" — the CMake/Meson/Bear
+``compile_commands.json`` format. We parse the same format and derive
+MiniC++ compile options from the recorded flags.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.compiler.lower import CompileOptions
+from repro.util.errors import WorkflowError
+
+
+@dataclass
+class CompileCommand:
+    """One entry of a compile_commands.json."""
+
+    file: str
+    arguments: list[str] = field(default_factory=list)
+    directory: str = "."
+    output: str = ""
+
+
+def parse_compile_db(source: Union[str, Path]) -> list[CompileCommand]:
+    """Parse compile_commands.json text or a path to it."""
+    text: str
+    p = Path(str(source))
+    if "\n" not in str(source) and p.suffix == ".json" and p.exists():
+        text = p.read_text()
+    else:
+        text = str(source)
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise WorkflowError(f"invalid compile DB JSON: {e}") from e
+    if not isinstance(raw, list):
+        raise WorkflowError("compile DB must be a JSON array")
+    out: list[CompileCommand] = []
+    for entry in raw:
+        if "file" not in entry:
+            raise WorkflowError("compile DB entry missing 'file'")
+        args = entry.get("arguments")
+        if args is None and "command" in entry:
+            args = shlex.split(entry["command"])
+        out.append(
+            CompileCommand(
+                file=entry["file"],
+                arguments=list(args or []),
+                directory=entry.get("directory", "."),
+                output=entry.get("output", ""),
+            )
+        )
+    return out
+
+
+def options_from_command(cmd: CompileCommand) -> tuple[CompileOptions, dict[str, str]]:
+    """Derive (CompileOptions, -D defines) from recorded compiler flags."""
+    dialect = "host"
+    openmp = False
+    defines: dict[str, str] = {}
+    args = cmd.arguments
+    for i, a in enumerate(args):
+        if a == "-x" and i + 1 < len(args):
+            nxt = args[i + 1]
+            if nxt in ("cuda", "hip"):
+                dialect = nxt
+        elif a in ("-fsycl", "--sycl"):
+            dialect = "sycl"
+        elif a in ("--hip", "-hip"):
+            dialect = "hip"
+        elif a in ("-fopenmp", "-qopenmp", "-fopenmp=libomp"):
+            openmp = True
+        elif a.startswith("-fopenmp-targets"):
+            openmp = True
+        elif a.startswith("-D"):
+            body = a[2:]
+            if "=" in body:
+                k, v = body.split("=", 1)
+                defines[k] = v
+            elif body:
+                defines[body] = "1"
+    if dialect == "host":
+        if cmd.file.endswith(".cu"):
+            dialect = "cuda"
+        elif cmd.file.endswith(".hip"):
+            dialect = "hip"
+    name = cmd.file.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return CompileOptions(dialect=dialect, openmp=openmp, name=name), defines

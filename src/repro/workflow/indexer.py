@@ -1,0 +1,278 @@
+"""The index step: codebase → per-unit semantic-bearing representations.
+
+For every translation unit this extracts (Fig. 3 of the paper):
+
+* pre/post-preprocessor significant-line sets (SLOC ±pp),
+* logical line counts (LLOC ±pp),
+* normalised text lines with (file, line) tags (Source metric ± coverage),
+* ``T_src`` pre/post, ``T_sem``, ``T_sem+i`` and ``T_ir`` trees,
+
+and optionally executes the unit's verification run in the interpreter to
+obtain the coverage profile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler import CompileOptions, bundle_to_tree, lower_unit
+from repro.coverage.profile import CoverageProfile, profile_from_run
+from repro.exec.interpreter import run_program
+from repro.lang.cpp.asttree import ast_to_tree
+from repro.lang.cpp.cst import build_cst, normalized_src_tree
+from repro.lang.cpp.lexer import Token, TokenType, lex
+from repro.lang.cpp.parser import parse_tokens
+from repro.lang.cpp.preprocessor import preprocess
+from repro.lang.cpp.sema import analyze
+from repro.lang.fortran.cst import fortran_cst, fortran_src_tree
+from repro.lang.fortran.lexer import FtTokenType, lex_fortran
+from repro.lang.fortran.parser import parse_fortran
+from repro.lang.fortran.asttree import fortran_to_tree
+from repro.lang.fortran.lower import lower_fortran
+from repro.lang.source import VirtualFS
+from repro.trees.inline import collect_definitions, inline_calls
+from repro.trees.normalize import normalize_names, strip_non_semantic
+from repro.util.errors import ReproError
+from repro.util.timing import timed
+from repro.workflow.codebase import IndexedCodebase, IndexedUnit, ModelSpec
+
+_CTRL_KEYWORDS = frozenset({"for", "if", "while", "do", "switch", "case"})
+
+
+# ---------------------------------------------------------------------------
+# C++ line summaries
+# ---------------------------------------------------------------------------
+
+
+def _cpp_sig_lines(tokens: list[Token]) -> dict[str, set[int]]:
+    out: dict[str, set[int]] = {}
+    for t in tokens:
+        if t.is_trivia or t.type is TokenType.EOF:
+            continue
+        out.setdefault(t.file, set()).add(t.line)
+    return out
+
+
+def _cpp_lloc(tokens: list[Token]) -> int:
+    """Nguyen-style logical lines: statements + control constructs."""
+    semis = 0
+    fors = 0
+    ctrl = 0
+    for t in tokens:
+        if t.type is TokenType.PUNCT and t.text == ";":
+            semis += 1
+        elif t.type is TokenType.KEYWORD and t.text in _CTRL_KEYWORDS:
+            ctrl += 1
+            if t.text == "for":
+                fors += 1
+        elif t.type is TokenType.DIRECTIVE:
+            ctrl += 1  # a retained pragma is one logical line
+    return max(semis - 2 * fors + ctrl, 0)
+
+
+def _cpp_norm_lines(tokens: list[Token]) -> tuple[list[str], list[tuple[str, int]]]:
+    """Whitespace/comment-normalised text lines with (file, line) tags."""
+    lines: list[str] = []
+    tags: list[tuple[str, int]] = []
+    cur_key: Optional[tuple[str, int]] = None
+    cur: list[str] = []
+    for t in tokens:
+        if t.is_trivia or t.type is TokenType.EOF:
+            continue
+        key = (t.file, t.line)
+        if key != cur_key:
+            if cur:
+                lines.append(" ".join(cur))
+                tags.append(cur_key)  # type: ignore[arg-type]
+            cur = []
+            cur_key = key
+        cur.append(t.text)
+    if cur and cur_key is not None:
+        lines.append(" ".join(cur))
+        tags.append(cur_key)
+    return lines, tags
+
+
+@timed("index.cpp")
+def index_cpp_unit(
+    fs: VirtualFS,
+    role: str,
+    path: str,
+    options: CompileOptions,
+    defines: Optional[dict[str, str]] = None,
+) -> IndexedUnit:
+    """Index one MiniC++ translation unit."""
+    unit = IndexedUnit(role=role, path=path)
+    pp = preprocess(fs, path, defines)
+    unit.deps = list(pp.dependencies)
+
+    # pre-preprocessor: lex every file of the unit separately
+    pre_tokens: list[Token] = []
+    for f in [path, *unit.deps]:
+        toks = lex(fs.get(f).text, f)
+        pre_tokens.extend(toks)
+        unit.lloc_pre[f] = _cpp_lloc(toks)
+    unit.sig_lines_pre = _cpp_sig_lines(pre_tokens)
+    unit.source_lines_pre, unit.source_tags_pre = _cpp_norm_lines(pre_tokens)
+
+    # post-preprocessor
+    unit.sig_lines_post = _cpp_sig_lines(pp.tokens)
+    unit.lloc_post[path] = _cpp_lloc(pp.tokens)
+    unit.source_lines_post, unit.source_tags_post = _cpp_norm_lines(pp.tokens)
+
+    # trees
+    unit.t_src_pre = normalize_names(normalized_src_tree(build_cst(lex(fs.get(path).text, path), path)))
+    unit.t_src_post = normalize_names(normalized_src_tree(build_cst(pp.tokens, path)))
+    tu = parse_tokens(pp.tokens, path)
+    sema = analyze(tu)
+    sem_raw = strip_non_semantic(ast_to_tree(tu, sema))
+    sem_named = normalize_names(sem_raw)
+    unit.t_sem = sem_named
+    defs = collect_definitions(sem_named)
+    unit.t_sem_inlined = inline_calls(sem_named, defs)
+    bundle = lower_unit(tu, sema, options)
+    unit.t_ir = bundle_to_tree(bundle)
+    # keep handles for the coverage step
+    unit_attrs = {"tu": tu, "sema": sema}
+    unit.__dict__["_frontend"] = unit_attrs
+    return unit
+
+
+# ---------------------------------------------------------------------------
+# Fortran line summaries
+# ---------------------------------------------------------------------------
+
+
+@timed("index.fortran")
+def index_fortran_unit(fs: VirtualFS, role: str, path: str) -> IndexedUnit:
+    """Index one MiniFortran file (Fortran has no preprocessing phase here:
+    the pre/post representations coincide)."""
+    unit = IndexedUnit(role=role, path=path)
+    text = fs.get(path).text
+    toks = lex_fortran(text, path)
+    sig: dict[str, set[int]] = {}
+    lloc = 0
+    lines: list[str] = []
+    tags: list[tuple[str, int]] = []
+    cur: list[str] = []
+    cur_line = 0
+    for t in toks:
+        if t.type is FtTokenType.COMMENT:
+            continue
+        if t.type in (FtTokenType.NEWLINE, FtTokenType.EOF):
+            if cur:
+                lloc += 1
+                lines.append(" ".join(cur))
+                tags.append((path, cur_line))
+                cur = []
+            continue
+        sig.setdefault(t.file, set()).add(t.line)
+        if not cur:
+            cur_line = t.line
+        cur.append(t.text)
+    unit.sig_lines_pre = sig
+    unit.sig_lines_post = {f: set(ls) for f, ls in sig.items()}
+    unit.lloc_pre[path] = lloc
+    unit.lloc_post[path] = lloc
+    unit.source_lines_pre = lines
+    unit.source_tags_pre = tags
+    unit.source_lines_post = list(lines)
+    unit.source_tags_post = list(tags)
+
+    cst = fortran_cst(text, path)
+    unit.t_src_pre = normalize_names(fortran_src_tree(cst))
+    unit.t_src_post = unit.t_src_pre
+    ftfile = parse_fortran(text, path)
+    sem = normalize_names(fortran_to_tree(ftfile))
+    unit.t_sem = sem
+    unit.t_sem_inlined = sem  # the paper omits T_sem+i for the GCC pipeline
+    unit.t_ir = bundle_to_tree(lower_fortran(ftfile))
+    unit.__dict__["_frontend"] = {"ftfile": ftfile}
+    return unit
+
+
+def _fortran_static_profile(spec: ModelSpec, units: dict[str, IndexedUnit]) -> CoverageProfile:
+    """Fallback profile for Fortran units the interpreter cannot run: every
+    statement span recorded in ``T_sem`` is marked executed."""
+    profile = CoverageProfile()
+    for unit in units.values():
+        if unit.t_sem is None:
+            continue
+        for node in unit.t_sem.preorder():
+            if node.span is not None:
+                profile.record(node.span.file, node.span.line_start)
+    return profile
+
+
+def _fortran_coverage(cb: IndexedCodebase) -> CoverageProfile:
+    """Real interpreted run where possible; static profile otherwise."""
+    from repro.exec.ft_interpreter import run_fortran
+
+    profile = CoverageProfile()
+    ran = False
+    for unit in cb.units.values():
+        fe = unit.__dict__.get("_frontend")
+        if not fe or "ftfile" not in fe:
+            continue
+        try:
+            result = run_fortran(fe["ftfile"])
+        except ReproError as e:
+            cb.run_value = f"coverage run failed: {e}"
+            continue
+        cb.run_value = result.value
+        for key, c in result.coverage.items():
+            profile.hits[key] += c
+        ran = True
+    if not ran:
+        return _fortran_static_profile(cb.spec, cb.units)
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# whole-codebase indexing
+# ---------------------------------------------------------------------------
+
+
+def index_codebase(
+    spec: ModelSpec,
+    fs: VirtualFS,
+    run_coverage: bool = False,
+) -> IndexedCodebase:
+    """Index every unit of one model port; optionally run for coverage."""
+    cb = IndexedCodebase(spec=spec, fs=fs)
+    options = CompileOptions(dialect=spec.dialect, openmp=spec.openmp, name=spec.model)
+    for role, path in sorted(spec.units.items()):
+        if spec.lang == "cpp":
+            cb.units[role] = index_cpp_unit(fs, role, path, options, spec.defines)
+        elif spec.lang == "fortran":
+            cb.units[role] = index_fortran_unit(fs, role, path)
+        else:
+            raise ReproError(f"unknown language {spec.lang!r}")
+    if run_coverage:
+        if spec.lang == "fortran":
+            cb.coverage = _fortran_coverage(cb)
+        elif spec.entry is not None:
+            profile = CoverageProfile()
+            ran = False
+            for unit in cb.units.values():
+                fe = unit.__dict__.get("_frontend")
+                if not fe:
+                    continue
+                sema = fe["sema"]
+                entry_fn = sema.functions.get(spec.entry)
+                if entry_fn is not None and entry_fn.body is not None:
+                    try:
+                        result = run_program(fe["tu"], sema, spec.entry)
+                    except ReproError as e:
+                        # the program may call across translation units the
+                        # per-TU interpreter cannot link; index without
+                        # coverage rather than failing the whole step
+                        cb.run_value = f"coverage run failed: {e}"
+                        break
+                    cb.run_value = result.value
+                    profile = profile_from_run(result)
+                    ran = True
+                    break
+            if ran:
+                cb.coverage = profile
+    return cb

@@ -1,0 +1,126 @@
+"""MiniIR optimisation pass tests."""
+
+from repro.compiler import (
+    IRBlock,
+    IRFunction,
+    IRInstr,
+    IRModule,
+    eliminate_dead_instrs,
+    fold_constants,
+    run_default_pipeline,
+)
+
+
+def module_with(instrs):
+    m = IRModule("t")
+    f = IRFunction("f")
+    b = f.new_block("entry")
+    for i in instrs:
+        b.add(i)
+    m.functions.append(f)
+    return m, f
+
+
+class TestConstantFolding:
+    def test_folds_const_add(self):
+        m, f = module_with(
+            [
+                IRInstr("add", ["const:2", "const:3"], "%1"),
+                IRInstr("ret", ["%1"]),
+            ]
+        )
+        assert fold_constants(m) == 1
+        assert f.blocks[0].instrs[0].op == "ret"
+        assert f.blocks[0].instrs[0].operands == ["const:5"]
+
+    def test_folds_chains(self):
+        m, f = module_with(
+            [
+                IRInstr("mul", ["const:2", "const:3"], "%1"),
+                IRInstr("add", ["%1", "const:1"], "%2"),
+                IRInstr("ret", ["%2"]),
+            ]
+        )
+        assert fold_constants(m) == 2
+        assert f.blocks[0].instrs[0].operands == ["const:7"]
+
+    def test_float_folding(self):
+        m, f = module_with(
+            [IRInstr("mul", ["const:0.5", "const:4.0"], "%1"), IRInstr("ret", ["%1"])]
+        )
+        fold_constants(m)
+        assert f.blocks[0].instrs[0].operands == ["const:2.0"]
+
+    def test_division_by_zero_safe(self):
+        m, f = module_with(
+            [IRInstr("div", ["const:1", "const:0"], "%1"), IRInstr("ret", ["%1"])]
+        )
+        fold_constants(m)  # must not raise
+        assert f.blocks[0].instrs[0].operands == ["const:0"]
+
+    def test_non_const_untouched(self):
+        m, f = module_with(
+            [IRInstr("add", ["%a", "const:1"], "%1"), IRInstr("ret", ["%1"])]
+        )
+        assert fold_constants(m) == 0
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_pure(self):
+        m, f = module_with(
+            [
+                IRInstr("add", ["const:1", "const:2"], "%dead"),
+                IRInstr("ret", []),
+            ]
+        )
+        assert eliminate_dead_instrs(m) == 1
+        assert [i.op for i in f.blocks[0].instrs] == ["ret"]
+
+    def test_keeps_used_values(self):
+        m, f = module_with(
+            [
+                IRInstr("add", ["%a", "%b"], "%1"),
+                IRInstr("ret", ["%1"]),
+            ]
+        )
+        assert eliminate_dead_instrs(m) == 0
+
+    def test_keeps_side_effects(self):
+        m, f = module_with(
+            [
+                IRInstr("call", ["@printf"], "%unused"),
+                IRInstr("store", ["%x", "%y"]),
+                IRInstr("ret", []),
+            ]
+        )
+        assert eliminate_dead_instrs(m) == 0
+
+    def test_cascading_removal(self):
+        m, f = module_with(
+            [
+                IRInstr("add", ["%a", "%b"], "%1"),
+                IRInstr("mul", ["%1", "%1"], "%2"),  # only user of %1
+                IRInstr("ret", []),
+            ]
+        )
+        assert eliminate_dead_instrs(m) == 2
+
+
+class TestPipeline:
+    def test_pipeline_reports_counts(self):
+        m, _ = module_with(
+            [
+                IRInstr("add", ["const:1", "const:1"], "%1"),
+                IRInstr("mul", ["%1", "const:0"], "%unused"),
+                IRInstr("ret", []),
+            ]
+        )
+        stats = run_default_pipeline(m)
+        assert stats["folds"] >= 1
+        # after folding, the unused result is removable
+        assert stats["dce"] >= 0
+
+    def test_render_smoke(self):
+        m, _ = module_with([IRInstr("ret", [])])
+        text = m.render()
+        assert "define @f()" in text and "ret" in text

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Corpus indexing is expensive (frontends + interpreter runs), so indexed
+codebases are session-scoped and cached through the corpus registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import index_model
+
+
+@pytest.fixture(scope="session")
+def stream_serial():
+    return index_model("babelstream", "serial", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def stream_omp():
+    return index_model("babelstream", "omp", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def stream_cuda():
+    return index_model("babelstream", "cuda", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def stream_sycl_usm():
+    return index_model("babelstream", "sycl-usm", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def stream_kokkos():
+    return index_model("babelstream", "kokkos", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def fortran_sequential():
+    return index_model("babelstream-fortran", "sequential", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def fortran_omp():
+    return index_model("babelstream-fortran", "omp", coverage=True)
+
+
+@pytest.fixture(scope="session")
+def fortran_openacc():
+    return index_model("babelstream-fortran", "openacc", coverage=True)

@@ -1,0 +1,32 @@
+"""Distance-matrix assembly helpers."""
+
+import numpy as np
+
+from repro.distance import condensed_to_square, pairwise_matrix
+from repro.distance.matrix import square_to_condensed
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_fill(self):
+        items = [1, 5, 9]
+        m = pairwise_matrix(items, lambda a, b: abs(a - b))
+        assert m[0, 1] == 4 and m[1, 0] == 4
+        assert m[0, 2] == 8
+        assert np.allclose(m, m.T)
+
+    def test_diagonal_computed(self):
+        m = pairwise_matrix([1, 2], lambda a, b: 7.0 if a is b or a == b else 1.0)
+        assert m[0, 0] == 7.0  # self-comparison is measured, not assumed
+
+    def test_asymmetric_mode(self):
+        m = pairwise_matrix([1, 2], lambda a, b: a - b, symmetric=False)
+        assert m[0, 1] == -1 and m[1, 0] == 1
+
+
+class TestCondensed:
+    def test_round_trip(self):
+        sq = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 3.0], [2.0, 3.0, 0.0]])
+        cond = square_to_condensed(sq)
+        assert list(cond) == [1.0, 2.0, 3.0]
+        back = condensed_to_square(cond, 3)
+        assert np.allclose(back, sq)

@@ -1,0 +1,84 @@
+"""Sequence distance kernels: Wu–Manber O(NP), Myers O(ND), Levenshtein."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.distance import lcs_length, levenshtein, myers_edit_distance, onp_edit_distance
+
+
+class TestWuManber:
+    def test_identical(self):
+        assert onp_edit_distance("abc", "abc") == 0
+
+    def test_empty_sides(self):
+        assert onp_edit_distance("", "abc") == 3
+        assert onp_edit_distance("abc", "") == 3
+        assert onp_edit_distance("", "") == 0
+
+    def test_known_distance(self):
+        # abc -> axbyc: two insertions
+        assert onp_edit_distance("abc", "axbyc") == 2
+
+    def test_disjoint(self):
+        assert onp_edit_distance("abc", "xyz") == 6
+
+    def test_works_on_line_lists(self):
+        a = ["int main() {", "return 0;", "}"]
+        b = ["int main() {", "int x = 1;", "return x;", "}"]
+        assert onp_edit_distance(a, b) == 3  # delete 1 line, insert 2
+
+    def test_lcs_length(self):
+        assert lcs_length("abcbdab", "bdcaba") == 4
+
+
+class TestMyers:
+    def test_known(self):
+        assert myers_edit_distance("abcabba", "cbabac") == 5
+
+    def test_empty(self):
+        assert myers_edit_distance("", "xy") == 2
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.sampled_from("abcd"), max_size=24),
+    st.lists(st.sampled_from("abcd"), max_size=24),
+)
+def test_onp_equals_myers(a, b):
+    assert onp_edit_distance(a, b) == myers_edit_distance(a, b)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(st.sampled_from("abc"), max_size=16),
+    st.lists(st.sampled_from("abc"), max_size=16),
+)
+def test_onp_symmetry(a, b):
+    assert onp_edit_distance(a, b) == onp_edit_distance(b, a)
+
+
+class TestLevenshtein:
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_identical(self):
+        assert levenshtein("same", "same") == 0
+
+    def test_substitution_cheaper_than_indel_pair(self):
+        # with substitutions allowed, "a"->"b" costs 1 not 2
+        assert levenshtein("a", "b") == 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(st.sampled_from("abc"), max_size=14),
+    st.lists(st.sampled_from("abc"), max_size=14),
+)
+def test_levenshtein_bounded_by_indel_distance(a, b):
+    # allowing substitutions can only shorten the script
+    assert levenshtein(a, b) <= onp_edit_distance(a, b)
+    assert levenshtein(a, b) >= abs(len(a) - len(b))

@@ -1,0 +1,103 @@
+"""Tree edit distance unit tests (incl. the paper's Fig. 1 example)."""
+
+import pytest
+
+from repro.distance import Cost, TedResult, UnitCost, ted, ted_normalized
+from repro.distance.ted import clear_ted_cache, ted_lower_bound
+from repro.trees import Node, from_sexpr
+
+
+class TestKnownDistances:
+    def test_identical_zero(self):
+        t = from_sexpr("(a (b c) d)")
+        assert ted(t, t.copy()).distance == 0.0
+
+    def test_single_relabel(self):
+        assert ted(from_sexpr("(a b)"), from_sexpr("(a c)")).distance == 1
+
+    def test_single_insert(self):
+        assert ted(from_sexpr("(a b)"), from_sexpr("(a b c)")).distance == 1
+
+    def test_single_delete(self):
+        assert ted(from_sexpr("(a b c)"), from_sexpr("(a b)")).distance == 1
+
+    def test_empty_vs_tree(self):
+        assert ted(from_sexpr("x"), from_sexpr("(a b c)")).distance == 3
+
+    def test_fig1_example(self):
+        """Fig. 1: 'Two ASTs with a TED distance of five: four outlined nodes
+        are inserted or deleted with one relabelled node on the top.'"""
+        # one relabelled node on top, four nodes deleted
+        t1 = from_sexpr("(call (args a b) (body c))")  # 6 nodes
+        t2 = from_sexpr("(ret c)")  # 2 nodes
+        # relabel call->ret (1) + delete args, a, b, body (4) = 5
+        assert ted(t1, t2).distance == 5
+
+    def test_subtree_move_costs_delete_plus_insert(self):
+        t1 = from_sexpr("(r (a x) b)")
+        t2 = from_sexpr("(r a (b x))")
+        # moving x: delete + insert = 2
+        assert ted(t1, t2).distance == 2
+
+
+class TestTedResult:
+    def test_dmax_is_target_size(self):
+        r = ted(from_sexpr("(a b)"), from_sexpr("(x y z)"))
+        assert r.dmax == 3
+
+    def test_normalized_in_unit_range_for_disjoint(self):
+        r = ted(from_sexpr("(a b c)"), from_sexpr("(x y z)"))
+        assert 0 < r.normalized <= 1.0
+
+    def test_identical_shortcut_flag(self):
+        t = from_sexpr("(a b)")
+        assert ted(t, t.copy()).shortcut
+
+    def test_ted_normalized_zero_for_identical(self):
+        t = from_sexpr("(a (b c))")
+        assert ted_normalized(t, t.copy()) == 0.0
+
+
+class TestCache:
+    def test_cache_hit_on_repeat(self):
+        clear_ted_cache()
+        a = from_sexpr("(a (b c) (d e))")
+        b = from_sexpr("(a (b x) (d e f))")
+        first = ted(a, b)
+        second = ted(a, b)
+        assert not first.shortcut
+        assert second.shortcut  # served from memo
+        assert second.distance == first.distance
+
+    def test_cache_symmetric(self):
+        clear_ted_cache()
+        a = from_sexpr("(p q r)")
+        b = from_sexpr("(p (q r) s)")
+        d1 = ted(a, b).distance
+        rev = ted(b, a)
+        assert rev.shortcut
+        assert rev.distance == d1
+
+
+class TestCustomCosts:
+    def test_weighted_insert(self):
+        # making inserts free: pure-insertion pair costs 0
+        cost = Cost(delete=lambda n: 1.0, insert=lambda n: 0.0, relabel=lambda a, b: float(a.label != b.label))
+        r = ted(from_sexpr("(a b)"), from_sexpr("(a b c)"), cost)
+        assert r.distance == 0.0
+
+    def test_weighted_matches_unit_when_unit(self):
+        cost = Cost(delete=lambda n: 1.0, insert=lambda n: 1.0, relabel=lambda a, b: float(a.label != b.label))
+        a = from_sexpr("(a (b c) d)")
+        b = from_sexpr("(a (x c) e f)")
+        assert ted(a, b, cost).distance == ted(a, b).distance
+
+    def test_unitcost_is_unit(self):
+        assert UnitCost().is_unit()
+
+
+class TestLowerBound:
+    def test_bound_below_distance(self):
+        a = from_sexpr("(a (b c) (d e))")
+        b = from_sexpr("(x (y z))")
+        assert ted_lower_bound(a, b) <= ted(a, b).distance

@@ -1,0 +1,219 @@
+"""MiniC++ interpreter: language core semantics."""
+
+import pytest
+
+from repro.exec import run_program
+from repro.lang.cpp.parser import parse_unit
+from repro.lang.cpp.sema import analyze
+from repro.lang.source import VirtualFS
+from repro.util.errors import InterpreterError
+
+
+def run(text, entry="main", **files):
+    fs = VirtualFS()
+    for p, t in files.items():
+        fs.add(p.replace("__", "/"), t)
+    fs.add("main.cpp", text)
+    tu = parse_unit(fs, "main.cpp")
+    return run_program(tu, analyze(tu), entry)
+
+
+class TestArithmetic:
+    def test_integer_division_truncates(self):
+        assert run("int main() { return 7 / 2; }").value == 3
+
+    def test_float_division(self):
+        assert run("int main() { double x = 7.0 / 2.0; return x == 3.5 ? 0 : 1; }").value == 0
+
+    def test_modulo(self):
+        assert run("int main() { return 17 % 5; }").value == 2
+
+    def test_precedence(self):
+        assert run("int main() { return 2 + 3 * 4; }").value == 14
+
+    def test_comparison_and_logic(self):
+        assert run("int main() { return (1 < 2 && 3 >= 3) ? 5 : 6; }").value == 5
+
+    def test_short_circuit(self):
+        # right side would divide by zero if evaluated
+        src = "int div0(int x) { return 1 / x; }\nint main() { int c = 0; return (c != 0 && div0(c)) ? 1 : 0; }"
+        assert run(src).value == 0
+
+    def test_bit_ops(self):
+        assert run("int main() { return (5 & 3) | (1 << 2); }").value == 5
+
+    def test_unary_minus_and_not(self):
+        assert run("int main() { return !(-1 < 0) ? 1 : 2; }").value == 2
+
+
+class TestControlFlow:
+    def test_for_accumulation(self):
+        assert run("int main() { int s = 0; for (int i = 1; i <= 4; i++) { s += i; } return s; }").value == 10
+
+    def test_while(self):
+        assert run("int main() { int n = 16; int c = 0; while (n > 1) { n = n / 2; c++; } return c; }").value == 4
+
+    def test_do_while_runs_once(self):
+        assert run("int main() { int c = 0; do { c++; } while (false); return c; }").value == 1
+
+    def test_break_continue(self):
+        src = (
+            "int main() { int s = 0;"
+            " for (int i = 0; i < 10; i++) { if (i == 2) { continue; } if (i == 5) { break; } s += i; }"
+            " return s; }"
+        )
+        assert run(src).value == 0 + 1 + 3 + 4
+
+    def test_nested_loops(self):
+        src = "int main() { int s = 0; for (int i = 0; i < 3; i++) { for (int j = 0; j < 3; j++) { s++; } } return s; }"
+        assert run(src).value == 9
+
+    def test_early_return(self):
+        assert run("int f() { return 1; return 2; }\nint main() { return f(); }").value == 1
+
+
+class TestFunctionsAndScope:
+    def test_call_with_args(self):
+        assert run("int add(int a, int b) { return a + b; }\nint main() { return add(2, 3); }").value == 5
+
+    def test_recursion(self):
+        src = "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\nint main() { return fib(10); }"
+        assert run(src).value == 55
+
+    def test_reference_parameter(self):
+        src = "void inc(int& x) { x = x + 1; }\nint main() { int v = 5; inc(v); return v; }"
+        assert run(src).value == 6
+
+    def test_default_argument_used(self):
+        src = "int f(int a, int b = 7) { return a + b; }\nint main() { return f(1); }"
+        assert run(src).value == 8
+
+    def test_shadowing(self):
+        src = "int main() { int x = 1; { int x = 2; } return x; }"
+        assert run(src).value == 1
+
+    def test_global_variable(self):
+        src = "int g = 42;\nint main() { return g; }"
+        assert run(src).value == 42
+
+
+class TestPointers:
+    def test_new_index_store_load(self):
+        src = "int main() { double* a = new double[4]; a[2] = 7.5; return a[2] == 7.5 ? 0 : 1; }"
+        assert run(src).value == 0
+
+    def test_pointer_arithmetic(self):
+        src = "int main() { double* a = new double[4]; a[0] = 1.0; double* p = a + 0; return *p == 1.0 ? 0 : 1; }"
+        assert run(src).value == 0
+
+    def test_address_of_scalar(self):
+        src = "void set(double* p) { *p = 3.0; }\nint main() { double x = 0.0; set(&x); return x == 3.0 ? 0 : 1; }"
+        assert run(src).value == 0
+
+    def test_local_c_array(self):
+        src = "int main() { double r[8]; r[3] = 2.0; return r[3] == 2.0 ? 0 : 1; }"
+        assert run(src).value == 0
+
+    def test_increment_through_subscript(self):
+        src = "int main() { double* a = new double[2]; a[0] = 1.0; a[0] += 2.0; return (int)a[0]; }"
+        assert run(src).value == 3
+
+
+class TestLambdasAndStructs:
+    def test_value_capture_snapshots(self):
+        src = (
+            "int main() { int x = 1; auto f = [=]() { return x; };"
+            " x = 99; return f(); }"
+        )
+        assert run(src).value == 1
+
+    def test_reference_capture_sees_updates(self):
+        src = (
+            "int main() { int x = 1; auto f = [&]() { return x; };"
+            " x = 99; return f(); }"
+        )
+        assert run(src).value == 99
+
+    def test_lambda_with_params(self):
+        src = "int main() { auto add = [](int a, int b) { return a + b; }; return add(2, 3); }"
+        assert run(src).value == 5
+
+    def test_struct_fields_and_methods(self):
+        src = (
+            "struct Counter { int n; void bump() { n = n + 1; } int get() { return n; } };\n"
+            "int main() { Counter c; c.bump(); c.bump(); return c.get(); }"
+        )
+        assert run(src).value == 2
+
+    def test_ctor_runs(self):
+        src = (
+            "struct P { int v; P(int x) : v(x) { } };\n"
+            "int main() { P p(9); return p.v; }"
+        )
+        assert run(src).value == 9
+
+
+class TestKernelLaunch:
+    def test_grid_iteration(self):
+        src = (
+            "__global__ void fill(double* a) {\n"
+            "int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+            "a[i] = 1.0;\n}\n"
+            "int main() { double* a = new double[8]; fill<<<2, 4>>>(a);\n"
+            "double s = 0.0; for (int i = 0; i < 8; i++) { s += a[i]; }\n"
+            "return (int)s; }"
+        )
+        assert run(src).value == 8
+
+
+class TestCoverage:
+    def test_executed_lines_recorded(self):
+        src = "int main() {\nint x = 1;\nreturn x;\n}"
+        res = run(src)
+        assert res.hits("main.cpp", 2) >= 1
+        assert res.hits("main.cpp", 3) >= 1
+
+    def test_dead_branch_not_recorded(self):
+        src = "int main() {\nif (false) {\nint dead = 1;\n}\nreturn 0;\n}"
+        res = run(src)
+        assert res.hits("main.cpp", 3) == 0
+
+    def test_loop_body_hit_count(self):
+        src = "int main() {\nfor (int i = 0; i < 5; i++) {\nint x = i;\n}\nreturn 0;\n}"
+        res = run(src)
+        # once per iteration (decl statements record at both the DeclStmt
+        # and VarDecl granularity, so the count is a multiple of 5)
+        assert res.hits("main.cpp", 3) >= 5
+        assert res.hits("main.cpp", 3) % 5 == 0
+
+    def test_line_mask_conversion(self):
+        res = run("int main() {\nreturn 0;\n}")
+        mask = res.line_mask()
+        assert mask.covered("main.cpp", 2)
+        assert not mask.covered("main.cpp", 999)
+
+
+class TestErrors:
+    def test_missing_entry(self):
+        with pytest.raises(InterpreterError, match="entry point"):
+            run("int helper() { return 1; }", entry="main")
+
+    def test_undefined_identifier(self):
+        with pytest.raises(InterpreterError, match="undefined identifier"):
+            run("int main() { return nope; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(InterpreterError, match="unknown function"):
+            run("int main() { return missing(); }")
+
+    def test_infinite_loop_fuel(self):
+        interp_src = "int main() { while (true) { } return 0; }"
+        from repro.exec.interpreter import Interpreter
+
+        old = Interpreter.MAX_STEPS
+        Interpreter.MAX_STEPS = 10_000
+        try:
+            with pytest.raises(InterpreterError, match="fuel"):
+                run(interp_src)
+        finally:
+            Interpreter.MAX_STEPS = old

@@ -1,0 +1,239 @@
+"""Intrinsic runtime semantics for every parallel-model API."""
+
+from repro.exec import run_program
+from repro.lang.cpp.parser import parse_unit
+from repro.lang.cpp.sema import analyze
+from repro.lang.source import VirtualFS
+from repro.corpus.headers import system_headers
+
+
+def run(text):
+    fs = VirtualFS()
+    for p, t in system_headers().items():
+        fs.add(p, t)
+    fs.add("main.cpp", text)
+    tu = parse_unit(fs, "main.cpp")
+    return run_program(tu, analyze(tu))
+
+
+class TestMath:
+    def test_sqrt_fabs(self):
+        src = '#include <cmath>\nint main() { return fabs(sqrt(16.0) - 4.0) < 0.001 ? 0 : 1; }'
+        assert run(src).value == 0
+
+    def test_fmin_fmax(self):
+        src = "#include <cmath>\nint main() { return (int)(fmax(2.0, 5.0) + fmin(1.0, 3.0)); }"
+        assert run(src).value == 6
+
+    def test_printf_captured(self):
+        src = '#include <cstdio>\nint main() { printf("hello\\n"); return 0; }'
+        res = run(src)
+        assert any("hello" in line for line in res.stdout)
+
+
+class TestCudaRuntime:
+    def test_malloc_memcpy(self):
+        src = (
+            "#include <cuda_runtime.h>\n"
+            "int main() {\n"
+            "double* d;\n"
+            "cudaMalloc(&d, 4 * sizeof(double));\n"
+            "d[1] = 5.0;\n"
+            "double* h = new double[4];\n"
+            "cudaMemcpy(h, d, 4 * sizeof(double), cudaMemcpyDeviceToHost);\n"
+            "return h[1] == 5.0 ? 0 : 1;\n}"
+        )
+        assert run(src).value == 0
+
+    def test_hip_launch_macro(self):
+        src = (
+            "#include <hip/hip_runtime.h>\n"
+            "__global__ void k(double* a) { a[threadIdx.x + blockIdx.x * blockDim.x] = 2.0; }\n"
+            "int main() {\n"
+            "double* d;\n"
+            "hipMalloc(&d, 8 * sizeof(double));\n"
+            "hipLaunchKernelGGL(k, 2, 4, 0, 0, d);\n"
+            "double s = 0.0;\n"
+            "for (int i = 0; i < 8; i++) { s += d[i]; }\n"
+            "return (int)s;\n}"
+        )
+        assert run(src).value == 16
+
+
+class TestSycl:
+    def test_usm_parallel_for(self):
+        src = (
+            "#include <sycl/sycl.hpp>\n"
+            "int main() {\n"
+            "sycl::queue q;\n"
+            "double* a = sycl::malloc_shared<double>(8, q);\n"
+            "q.parallel_for<class k>(sycl::range<1>(8), [=](sycl::id<1> i) { a[i.get(0)] = 3.0; });\n"
+            "q.wait();\n"
+            "double s = 0.0;\n"
+            "for (int i = 0; i < 8; i++) { s += a[i]; }\n"
+            "sycl::free(a, q);\n"
+            "return (int)s;\n}"
+        )
+        assert run(src).value == 24
+
+    def test_reduction(self):
+        src = (
+            "#include <sycl/sycl.hpp>\n"
+            "int main() {\n"
+            "sycl::queue q;\n"
+            "double* a = sycl::malloc_shared<double>(4, q);\n"
+            "for (int i = 0; i < 4; i++) { a[i] = i + 1.0; }\n"
+            "double* sum = sycl::malloc_shared<double>(1, q);\n"
+            "sum[0] = 0.0;\n"
+            "q.parallel_for<class r>(sycl::range<1>(4), sycl::reduction(sum, sycl::plus<double>()), [=](sycl::id<1> i, double& acc) { acc += a[i.get(0)]; });\n"
+            "q.wait();\n"
+            "return (int)sum[0];\n}"
+        )
+        assert run(src).value == 10
+
+    def test_buffers_and_accessors(self):
+        src = (
+            "#include <sycl/sycl.hpp>\n"
+            "int main() {\n"
+            "sycl::queue q;\n"
+            "double* h = new double[4];\n"
+            "{\n"
+            "sycl::buffer<double, 1> buf(h, sycl::range<1>(4));\n"
+            "q.submit([&](sycl::handler& cgh) {\n"
+            "sycl::accessor<double, 1> acc(buf, cgh, read_write);\n"
+            "cgh.parallel_for<class w>(sycl::range<1>(4), [=](sycl::id<1> i) { h[i.get(0)] = 4.0; });\n"
+            "});\n"
+            "q.wait();\n"
+            "}\n"
+            "return (int)(h[0] + h[3]);\n}"
+        )
+        assert run(src).value == 8
+
+
+class TestKokkos:
+    def test_view_and_parallel_for(self):
+        src = (
+            "#include <Kokkos_Core.hpp>\n"
+            "#define KOKKOS_LAMBDA [=]\n"
+            "int main() {\n"
+            "Kokkos::initialize();\n"
+            "Kokkos::View<double*> v(\"v\", 8);\n"
+            "Kokkos::parallel_for(\"fill\", 8, KOKKOS_LAMBDA(const int i) { v(i) = 2.0; });\n"
+            "double out = v(3);\n"
+            "Kokkos::finalize();\n"
+            "return (int)out;\n}"
+        )
+        assert run(src).value == 2
+
+    def test_parallel_reduce_writes_result(self):
+        src = (
+            "#include <Kokkos_Core.hpp>\n"
+            "#define KOKKOS_LAMBDA [=]\n"
+            "int main() {\n"
+            "Kokkos::initialize();\n"
+            "double total = 0.0;\n"
+            "Kokkos::parallel_reduce(\"sum\", 5, KOKKOS_LAMBDA(const int i, double& acc) { acc += i; }, total);\n"
+            "Kokkos::finalize();\n"
+            "return (int)total;\n}"
+        )
+        assert run(src).value == 10
+
+
+class TestTbb:
+    def test_blocked_range_for(self):
+        src = (
+            "#include <tbb/tbb.h>\n"
+            "int main() {\n"
+            "double* a = new double[6];\n"
+            "tbb::parallel_for(tbb::blocked_range<int>(0, 6), [=](const tbb::blocked_range<int>& r) {\n"
+            "for (int i = r.begin(); i != r.end(); ++i) { a[i] = 1.5; }\n"
+            "});\n"
+            "double s = 0.0;\n"
+            "for (int i = 0; i < 6; i++) { s += a[i]; }\n"
+            "return (int)s;\n}"
+        )
+        assert run(src).value == 9
+
+    def test_parallel_reduce(self):
+        src = (
+            "#include <tbb/tbb.h>\n"
+            "int main() {\n"
+            "double r = tbb::parallel_reduce(tbb::blocked_range<int>(0, 5), 0.0,\n"
+            "[=](const tbb::blocked_range<int>& rng, double acc) {\n"
+            "for (int i = rng.begin(); i != rng.end(); ++i) { acc += i; }\n"
+            "return acc;\n"
+            "}, std::plus<double>());\n"
+            "return (int)r;\n}"
+        )
+        assert run(src).value == 10
+
+
+class TestStdPar:
+    def test_fill_and_reduce(self):
+        src = (
+            "#include <algorithm>\n#include <execution>\n"
+            "int main() {\n"
+            "double* a = new double[4];\n"
+            "std::fill(std::execution::par_unseq, a, a + 4, 2.5);\n"
+            "double s = std::reduce(std::execution::par_unseq, a, a + 4, 0.0);\n"
+            "return (int)s;\n}"
+        )
+        assert run(src).value == 10
+
+    def test_transform_unary(self):
+        src = (
+            "#include <algorithm>\n#include <execution>\n"
+            "int main() {\n"
+            "double* a = new double[3];\n"
+            "double* b = new double[3];\n"
+            "std::fill(std::execution::par_unseq, a, a + 3, 2.0);\n"
+            "std::transform(std::execution::par_unseq, a, a + 3, b, [](double x) { return x * 3.0; });\n"
+            "return (int)b[2];\n}"
+        )
+        assert run(src).value == 6
+
+    def test_transform_binary(self):
+        src = (
+            "#include <algorithm>\n#include <execution>\n"
+            "int main() {\n"
+            "double* a = new double[3];\n"
+            "double* b = new double[3];\n"
+            "double* c = new double[3];\n"
+            "std::fill(std::execution::par_unseq, a, a + 3, 2.0);\n"
+            "std::fill(std::execution::par_unseq, b, b + 3, 5.0);\n"
+            "std::transform(std::execution::par_unseq, a, a + 3, b, c, [](double x, double y) { return x + y; });\n"
+            "return (int)c[0];\n}"
+        )
+        assert run(src).value == 7
+
+    def test_transform_reduce_inner_product(self):
+        src = (
+            "#include <algorithm>\n#include <execution>\n"
+            "int main() {\n"
+            "double* a = new double[3];\n"
+            "double* b = new double[3];\n"
+            "std::fill(std::execution::par_unseq, a, a + 3, 2.0);\n"
+            "std::fill(std::execution::par_unseq, b, b + 3, 4.0);\n"
+            "double d = std::transform_reduce(std::execution::par_unseq, a, a + 3, b, 0.0);\n"
+            "return (int)d;\n}"
+        )
+        assert run(src).value == 24
+
+    def test_for_each_n_counting(self):
+        src = (
+            "#include <algorithm>\n#include <execution>\n"
+            "int main() {\n"
+            "double* a = new double[4];\n"
+            "std::for_each_n(std::execution::par_unseq, 0, 4, [=](int i) { a[i] = i; });\n"
+            "return (int)(a[0] + a[1] + a[2] + a[3]);\n}"
+        )
+        assert run(src).value == 6
+
+
+class TestOmpRuntime:
+    def test_serial_semantics(self):
+        src = (
+            "#include <omp.h>\n"
+            "int main() { return omp_get_num_threads() == 1 && omp_get_thread_num() == 0 ? 0 : 1; }"
+        )
+        assert run(src).value == 0

@@ -1,0 +1,195 @@
+"""The paper's §V/§VI findings, asserted on the corpus.
+
+Each test names the claim it reproduces; these are the qualitative *shapes*
+EXPERIMENTS.md records (see DESIGN.md §5). BabelStream is used as the fast
+witness corpus; the full TeaLeaf/CloverLeaf figures live in benchmarks/.
+"""
+
+import pytest
+
+from repro.corpus import index_model
+from repro.workflow.comparer import MetricSpec, divergence
+
+
+@pytest.fixture(scope="module")
+def stream():
+    models = [
+        "serial",
+        "omp",
+        "omp-target",
+        "cuda",
+        "hip",
+        "sycl-usm",
+        "sycl-acc",
+        "kokkos",
+        "tbb",
+        "stdpar",
+    ]
+    return {m: index_model("babelstream", m, coverage=True) for m in models}
+
+
+def div(stream, base, model, spec):
+    return divergence(stream[base], stream[model], spec)
+
+
+class TestDirectiveModels:
+    def test_omp_least_divergent_from_serial(self, stream):
+        """'declarative models such as OpenMP ... tend to have a lower
+        divergence from serial when compared to the rest' (§VIII)."""
+        spec = MetricSpec("Tsem")
+        omp = div(stream, "serial", "omp", spec)
+        for other in ("cuda", "hip", "sycl-usm", "sycl-acc", "kokkos", "tbb", "stdpar"):
+            assert omp < div(stream, "serial", other, spec), other
+
+    def test_omp_tsem_exceeds_tsrc(self, stream):
+        """§V-C: 'OpenMP has a consistently higher T_sem divergence when
+        compared to T_src or other perceived metrics.'"""
+        tsem = div(stream, "serial", "omp", MetricSpec("Tsem"))
+        tsrc = div(stream, "serial", "omp", MetricSpec("Tsrc"))
+        assert tsem > tsrc
+
+    def test_omp_barely_changes_under_inlining(self, stream):
+        """§V-C: 'For OpenMP ... very little change for T_sem+i: the model
+        rel[ies] on the compiler to introduce semantics, so nothing gets
+        inlined' (relative to library models)."""
+        base = MetricSpec("Tsem")
+        inl = MetricSpec("Tsem", inlining=True)
+        omp_jump = abs(div(stream, "serial", "omp", inl) - div(stream, "serial", "omp", base))
+        kokkos_jump = abs(
+            div(stream, "serial", "kokkos", inl) - div(stream, "serial", "kokkos", base)
+        )
+        assert omp_jump <= kokkos_jump + 0.05
+
+
+class TestFirstPartyModels:
+    def test_cuda_hip_nearly_identical(self, stream):
+        """Fig. 4: 'the HIP model is grouped with CUDA.'"""
+        spec = MetricSpec("Tsem")
+        d = divergence(stream["cuda"], stream["hip"], spec)
+        d_serial = div(stream, "serial", "cuda", spec)
+        assert d < d_serial / 2
+
+    def test_cuda_among_most_divergent_host_views(self, stream):
+        spec = MetricSpec("Tsrc")
+        assert div(stream, "serial", "cuda", spec) > div(stream, "serial", "omp", spec) * 2
+
+
+class TestSyclFindings:
+    def test_sycl_pp_blowup(self, stream):
+        """§V-C: SYCL 'exhibits extreme divergence' under Source+pp — the
+        two-pass compiler's giant header lands in the unit."""
+        serial_pp = MetricSpec("SLOC", pp=True)
+        sloc_pp_sycl = div(stream, "serial", "sycl-usm", serial_pp)
+        sloc_pp_omp = div(stream, "serial", "omp", serial_pp)
+        assert sloc_pp_sycl > 5 * max(sloc_pp_omp, 0.01)
+
+    def test_sycl_semantically_heavier_than_it_looks(self, stream):
+        """§V-A: SYCL 'tries to hide semantic complexities using the C++
+        syntax' — its T_sem divergence gap versus Kokkos is smaller than the
+        perceived gap, i.e. semantics reveal hidden machinery."""
+        tsem = MetricSpec("Tsem")
+        tsrc = MetricSpec("Tsrc")
+        sycl_sem = div(stream, "serial", "sycl-usm", tsem)
+        sycl_src = div(stream, "serial", "sycl-usm", tsrc)
+        # semantic divergence relative to perceived divergence is larger for
+        # SYCL than for kokkos (template machinery is invisible in source)
+        kokkos_sem = div(stream, "serial", "kokkos", tsem)
+        kokkos_src = div(stream, "serial", "kokkos", tsrc)
+        assert sycl_sem / sycl_src > kokkos_sem / kokkos_src
+
+    def test_accessors_more_divergent_than_usm(self, stream):
+        """§V: 'the USM model removes a significant amount of the
+        boilerplate.'"""
+        for name in ("Tsrc", "Tsem", "Source"):
+            spec = MetricSpec(name)
+            assert div(stream, "serial", "sycl-acc", spec) > div(
+                stream, "serial", "sycl-usm", spec
+            ), name
+
+
+class TestLibraryModels:
+    def test_tbb_stdpar_similar(self, stream):
+        """§V-A: 'TBB and StdPar are grouped in the same cluster ... the two
+        models look similar and exhibit similar semantics.'"""
+        spec = MetricSpec("Tsem")
+        d = divergence(stream["tbb"], stream["stdpar"], spec)
+        assert d < div(stream, "serial", "tbb", spec)
+        assert d < divergence(stream["tbb"], stream["cuda"], spec)
+
+    def test_library_models_jump_under_inlining(self, stream):
+        """§V-C: 'for library-based or language-based models, we see a huge
+        jump in divergence [for T_sem+i] as foreign code is brought in.'"""
+        base = MetricSpec("Tsem")
+        inl = MetricSpec("Tsem", inlining=True)
+        # at least the app's own helper layer gets inlined back in
+        for model in ("kokkos", "tbb", "stdpar"):
+            d_base = div(stream, "serial", model, base)
+            d_inl = div(stream, "serial", model, inl)
+            assert d_inl != d_base or d_base > 0, model
+
+
+class TestOffloadIr:
+    def test_offload_models_polluted_at_ir(self, stream):
+        """§V-C: 'the obtained IR contains multiple layers of driver code
+        that is unrelated to the core algorithm.'"""
+        spec = MetricSpec("Tir")
+        host_avg = sum(div(stream, "serial", m, spec) for m in ("omp", "tbb")) / 2
+        offload_avg = sum(
+            div(stream, "serial", m, spec) for m in ("cuda", "hip", "omp-target")
+        ) / 3
+        assert offload_avg > host_avg
+
+    def test_host_models_cluster_at_ir(self, stream):
+        spec = MetricSpec("Tir")
+        assert div(stream, "serial", "omp", spec) < div(stream, "serial", "cuda", spec)
+
+
+class TestMigration:
+    def test_porting_from_cuda_costs_more_than_from_serial(self, stream):
+        """§V-D: 'The divergence when starting from serial is lower when
+        compared to starting from CUDA ... most obviously seen with the
+        T_sem metric.'"""
+        spec = MetricSpec("Tsem")
+        targets = ("omp-target", "sycl-usm", "kokkos")
+        from_serial = sum(div(stream, "serial", t, spec) for t in targets)
+        from_cuda = sum(divergence(stream["cuda"], stream[t], spec) for t in targets)
+        assert from_cuda > from_serial
+
+    def test_omp_target_cheapest_offload_from_serial(self):
+        """§V-D (a TeaLeaf case study in the paper): 'The OpenMP target
+        model stands out as having the lowest divergence overall when
+        ported from serial.'"""
+        spec = MetricSpec("Tsem")
+        serial = index_model("tealeaf", "serial", coverage=True)
+        omp_t = divergence(serial, index_model("tealeaf", "omp-target", coverage=True), spec)
+        for other in ("cuda", "hip", "sycl-usm", "sycl-acc"):
+            d = divergence(serial, index_model("tealeaf", other, coverage=True), spec)
+            assert omp_t < d, other
+
+
+class TestCoverageVariant:
+    def test_coverage_masking_changes_metric(self, stream):
+        base = div(stream, "serial", "cuda", MetricSpec("Tsem"))
+        cov = div(stream, "serial", "cuda", MetricSpec("Tsem", coverage=True))
+        assert cov >= 0
+        # masked trees are smaller; the value moves (may go either way)
+        assert cov != base or base == 0
+
+
+class TestFortranFindings:
+    def test_openacc_separates(self, fortran_sequential, fortran_openacc, fortran_omp):
+        """§V-B: 'the OpenACC model ... did not introduce extra tokens
+        related to parallelism' — at T_sem OpenACC sits closer to sequential
+        than OpenMP does."""
+        spec = MetricSpec("Tsem")
+        acc = divergence(fortran_sequential, fortran_openacc, spec)
+        omp = divergence(fortran_sequential, fortran_omp, spec)
+        assert acc < omp
+
+    def test_fortran_models_more_similar_than_cpp(self, fortran_sequential, fortran_omp, stream):
+        """§V-B: 'all the models at T_sem are more similar when compared to
+        the C++ version of BabelStream.'"""
+        spec = MetricSpec("Tsem")
+        ft_spread = divergence(fortran_sequential, fortran_omp, spec)
+        cpp_spread = div(stream, "serial", "cuda", spec)
+        assert ft_spread < cpp_spread

@@ -1,0 +1,91 @@
+"""CST construction and T_src normalisation."""
+
+from repro.lang.cpp.cst import build_cst, cst_post, cst_pre, normalized_src_tree
+from repro.lang.cpp.lexer import lex
+from repro.lang.source import VirtualFS
+
+
+def fs_with(text, **files):
+    fs = VirtualFS()
+    for p, t in files.items():
+        fs.add(p.replace("__", "/"), t)
+    fs.add("main.cpp", text)
+    return fs
+
+
+class TestBuildCst:
+    def test_bracket_grouping(self):
+        cst = build_cst(lex("int f(int a) { return a; }", "m"), "m")
+        groups = [n.label for n in cst.preorder() if n.kind == "group"]
+        assert "paren-group" in groups and "brace-group" in groups
+
+    def test_nesting(self):
+        cst = build_cst(lex("f(g(x));", "m"), "m")
+        outer = cst.find_labels("paren-group")[0]
+        assert outer.find_labels("paren-group")  # inner group nested
+
+    def test_all_tokens_kept(self):
+        text = "int x = 1; // comment"
+        cst = build_cst(lex(text, "m"), "m")
+        kinds = {n.kind for n in cst.preorder()}
+        assert "trivia" in kinds and "punct" in kinds and "kw" in kinds
+
+    def test_literal_classification(self):
+        cst = build_cst(lex('x = 1 + 2.5 + "s";', "m"), "m")
+        labels = [n.label for n in cst.preorder()]
+        assert "int-lit" in labels and "float-lit" in labels and "str-lit" in labels
+
+    def test_spans_recorded(self):
+        cst = build_cst(lex("int a;\nint b;", "m"), "m")
+        b = [n for n in cst.preorder() if n.label == "b"][0]
+        assert b.span.line_start == 2
+
+
+class TestNormalizedSrcTree:
+    def test_trivia_and_punct_dropped(self):
+        cst = build_cst(lex("int x = 1; // note", "m"), "m")
+        t = normalized_src_tree(cst)
+        kinds = {n.kind for n in t.preorder()}
+        assert "trivia" not in kinds and "punct" not in kinds
+
+    def test_keywords_and_idents_kept(self):
+        cst = build_cst(lex("for (int i = 0; i < n; i++) {}", "m"), "m")
+        t = normalized_src_tree(cst)
+        labels = [n.label for n in t.preorder()]
+        assert "for" in labels and "i" in labels
+
+    def test_groups_preserve_nesting(self):
+        cst = build_cst(lex("{ { x } }", "m"), "m")
+        t = normalized_src_tree(cst)
+        outer = t.find_labels("brace-group")[0]
+        assert outer.find_labels("brace-group")
+
+    def test_directive_words_survive(self):
+        # "OpenMP pragmas are identified and retained even after ...
+        # normalisation steps" (§III-C)
+        cst = build_cst(lex("#pragma omp parallel for\nint x;", "m"), "m")
+        t = normalized_src_tree(cst)
+        labels = [n.label for n in t.preorder()]
+        assert "directive:pragma" in labels
+        assert "parallel" in labels and "omp" in labels
+
+
+class TestPrePostVariants:
+    def test_pre_shows_directives(self):
+        fs = fs_with('#include "h.h"\nint x;', **{"h.h": "int hidden;"})
+        pre = cst_pre(fs, "main.cpp")
+        labels = [n.label for n in pre.preorder()]
+        assert any(l.startswith("directive:include") for l in labels)
+        assert "hidden" not in labels
+
+    def test_post_shows_header_content(self):
+        fs = fs_with('#include "h.h"\nint x;', **{"h.h": "int hidden;"})
+        post = cst_post(fs, "main.cpp")
+        labels = [n.label for n in post.preorder()]
+        assert "hidden" in labels
+
+    def test_post_expands_macros(self):
+        fs = fs_with("#define N 64\nint a[N];")
+        post = cst_post(fs, "main.cpp")
+        lits = [n.attrs.get("text") for n in post.preorder() if n.kind == "lit"]
+        assert "64" in lits

@@ -1,0 +1,103 @@
+"""MiniC++ lexer tests."""
+
+import pytest
+
+from repro.lang.cpp.lexer import Token, TokenType, lex, significant
+from repro.util.errors import ParseError
+
+
+def kinds(text):
+    return [(t.type, t.text) for t in significant(lex(text))]
+
+
+class TestBasicTokens:
+    def test_keywords_vs_idents(self):
+        toks = kinds("int foo")
+        assert toks == [(TokenType.KEYWORD, "int"), (TokenType.IDENT, "foo")]
+
+    def test_int_literals(self):
+        assert kinds("42 0x1F 7u")[0] == (TokenType.INT, "42")
+        assert kinds("0x1F")[0][0] == TokenType.INT
+
+    def test_float_literals(self):
+        for text in ("1.5", "0.4", "1e9", "2.5e-3", "1.0f"):
+            assert kinds(text)[0][0] == TokenType.FLOAT, text
+
+    def test_int_with_suffix_stays_int(self):
+        assert kinds("42u")[0][0] == TokenType.INT
+
+    def test_string_and_char(self):
+        toks = kinds('"hello" \'c\'')
+        assert toks[0][0] == TokenType.STRING
+        assert toks[1][0] == TokenType.CHAR
+
+    def test_string_with_escape(self):
+        toks = kinds(r'"a\"b"')
+        assert toks[0][1] == r'"a\"b"'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            lex('"oops')
+
+
+class TestOperators:
+    def test_longest_match(self):
+        assert [t for _, t in kinds("a<<<b>>>c")] == ["a", "<<<", "b", ">>>", "c"]
+
+    def test_shift_vs_chevron(self):
+        assert [t for _, t in kinds("a << b")] == ["a", "<<", "b"]
+
+    def test_scope_and_arrow(self):
+        assert [t for _, t in kinds("a::b->c")] == ["a", "::", "b", "->", "c"]
+
+    def test_compound_assignment(self):
+        assert [t for _, t in kinds("x += y")] == ["x", "+=", "y"]
+
+
+class TestTrivia:
+    def test_comments_are_trivia(self):
+        toks = lex("a // line\n/* block */ b")
+        sig = significant(toks)
+        assert [t.text for t in sig] == ["a", "b"]
+        assert any(t.type == TokenType.COMMENT for t in toks)
+
+    def test_multiline_block_comment_tracks_lines(self):
+        toks = lex("/* a\nb\nc */ x")
+        x = significant(toks)[0]
+        assert x.line == 3
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(ParseError):
+            lex("/* never ends")
+
+
+class TestDirectives:
+    def test_directive_token(self):
+        toks = lex("#include <omp.h>\nint x;")
+        assert toks[0].type == TokenType.DIRECTIVE
+        assert "#include" in toks[0].text
+
+    def test_hash_mid_line_not_directive(self):
+        # only line-leading '#' starts a directive
+        toks = significant(lex("a # b"))
+        assert [t.text for t in toks] == ["a", "#", "b"]
+
+    def test_continued_directive(self):
+        toks = lex("#define M(a) \\\n  (a + 1)\nint y;")
+        assert toks[0].type == TokenType.DIRECTIVE
+        assert "(a + 1)" in toks[0].text
+
+    def test_pragma_is_directive(self):
+        toks = lex("#pragma omp parallel for\n")
+        assert toks[0].type == TokenType.DIRECTIVE
+
+
+class TestLocations:
+    def test_line_and_col(self):
+        toks = significant(lex("int a;\n  double b;"))
+        b = [t for t in toks if t.text == "b"][0]
+        assert b.line == 2
+        assert b.col == 10
+
+    def test_cuda_attr_is_keyword(self):
+        assert kinds("__global__")[0][0] == TokenType.KEYWORD

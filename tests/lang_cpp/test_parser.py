@@ -1,0 +1,427 @@
+"""MiniC++ parser tests."""
+
+import pytest
+
+from repro.lang.cpp.astnodes import (
+    AssignExpr,
+    BinaryExpr,
+    CallExpr,
+    CastExpr,
+    ClassDecl,
+    CompoundStmt,
+    CondExpr,
+    DeclStmt,
+    DeleteExpr,
+    DoStmt,
+    ExprStmt,
+    ForStmt,
+    FunctionDecl,
+    IdentExpr,
+    IfStmt,
+    KernelLaunchExpr,
+    LambdaExpr,
+    LiteralExpr,
+    MemberExpr,
+    NamespaceDecl,
+    NewExpr,
+    PragmaStmt,
+    ReturnStmt,
+    SubscriptExpr,
+    TranslationUnit,
+    UnaryExpr,
+    VarDecl,
+    WhileStmt,
+)
+from repro.lang.cpp.lexer import lex, significant
+from repro.lang.cpp.parser import parse_tokens
+from repro.util.errors import ParseError
+
+
+def parse(text) -> TranslationUnit:
+    return parse_tokens(significant(lex(text, "t.cpp")), "t.cpp")
+
+
+def parse_fn_body(body_text):
+    tu = parse(f"void f() {{\n{body_text}\n}}")
+    return tu.decls[0].body.stmts
+
+
+class TestDeclarations:
+    def test_function_with_params(self):
+        tu = parse("double dot(const double* a, int n);")
+        fn = tu.decls[0]
+        assert isinstance(fn, FunctionDecl)
+        assert fn.name == "dot"
+        assert fn.ret.base_name == "double"
+        assert fn.params[0].type.pointer == 1
+        assert fn.params[0].type.is_const
+        assert fn.body is None
+
+    def test_function_definition(self):
+        tu = parse("int f() { return 3; }")
+        assert isinstance(tu.decls[0].body, CompoundStmt)
+
+    def test_global_variable(self):
+        tu = parse("int limit = 10;")
+        v = tu.decls[0]
+        assert isinstance(v, VarDecl)
+        assert isinstance(v.init, LiteralExpr)
+
+    def test_namespace(self):
+        tu = parse("namespace sycl { class queue; }")
+        ns = tu.decls[0]
+        assert isinstance(ns, NamespaceDecl)
+        assert isinstance(ns.decls[0], ClassDecl)
+
+    def test_class_with_members(self):
+        tu = parse(
+            """
+            class Vec {
+             public:
+              Vec(int n);
+              double get(int i) const;
+              int size_;
+            };
+            """
+        )
+        cls = tu.decls[0]
+        assert cls.name == "Vec"
+        assert [m.name for m in cls.methods] == ["Vec", "get"]
+        assert cls.methods[0].is_ctor
+        assert "const" in cls.methods[1].qualifiers
+        assert cls.fields[0].name == "size_"
+
+    def test_struct_with_base(self):
+        tu = parse("struct D : public B { int x; };")
+        assert tu.decls[0].bases[0].base_name == "B"
+
+    def test_template_function(self):
+        tu = parse("template <typename T> T square(T x) { return x * x; }")
+        fn = tu.decls[0]
+        assert fn.template_params[0].name == "T"
+
+    def test_template_class_with_defaults(self):
+        tu = parse("template <typename T, int D = 1> class buffer { };")
+        cls = tu.decls[0]
+        assert len(cls.template_params) == 2
+        assert cls.template_params[1].kind == "nontype"
+
+    def test_cuda_kernel_attrs(self):
+        tu = parse("__global__ void k(double* a) { }")
+        assert tu.decls[0].is_kernel
+
+    def test_using_namespace(self):
+        tu = parse("using namespace std;")
+        assert "std" in tu.decls[0].text
+
+    def test_using_alias(self):
+        tu = parse("using real = double;")
+        assert tu.decls[0].alias == "real"
+
+    def test_typedef(self):
+        tu = parse("typedef int myint;")
+        assert tu.decls[0].name == "myint"
+
+    def test_operator_call_method(self):
+        tu = parse("class F { double operator()(int i) const; };")
+        m = tu.decls[0].methods[0]
+        assert m.is_operator and m.name == "operator()"
+
+    def test_operator_subscript_method(self):
+        tu = parse("class A { double operator[](int i) const; };")
+        assert tu.decls[0].methods[0].name == "operator[]"
+
+    def test_destructor(self):
+        tu = parse("class R { ~R() { } };")
+        assert tu.decls[0].methods[0].name == "~R"
+
+    def test_ctor_init_list(self):
+        tu = parse("class P { int x; P(int v) : x(v) { } };")
+        ctor = tu.decls[0].methods[0]
+        # member inits become leading statements of the body
+        assert isinstance(ctor.body.stmts[0], ExprStmt)
+
+
+class TestStatements:
+    def test_decl_statement(self):
+        (s,) = parse_fn_body("double sum = 0.0;")
+        assert isinstance(s, DeclStmt)
+        assert s.decls[0].name == "sum"
+
+    def test_multi_declarator(self):
+        (s,) = parse_fn_body("int a = 1, b = 2;")
+        assert [v.name for v in s.decls] == ["a", "b"]
+
+    def test_ctor_style_decl(self):
+        (s,) = parse_fn_body("Widget w(1, 2);")
+        assert s.decls[0].ctor_args is not None
+        assert len(s.decls[0].ctor_args) == 2
+
+    def test_array_decl(self):
+        (s,) = parse_fn_body("double r[64];")
+        v = s.decls[0]
+        assert v.type.pointer == 1  # array declarator folds into pointer+size
+
+    def test_if_else(self):
+        (s,) = parse_fn_body("if (x > 0) { a = 1; } else { a = 2; }")
+        assert isinstance(s, IfStmt)
+        assert s.other is not None
+
+    def test_for_loop(self):
+        (s,) = parse_fn_body("for (int i = 0; i < n; i++) { work(); }")
+        assert isinstance(s, ForStmt)
+        assert isinstance(s.init, DeclStmt)
+
+    def test_for_infinite(self):
+        (s,) = parse_fn_body("for (;;) { break; }")
+        assert s.cond is None and s.inc is None
+
+    def test_while_and_do(self):
+        s1, s2 = parse_fn_body("while (x) { y(); } do { z(); } while (w);")
+        assert isinstance(s1, WhileStmt)
+        assert isinstance(s2, DoStmt)
+
+    def test_return_void(self):
+        (s,) = parse_fn_body("return;")
+        assert isinstance(s, ReturnStmt) and s.value is None
+
+    def test_expression_vs_declaration_disambiguation(self):
+        s1, s2 = parse_fn_body("a(i) = 1.0; int x = 2;")
+        assert isinstance(s1, ExprStmt)
+        assert isinstance(s2, DeclStmt)
+
+
+class TestPragmas:
+    def test_omp_parallel_for_attaches_loop(self):
+        (s,) = parse_fn_body("#pragma omp parallel for\nfor (int i = 0; i < n; i++) { a[i] = 0; }")
+        assert isinstance(s, PragmaStmt)
+        assert s.directives == ["parallel", "for"]
+        assert isinstance(s.body, ForStmt)
+
+    def test_clause_arguments(self):
+        (s,) = parse_fn_body("#pragma omp parallel for reduction(+:sum) schedule(static)\nfor (;;) {}")
+        names = {c.name for c in s.clauses}
+        assert "reduction" in names and "schedule" in names
+        red = [c for c in s.clauses if c.name == "reduction"][0]
+        assert red.arguments == ["+:sum"]
+
+    def test_target_directives(self):
+        (s,) = parse_fn_body(
+            "#pragma omp target teams distribute parallel for map(tofrom: a[0:N])\nfor (;;) {}"
+        )
+        assert s.directives == ["target", "teams", "distribute", "parallel", "for"]
+        maps = [c for c in s.clauses if c.name == "map"]
+        assert maps
+
+    def test_standalone_barrier_has_no_body(self):
+        s1, s2 = parse_fn_body("#pragma omp barrier\nx = 1;")
+        assert isinstance(s1, PragmaStmt) and s1.body is None
+        assert isinstance(s2, ExprStmt)
+
+    def test_acc_family(self):
+        (s,) = parse_fn_body("#pragma acc parallel loop\nfor (;;) {}")
+        assert s.family == "acc"
+
+
+class TestExpressions:
+    def expr(self, text):
+        (s,) = parse_fn_body(f"x = {text};")
+        return s.expr.rhs
+
+    def test_precedence(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, BinaryExpr) and e.op == "+"
+        assert e.rhs.op == "*"
+
+    def test_comparison_chain(self):
+        e = self.expr("a < b && c >= d")
+        assert e.op == "&&"
+
+    def test_assignment_in_expr(self):
+        (s,) = parse_fn_body("a = b = 3;")
+        assert isinstance(s.expr.rhs, AssignExpr)
+
+    def test_ternary(self):
+        e = self.expr("c ? 1 : 2")
+        assert isinstance(e, CondExpr)
+
+    def test_call_with_args(self):
+        e = self.expr("f(1, g(2), h)")
+        assert isinstance(e, CallExpr)
+        assert len(e.args) == 3
+
+    def test_member_chain(self):
+        e = self.expr("obj.inner.method(1)")
+        assert isinstance(e, CallExpr)
+        assert isinstance(e.callee, MemberExpr)
+
+    def test_arrow(self):
+        e = self.expr("p->x")
+        assert isinstance(e, MemberExpr) and e.arrow
+
+    def test_subscript(self):
+        e = self.expr("a[i + 1]")
+        assert isinstance(e, SubscriptExpr)
+
+    def test_unary_ops(self):
+        e = self.expr("-*p")
+        assert isinstance(e, UnaryExpr) and e.op == "-"
+        assert e.operand.op == "*"
+
+    def test_postfix_increment(self):
+        e = self.expr("i++")
+        assert isinstance(e, UnaryExpr) and not e.prefix
+
+    def test_new_array(self):
+        e = self.expr("new double[N]")
+        assert isinstance(e, NewExpr)
+        assert e.array_size is not None
+
+    def test_delete_array(self):
+        (s,) = parse_fn_body("delete[] p;")
+        assert isinstance(s.expr, DeleteExpr) and s.expr.is_array
+
+    def test_c_cast(self):
+        e = self.expr("(int)x")
+        assert isinstance(e, CastExpr)
+
+    def test_static_cast(self):
+        e = self.expr("static_cast<double>(n)")
+        assert isinstance(e, CastExpr) and e.kind == "static"
+
+    def test_functional_cast(self):
+        e = self.expr("double(n)")
+        assert isinstance(e, CastExpr)
+
+    def test_parenthesised_not_cast(self):
+        e = self.expr("(a + b) * c")
+        assert isinstance(e, BinaryExpr) and e.op == "*"
+
+    def test_qualified_name(self):
+        e = self.expr("std::execution::par_unseq")
+        assert isinstance(e, IdentExpr)
+        assert e.parts == ["std", "execution", "par_unseq"]
+
+    def test_sizeof_type(self):
+        e = self.expr("sizeof(double)")
+        from repro.lang.cpp.astnodes import SizeofExpr
+
+        assert isinstance(e, SizeofExpr) and e.type is not None
+
+
+class TestTemplatesAndDialect:
+    def test_explicit_template_call(self):
+        tu = parse("void f() { g<double>(x); }")
+        call = tu.decls[0].body.stmts[0].expr
+        assert isinstance(call, CallExpr)
+        assert len(call.template_args) == 1
+
+    def test_template_vs_less_than(self):
+        (s,) = parse_fn_body("b = a < c;")
+        assert isinstance(s.expr.rhs, BinaryExpr)
+        assert s.expr.rhs.op == "<"
+
+    def test_kernel_name_template_arg(self):
+        tu = parse("void f(Q& q) { q.parallel_for<class my_k>(r, l); }")
+        call = tu.decls[0].body.stmts[0].expr
+        assert isinstance(call, CallExpr)
+        assert call.template_args
+
+    def test_nested_template_args_with_shift_close(self):
+        (s,) = parse_fn_body("A<B<int>> x;")
+        assert isinstance(s, DeclStmt)
+        assert s.decls[0].type.template_args
+
+    def test_kernel_launch(self):
+        tu = parse("void f() { k<<<grid, block>>>(a, b); }")
+        e = tu.decls[0].body.stmts[0].expr
+        assert isinstance(e, KernelLaunchExpr)
+        assert len(e.config) == 2
+        assert len(e.args) == 2
+
+    def test_lambda_value_capture(self):
+        e_stmt = parse_fn_body("auto f = [=](int i) { return i; };")[0]
+        lam = e_stmt.decls[0].init
+        assert isinstance(lam, LambdaExpr)
+        assert lam.capture == "="
+        assert lam.params[0].name == "i"
+
+    def test_lambda_ref_capture(self):
+        e_stmt = parse_fn_body("auto f = [&](sycl::handler& h) { };")[0]
+        lam = e_stmt.decls[0].init
+        assert lam.capture == "&"
+        assert lam.params[0].type.is_ref
+
+    def test_default_argument_recorded(self):
+        tu = parse("int get(int dim = 0);")
+        assert tu.decls[0].params[0].default is not None
+
+
+class TestErrors:
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse("void f() { if (x) {")
+
+    def test_garbage_decl(self):
+        with pytest.raises(ParseError):
+            parse("$$$")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int x = 1")
+
+
+class TestSpans:
+    def test_function_span_covers_body(self):
+        tu = parse("void f() {\n  int x = 1;\n  int y = 2;\n}")
+        fn = tu.decls[0]
+        assert fn.span.line_start == 1
+        assert fn.span.line_end >= 4
+
+    def test_stmt_spans_point_at_lines(self):
+        # body starts on line 2 of the synthesised function
+        stmts = parse_fn_body("int a = 1;\n  int b = 2;")
+        assert stmts[0].span.line_start == 2
+        assert stmts[1].span.line_start == 3
+
+
+class TestEdgeCases:
+    def test_deeply_nested_expressions(self):
+        expr = "1" + " + 1" * 60
+        (s,) = parse_fn_body(f"x = {expr};")
+        assert isinstance(s, ExprStmt)
+
+    def test_deeply_nested_blocks(self):
+        body = "{" * 30 + "x = 1;" + "}" * 30
+        stmts = parse_fn_body(body)
+        assert stmts
+
+    def test_empty_function(self):
+        tu = parse("void f() {}")
+        assert tu.decls[0].body.stmts == []
+
+    def test_chained_subscript_member(self):
+        (s,) = parse_fn_body("obj.field[i].inner = 1;")
+        assert isinstance(s.expr, AssignExpr)
+
+    def test_comma_operator(self):
+        (s,) = parse_fn_body("for (i = 0, j = 9; i < j; i++, j--) { }")
+        assert isinstance(s, ForStmt)
+
+    def test_reserved_punct_cannot_be_variable(self):
+        with pytest.raises(ParseError):
+            parse("int + = 3;")
+
+    def test_unary_chain(self):
+        (s,) = parse_fn_body("x = - - + 5;")
+        assert isinstance(s.expr.rhs, UnaryExpr)
+
+    def test_nested_lambdas(self):
+        (s,) = parse_fn_body("auto f = [=](int i) { auto g = [&](int j) { return j; }; return g(i); };")
+        assert isinstance(s, DeclStmt)
+
+    def test_pragma_before_closing_brace(self):
+        # a pragma as the last statement of a block must not grab '}'
+        stmts = parse_fn_body("x = 1;\n#pragma omp barrier")
+        assert isinstance(stmts[-1], PragmaStmt)
+        assert stmts[-1].body is None

@@ -1,0 +1,183 @@
+"""MiniC++ preprocessor tests."""
+
+import pytest
+
+from repro.lang.cpp.lexer import TokenType
+from repro.lang.cpp.preprocessor import preprocess
+from repro.lang.source import VirtualFS
+from repro.util.errors import ParseError
+
+
+def pp(main_text, files=None, defines=None):
+    fs = VirtualFS()
+    for path, text in (files or {}).items():
+        fs.add(path, text)
+    fs.add("main.cpp", main_text)
+    return preprocess(fs, "main.cpp", defines)
+
+
+def texts(result):
+    return [t.text for t in result.tokens if t.type is not TokenType.DIRECTIVE]
+
+
+class TestObjectMacros:
+    def test_simple_expansion(self):
+        r = pp("#define N 64\nint x = N;")
+        assert "64" in texts(r) and "N" not in texts(r)
+
+    def test_rescanning(self):
+        r = pp("#define A B\n#define B 7\nint x = A;")
+        assert "7" in texts(r)
+
+    def test_self_reference_terminates(self):
+        r = pp("#define X X\nint x = X;")
+        assert "X" in texts(r)
+
+    def test_undef(self):
+        r = pp("#define N 1\n#undef N\nint x = N;")
+        assert "N" in texts(r)
+
+    def test_cmdline_defines(self):
+        r = pp("int x = FROM_CLI;", defines={"FROM_CLI": "99"})
+        assert "99" in texts(r)
+
+
+class TestFunctionMacros:
+    def test_args_substituted(self):
+        r = pp("#define SQ(x) ((x) * (x))\nint y = SQ(3);")
+        assert texts(r).count("3") == 2
+
+    def test_multi_args(self):
+        r = pp("#define ADD(a, b) (a + b)\nint y = ADD(1, 2);")
+        t = texts(r)
+        assert "1" in t and "2" in t and "+" in t
+
+    def test_nested_call_args(self):
+        r = pp("#define ID(x) x\nint y = ID(f(1, 2));")
+        t = texts(r)
+        assert "f" in t and "," in t
+
+    def test_name_without_parens_not_expanded(self):
+        r = pp("#define F(x) x\nint F;")
+        assert "F" in texts(r)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ParseError):
+            pp("#define TWO(a, b) a\nint x = TWO(1);")
+
+    def test_object_macro_expanding_to_lambda_intro(self):
+        # the KOKKOS_LAMBDA idiom
+        r = pp("#define KOKKOS_LAMBDA [=]\nauto f = KOKKOS_LAMBDA(int i) { return i; };")
+        t = texts(r)
+        assert "[" in t and "=" in t and "]" in t
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        r = pp("#define YES 1\n#ifdef YES\nint a;\n#endif\nint b;")
+        assert "a" in texts(r)
+
+    def test_ifdef_skipped(self):
+        r = pp("#ifdef NO\nint a;\n#endif\nint b;")
+        assert "a" not in texts(r) and "b" in texts(r)
+
+    def test_ifndef(self):
+        r = pp("#ifndef NO\nint a;\n#endif")
+        assert "a" in texts(r)
+
+    def test_else_branch(self):
+        r = pp("#ifdef NO\nint a;\n#else\nint b;\n#endif")
+        assert "a" not in texts(r) and "b" in texts(r)
+
+    def test_elif(self):
+        r = pp("#define V 2\n#if V == 1\nint a;\n#elif V == 2\nint b;\n#else\nint c;\n#endif")
+        t = texts(r)
+        assert "b" in t and "a" not in t and "c" not in t
+
+    def test_nested_conditionals(self):
+        r = pp("#define A 1\n#ifdef A\n#ifdef B\nint x;\n#endif\nint y;\n#endif")
+        t = texts(r)
+        assert "x" not in t and "y" in t
+
+    def test_if_defined_expr(self):
+        r = pp("#define A 1\n#if defined(A) && !defined(B)\nint yes;\n#endif")
+        assert "yes" in texts(r)
+
+    def test_if_arithmetic(self):
+        r = pp("#if (2 + 3) * 2 == 10\nint yes;\n#endif")
+        assert "yes" in texts(r)
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(ParseError):
+            pp("#ifdef X\nint a;")
+
+    def test_error_directive_in_dead_branch_ignored(self):
+        r = pp("#ifdef NO\n#error boom\n#endif\nint ok;")
+        assert "ok" in texts(r)
+
+    def test_error_directive_raises(self):
+        with pytest.raises(ParseError, match="boom"):
+            pp("#error boom")
+
+    def test_skipped_lines_recorded(self):
+        r = pp("#ifdef NO\nint a;\nint b;\n#endif")
+        assert len(r.skipped_lines) >= 2
+
+
+class TestIncludes:
+    def test_quoted_include(self):
+        r = pp('#include "h.h"\nint y;', files={"h.h": "int from_header;"})
+        assert "from_header" in texts(r)
+        assert r.dependencies == ["h.h"]
+
+    def test_angled_include_resolves_system(self):
+        r = pp("#include <sys.h>\n", files={"<system>/sys.h": "int sys_decl;"})
+        assert "sys_decl" in texts(r)
+
+    def test_include_once(self):
+        r = pp(
+            '#include "h.h"\n#include "h.h"\n',
+            files={"h.h": "int once;"},
+        )
+        assert texts(r).count("once") == 1
+
+    def test_missing_include_raises(self):
+        with pytest.raises(ParseError, match="include not found"):
+            pp('#include "nope.h"\n')
+
+    def test_nested_includes(self):
+        r = pp(
+            '#include "a.h"\n',
+            files={"a.h": '#include "b.h"\nint a_decl;', "b.h": "int b_decl;"},
+        )
+        t = texts(r)
+        assert "b_decl" in t and "a_decl" in t
+        assert r.dependencies == ["a.h", "b.h"]
+
+    def test_tokens_keep_original_file(self):
+        r = pp('#include "h.h"\nint y;', files={"h.h": "int hx;"})
+        hx = [t for t in r.tokens if t.text == "hx"][0]
+        assert hx.file == "h.h"
+
+
+class TestPragmaRetention:
+    def test_omp_pragma_survives(self):
+        r = pp("#pragma omp parallel for\nfor (;;) {}")
+        directives = [t for t in r.tokens if t.type is TokenType.DIRECTIVE]
+        assert len(directives) == 1
+        assert "omp parallel for" in directives[0].text
+
+    def test_acc_pragma_survives(self):
+        r = pp("#pragma acc kernels\n{}")
+        assert any(t.type is TokenType.DIRECTIVE for t in r.tokens)
+
+    def test_other_pragma_dropped(self):
+        r = pp("#pragma GCC optimize\nint x;")
+        assert not any(t.type is TokenType.DIRECTIVE for t in r.tokens)
+
+    def test_pragma_once_marks_included(self):
+        r = pp(
+            '#include "g.h"\n#include "g.h"\n',
+            files={"g.h": "#pragma once\nint gg;"},
+        )
+        assert texts(r).count("gg") == 1

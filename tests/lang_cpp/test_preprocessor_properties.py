@@ -1,0 +1,62 @@
+"""Property-based preprocessor/lexer invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.cpp.lexer import TokenType, lex, significant
+from repro.lang.cpp.preprocessor import preprocess
+from repro.lang.source import VirtualFS
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+_int = st.integers(min_value=0, max_value=9999)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(_ident, _int), min_size=1, max_size=8, unique_by=lambda t: t[0]))
+def test_object_macros_fully_expand(defs):
+    """Every defined macro disappears from the output; its value appears."""
+    lines = [f"#define {name} {value}" for name, value in defs]
+    uses = [f"int u{i} = {name};" for i, (name, _v) in enumerate(defs)]
+    fs = VirtualFS().add("m.cpp", "\n".join(lines + uses) + "\n")
+    result = preprocess(fs, "m.cpp")
+    texts = [t.text for t in result.tokens]
+    for name, value in defs:
+        assert name not in texts
+        assert str(value) in texts
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["int x;", "double y = 1.0;", "// note", "", "y = y + 1;"]), max_size=12))
+def test_lexer_line_numbers_monotone(lines):
+    toks = significant(lex("\n".join(lines), "m.cpp"))
+    line_numbers = [t.line for t in toks]
+    assert line_numbers == sorted(line_numbers)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b", "42", "1.5", "+", "(", ")", ";", "if"]), max_size=20))
+def test_lexer_token_texts_reconstruct_source(parts):
+    """Concatenating token texts (with spaces) re-lexes to the same stream."""
+    src = " ".join(parts)
+    toks1 = [(t.type, t.text) for t in significant(lex(src, "m"))]
+    rebuilt = " ".join(t for _ty, t in toks1)
+    toks2 = [(t.type, t.text) for t in significant(lex(rebuilt, "m"))]
+    assert toks1 == toks2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.booleans(), st.booleans())
+def test_conditionals_select_exactly_one_branch(a, b):
+    src = (
+        (f"#define A 1\n" if a else "")
+        + (f"#define B 1\n" if b else "")
+        + "#if defined(A) && defined(B)\nint both;\n"
+        + "#elif defined(A)\nint only_a;\n"
+        + "#elif defined(B)\nint only_b;\n"
+        + "#else\nint neither;\n#endif\n"
+    )
+    fs = VirtualFS().add("m.cpp", src)
+    texts = [t.text for t in preprocess(fs, "m.cpp").tokens]
+    hits = [n for n in ("both", "only_a", "only_b", "neither") if n in texts]
+    expected = "both" if (a and b) else "only_a" if a else "only_b" if b else "neither"
+    assert hits == [expected]

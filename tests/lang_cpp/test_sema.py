@@ -1,0 +1,119 @@
+"""Semantic analysis: resolution, instantiation, type inference."""
+
+from repro.lang.cpp.parser import parse_unit
+from repro.lang.cpp.sema import analyze
+from repro.lang.source import VirtualFS
+
+
+def analyzed(main_text, **files):
+    fs = VirtualFS()
+    for p, t in files.items():
+        fs.add(p.replace("__", "/"), t)
+    fs.add("main.cpp", main_text)
+    tu = parse_unit(fs, "main.cpp")
+    return tu, analyze(tu)
+
+
+SYCL_MINI = """
+namespace sycl {
+template <int D> class range { public: range(int n); };
+class queue {
+ public:
+  queue();
+  template <typename K, typename R, typename F> void parallel_for(R r, F f);
+};
+template <typename T> T* malloc_shared(int n, queue& q);
+}
+"""
+
+
+class TestCollection:
+    def test_functions_collected(self):
+        _, sema = analyzed("int f(); int g() { return 1; }")
+        assert "f" in sema.functions and "g" in sema.functions
+
+    def test_definition_wins_over_declaration(self):
+        _, sema = analyzed("int f();\nint f() { return 2; }")
+        assert sema.functions["f"].body is not None
+
+    def test_namespaced_names_qualified(self):
+        _, sema = analyzed("namespace a { namespace b { void f(); } }")
+        assert "a::b::f" in sema.functions
+
+    def test_classes_collected(self):
+        _, sema = analyzed("namespace sycl { class queue; }")
+        assert "sycl::queue" in sema.classes
+
+
+class TestCallResolution:
+    def test_direct_call_resolved(self):
+        _, sema = analyzed("void h() {}\nvoid g() { h(); }")
+        assert ("g", "h") in sema.calls
+
+    def test_qualified_call_resolved(self):
+        _, sema = analyzed("namespace ns { void f() {} }\nvoid g() { ns::f(); }")
+        assert ("g", "ns::f") in sema.calls
+
+    def test_method_call_resolved_through_var_type(self):
+        _, sema = analyzed(
+            SYCL_MINI + "void g() { sycl::queue q; q.parallel_for(1, 2); }"
+        )
+        assert ("g", "sycl::queue::parallel_for") in sema.calls
+
+    def test_system_flag_set(self):
+        _, sema = analyzed(
+            '#include <sys.h>\nvoid g() { sysfn(); }',
+            **{"<system>__sys.h": "void sysfn();"},
+        )
+        resolved = list(sema.resolved.values())
+        assert any(q == "sysfn" and is_sys for q, _d, is_sys in resolved)
+
+
+class TestInstantiations:
+    def test_template_function_call_instantiates(self):
+        _, sema = analyzed(
+            SYCL_MINI + "void g() { sycl::queue q; double* p = sycl::malloc_shared<double>(8, q); }"
+        )
+        names = [i.callee for i in sema.instantiations]
+        assert "sycl::malloc_shared" in names
+        inst = [i for i in sema.instantiations if i.callee == "sycl::malloc_shared"][0]
+        assert inst.template_args == ["double"]
+
+    def test_templated_method_call_instantiates(self):
+        _, sema = analyzed(
+            SYCL_MINI + "void g() { sycl::queue q; q.parallel_for(3, 4); }"
+        )
+        assert any(i.callee.endswith("parallel_for") for i in sema.instantiations)
+
+    def test_ctor_expression_instantiates(self):
+        # sycl::range<1>(n) — a materialised templated temporary
+        _, sema = analyzed(
+            '#include <sycl_mini.h>\nvoid g() { int n = 4; sycl::range<1> r = sycl::range<1>(n); }',
+            **{"<system>__sycl_mini.h": SYCL_MINI},
+        )
+        assert any(i.callee == "sycl::range" for i in sema.instantiations)
+
+    def test_instantiation_site_is_user_file(self):
+        _, sema = analyzed(
+            '#include <sycl_mini.h>\nvoid g() { sycl::queue q; q.parallel_for(1, 2); }',
+            **{"<system>__sycl_mini.h": SYCL_MINI},
+        )
+        inst = [i for i in sema.instantiations if i.callee.endswith("parallel_for")][0]
+        assert inst.site_file == "main.cpp"
+
+    def test_non_template_call_does_not_instantiate(self):
+        _, sema = analyzed("void h() {}\nvoid g() { h(); }")
+        assert not sema.instantiations
+
+
+class TestTypeInference:
+    def test_param_type_used_for_method_resolution(self):
+        _, sema = analyzed(
+            SYCL_MINI + "void g(sycl::queue& q) { q.parallel_for(1, 2); }"
+        )
+        assert any(c[1].endswith("parallel_for") for c in sema.calls)
+
+    def test_function_bodies_helper(self):
+        _, sema = analyzed("int f();\nint g() { return 0; }")
+        bodies = sema.function_bodies()
+        assert "g" in bodies and "f" not in bodies

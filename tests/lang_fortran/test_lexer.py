@@ -1,0 +1,79 @@
+"""MiniFortran lexer tests."""
+
+import pytest
+
+from repro.lang.fortran.lexer import FtTokenType, lex_fortran
+from repro.util.errors import ParseError
+
+
+def toks(text):
+    return [t for t in lex_fortran(text) if t.type not in (FtTokenType.NEWLINE, FtTokenType.EOF)]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        t = toks("PROGRAM Foo")
+        assert t[0].type is FtTokenType.KEYWORD and t[0].text == "program"
+        assert t[1].type is FtTokenType.IDENT and t[1].text == "Foo"
+
+    def test_real_literals(self):
+        for lit in ("1.5", "1.0d0", "2e-3", "1.0_dp"):
+            assert toks(lit)[0].type is FtTokenType.REAL, lit
+
+    def test_int_literal(self):
+        assert toks("42")[0].type is FtTokenType.INT
+
+    def test_string_literal(self):
+        assert toks("'hello'")[0].type is FtTokenType.STRING
+
+    def test_logical_literals(self):
+        assert toks(".true.")[0].type is FtTokenType.LOGICAL
+        assert toks(".false.")[0].type is FtTokenType.LOGICAL
+
+    def test_dotops(self):
+        t = toks("a .and. b .or. .not. c")
+        dotops = [x.text for x in t if x.type is FtTokenType.DOTOP]
+        assert dotops == [".and.", ".or.", ".not."]
+
+    def test_operators(self):
+        t = [x.text for x in toks("a ** 2 /= b")]
+        assert "**" in t and "/=" in t
+
+
+class TestCommentsAndDirectives:
+    def test_plain_comment_is_trivia(self):
+        t = lex_fortran("x = 1 ! a comment")
+        assert any(tok.type is FtTokenType.COMMENT for tok in t)
+
+    def test_omp_sentinel_is_directive(self):
+        t = lex_fortran("!$omp parallel do")
+        assert t[0].type is FtTokenType.DIRECTIVE
+
+    def test_acc_sentinel_is_directive(self):
+        t = lex_fortran("!$acc kernels")
+        assert t[0].type is FtTokenType.DIRECTIVE
+
+    def test_case_insensitive_sentinel(self):
+        t = lex_fortran("!$OMP PARALLEL DO")
+        assert t[0].type is FtTokenType.DIRECTIVE
+
+
+class TestContinuations:
+    def test_ampersand_joins_lines(self):
+        t = toks("x = 1 + &\n    2")
+        texts = [x.text for x in t]
+        assert texts == ["x", "=", "1", "+", "2"]
+
+    def test_statement_separator_semicolon(self):
+        raw = lex_fortran("a = 1; b = 2")
+        seps = [t for t in raw if t.type is FtTokenType.NEWLINE]
+        assert len(seps) >= 2
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            lex_fortran("x = 'oops")
+
+    def test_line_numbers_preserved(self):
+        raw = toks("a = 1\nb = 2\nc = 3")
+        c = [t for t in raw if t.text == "c"][0]
+        assert c.line == 3

@@ -1,0 +1,202 @@
+"""MiniFortran parser tests."""
+
+import pytest
+
+from repro.lang.fortran.astnodes import (
+    FtAllocate,
+    FtAssign,
+    FtBinOp,
+    FtCallOrIndex,
+    FtCallStmt,
+    FtDecl,
+    FtDirective,
+    FtDo,
+    FtDoConcurrent,
+    FtIdent,
+    FtIf,
+    FtPrint,
+    FtRange,
+    FtStop,
+    FtWhile,
+)
+from repro.lang.fortran.parser import parse_fortran
+from repro.util.errors import ParseError
+
+
+def program(body):
+    return f"program t\n{body}\nend program t\n"
+
+
+def parse_body(body):
+    f = parse_fortran(program(body))
+    return f.units[0].body
+
+
+class TestUnits:
+    def test_program_unit(self):
+        f = parse_fortran("program hello\nend program hello")
+        assert f.units[0].kind == "program"
+        assert f.units[0].name == "hello"
+
+    def test_subroutine_with_args(self):
+        f = parse_fortran("subroutine s(a, b)\nend subroutine s")
+        assert f.units[0].params == ["a", "b"]
+
+    def test_function_with_result(self):
+        f = parse_fortran("function f(x) result(y)\nend function f")
+        assert f.units[0].result == "y"
+
+    def test_contains_block(self):
+        src = (
+            "program p\n"
+            "call inner()\n"
+            "contains\n"
+            "subroutine inner()\n"
+            "end subroutine inner\n"
+            "end program p"
+        )
+        f = parse_fortran(src)
+        assert len(f.units[0].contains) == 1
+
+    def test_module_unit(self):
+        f = parse_fortran("module m\nend module m")
+        assert f.units[0].kind == "module"
+
+
+class TestDeclarations:
+    def test_typed_decl_with_kind(self):
+        (d,) = parse_body("real(kind=8) :: x")
+        assert isinstance(d, FtDecl)
+        assert d.base_type == "real"
+        assert d.kind == "kind=8"
+
+    def test_allocatable_array(self):
+        (d,) = parse_body("real(kind=8), allocatable, dimension(:) :: a, b")
+        attrs = {a.name for a in d.attrs}
+        assert "allocatable" in attrs and "dimension" in attrs
+        assert [e[0] for e in d.entities] == ["a", "b"]
+
+    def test_parameter_with_init(self):
+        (d,) = parse_body("integer, parameter :: n = 64")
+        name, dims, init = d.entities[0]
+        assert name == "n"
+        assert not dims
+        assert init is not None
+
+    def test_explicit_shape(self):
+        (d,) = parse_body("real :: grid(8, 8)")
+        assert len(d.entities[0][1]) == 2
+
+
+class TestStatements:
+    def test_assignment(self):
+        decls = parse_body("integer :: x\nx = 1 + 2")
+        assign = decls[1]
+        assert isinstance(assign, FtAssign)
+        assert isinstance(assign.rhs, FtBinOp)
+
+    def test_array_element_assignment(self):
+        stmts = parse_body("real, dimension(:) :: a\na(3) = 1.0")
+        assign = stmts[1]
+        assert isinstance(assign.lhs, FtCallOrIndex)
+        assert assign.lhs.is_index
+
+    def test_whole_array_section(self):
+        stmts = parse_body("real, dimension(:) :: a\na(:) = 0.0")
+        assert isinstance(stmts[1].lhs.args[0], FtRange)
+
+    def test_intrinsic_call_not_index(self):
+        stmts = parse_body("real :: s\nreal, dimension(:) :: a\ns = sum(a)")
+        rhs = stmts[2].rhs
+        assert isinstance(rhs, FtCallOrIndex) and not rhs.is_index
+
+    def test_do_loop(self):
+        stmts = parse_body("integer :: i\ndo i = 1, 10\ni = i\nend do")
+        loop = stmts[1]
+        assert isinstance(loop, FtDo)
+        assert loop.var == "i"
+        assert len(loop.body) == 1
+
+    def test_do_with_step(self):
+        stmts = parse_body("integer :: i\ndo i = 1, 10, 2\nend do")
+        assert stmts[1].step is not None
+
+    def test_do_concurrent(self):
+        stmts = parse_body("integer :: i\ndo concurrent (i = 1:8)\nend do")
+        assert isinstance(stmts[1], FtDoConcurrent)
+
+    def test_do_while(self):
+        stmts = parse_body("integer :: i\ni = 0\ndo while (i < 3)\ni = i + 1\nend do")
+        assert isinstance(stmts[2], FtWhile)
+
+    def test_if_then_else(self):
+        body = "integer :: x\nif (x > 0) then\nx = 1\nelse\nx = 2\nend if"
+        stmts = parse_body(body)
+        node = stmts[1]
+        assert isinstance(node, FtIf)
+        assert len(node.then) == 1 and len(node.other) == 1
+
+    def test_single_line_if(self):
+        stmts = parse_body("integer :: x\nif (x > 0) x = 0")
+        assert isinstance(stmts[1], FtIf)
+
+    def test_allocate_deallocate(self):
+        stmts = parse_body("real, allocatable :: a(:)\nallocate(a(10))\ndeallocate(a)")
+        assert isinstance(stmts[1], FtAllocate) and not stmts[1].dealloc
+        assert isinstance(stmts[2], FtAllocate) and stmts[2].dealloc
+
+    def test_call_statement(self):
+        stmts = parse_body("call work(1, 2)")
+        assert isinstance(stmts[0], FtCallStmt)
+        assert len(stmts[0].args) == 2
+
+    def test_print_statement(self):
+        stmts = parse_body("print *, 'hi', 42")
+        assert isinstance(stmts[0], FtPrint)
+        assert len(stmts[0].items) == 2
+
+    def test_stop_with_code(self):
+        stmts = parse_body("stop 1")
+        assert isinstance(stmts[0], FtStop)
+
+
+class TestDirectives:
+    def test_omp_directive_attached_to_do(self):
+        body = "integer :: i\n!$omp parallel do\ndo i = 1, 4\nend do\n!$omp end parallel do"
+        stmts = parse_body(body)
+        d = stmts[1]
+        assert isinstance(d, FtDirective)
+        assert d.directives == ["parallel", "do"]
+        assert len(d.body) == 1 and isinstance(d.body[0], FtDo)
+
+    def test_end_directive_consumed(self):
+        body = "integer :: i\n!$omp parallel do\ndo i = 1, 4\nend do\n!$omp end parallel do"
+        stmts = parse_body(body)
+        assert not any(isinstance(s, FtDirective) and s.is_end for s in stmts)
+
+    def test_reduction_clause(self):
+        body = "integer :: i\nreal :: s\n!$omp parallel do reduction(+:s)\ndo i = 1, 4\nend do"
+        stmts = parse_body(body)
+        d = stmts[2]
+        assert ("reduction", ["+:s"]) in d.clauses
+
+    def test_acc_directive(self):
+        body = "integer :: i\n!$acc parallel loop\ndo i = 1, 4\nend do\n!$acc end parallel loop"
+        stmts = parse_body(body)
+        assert stmts[1].family == "acc"
+
+    def test_continued_directive(self):
+        body = "integer :: i\n!$omp parallel do &\n!$omp reduction(+:s)\ndo i = 1, 4\nend do"
+        stmts = parse_body(body)
+        d = stmts[1]
+        assert any(c[0] == "reduction" for c in d.clauses)
+
+
+class TestErrors:
+    def test_missing_end_raises(self):
+        with pytest.raises(ParseError):
+            parse_fortran("program p\ninteger :: x")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_fortran("program p\nx = = 1\nend program p")

@@ -1,0 +1,81 @@
+"""SLOC/LLOC metric tests (Nguyen-style normalisation, Eqs. 2–3)."""
+
+from repro.lang.source import VirtualFS
+from repro.metrics import lloc, sloc, sloc_per_file
+from repro.workflow.codebase import ModelSpec
+from repro.workflow.indexer import index_codebase
+
+
+def index(text, **files):
+    fs = VirtualFS()
+    for p, t in files.items():
+        fs.add(p.replace("__", "/"), t)
+    fs.add("main.cpp", text)
+    spec = ModelSpec(app="t", model="m", lang="cpp", units={"main": "main.cpp"})
+    return index_codebase(spec, fs)
+
+
+class TestSloc:
+    def test_counts_code_lines_only(self):
+        cb = index("int a;\n\n// comment only\nint b;\n")
+        assert sloc(cb) == 2
+
+    def test_multiline_statement_counts_per_line(self):
+        cb = index("int f(int a,\n      int b);\n")
+        assert sloc(cb) == 2
+
+    def test_comment_and_blank_free(self):
+        cb = index("/* block\n   comment */\nint x;\n")
+        assert sloc(cb) == 1
+
+    def test_pp_variant_includes_headers(self):
+        cb = index('#include "h.h"\nint x;\n', **{"h.h": "int a;\nint b;\nint c;\n"})
+        # pre counts the unit files as written (#include line + header);
+        # post counts the preprocessed stream (header body + main body).
+        per_post = sloc_per_file(cb, "pp")
+        assert per_post["h.h"] == 3
+        assert per_post["main.cpp"] == 1
+
+    def test_directives_count_as_code_pre_pp(self):
+        cb = index("#define N 4\nint a[N];\n")
+        assert sloc(cb) == 2
+
+    def test_per_file_breakdown(self):
+        cb = index('#include "h.h"\nint x;\n', **{"h.h": "int a;\n"})
+        per = sloc_per_file(cb, "pp")
+        assert "h.h" in per and "main.cpp" in per
+
+    def test_coverage_variant_reduces(self, stream_serial):
+        full = sloc(stream_serial)
+        masked = sloc(stream_serial, mask=stream_serial.mask())
+        assert 0 < masked <= full
+
+
+class TestLloc:
+    def test_for_header_is_one_logical_line(self):
+        # "a for-loop header in C++ would be counted as a single line
+        # regardless of linebreak"
+        one_line = index("void f() { for (int i = 0; i < 9; i++) { g(); } }\nvoid g();\n")
+        multi_line = index("void f() {\nfor (int i = 0;\n     i < 9;\n     i++) {\ng();\n}\n}\nvoid g();\n")
+        assert lloc(one_line) == lloc(multi_line)
+
+    def test_statements_counted(self):
+        cb = index("void f() { int a = 1; int b = 2; a = b; }\n")
+        assert lloc(cb) >= 3
+
+    def test_lloc_insensitive_to_formatting(self):
+        dense = index("int f(){int a=1;int b=2;return a+b;}\n")
+        sparse = index("int f()\n{\n  int a = 1;\n  int b = 2;\n  return a + b;\n}\n")
+        assert lloc(dense) == lloc(sparse)
+
+    def test_sloc_sensitive_where_lloc_is_not(self):
+        # the classic SLOC weakness the paper calls out: linebreak preference
+        dense = index("int f(){int a=1;int b=2;return a+b;}\n")
+        sparse = index("int f()\n{\n  int a = 1;\n  int b = 2;\n  return a + b;\n}\n")
+        assert sloc(dense) != sloc(sparse)
+        assert lloc(dense) == lloc(sparse)
+
+    def test_pragma_is_one_logical_line(self):
+        with_pragma = index("void f() {\n#pragma omp parallel for\nfor (int i = 0; i < 2; i++) { }\n}\n")
+        without = index("void f() {\nfor (int i = 0; i < 2; i++) { }\n}\n")
+        assert lloc(with_pragma) == lloc(without) + 1

@@ -1,0 +1,60 @@
+"""Compressed container format tests."""
+
+import pytest
+
+from repro.serde import MAGIC, read_blob, write_blob
+from repro.util.errors import SerdeError
+
+
+class TestContainer:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.svdb"
+        obj = {"trees": [1, 2, 3], "meta": {"app": "babelstream"}}
+        n = write_blob(path, obj)
+        assert n > 0
+        assert read_blob(path) == obj
+
+    def test_magic_present(self, tmp_path):
+        path = tmp_path / "x.svdb"
+        write_blob(path, [1])
+        assert path.read_bytes().startswith(MAGIC)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "not.svdb"
+        path.write_bytes(b"definitely not a db")
+        with pytest.raises(SerdeError, match="not a Codebase DB"):
+            read_blob(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "x.svdb"
+        write_blob(path, {"k": "v"})
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(SerdeError):
+            read_blob(path)
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = tmp_path / "x.svdb"
+        write_blob(path, {"k": "v"})
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerdeError):
+            read_blob(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "x.svdb"
+        write_blob(path, 1)
+        data = bytearray(path.read_bytes())
+        data[len(MAGIC)] = 99
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerdeError, match="version"):
+            read_blob(path)
+
+    def test_compression_effective(self, tmp_path):
+        path = tmp_path / "x.svdb"
+        obj = ["the same line of text"] * 500
+        n = write_blob(path, obj)
+        from repro.serde import pack
+
+        assert n < len(pack(obj)) / 4  # highly repetitive data compresses

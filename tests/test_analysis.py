@@ -1,0 +1,156 @@
+"""Clustering (vs SciPy cross-check), dendrograms, heatmaps, tables."""
+
+import numpy as np
+import pytest
+from scipy.cluster import hierarchy
+from scipy.spatial.distance import squareform
+
+from repro.analysis import (
+    Dendrogram,
+    agglomerative,
+    cluster_models,
+    cophenetic_matrix,
+    cut_clusters,
+    euclidean_rows,
+    render_table,
+)
+from repro.analysis.heatmap import HeatmapData, divergence_heatmap
+from repro.workflow.comparer import MetricSpec
+
+
+def toy_distance_matrix():
+    # two tight pairs far apart: (a,b) and (c,d)
+    labels = ["a", "b", "c", "d"]
+    d = np.array(
+        [
+            [0.0, 1.0, 9.0, 9.5],
+            [1.0, 0.0, 9.2, 9.8],
+            [9.0, 9.2, 0.0, 0.8],
+            [9.5, 9.8, 0.8, 0.0],
+        ]
+    )
+    return d, labels
+
+
+class TestAgglomerative:
+    def test_pairs_merge_first(self):
+        d, labels = toy_distance_matrix()
+        dend = agglomerative(d, labels)
+        clusters = cut_clusters(dend, 2.0)
+        assert {"a", "b"} in clusters and {"c", "d"} in clusters
+
+    def test_linkage_row_shape(self):
+        d, labels = toy_distance_matrix()
+        dend = agglomerative(d, labels)
+        assert dend.linkage.shape == (3, 4)
+        # heights non-decreasing for complete linkage on a metric
+        heights = dend.merge_heights()
+        assert heights == sorted(heights)
+
+    def test_matches_scipy_complete_linkage(self):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            pts = rng.random((6, 3))
+            d = np.sqrt(((pts[:, None] - pts[None]) ** 2).sum(-1))
+            ours = agglomerative(d, [str(i) for i in range(6)], "complete")
+            theirs = hierarchy.linkage(squareform(d, checks=False), method="complete")
+            assert np.allclose(sorted(ours.merge_heights()), sorted(theirs[:, 2]))
+
+    def test_matches_scipy_single_linkage(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((7, 2))
+        d = np.sqrt(((pts[:, None] - pts[None]) ** 2).sum(-1))
+        ours = agglomerative(d, [str(i) for i in range(7)], "single")
+        theirs = hierarchy.linkage(squareform(d, checks=False), method="single")
+        assert np.allclose(sorted(ours.merge_heights()), sorted(theirs[:, 2]))
+
+    def test_average_linkage_supported(self):
+        d, labels = toy_distance_matrix()
+        dend = agglomerative(d, labels, "average")
+        assert len(dend.linkage) == 3
+
+    def test_unknown_linkage_rejected(self):
+        d, labels = toy_distance_matrix()
+        with pytest.raises(ValueError):
+            agglomerative(d, labels, "ward")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            agglomerative(np.zeros((2, 2)), ["a", "b", "c"])
+
+
+class TestDendrogram:
+    def test_newick_contains_all_leaves(self):
+        d, labels = toy_distance_matrix()
+        text = agglomerative(d, labels).newick()
+        for l in labels:
+            assert l in text
+        assert text.endswith(";")
+
+    def test_leaf_order_is_permutation(self):
+        d, labels = toy_distance_matrix()
+        order = agglomerative(d, labels).leaf_order()
+        assert sorted(order) == sorted(labels)
+
+    def test_leaf_order_groups_clusters(self):
+        d, labels = toy_distance_matrix()
+        order = agglomerative(d, labels).leaf_order()
+        ia, ib = order.index("a"), order.index("b")
+        assert abs(ia - ib) == 1  # tight pair adjacent
+
+    def test_cophenetic_symmetry_and_zero_diag(self):
+        d, labels = toy_distance_matrix()
+        coph = cophenetic_matrix(agglomerative(d, labels))
+        assert np.allclose(coph, coph.T)
+        assert np.allclose(np.diag(coph), 0.0)
+
+    def test_cophenetic_reflects_merge_heights(self):
+        d, labels = toy_distance_matrix()
+        dend = agglomerative(d, labels)
+        coph = cophenetic_matrix(dend)
+        assert coph[0, 1] < coph[0, 2]  # a-b merge earlier than a-c
+
+
+class TestEuclideanRows:
+    def test_matches_manual(self):
+        m = np.array([[0.0, 1.0], [1.0, 0.0]])
+        d = euclidean_rows(m)
+        assert d[0, 1] == pytest.approx(np.sqrt(2))
+
+    def test_cluster_models_end_to_end(self):
+        m = np.array(
+            [
+                [0.0, 0.1, 0.9, 0.9],
+                [0.1, 0.0, 0.9, 0.9],
+                [0.9, 0.9, 0.0, 0.1],
+                [0.9, 0.9, 0.1, 0.0],
+            ]
+        )
+        dend = cluster_models(m, ["s", "omp", "cuda", "hip"])
+        clusters = cut_clusters(dend, dend.merge_heights()[1])
+        assert {"s", "omp"} in clusters
+        assert {"cuda", "hip"} in clusters
+
+
+class TestHeatmap:
+    def test_divergence_heatmap_values(self, stream_serial, stream_omp):
+        data = divergence_heatmap(stream_serial, [stream_serial, stream_omp], [MetricSpec("Tsem")])
+        assert data.cell("Tsem", "serial") == 0.0
+        assert data.cell("Tsem", "omp") > 0.0
+
+    def test_csv_export(self):
+        data = HeatmapData(["r1"], ["c1", "c2"], np.array([[0.1, 0.2]]))
+        csv = data.to_csv()
+        assert "metric,c1,c2" in csv and "0.1000" in csv
+
+    def test_row_accessor(self):
+        data = HeatmapData(["r1"], ["c1"], np.array([[0.5]]))
+        assert data.row("r1") == {"c1": 0.5}
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])

@@ -1,0 +1,173 @@
+"""Φ metric, performance model, cascade plots, navigation charts."""
+
+import pytest
+
+from repro.perfport import (
+    PLATFORMS,
+    CascadeData,
+    PerfModel,
+    cascade,
+    navigation_chart,
+    phi,
+    platform_by_abbr,
+)
+from repro.perfport.perfmodel import MODEL_SUPPORT
+from repro.perfport.pp_metric import phi_subset, phi_table
+
+
+class TestPhi:
+    def test_harmonic_mean(self):
+        assert phi([0.5, 1.0]) == pytest.approx(2 / (1 / 0.5 + 1 / 1.0))
+
+    def test_zero_if_any_unsupported(self):
+        # "Φ of zero" for models not portable to the whole set
+        assert phi([0.9, 0.0, 0.8]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert phi([]) == 0.0
+
+    def test_single_platform(self):
+        assert phi([0.7]) == pytest.approx(0.7)
+
+    def test_phi_between_min_and_arithmetic_mean(self):
+        effs = [0.9, 0.5, 0.7]
+        assert min(effs) <= phi(effs) <= sum(effs) / len(effs)
+
+
+class TestPlatforms:
+    def test_table3_platforms_present(self):
+        abbrs = {p.abbr for p in PLATFORMS}
+        assert abbrs == {"SPR", "Milan", "G3e", "H100", "MI250X", "PVC"}
+
+    def test_lookup(self):
+        p = platform_by_abbr("H100")
+        assert p.vendor == "NVIDIA" and p.kind == "gpu"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            platform_by_abbr("A64FX")
+
+
+class TestPerfModel:
+    def setup_method(self):
+        self.pm = PerfModel()
+        self.models = ["serial", "omp", "omp-target", "cuda", "hip", "sycl-acc", "kokkos"]
+
+    def test_deterministic(self):
+        a = self.pm.efficiency_matrix("tealeaf", self.models)
+        b = PerfModel().efficiency_matrix("tealeaf", self.models)
+        assert (a.eff == b.eff).all()
+
+    def test_cuda_only_on_nvidia(self):
+        m = self.pm.efficiency_matrix("tealeaf", self.models)
+        assert m.efficiency("cuda", "H100") > 0
+        assert m.efficiency("cuda", "MI250X") == 0.0
+        assert m.efficiency("cuda", "SPR") == 0.0
+
+    def test_host_omp_no_gpus(self):
+        m = self.pm.efficiency_matrix("tealeaf", self.models)
+        assert m.efficiency("omp", "SPR") > 0
+        assert m.efficiency("omp", "H100") == 0.0
+
+    def test_portable_models_everywhere(self):
+        m = self.pm.efficiency_matrix("tealeaf", self.models)
+        for plat in m.platforms:
+            assert m.efficiency("kokkos", plat) > 0
+            assert m.efficiency("omp-target", plat) > 0
+
+    def test_efficiency_normalised(self):
+        m = self.pm.efficiency_matrix("tealeaf", self.models)
+        assert (m.eff <= 1.0 + 1e-12).all()
+        # the best model on each supported platform has efficiency 1
+        assert (m.eff.max(axis=0) == pytest.approx(1.0, abs=1e-12))
+
+    def test_serial_is_slow(self):
+        m = self.pm.efficiency_matrix("tealeaf", self.models)
+        assert m.efficiency("serial", "SPR") < 0.1
+
+    def test_openacc_cpu_qoi_issue(self):
+        # §V-B: single-threaded OpenACC on CPU via GCC
+        m = self.pm.efficiency_matrix(
+            "babelstream-fortran", ["sequential", "omp", "openacc"]
+        )
+        assert m.efficiency("openacc", "SPR") < 0.1
+        assert m.efficiency("omp", "SPR") > 0.5
+
+    def test_roofline_memory_bound_app(self):
+        h100 = platform_by_abbr("H100")
+        # tealeaf is BW-bound: attainable ≪ peak flops
+        assert self.pm.roofline("tealeaf", h100) < h100.flops / 10
+
+    def test_csv_export(self):
+        m = self.pm.efficiency_matrix("tealeaf", ["omp", "cuda"])
+        assert m.to_csv().startswith("model,")
+
+
+class TestCascade:
+    def test_series_sorted_descending(self):
+        m = PerfModel().efficiency_matrix("tealeaf", ["kokkos", "cuda"])
+        data = cascade(m)
+        for s in data.series:
+            assert s.efficiencies == sorted(s.efficiencies, reverse=True)
+
+    def test_phi_collapses_at_unsupported(self):
+        m = PerfModel().efficiency_matrix("tealeaf", ["cuda", "kokkos"])
+        data = cascade(m)
+        cuda = data.by_model("cuda")
+        assert cuda.phis[0] > 0  # best platform first
+        assert cuda.final_phi == 0.0  # dies once unsupported platforms enter
+
+    def test_portable_model_keeps_phi(self):
+        m = PerfModel().efficiency_matrix("tealeaf", ["kokkos", "cuda"])
+        assert cascade(m).by_model("kokkos").final_phi > 0.5
+
+    def test_phi_monotone_nonincreasing_along_cascade(self):
+        m = PerfModel().efficiency_matrix("cloverleaf", ["kokkos", "omp-target", "sycl-usm"])
+        for s in cascade(m).series:
+            for a, b in zip(s.phis, s.phis[1:]):
+                assert b <= a + 1e-12
+
+    def test_csv(self):
+        m = PerfModel().efficiency_matrix("tealeaf", ["kokkos"])
+        assert "model,position,platform" in cascade(m).to_csv()
+
+
+class TestNavigation:
+    def test_chart_assembly(self):
+        chart = navigation_chart(
+            "tealeaf",
+            phis={"omp-target": 0.8, "cuda": 0.0},
+            tsem={"omp-target": 0.2, "cuda": 0.5},
+            tsrc={"omp-target": 0.05, "cuda": 0.55},
+        )
+        p = chart.by_model("omp-target")
+        assert p.phi == 0.8 and p.tsrc == 0.05
+
+    def test_zero_phi_models_still_plotted(self):
+        # "Models that are not portable ... are still plotted"
+        chart = navigation_chart("t", {"cuda": 0.0}, {"cuda": 0.4}, {"cuda": 0.5})
+        assert chart.by_model("cuda").phi == 0.0
+
+    def test_ranking_prefers_top_right(self):
+        chart = navigation_chart(
+            "t",
+            phis={"good": 0.9, "bad": 0.1},
+            tsem={"good": 0.1, "bad": 0.8},
+            tsrc={"good": 0.1, "bad": 0.8},
+        )
+        assert chart.ranked()[0].model == "good"
+
+    def test_perceived_bloat_sign(self):
+        # SYCL-accessor style: source looks worse than the semantics are
+        chart = navigation_chart("t", {"sycl-acc": 0.8}, {"sycl-acc": 0.4}, {"sycl-acc": 0.7})
+        assert chart.by_model("sycl-acc").perceived_bloat > 0
+
+    def test_phi_subset_for_migration_story(self):
+        # Fig. 15: CUDA has Φ=1 on an NVIDIA-only platform set, 0 once AMD
+        # enters the set
+        m = PerfModel().efficiency_matrix("tealeaf", ["cuda", "hip", "omp-target"])
+        nvidia_only = phi_subset(m, ["H100"])
+        both = phi_subset(m, ["H100", "MI250X"])
+        assert nvidia_only["cuda"] == pytest.approx(1.0, abs=0.2)
+        assert both["cuda"] == 0.0
+        assert both["omp-target"] > 0

@@ -1,0 +1,58 @@
+"""Utility-layer tests: timers and error types."""
+
+import pytest
+
+from repro.util import LoweringError, ParseError, ReproError, SemanticError, Timer, timed
+from repro.util.timing import all_timers, get_timer, reset_timers
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer("x")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.calls == 2
+        assert t.elapsed >= 0.0
+        assert t.mean >= 0.0
+
+    def test_mean_zero_when_unused(self):
+        assert Timer("x").mean == 0.0
+
+    def test_registry(self):
+        reset_timers()
+        a = get_timer("alpha")
+        assert get_timer("alpha") is a
+        assert "alpha" in all_timers()
+        reset_timers()
+        assert "alpha" not in all_timers()
+
+    def test_timed_decorator(self):
+        reset_timers()
+
+        @timed("deco")
+        def fn(x):
+            return x * 2
+
+        assert fn(21) == 42
+        assert get_timer("deco").calls == 1
+
+
+class TestErrors:
+    def test_parse_error_formats_location(self):
+        e = ParseError("bad token", "f.cpp", 3, 7)
+        assert "f.cpp:3:7" in str(e)
+        assert isinstance(e, ReproError)
+
+    def test_semantic_error(self):
+        e = SemanticError("unknown symbol", "g.cpp", 9)
+        assert "g.cpp:9" in str(e)
+
+    def test_hierarchy(self):
+        for cls in (ParseError, SemanticError, LoweringError):
+            assert issubclass(cls, ReproError)
+
+    def test_catchable_at_base(self):
+        with pytest.raises(ReproError):
+            raise LoweringError("nope")

@@ -1,0 +1,109 @@
+"""Visualisation backends: SVG validity (XML-parsed) and ASCII output."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+
+from repro.analysis import agglomerative
+from repro.analysis.heatmap import HeatmapData
+from repro.perfport import PerfModel, cascade, navigation_chart
+from repro.viz import (
+    SvgCanvas,
+    ascii_bars,
+    ascii_dendrogram,
+    ascii_heatmap,
+    render_bars_svg,
+    render_cascade_svg,
+    render_dendrogram_svg,
+    render_heatmap_svg,
+    render_navigation_svg,
+)
+from repro.viz.svg import viridis
+
+
+def parse_svg(text):
+    root = ET.fromstring(text)
+    assert root.tag.endswith("svg")
+    return root
+
+
+def toy_dendrogram():
+    d = np.array([[0.0, 1.0, 8.0], [1.0, 0.0, 8.5], [8.0, 8.5, 0.0]])
+    return agglomerative(d, ["serial", "omp", "cuda"])
+
+
+class TestSvgCanvas:
+    def test_document_valid_xml(self):
+        c = SvgCanvas(100, 50)
+        c.line(0, 0, 10, 10)
+        c.rect(5, 5, 10, 10)
+        c.circle(20, 20, 3)
+        c.star(30, 30, 5)
+        c.polyline([(0, 0), (5, 5), (10, 0)])
+        c.text(1, 1, "label <&>")
+        parse_svg(c.to_svg())
+
+    def test_text_escaped(self):
+        c = SvgCanvas(10, 10)
+        c.text(0, 0, "a < b & c")
+        assert "a &lt; b &amp; c" in c.to_svg()
+
+    def test_save(self, tmp_path):
+        c = SvgCanvas(10, 10)
+        path = tmp_path / "x.svg"
+        c.save(str(path))
+        parse_svg(path.read_text())
+
+    def test_viridis_endpoints(self):
+        assert viridis(0.0) == "rgb(68,1,84)"
+        assert viridis(1.0) == "rgb(253,231,37)"
+        assert viridis(-5).startswith("rgb(68")
+        assert viridis(7).startswith("rgb(253")
+
+
+class TestChartRenderers:
+    def test_dendrogram_svg(self):
+        svg = render_dendrogram_svg(toy_dendrogram(), "title")
+        root = parse_svg(svg)
+        assert "serial" in svg and "cuda" in svg
+
+    def test_heatmap_svg(self):
+        data = HeatmapData(["Tsem"], ["omp", "cuda"], np.array([[0.1, 0.6]]))
+        svg = render_heatmap_svg(data, "hm")
+        parse_svg(svg)
+        assert "0.10" in svg and "0.60" in svg
+
+    def test_cascade_svg(self):
+        m = PerfModel().efficiency_matrix("tealeaf", ["kokkos", "omp-target"])
+        svg = render_cascade_svg(cascade(m), "cascade")
+        parse_svg(svg)
+        assert "kokkos" in svg
+
+    def test_navigation_svg(self):
+        chart = navigation_chart(
+            "t", {"omp": 0.5, "cuda": 0.0}, {"omp": 0.1, "cuda": 0.4}, {"omp": 0.1, "cuda": 0.5}
+        )
+        svg = render_navigation_svg(chart, "nav")
+        parse_svg(svg)
+        assert "towards no resemblance" in svg
+
+    def test_bars_svg(self):
+        svg = render_bars_svg({"omp": 0.5, "cuda": 0.9})
+        parse_svg(svg)
+        assert "0.900" in svg
+
+
+class TestAscii:
+    def test_dendrogram(self):
+        out = ascii_dendrogram(toy_dendrogram())
+        assert "serial" in out and "omp" in out and "cuda" in out
+        assert "h=" in out
+
+    def test_heatmap(self):
+        data = HeatmapData(["Tsem"], ["omp"], np.array([[0.42]]))
+        out = ascii_heatmap(data)
+        assert "Tsem" in out and "0.42" in out
+
+    def test_bars(self):
+        out = ascii_bars({"x": 0.5}, width=10)
+        assert "x" in out and "█████" in out

@@ -1,0 +1,46 @@
+"""S-expression builder tests."""
+
+import pytest
+
+from repro.trees import from_sexpr, to_sexpr, tree, leaf
+from repro.util.errors import ReproError
+
+
+class TestFromSexpr:
+    def test_leaf(self):
+        assert from_sexpr("x").label == "x"
+
+    def test_nested(self):
+        t = from_sexpr("(a b (c d e))")
+        assert t.label == "a"
+        assert t.children[1].children[0].label == "d"
+
+    def test_unbalanced_open_rejected(self):
+        with pytest.raises(ReproError):
+            from_sexpr("(a (b)")
+
+    def test_unbalanced_close_rejected(self):
+        with pytest.raises(ReproError):
+            from_sexpr("(a))")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ReproError):
+            from_sexpr("(a) b")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ReproError):
+            from_sexpr("()")
+
+    def test_kind_applied(self):
+        t = from_sexpr("(a b)", kind="tok")
+        assert all(n.kind == "tok" for n in t.preorder())
+
+
+class TestToSexpr:
+    def test_round_trip(self):
+        for text in ["x", "(a b)", "(a (b c) (d (e f) g))"]:
+            assert to_sexpr(from_sexpr(text)) == text
+
+    def test_builders_compose(self):
+        t = tree("root", leaf("a"), tree("b", leaf("c")))
+        assert to_sexpr(t) == "(root a (b c))"

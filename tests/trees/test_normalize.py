@@ -1,0 +1,60 @@
+"""Name normalisation and non-semantic stripping (§III-B behaviours)."""
+
+from repro.trees import Node, from_sexpr, normalize_names, strip_non_semantic, tree, leaf
+
+
+class TestNormalizeNames:
+    def test_named_kind_label_replaced(self):
+        n = Node("my_variable", "var")
+        out = normalize_names(n)
+        assert out.label == "var"
+        assert out.attrs["name"] == "my_variable"
+
+    def test_operator_labels_kept(self):
+        # "we ... record only the node type, literal, and operator names"
+        n = Node("binop:+", "binop", [Node("x", "var"), Node("3.0", "lit")])
+        out = normalize_names(n)
+        assert out.label == "binop:+"
+        assert out.children[0].label == "var"
+        assert out.children[1].label == "3.0"  # literal retained
+
+    def test_two_differently_named_trees_become_identical(self):
+        a = tree("fn", Node("alpha", "var"), Node("beta", "var"))
+        a.kind = "fn"
+        a.label = "compute_alpha"
+        b = tree("fn", Node("x", "var"), Node("y", "var"))
+        b.kind = "fn"
+        b.label = "do_something"
+        assert normalize_names(a) == normalize_names(b)
+
+    def test_original_not_mutated(self):
+        n = Node("name", "var")
+        normalize_names(n)
+        assert n.label == "name"
+
+    def test_idempotent(self):
+        n = Node("name", "var")
+        once = normalize_names(n)
+        twice = normalize_names(once)
+        assert once == twice
+
+
+class TestStripNonSemantic:
+    def test_wrapper_spliced(self):
+        t = tree("expr-stmt", tree("implicit-cast", leaf("x")))
+        out = strip_non_semantic(t)
+        assert [n.label for n in out.preorder()] == ["expr-stmt", "x"]
+
+    def test_nested_wrappers_spliced(self):
+        t = tree("root", tree("implicit-cast", tree("lvalue-to-rvalue", leaf("v"))))
+        out = strip_non_semantic(t)
+        assert [n.label for n in out.preorder()] == ["root", "v"]
+
+    def test_root_never_spliced(self):
+        t = tree("implicit-cast", leaf("x"))
+        out = strip_non_semantic(t)
+        assert out.label == "implicit-cast"
+
+    def test_semantic_nodes_untouched(self):
+        t = from_sexpr("(if cond (then a) (else b))")
+        assert strip_non_semantic(t) == t

@@ -1,0 +1,115 @@
+"""Property-based tests for tree transforms and serialisation."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.trees import (
+    Node,
+    SourceSpan,
+    mask_tree,
+    normalize_names,
+    strip_non_semantic,
+    structural_hash,
+    tree_stats,
+)
+from repro.trees.coverage_mask import LineMask
+from repro.trees.normalize import NAMED_KINDS
+
+_KINDS = ["stmt", "expr", "var", "call", "fn", "lit", "binop"]
+_LABELS = ["alpha", "beta", "for", "if", "binop:+", "x", "my_name"]
+
+
+@st.composite
+def trees(draw, max_nodes=20):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = [
+        Node(
+            draw(st.sampled_from(_LABELS)),
+            draw(st.sampled_from(_KINDS)),
+            None,
+            SourceSpan("f.cpp", draw(st.integers(min_value=1, max_value=30))),
+        )
+    ]
+    for _ in range(n - 1):
+        parent = draw(st.integers(min_value=0, max_value=len(nodes) - 1))
+        child = Node(
+            draw(st.sampled_from(_LABELS)),
+            draw(st.sampled_from(_KINDS)),
+            None,
+            SourceSpan("f.cpp", draw(st.integers(min_value=1, max_value=30))),
+        )
+        nodes[parent].children.append(child)
+        nodes.append(child)
+    return nodes[0]
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_normalize_preserves_size_and_shape(t):
+    out = normalize_names(t)
+    assert out.size() == t.size()
+    assert out.depth() == t.depth()
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_normalize_idempotent(t):
+    once = normalize_names(t)
+    assert normalize_names(once) == once
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_normalize_erases_named_kinds(t):
+    out = normalize_names(t)
+    for n in out.preorder():
+        if n.kind in NAMED_KINDS:
+            assert n.label == n.kind
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_strip_non_semantic_never_grows(t):
+    assert strip_non_semantic(t).size() <= t.size()
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees(), st.sets(st.integers(min_value=1, max_value=30)))
+def test_mask_never_grows_and_full_mask_is_identity(t, lines):
+    mask = LineMask({"f.cpp": lines}, unknown_covered=False)
+    out = mask_tree(t, mask)
+    if out is not None:
+        assert out.size() <= t.size()
+    full = LineMask({"f.cpp": set(range(1, 31))}, unknown_covered=False)
+    assert mask_tree(t, full) == t
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees(), st.sets(st.integers(min_value=1, max_value=30)))
+def test_mask_keeps_only_covered_or_ancestors(t, lines):
+    mask = LineMask({"f.cpp": lines}, unknown_covered=False)
+    out = mask_tree(t, mask)
+    if out is None:
+        return
+    # every kept leaf must itself be covered
+    for n in out.preorder():
+        if not n.children and n.span is not None:
+            assert mask.covered_span(n.span.file, n.span.line_start, n.span.line_end)
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_serialisation_round_trip(t):
+    back = Node.from_dict(t.to_dict())
+    assert back == t
+    assert structural_hash(back) == structural_hash(t)
+
+
+@settings(max_examples=80, deadline=None)
+@given(trees())
+def test_stats_consistent(t):
+    s = tree_stats(t)
+    assert s.size == t.size()
+    assert s.depth == t.depth()
+    assert 1 <= s.leaves <= s.size
+    assert s.distinct_labels <= s.size

@@ -1,0 +1,68 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.workflow.cli import main, _metric_spec
+
+
+class TestMetricSpecParsing:
+    def test_plain(self):
+        s = _metric_spec("Tsem")
+        assert s.name == "Tsem" and not s.pp and not s.coverage
+
+    def test_suffixes(self):
+        s = _metric_spec("Source+pp+cov")
+        assert s.name == "Source" and s.pp and s.coverage
+
+    def test_inlining(self):
+        s = _metric_spec("Tsem+i")
+        assert s.inlining
+
+
+class TestCommands:
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "babelstream" in out and "tealeaf" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "babelstream", "omp", "-m", "Tsem"]) == 0
+        out = capsys.readouterr().out
+        assert "divergence" in out
+
+    def test_phi(self, capsys):
+        assert main(["phi", "tealeaf"]) == 0
+        out = capsys.readouterr().out
+        assert "kokkos" in out
+
+    def test_phi_cascade_csv(self, capsys):
+        assert main(["phi", "cloverleaf", "--cascade"]) == 0
+        out = capsys.readouterr().out
+        assert "model,position,platform" in out
+
+    def test_index_writes_db(self, tmp_path, capsys):
+        out_file = tmp_path / "db.svdb"
+        assert main(["index", "babelstream", "serial", "-o", str(out_file)]) == 0
+        assert out_file.exists()
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestSlowCommands:
+    """cluster/heatmap exercised on the small Fortran corpus (fast)."""
+
+    def test_cluster(self, capsys):
+        from repro.workflow.cli import main as cli_main
+
+        assert cli_main(["cluster", "babelstream-fortran", "-m", "Tsem"]) == 0
+        out = capsys.readouterr().out
+        assert "openacc" in out and "h=" in out
+
+    def test_heatmap(self, capsys):
+        from repro.workflow.cli import main as cli_main
+
+        assert cli_main(["heatmap", "babelstream-fortran", "-b", "sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "Tsem" in out and "openacc" in out

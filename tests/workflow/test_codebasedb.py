@@ -1,0 +1,56 @@
+"""Codebase DB save/load round trip."""
+
+import pytest
+
+from repro.metrics import sloc, tree_distance
+from repro.workflow.codebasedb import load_codebase_db, save_codebase_db
+from repro.util.errors import SerdeError
+
+
+class TestRoundTrip:
+    def test_metrics_identical_after_reload(self, tmp_path, stream_serial, stream_omp):
+        p1 = tmp_path / "serial.svdb"
+        p2 = tmp_path / "omp.svdb"
+        save_codebase_db(stream_serial, p1)
+        save_codebase_db(stream_omp, p2)
+        a = load_codebase_db(p1)
+        b = load_codebase_db(p2)
+        assert a.model == "serial" and b.model == "omp"
+        # absolute metric identical
+        assert sloc(a) == sloc(stream_serial)
+        # relative metric identical
+        d0 = tree_distance(stream_serial, stream_omp, "sem")
+        d1 = tree_distance(a, b, "sem")
+        assert d0 == d1
+
+    def test_trees_structurally_equal(self, tmp_path, stream_serial):
+        p = tmp_path / "s.svdb"
+        save_codebase_db(stream_serial, p)
+        back = load_codebase_db(p)
+        orig = stream_serial.units["main"]
+        got = back.units["main"]
+        assert got.t_sem == orig.t_sem
+        assert got.t_src_pre == orig.t_src_pre
+        assert got.t_ir == orig.t_ir
+
+    def test_coverage_restored(self, tmp_path, stream_serial):
+        p = tmp_path / "s.svdb"
+        save_codebase_db(stream_serial, p)
+        back = load_codebase_db(p)
+        assert back.coverage is not None
+        assert back.coverage.total_hits() == stream_serial.coverage.total_hits()
+
+    def test_spec_restored(self, tmp_path, stream_cuda):
+        p = tmp_path / "c.svdb"
+        save_codebase_db(stream_cuda, p)
+        back = load_codebase_db(p)
+        assert back.spec.dialect == "cuda"
+        assert back.spec.units == stream_cuda.spec.units
+
+    def test_foreign_format_rejected(self, tmp_path):
+        from repro.serde import write_blob
+
+        p = tmp_path / "x.svdb"
+        write_blob(p, {"format": 99})
+        with pytest.raises(SerdeError, match="format"):
+            load_codebase_db(p)

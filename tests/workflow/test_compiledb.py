@@ -1,0 +1,79 @@
+"""compile_commands.json ingestion tests."""
+
+import json
+
+import pytest
+
+from repro.workflow import CompileCommand, options_from_command, parse_compile_db
+from repro.util.errors import WorkflowError
+
+
+DB = [
+    {
+        "directory": "/build",
+        "file": "stream.cpp",
+        "arguments": ["clang++", "-fopenmp", "-DARRAY_SIZE=64", "-c", "stream.cpp"],
+    },
+    {
+        "directory": "/build",
+        "file": "kernels.cu",
+        "command": "clang++ -x cuda -DUSE_GPU -c kernels.cu",
+    },
+]
+
+
+class TestParsing:
+    def test_arguments_form(self):
+        cmds = parse_compile_db(json.dumps(DB))
+        assert cmds[0].file == "stream.cpp"
+        assert "-fopenmp" in cmds[0].arguments
+
+    def test_command_string_form(self):
+        cmds = parse_compile_db(json.dumps(DB))
+        assert "-x" in cmds[1].arguments
+
+    def test_file_path_input(self, tmp_path):
+        p = tmp_path / "compile_commands.json"
+        p.write_text(json.dumps(DB))
+        cmds = parse_compile_db(p)
+        assert len(cmds) == 2
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(WorkflowError):
+            parse_compile_db("{not json")
+
+    def test_non_array_rejected(self):
+        with pytest.raises(WorkflowError):
+            parse_compile_db('{"file": "x"}')
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(WorkflowError):
+            parse_compile_db('[{"command": "cc x.c"}]')
+
+
+class TestOptionDerivation:
+    def test_openmp_flag(self):
+        cmds = parse_compile_db(json.dumps(DB))
+        opts, defines = options_from_command(cmds[0])
+        assert opts.openmp
+        assert defines == {"ARRAY_SIZE": "64"}
+
+    def test_cuda_dialect_from_x_flag(self):
+        cmds = parse_compile_db(json.dumps(DB))
+        opts, defines = options_from_command(cmds[1])
+        assert opts.dialect == "cuda"
+        assert defines == {"USE_GPU": "1"}
+
+    def test_cuda_dialect_from_suffix(self):
+        opts, _ = options_from_command(CompileCommand(file="k.cu", arguments=["nvcc"]))
+        assert opts.dialect == "cuda"
+
+    def test_sycl_flag(self):
+        opts, _ = options_from_command(
+            CompileCommand(file="a.cpp", arguments=["icpx", "-fsycl"])
+        )
+        assert opts.dialect == "sycl"
+
+    def test_name_from_stem(self):
+        opts, _ = options_from_command(CompileCommand(file="src/omp_stream.cpp"))
+        assert opts.name == "omp_stream"

@@ -1,0 +1,99 @@
+"""Indexer unit tests (beyond the corpus integration coverage)."""
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.lang.source import VirtualFS
+from repro.util.errors import ReproError
+from repro.workflow.codebase import ModelSpec
+from repro.workflow.indexer import index_codebase, index_cpp_unit
+
+
+def make_fs(**files):
+    fs = VirtualFS()
+    for p, t in files.items():
+        fs.add(p.replace("__", "/"), t)
+    return fs
+
+
+class TestCppUnit:
+    def test_deps_discovered(self):
+        fs = make_fs(
+            **{
+                "main.cpp": '#include "a.h"\nint main() { return 0; }\n',
+                "a.h": '#include "b.h"\nint fa();\n',
+                "b.h": "int fb();\n",
+            }
+        )
+        unit = index_cpp_unit(fs, "main", "main.cpp", CompileOptions())
+        assert unit.deps == ["a.h", "b.h"]
+
+    def test_all_representations_populated(self):
+        fs = make_fs(**{"main.cpp": "int main() {\nreturn 3;\n}\n"})
+        unit = index_cpp_unit(fs, "main", "main.cpp", CompileOptions())
+        assert unit.t_src_pre is not None and unit.t_src_post is not None
+        assert unit.t_sem is not None and unit.t_sem_inlined is not None
+        assert unit.t_ir is not None
+        assert unit.sig_lines_pre["main.cpp"] == {1, 2, 3}
+        assert unit.source_lines_pre
+
+    def test_source_tags_align_with_lines(self):
+        fs = make_fs(**{"main.cpp": "int a;\nint b;\n"})
+        unit = index_cpp_unit(fs, "main", "main.cpp", CompileOptions())
+        assert len(unit.source_lines_pre) == len(unit.source_tags_pre)
+        assert unit.source_tags_pre[0] == ("main.cpp", 1)
+
+    def test_defines_applied(self):
+        fs = make_fs(**{"main.cpp": "int a[COUNT];\n"})
+        unit = index_cpp_unit(fs, "main", "main.cpp", CompileOptions(), {"COUNT": "9"})
+        assert any("9" in l for l in unit.source_lines_post)
+
+    def test_names_normalised_in_trees(self):
+        fs = make_fs(**{"main.cpp": "int my_special_var = 1;\n"})
+        unit = index_cpp_unit(fs, "main", "main.cpp", CompileOptions())
+        labels = {n.label for n in unit.t_sem.preorder()}
+        assert "my_special_var" not in labels
+
+
+class TestCodebaseIndexing:
+    def test_unknown_language_rejected(self):
+        spec = ModelSpec(app="t", model="m", lang="cobol", units={"main": "x"})
+        with pytest.raises(ReproError):
+            index_codebase(spec, make_fs(x="y"))
+
+    def test_coverage_failure_degrades_gracefully(self):
+        # main calls a function defined in another (unlinked) TU
+        fs = make_fs(**{"main.cpp": "int external();\nint main() { return external(); }\n"})
+        spec = ModelSpec(app="t", model="m", lang="cpp", units={"main": "main.cpp"})
+        cb = index_codebase(spec, fs, run_coverage=True)
+        assert cb.coverage is None
+        assert "coverage run failed" in str(cb.run_value)
+        assert cb.units["main"].t_sem is not None  # indexing still complete
+
+    def test_multiple_units(self):
+        fs = make_fs(
+            **{
+                "a.cpp": "int fa() { return 1; }\n",
+                "b.cpp": "int fb() { return 2; }\n",
+            }
+        )
+        spec = ModelSpec(
+            app="t", model="m", lang="cpp", units={"a": "a.cpp", "b": "b.cpp"}, entry=None
+        )
+        cb = index_codebase(spec, fs)
+        assert set(cb.units) == {"a", "b"}
+
+
+class TestCliFigures:
+    def test_figures_command_writes_svgs(self, tmp_path):
+        from repro.workflow.cli import main
+
+        rc = main(
+            ["figures", "babelstream-fortran", "-o", str(tmp_path), "-b", "sequential"]
+        )
+        assert rc == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert any(n.endswith("_dendrogram_Tsem.svg") for n in names)
+        assert any(n.endswith("_heatmap.svg") for n in names)
+        assert any(n.endswith("_cascade.svg") for n in names)
+        assert any(n.endswith("_navchart.svg") for n in names)
