@@ -11,6 +11,7 @@ The package implements TBMD (Tree-Based Model Divergence) end to end:
 * :mod:`repro.exec` / :mod:`repro.coverage` — AST interpreter and coverage,
 * :mod:`repro.metrics` — SLOC/LLOC/Source and the TBMD tree metrics,
 * :mod:`repro.analysis` / :mod:`repro.viz` — clustering, heatmaps, figures,
+* :mod:`repro.obs` — observability: spans, counters, trace/metrics export,
 * :mod:`repro.perfport` — Φ, cascade plots, navigation charts,
 * :mod:`repro.workflow` — compile-DB ingestion, indexing, Codebase DBs, CLI,
 * :mod:`repro.corpus` — BabelStream/miniBUDE/TeaLeaf/CloverLeaf ports.

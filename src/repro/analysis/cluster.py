@@ -12,6 +12,8 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
+
 
 @dataclass
 class Dendrogram:
@@ -119,7 +121,8 @@ def cluster_models(
     linkage: str = "complete",
 ) -> Dendrogram:
     """The paper's model-clustering recipe: rows → Euclidean → agglomerate."""
-    return agglomerative(euclidean_rows(divergence_matrix), labels, linkage)
+    with obs.span("cluster", models=len(labels), linkage=linkage):
+        return agglomerative(euclidean_rows(divergence_matrix), labels, linkage)
 
 
 def cophenetic_matrix(dend: Dendrogram) -> np.ndarray:

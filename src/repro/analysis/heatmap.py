@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.workflow.codebase import IndexedCodebase
 from repro.workflow.comparer import MetricSpec, divergence
 
@@ -66,7 +67,8 @@ def divergence_heatmap(
     cols = [cb.model for cb in models]
     rows = [s.label for s in specs]
     values = np.zeros((len(rows), len(cols)))
-    for i, spec in enumerate(specs):
-        for j, cb in enumerate(models):
-            values[i, j] = divergence(baseline, cb, spec)
+    with obs.span("heatmap", rows=len(rows), cols=len(cols)):
+        for i, spec in enumerate(specs):
+            for j, cb in enumerate(models):
+                values[i, j] = divergence(baseline, cb, spec)
     return HeatmapData(rows, cols, values)

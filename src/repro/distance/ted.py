@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro import obs
 from repro.distance.zhang_shasha import zhang_shasha_distance, zhang_shasha_generic
 from repro.trees.hashing import structural_hash
 from repro.trees.node import Node
@@ -58,6 +59,9 @@ class TedResult:
     size2: int
     #: True when the identical-hash shortcut fired and no DP ran.
     shortcut: bool = False
+    #: True when the distance was served from the memo cache (distinct from
+    #: ``shortcut``: a cached pair did run the DP once, on a previous call).
+    cached: bool = False
 
     @property
     def dmax(self) -> int:
@@ -76,10 +80,46 @@ class TedResult:
 _CACHE: dict[tuple[str, str], float] = {}
 _CACHE_LIMIT = 65536
 
+#: Always-on cache statistics (plain int increments — cheap enough to keep
+#: unconditionally). ``hit`` = memo hit, ``miss`` = DP ran, ``shortcut`` =
+#: identical-hash zero, ``evicted`` = entries dropped to respect the limit.
+_STATS = {"hit": 0, "miss": 0, "shortcut": 0, "evicted": 0}
+
 
 def clear_ted_cache() -> None:
-    """Drop all memoised TED results."""
+    """Drop all memoised TED results and reset the cache statistics."""
     _CACHE.clear()
+    for k in _STATS:
+        _STATS[k] = 0
+
+
+def cache_stats() -> dict[str, int]:
+    """Snapshot of the memo-cache counters (plus current size/limit)."""
+    return {**_STATS, "size": len(_CACHE), "limit": _CACHE_LIMIT}
+
+
+def _cache_insert(key: tuple[str, str], d: float) -> None:
+    """Insert both key orders (unit-cost TED is symmetric) without ever
+    letting the cache exceed ``_CACHE_LIMIT``.
+
+    The old ``len(_CACHE) < _CACHE_LIMIT`` guard checked *before* inserting
+    two entries, so a full cache could grow to limit+1; evicting oldest-first
+    (dict preserves insertion order) keeps the cache bounded and lets
+    long-running matrix sweeps keep caching fresh pairs instead of freezing
+    the cache at whatever filled it first.
+    """
+    rev = (key[1], key[0])
+    needed = 2 if rev != key and rev not in _CACHE else 1
+    evicted = 0
+    while len(_CACHE) > _CACHE_LIMIT - needed:
+        _CACHE.pop(next(iter(_CACHE)))
+        evicted += 1
+    if evicted:
+        _STATS["evicted"] += evicted
+        obs.add("ted.cache.evicted", evicted)
+    _CACHE[key] = d
+    if rev != key:
+        _CACHE[rev] = d
 
 
 def _cached_hash(t: Node) -> str:
@@ -112,23 +152,41 @@ def ted(t1: Node, t2: Node, cost: Optional[Cost] = None) -> TedResult:
     h1 = _cached_hash(t1)
     h2 = _cached_hash(t2)
     if h1 == h2:
+        _STATS["shortcut"] += 1
+        if obs.enabled():
+            obs.add("ted.shortcut")
         return TedResult(0.0, n1, n2, shortcut=True)
     if cost is None or cost.is_unit():
         key = (h1, h2)
         if key in _CACHE:
-            return TedResult(_CACHE[key], n1, n2, shortcut=True)
+            _STATS["hit"] += 1
+            if obs.enabled():
+                obs.add("ted.cache.hit")
+            return TedResult(_CACHE[key], n1, n2, cached=True)
+        _STATS["miss"] += 1
         d = float(zhang_shasha_distance(t1, t2))
-        if len(_CACHE) < _CACHE_LIMIT:
-            _CACHE[key] = d
-            _CACHE[(h2, h1)] = d  # unit-cost TED is symmetric
+        _cache_insert(key, d)
+        if obs.enabled():
+            obs.add("ted.cache.miss")
+            obs.gauge("ted.cache.size", len(_CACHE))
     else:
         d = zhang_shasha_generic(t1, t2, cost.delete, cost.insert, cost.relabel)
     return TedResult(d, n1, n2)
 
 
 def ted_lower_bound(t1: Node, t2: Node) -> int:
-    """Cheap lower bound on unit-cost TED (label-histogram filter)."""
-    return histogram_lower_bound(label_histogram(t1), label_histogram(t2))
+    """Cheap lower bound on unit-cost TED (label-histogram filter).
+
+    When collecting, the filter's effectiveness is tracked as
+    ``ted.filter.calls`` vs ``ted.filter.pruned`` (a non-zero bound proves
+    the trees differ without running the DP — the prefilter "hit" case).
+    """
+    bound = histogram_lower_bound(label_histogram(t1), label_histogram(t2))
+    if obs.enabled():
+        obs.add("ted.filter.calls")
+        if bound > 0:
+            obs.add("ted.filter.pruned")
+    return bound
 
 
 def ted_normalized(t1: Node, t2: Node) -> float:

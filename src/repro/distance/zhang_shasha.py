@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.trees.node import Node
 
 #: Forest widths below this run the pure-Python cell loop (NumPy overhead
@@ -93,6 +94,11 @@ def zhang_shasha_distance(t1: Node, t2: Node) -> int:
     if est >= _BATCH_THRESHOLD:
         from repro.distance.zs_batched import zhang_shasha_batched
 
+        if obs.enabled():
+            obs.add("zs.calls")
+            obs.add("zs.batched_calls")
+            with obs.span("zs.batched", cells=est):
+                return zhang_shasha_batched(t1, t2)
         return zhang_shasha_batched(t1, t2)
     labels1, l1a, kr1 = _flatten(t1)
     labels2, l2a, kr2 = _flatten(t2)
@@ -140,6 +146,13 @@ def zhang_shasha_distance(t1: Node, t2: Node) -> int:
     leafset1 = set(leaf1.tolist())
     leafset2 = set(leaf2.tolist())
 
+    # Per-call DP work accounting: accumulate locally (integer adds per
+    # keyroot pair, negligible next to the forest DP) and flush once.
+    track = obs.enabled()
+    kr_pairs = 0
+    dp_cells = 0
+    leaf_pairs = int(leaf1.size * leaf2.size)
+
     for i in kr1:
         li = int(l1[i])
         isz = i - li + 2
@@ -149,6 +162,9 @@ def zhang_shasha_distance(t1: Node, t2: Node) -> int:
                 continue  # handled by the vectorised fast path
             lj, j1s, colwhole, col_l, whole_idx, part_idx = meta2[j]
             jsz = j - lj + 2
+            if track:
+                kr_pairs += 1
+                dp_cells += isz * jsz
             if jsz <= _SMALL_WIDTH or isz <= 3:
                 _small_pair(li, i, lj, j, l1, l2, lab1, lab2, td_list, treedist)
             else:
@@ -169,6 +185,11 @@ def zhang_shasha_distance(t1: Node, t2: Node) -> int:
                     td_list,
                     jidx_all,
                 )
+    if track:
+        obs.add("zs.calls")
+        obs.add("zs.keyroot_pairs", kr_pairs)
+        obs.add("zs.leaf_pairs", leaf_pairs)
+        obs.add("zs.dp_cells", dp_cells)
     return int(td_list[n - 1][m - 1])
 
 

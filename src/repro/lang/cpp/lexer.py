@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
 
+from repro import obs
 from repro.util.errors import ParseError
 
 
@@ -77,7 +78,11 @@ class Token:
 
 def lex(text: str, file: str = "<memory>") -> list[Token]:
     """Tokenise MiniC++ source; raises :class:`ParseError` on bad input."""
-    return list(_lex_iter(text, file))
+    tokens = list(_lex_iter(text, file))
+    if obs.enabled():
+        obs.add("lex.cpp.calls")
+        obs.add("lex.cpp.tokens", len(tokens))
+    return tokens
 
 
 def _lex_iter(text: str, file: str) -> Iterator[Token]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import obs
 from repro.util.errors import ParseError
 
 
@@ -106,6 +107,9 @@ def lex_fortran(text: str, file: str = "<memory>") -> list[FtToken]:
         _lex_line(ln, lineno, file, out)
         out.append(FtToken(FtTokenType.NEWLINE, "\n", file, lineno, len(ln) + 1))
     out.append(FtToken(FtTokenType.EOF, "", file, len(lines) + 1, 1))
+    if obs.enabled():
+        obs.add("lex.fortran.calls")
+        obs.add("lex.fortran.tokens", len(out))
     return out
 
 

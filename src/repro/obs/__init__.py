@@ -1,0 +1,61 @@
+"""Observability: hierarchical spans, counters/gauges, trace & metrics export.
+
+Usage — instrumenting pipeline code::
+
+    from repro import obs
+
+    with obs.span("parse", path=path):
+        tu = parse_tokens(tokens, path)
+    obs.add("lex.tokens", len(tokens))
+
+Usage — collecting (CLI ``--profile``, tests, benchmarks)::
+
+    with obs.collect() as col:
+        run_pipeline()
+    print(ascii_span_tree(aggregate_spans(col)))
+    write_chrome_trace(col, "trace.json")
+
+Everything is a near-no-op while no collector is installed; see
+``spans.py`` for the cost model and DESIGN.md for the span taxonomy
+(stage names are a stable public contract for benchmarks).
+"""
+
+from repro.obs.counters import add, gauge, get
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    SpanAggregate,
+    aggregate_spans,
+    chrome_trace,
+    metrics_json,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.spans import (
+    Collector,
+    SpanRecord,
+    collect,
+    current_collector,
+    enabled,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Collector",
+    "SpanRecord",
+    "SpanAggregate",
+    "METRICS_SCHEMA",
+    "add",
+    "gauge",
+    "get",
+    "collect",
+    "current_collector",
+    "enabled",
+    "span",
+    "traced",
+    "aggregate_spans",
+    "chrome_trace",
+    "metrics_json",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,37 @@
+"""Counters and gauges: the metrics half of the observability layer.
+
+Counters accumulate (cache hits, tokens lexed, DP cells visited); gauges
+record a last-written value (cache size). Both are collector-scoped: they
+reset naturally when a new :func:`repro.obs.collect` window opens, which is
+the reset semantics tests and CLI runs rely on.
+
+All entry points are near-no-ops while no collector is installed; hot loops
+that would otherwise pay a function call per iteration should accumulate
+into a local and flush once (see ``distance/zhang_shasha.py``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.spans import _ACTIVE, current_collector, enabled  # noqa: F401
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Increment counter ``name`` by ``value`` (no-op when not collecting)."""
+    c = current_collector()
+    if c is not None:
+        c.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op when not collecting)."""
+    c = current_collector()
+    if c is not None:
+        c.gauge(name, value)
+
+
+def get(name: str) -> float:
+    """Current value of counter ``name`` in the active collector (0 if none)."""
+    c = current_collector()
+    if c is None:
+        return 0.0
+    return c.counters.get(name, 0.0)

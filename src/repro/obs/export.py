@@ -1,0 +1,188 @@
+"""Export surfaces: span aggregation, Chrome trace events, flat metrics.
+
+Three consumers, three shapes:
+
+* :func:`aggregate_spans` — nested name-keyed aggregates for the ASCII
+  report (``silvervale … --profile`` via ``repro.viz.ascii.ascii_span_tree``),
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome trace-event
+  JSON (load it in ``chrome://tracing`` or Perfetto),
+* :func:`metrics_json` / :func:`write_metrics` — a flat machine-readable
+  snapshot the benchmark harness diffs across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.obs.spans import Collector, SpanRecord
+
+#: Schema identifier stamped into the metrics JSON so the harness can detect
+#: breaking changes to the snapshot layout.
+METRICS_SCHEMA = "repro.obs/v1"
+
+
+# ---------------------------------------------------------------------------
+# Aggregation (ASCII report input)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpanAggregate:
+    """All spans sharing one name under one parent aggregate, merged."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+    child_total: float = 0.0
+    children: dict[str, "SpanAggregate"] = field(default_factory=dict)
+
+    @property
+    def self_time(self) -> float:
+        """Time spent in these spans outside any recorded child span."""
+        return max(self.total - self.child_total, 0.0)
+
+    def record(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        self.min = min(self.min, duration)
+        self.max = max(self.max, duration)
+
+
+def aggregate_spans(collector: Collector) -> list[SpanAggregate]:
+    """Merge the collector's span log into a forest of named aggregates.
+
+    Sibling spans with the same name collapse into one node (count > 1);
+    nesting follows the recorded parent links, so the result mirrors the
+    pipeline's call structure regardless of how many times each stage ran.
+    """
+    root = SpanAggregate("<root>")
+    by_index: dict[int, SpanAggregate] = {}
+    for rec in collector.spans:
+        parent = by_index.get(rec.parent, root)
+        agg = parent.children.get(rec.name)
+        if agg is None:
+            agg = SpanAggregate(rec.name)
+            parent.children[rec.name] = agg
+        agg.record(rec.duration)
+        parent.child_total += rec.duration
+        by_index[rec.index] = agg
+    return list(root.children.values())
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(collector: Collector) -> dict[str, Any]:
+    """The collector as a Chrome trace-event object (``ph: "X"`` events).
+
+    Timestamps are microseconds since the collector epoch; thread ids are
+    remapped to small integers so the trace viewer's lane labels stay
+    readable.
+    """
+    tid_map: dict[int, int] = {}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": collector.pid,
+            "tid": 0,
+            "args": {"name": "silvervale"},
+        }
+    ]
+    for rec in collector.spans:
+        tid = tid_map.setdefault(rec.thread, len(tid_map))
+        ev: dict[str, Any] = {
+            "name": rec.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": rec.start * 1e6,
+            "dur": rec.duration * 1e6,
+            "pid": collector.pid,
+            "tid": tid,
+        }
+        if rec.attrs:
+            ev["args"] = {k: _jsonable(v) for k, v in rec.attrs.items()}
+        events.append(ev)
+    # counters ride along as Chrome counter events at the end of the window.
+    end_ts = max((r.end for r in collector.spans), default=0.0) * 1e6
+    for name, value in sorted(collector.counters.items()):
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": end_ts,
+                "pid": collector.pid,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"epoch_unix_s": collector.epoch_wall},
+    }
+
+
+def write_chrome_trace(collector: Collector, path: str | Path) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    p = Path(path)
+    p.write_text(json.dumps(chrome_trace(collector), indent=1))
+    return p
+
+
+# ---------------------------------------------------------------------------
+# Flat metrics JSON (benchmark-harness diff surface)
+# ---------------------------------------------------------------------------
+
+
+def metrics_json(collector: Collector, extra: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+    """Flat, machine-readable snapshot: per-name span stats + counters."""
+    spans: dict[str, dict[str, float]] = {}
+    child_time: dict[str, float] = {}
+    for rec in collector.spans:
+        s = spans.setdefault(
+            rec.name, {"count": 0, "total_s": 0.0, "min_s": float("inf"), "max_s": 0.0}
+        )
+        s["count"] += 1
+        s["total_s"] += rec.duration
+        s["min_s"] = min(s["min_s"], rec.duration)
+        s["max_s"] = max(s["max_s"], rec.duration)
+        if rec.parent >= 0:
+            pname = collector.spans[rec.parent].name
+            child_time[pname] = child_time.get(pname, 0.0) + rec.duration
+    for name, s in spans.items():
+        s["self_s"] = max(s["total_s"] - child_time.get(name, 0.0), 0.0)
+        if s["min_s"] == float("inf"):
+            s["min_s"] = 0.0
+    out: dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "spans": spans,
+        "counters": dict(sorted(collector.counters.items())),
+        "gauges": dict(sorted(collector.gauges.items())),
+    }
+    if extra:
+        out.update(extra)
+    return out
+
+
+def write_metrics(
+    collector: Collector, path: str | Path, extra: Optional[dict[str, Any]] = None
+) -> Path:
+    """Serialise :func:`metrics_json` to ``path``; returns the path."""
+    p = Path(path)
+    p.write_text(json.dumps(metrics_json(collector, extra), indent=1, sort_keys=True))
+    return p
+
+
+def _jsonable(v: Any) -> Any:
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return repr(v)

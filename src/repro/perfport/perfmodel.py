@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.perfport.platforms import PLATFORMS, Platform
 
 #: Application characterisation (Table II "Type" column).
@@ -145,9 +146,10 @@ class PerfModel:
     ) -> EfficiencyMatrix:
         plats = list(platforms) if platforms is not None else list(PLATFORMS)
         perf = np.zeros((len(models), len(plats)))
-        for i, m in enumerate(models):
-            for j, p in enumerate(plats):
-                perf[i, j] = self.performance(app, m, p)
+        with obs.span("perfmodel", app=app, models=len(models), platforms=len(plats)):
+            for i, m in enumerate(models):
+                for j, p in enumerate(plats):
+                    perf[i, j] = self.performance(app, m, p)
         best = perf.max(axis=0)
         eff = np.where(best > 0, perf / np.where(best > 0, best, 1.0), 0.0)
         return EfficiencyMatrix(

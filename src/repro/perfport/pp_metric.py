@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.perfport.perfmodel import EfficiencyMatrix
 
 
@@ -28,7 +29,8 @@ def app_efficiency(perf: float, best: float) -> float:
 
 def phi_table(matrix: EfficiencyMatrix) -> dict[str, float]:
     """Φ per model over the full platform set of the matrix."""
-    return {m: phi(matrix.eff[i].tolist()) for i, m in enumerate(matrix.models)}
+    with obs.span("phi", app=matrix.app, models=len(matrix.models)):
+        return {m: phi(matrix.eff[i].tolist()) for i, m in enumerate(matrix.models)}
 
 
 def phi_subset(matrix: EfficiencyMatrix, platforms: Sequence[str]) -> dict[str, float]:

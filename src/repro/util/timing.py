@@ -1,8 +1,11 @@
-"""Lightweight profiling hooks.
+"""Lightweight profiling hooks (compat shim over :mod:`repro.obs`).
 
-The HPC guides emphasise "no optimisation without measuring"; the analysis
-pipeline uses these timers to report where indexing / TED time goes without
-pulling in a full profiler.
+Historically this module owned a flat process-wide ``Timer`` registry that
+nothing ever read back. The observability layer (``repro/obs/``) supersedes
+it with hierarchical spans and export surfaces; ``Timer``/``get_timer``/
+``timed`` remain as thin shims so existing call sites and tests keep
+working: a ``Timer`` still accumulates ``elapsed``/``calls`` locally *and*
+opens a span of the same name whenever a collector is installed.
 """
 
 from __future__ import annotations
@@ -12,12 +15,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
+from repro.obs.spans import span
+
 F = TypeVar("F", bound=Callable)
 
 
 @dataclass
 class Timer:
-    """Accumulating named timer.
+    """Accumulating named timer (re-entrant).
+
+    Nested ``with`` blocks on the same timer are legal: each level keeps its
+    own start on a stack, so ``elapsed`` counts every completed enter/exit
+    pair without corruption (a nested enter used to overwrite ``_start``).
 
     >>> t = Timer("ted")
     >>> with t:
@@ -29,15 +38,25 @@ class Timer:
     name: str
     elapsed: float = 0.0
     calls: int = 0
-    _start: float = field(default=0.0, repr=False)
+    _starts: list = field(default_factory=list, repr=False)
+    _spans: list = field(default_factory=list, repr=False)
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        s = span(self.name)
+        s.__enter__()
+        self._spans.append(s)
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed += time.perf_counter() - self._starts.pop()
         self.calls += 1
+        self._spans.pop().__exit__(*exc)
+
+    @property
+    def depth(self) -> int:
+        """How many ``with`` levels are currently open on this timer."""
+        return len(self._starts)
 
     @property
     def mean(self) -> float:
@@ -66,7 +85,11 @@ def reset_timers() -> None:
 
 
 def timed(name: str) -> Callable[[F], F]:
-    """Decorator: accumulate the wrapped function's wall time under ``name``."""
+    """Decorator: accumulate the wrapped function's wall time under ``name``.
+
+    The shared :class:`Timer` also opens a span, so every ``@timed`` call
+    site participates in ``--profile`` traces for free.
+    """
 
     def deco(fn: F) -> F:
         @functools.wraps(fn)

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.analysis.cluster import Dendrogram
 from repro.analysis.heatmap import HeatmapData
+from repro.obs import SpanAggregate
 
 _SHADES = " ░▒▓█"
 
@@ -49,6 +50,56 @@ def ascii_heatmap(data: HeatmapData, vmax: float = 1.0) -> str:
             cells.append(f"{shade}{float(v):6.2f}")
         lines.append(f"{label:<{label_w}}" + " ".join(cells))
     return "\n".join(lines)
+
+
+def ascii_span_tree(roots: Sequence[SpanAggregate], min_frac: float = 0.0) -> str:
+    """Nested span report for ``--profile`` output.
+
+    One line per (parent, name) aggregate: total wall time, call count when
+    > 1, and self time when children leave a meaningful gap. ``min_frac``
+    hides aggregates below that fraction of the grand total (0 = show all).
+    """
+    grand = sum(r.total for r in roots) or 1.0
+    lines: list[str] = []
+
+    def fmt(agg: SpanAggregate) -> str:
+        parts = [f"{agg.name}  {agg.total * 1e3:9.2f} ms"]
+        if agg.count > 1:
+            parts.append(f"×{agg.count}")
+        if agg.children and agg.self_time > 0.0005 * grand:
+            parts.append(f"(self {agg.self_time * 1e3:.2f} ms)")
+        parts.append(f"{100.0 * agg.total / grand:5.1f}%")
+        return "  ".join(parts)
+
+    def walk(agg: SpanAggregate, prefix: str, is_last: bool) -> None:
+        if agg.total < min_frac * grand:
+            return
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector + fmt(agg))
+        kids = [c for c in agg.children.values() if c.total >= min_frac * grand]
+        ext = "   " if is_last else "│  "
+        for k, child in enumerate(kids):
+            walk(child, prefix + ext, k == len(kids) - 1)
+
+    for k, root in enumerate(roots):
+        walk(root, "", k == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def ascii_counters(
+    counters: Mapping[str, float], gauges: Mapping[str, float] | None = None
+) -> str:
+    """Aligned counter/gauge table for ``--profile`` and ``stats`` output."""
+    rows = [(k, v, "") for k, v in sorted(counters.items())]
+    rows += [(k, v, " (gauge)") for k, v in sorted((gauges or {}).items())]
+    if not rows:
+        return "(no counters)"
+    w = max(len(k) for k, _v, _t in rows) + 1
+    out = []
+    for k, v, tag in rows:
+        val = f"{int(v)}" if float(v).is_integer() else f"{v:.3f}"
+        out.append(f"{k:<{w}}{val:>12}{tag}")
+    return "\n".join(out)
 
 
 def ascii_bars(values: Mapping[str, float], width: int = 40, vmax: float = 1.0) -> str:

@@ -7,7 +7,13 @@ Subcommands mirror the paper's workflow:
 * ``cluster`` — dendrogram of all models of an app under a metric,
 * ``heatmap`` — divergence-from-serial heatmap rows,
 * ``phi``     — Φ table / cascade data from the performance model,
+* ``stats``   — run a workload and dump spans / counters / cache stats,
 * ``apps``    — list corpus apps and models.
+
+Every subcommand accepts ``--profile`` (print a nested span report and the
+counter table after the run), ``--trace-out FILE`` (Chrome trace-event
+JSON — load in ``chrome://tracing`` / Perfetto) and ``--metrics-out FILE``
+(flat metrics JSON the benchmark harness diffs across PRs).
 """
 
 from __future__ import annotations
@@ -15,13 +21,21 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.analysis.cluster import cluster_models
 from repro.analysis.heatmap import HEATMAP_SPECS, divergence_heatmap
 from repro.corpus import APPS, app_models, index_app, index_model
+from repro.distance.ted import cache_stats
 from repro.perfport.cascade import cascade
 from repro.perfport.perfmodel import PerfModel
 from repro.perfport.pp_metric import phi_table
-from repro.viz.ascii import ascii_bars, ascii_dendrogram, ascii_heatmap
+from repro.viz.ascii import (
+    ascii_bars,
+    ascii_counters,
+    ascii_dendrogram,
+    ascii_heatmap,
+    ascii_span_tree,
+)
 from repro.workflow.codebasedb import save_codebase_db
 from repro.workflow.comparer import MetricSpec, divergence, divergence_matrix
 
@@ -137,6 +151,51 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Index an app, sweep the divergence matrix, and dump observability data.
+
+    This is the quickest way to see the TED cache behave: memo hits
+    (``ted.cache.hit``) are reported separately from identical-hash
+    shortcuts (``ted.shortcut``), alongside span timings and the legacy
+    timer registry.
+    """
+    import json
+
+    from repro.util.timing import all_timers
+
+    collector = obs.current_collector()
+    assert collector is not None  # installed by main() for this subcommand
+    spec = _metric_spec(args.metric)
+    cbs = index_app(args.app, coverage=spec.coverage)
+    names = list(cbs)
+    divergence_matrix([cbs[m] for m in names], spec)
+    # process-lifetime cache state rides along as gauges (the window-scoped
+    # ted.cache.hit / ted.cache.miss / ted.shortcut counters are collected
+    # by the TED layer itself during the sweep above)
+    for k in ("size", "limit"):
+        collector.gauge(f"ted.cache.{k}", float(cache_stats()[k]))
+    for k in ("ted.cache.hit", "ted.cache.miss", "ted.cache.evicted", "ted.shortcut"):
+        collector.counters.setdefault(k, 0.0)
+    if args.json:
+        print(json.dumps(obs.metrics_json(collector), indent=1, sort_keys=True))
+        return 0
+    print(f"{args.app}: {len(names)} models under {spec.label}")
+    print()
+    print("spans:")
+    print(ascii_span_tree(obs.aggregate_spans(collector)))
+    print()
+    print("counters:")
+    print(ascii_counters(collector.counters, collector.gauges))
+    timers = all_timers()
+    if timers:
+        print()
+        print("timers (legacy registry):")
+        for name in sorted(timers):
+            t = timers[name]
+            print(f"{name:<16}{t.elapsed * 1e3:10.2f} ms  ×{t.calls}")
+    return 0
+
+
 def cmd_phi(args: argparse.Namespace) -> int:
     models = app_models(args.app)
     matrix = PerfModel().efficiency_matrix(args.app, models)
@@ -152,40 +211,62 @@ def cmd_phi(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="silvervale", description=__doc__)
+    # profiling options shared by every subcommand (parents= so they can be
+    # given after the subcommand name, the natural spot)
+    prof = argparse.ArgumentParser(add_help=False)
+    g = prof.add_argument_group("profiling")
+    g.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a nested span report and counter table after the run",
+    )
+    g.add_argument("--trace-out", metavar="FILE", help="write Chrome trace-event JSON")
+    g.add_argument("--metrics-out", metavar="FILE", help="write flat metrics JSON")
     sub = p.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("apps", help="list corpus apps and models").set_defaults(fn=cmd_apps)
+    pa = sub.add_parser("apps", help="list corpus apps and models", parents=[prof])
+    pa.set_defaults(fn=cmd_apps)
 
-    pi = sub.add_parser("index", help="index one model port into a Codebase DB")
+    pi = sub.add_parser("index", help="index one model port into a Codebase DB", parents=[prof])
     pi.add_argument("app")
     pi.add_argument("model")
     pi.add_argument("-o", "--output")
     pi.add_argument("--coverage", action="store_true", help="run for coverage first")
     pi.set_defaults(fn=cmd_index)
 
-    pc = sub.add_parser("compare", help="divergence of a model from a baseline")
+    pc = sub.add_parser("compare", help="divergence of a model from a baseline", parents=[prof])
     pc.add_argument("app")
     pc.add_argument("model")
     pc.add_argument("-b", "--baseline", default="serial")
     pc.add_argument("-m", "--metric", default="Tsem")
     pc.set_defaults(fn=cmd_compare)
 
-    pk = sub.add_parser("cluster", help="dendrogram of all models under a metric")
+    pk = sub.add_parser("cluster", help="dendrogram of all models under a metric", parents=[prof])
     pk.add_argument("app")
     pk.add_argument("-m", "--metric", default="Tsem")
     pk.set_defaults(fn=cmd_cluster)
 
-    ph = sub.add_parser("heatmap", help="divergence-from-baseline heatmap")
+    ph = sub.add_parser("heatmap", help="divergence-from-baseline heatmap", parents=[prof])
     ph.add_argument("app")
     ph.add_argument("-b", "--baseline", default="serial")
     ph.set_defaults(fn=cmd_heatmap)
 
-    pp = sub.add_parser("phi", help="Φ table from the performance model")
+    pp = sub.add_parser("phi", help="Φ table from the performance model", parents=[prof])
     pp.add_argument("app")
     pp.add_argument("--cascade", action="store_true")
     pp.set_defaults(fn=cmd_phi)
 
-    pf = sub.add_parser("figures", help="render all figure SVGs for an app")
+    ps = sub.add_parser(
+        "stats",
+        help="run an index+compare workload and dump spans/counters/cache stats",
+        parents=[prof],
+    )
+    ps.add_argument("app")
+    ps.add_argument("-m", "--metric", default="Tsem")
+    ps.add_argument("--json", action="store_true", help="print the metrics JSON instead of text")
+    ps.set_defaults(fn=cmd_stats, _always_collect=True)
+
+    pf = sub.add_parser("figures", help="render all figure SVGs for an app", parents=[prof])
     pf.add_argument("app")
     pf.add_argument("-o", "--output", default="figures")
     pf.add_argument("-b", "--baseline", default="serial")
@@ -194,9 +275,37 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _emit_reports(args: argparse.Namespace, collector: obs.Collector) -> None:
+    if getattr(args, "profile", False) and not getattr(args, "_always_collect", False):
+        print()
+        print("── profile ─────────────────────────────────────────")
+        roots = obs.aggregate_spans(collector)
+        print(ascii_span_tree(roots) if roots else "(no spans recorded)")
+        if collector.counters or collector.gauges:
+            print()
+            print(ascii_counters(collector.counters, collector.gauges))
+    if getattr(args, "trace_out", None):
+        path = obs.write_chrome_trace(collector, args.trace_out)
+        print(f"trace written to {path}")
+    if getattr(args, "metrics_out", None):
+        path = obs.write_metrics(collector, args.metrics_out)
+        print(f"metrics written to {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    wants_collect = (
+        getattr(args, "profile", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "_always_collect", False)
+    )
+    if not wants_collect:
+        return args.fn(args)
+    with obs.collect() as collector:
+        rc = args.fn(args)
+        _emit_reports(args, collector)
+    return rc
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.workflow.codebase import IndexedCodebase
 
 
@@ -52,6 +53,11 @@ DEFAULT_METRICS: tuple[MetricSpec, ...] = (
 
 def divergence(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> float:
     """Normalised divergence of ``b`` from ``a`` under ``spec`` (0 = identical)."""
+    with obs.span("compare.divergence", metric=spec.label, base=a.model, other=b.model):
+        return _divergence(a, b, spec)
+
+
+def _divergence(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> float:
     # deferred imports: repro.metrics consumes the codebase model this
     # package defines, so importing it at module scope would be circular
     from repro.metrics.lloc import lloc
@@ -107,11 +113,13 @@ def divergence_matrix(
     """
     n = len(codebases)
     m = np.zeros((n, n))
-    for i in range(n):
-        for j in range(n):
-            if i == j:
-                continue
-            m[i, j] = divergence(codebases[i], codebases[j], spec)
+    with obs.span("compare.matrix", metric=spec.label, models=n):
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                m[i, j] = divergence(codebases[i], codebases[j], spec)
+        obs.add("compare.pairs", n * (n - 1))
     if symmetrize:
         m = (m + m.T) / 2.0
     return m

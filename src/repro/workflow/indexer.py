@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.compiler import CompileOptions, bundle_to_tree, lower_unit
 from repro.coverage.profile import CoverageProfile, profile_from_run
 from repro.exec.interpreter import run_program
@@ -103,15 +104,17 @@ def index_cpp_unit(
 ) -> IndexedUnit:
     """Index one MiniC++ translation unit."""
     unit = IndexedUnit(role=role, path=path)
-    pp = preprocess(fs, path, defines)
+    with obs.span("preprocess", path=path):
+        pp = preprocess(fs, path, defines)
     unit.deps = list(pp.dependencies)
 
     # pre-preprocessor: lex every file of the unit separately
-    pre_tokens: list[Token] = []
-    for f in [path, *unit.deps]:
-        toks = lex(fs.get(f).text, f)
-        pre_tokens.extend(toks)
-        unit.lloc_pre[f] = _cpp_lloc(toks)
+    with obs.span("lex", path=path):
+        pre_tokens: list[Token] = []
+        for f in [path, *unit.deps]:
+            toks = lex(fs.get(f).text, f)
+            pre_tokens.extend(toks)
+            unit.lloc_pre[f] = _cpp_lloc(toks)
     unit.sig_lines_pre = _cpp_sig_lines(pre_tokens)
     unit.source_lines_pre, unit.source_tags_pre = _cpp_norm_lines(pre_tokens)
 
@@ -121,17 +124,23 @@ def index_cpp_unit(
     unit.source_lines_post, unit.source_tags_post = _cpp_norm_lines(pp.tokens)
 
     # trees
-    unit.t_src_pre = normalize_names(normalized_src_tree(build_cst(lex(fs.get(path).text, path), path)))
-    unit.t_src_post = normalize_names(normalized_src_tree(build_cst(pp.tokens, path)))
-    tu = parse_tokens(pp.tokens, path)
-    sema = analyze(tu)
-    sem_raw = strip_non_semantic(ast_to_tree(tu, sema))
-    sem_named = normalize_names(sem_raw)
-    unit.t_sem = sem_named
-    defs = collect_definitions(sem_named)
-    unit.t_sem_inlined = inline_calls(sem_named, defs)
-    bundle = lower_unit(tu, sema, options)
-    unit.t_ir = bundle_to_tree(bundle)
+    with obs.span("trees.src", path=path):
+        unit.t_src_pre = normalize_names(normalized_src_tree(build_cst(lex(fs.get(path).text, path), path)))
+        unit.t_src_post = normalize_names(normalized_src_tree(build_cst(pp.tokens, path)))
+    with obs.span("parse", path=path):
+        tu = parse_tokens(pp.tokens, path)
+    with obs.span("sema", path=path):
+        sema = analyze(tu)
+    with obs.span("trees.sem", path=path):
+        sem_raw = strip_non_semantic(ast_to_tree(tu, sema))
+        sem_named = normalize_names(sem_raw)
+        unit.t_sem = sem_named
+        defs = collect_definitions(sem_named)
+        unit.t_sem_inlined = inline_calls(sem_named, defs)
+    with obs.span("lower", path=path):
+        bundle = lower_unit(tu, sema, options)
+        unit.t_ir = bundle_to_tree(bundle)
+    obs.add("index.units")
     # keep handles for the coverage step
     unit_attrs = {"tu": tu, "sema": sema}
     unit.__dict__["_frontend"] = unit_attrs
@@ -149,7 +158,8 @@ def index_fortran_unit(fs: VirtualFS, role: str, path: str) -> IndexedUnit:
     the pre/post representations coincide)."""
     unit = IndexedUnit(role=role, path=path)
     text = fs.get(path).text
-    toks = lex_fortran(text, path)
+    with obs.span("lex", path=path):
+        toks = lex_fortran(text, path)
     sig: dict[str, set[int]] = {}
     lloc = 0
     lines: list[str] = []
@@ -179,14 +189,19 @@ def index_fortran_unit(fs: VirtualFS, role: str, path: str) -> IndexedUnit:
     unit.source_lines_post = list(lines)
     unit.source_tags_post = list(tags)
 
-    cst = fortran_cst(text, path)
-    unit.t_src_pre = normalize_names(fortran_src_tree(cst))
-    unit.t_src_post = unit.t_src_pre
-    ftfile = parse_fortran(text, path)
-    sem = normalize_names(fortran_to_tree(ftfile))
-    unit.t_sem = sem
-    unit.t_sem_inlined = sem  # the paper omits T_sem+i for the GCC pipeline
-    unit.t_ir = bundle_to_tree(lower_fortran(ftfile))
+    with obs.span("trees.src", path=path):
+        cst = fortran_cst(text, path)
+        unit.t_src_pre = normalize_names(fortran_src_tree(cst))
+        unit.t_src_post = unit.t_src_pre
+    with obs.span("parse", path=path):
+        ftfile = parse_fortran(text, path)
+    with obs.span("trees.sem", path=path):
+        sem = normalize_names(fortran_to_tree(ftfile))
+        unit.t_sem = sem
+        unit.t_sem_inlined = sem  # the paper omits T_sem+i for the GCC pipeline
+    with obs.span("lower", path=path):
+        unit.t_ir = bundle_to_tree(lower_fortran(ftfile))
+    obs.add("index.units")
     unit.__dict__["_frontend"] = {"ftfile": ftfile}
     return unit
 
@@ -241,38 +256,47 @@ def index_codebase(
     """Index every unit of one model port; optionally run for coverage."""
     cb = IndexedCodebase(spec=spec, fs=fs)
     options = CompileOptions(dialect=spec.dialect, openmp=spec.openmp, name=spec.model)
-    for role, path in sorted(spec.units.items()):
-        if spec.lang == "cpp":
-            cb.units[role] = index_cpp_unit(fs, role, path, options, spec.defines)
-        elif spec.lang == "fortran":
-            cb.units[role] = index_fortran_unit(fs, role, path)
-        else:
-            raise ReproError(f"unknown language {spec.lang!r}")
+    with obs.span("index.codebase", app=spec.app, model=spec.model):
+        for role, path in sorted(spec.units.items()):
+            if spec.lang == "cpp":
+                cb.units[role] = index_cpp_unit(fs, role, path, options, spec.defines)
+            elif spec.lang == "fortran":
+                cb.units[role] = index_fortran_unit(fs, role, path)
+            else:
+                raise ReproError(f"unknown language {spec.lang!r}")
     if run_coverage:
-        if spec.lang == "fortran":
-            cb.coverage = _fortran_coverage(cb)
-        elif spec.entry is not None:
-            profile = CoverageProfile()
-            ran = False
-            for unit in cb.units.values():
-                fe = unit.__dict__.get("_frontend")
-                if not fe:
-                    continue
-                sema = fe["sema"]
-                entry_fn = sema.functions.get(spec.entry)
-                if entry_fn is not None and entry_fn.body is not None:
-                    try:
-                        result = run_program(fe["tu"], sema, spec.entry)
-                    except ReproError as e:
-                        # the program may call across translation units the
-                        # per-TU interpreter cannot link; index without
-                        # coverage rather than failing the whole step
-                        cb.run_value = f"coverage run failed: {e}"
-                        break
-                    cb.run_value = result.value
-                    profile = profile_from_run(result)
-                    ran = True
-                    break
-            if ran:
-                cb.coverage = profile
+        with obs.span("coverage", app=spec.app, model=spec.model):
+            _run_coverage(cb, spec)
     return cb
+
+
+def _run_coverage(cb: IndexedCodebase, spec: ModelSpec) -> None:
+    """The optional coverage-run step, split out so it traces as one span."""
+    if spec.lang == "fortran":
+        cb.coverage = _fortran_coverage(cb)
+        return
+    if spec.entry is None:
+        return
+    profile = CoverageProfile()
+    ran = False
+    for unit in cb.units.values():
+        fe = unit.__dict__.get("_frontend")
+        if not fe:
+            continue
+        sema = fe["sema"]
+        entry_fn = sema.functions.get(spec.entry)
+        if entry_fn is not None and entry_fn.body is not None:
+            try:
+                result = run_program(fe["tu"], sema, spec.entry)
+            except ReproError as e:
+                # the program may call across translation units the
+                # per-TU interpreter cannot link; index without
+                # coverage rather than failing the whole step
+                cb.run_value = f"coverage run failed: {e}"
+                break
+            cb.run_value = result.value
+            profile = profile_from_run(result)
+            ran = True
+            break
+    if ran:
+        cb.coverage = profile

@@ -65,8 +65,9 @@ class TestCache:
         b = from_sexpr("(a (b x) (d e f))")
         first = ted(a, b)
         second = ted(a, b)
-        assert not first.shortcut
-        assert second.shortcut  # served from memo
+        assert not first.cached and not first.shortcut
+        assert second.cached  # served from memo
+        assert not second.shortcut  # memo hits are NOT hash shortcuts
         assert second.distance == first.distance
 
     def test_cache_symmetric(self):
@@ -75,8 +76,45 @@ class TestCache:
         b = from_sexpr("(p (q r) s)")
         d1 = ted(a, b).distance
         rev = ted(b, a)
-        assert rev.shortcut
+        assert rev.cached
         assert rev.distance == d1
+
+    def test_identical_trees_are_shortcut_not_cached(self):
+        clear_ted_cache()
+        t = from_sexpr("(a (b c))")
+        r = ted(t, t.copy())
+        assert r.shortcut and not r.cached
+
+    def test_stats_distinguish_hit_miss_shortcut(self):
+        from repro.distance.ted import cache_stats
+
+        clear_ted_cache()
+        a = from_sexpr("(a (b c) (d e))")
+        b = from_sexpr("(a (b x) (d e f))")
+        ted(a, b)
+        ted(a, b)
+        ted(a, a.copy())
+        s = cache_stats()
+        assert s["miss"] == 1 and s["hit"] == 1 and s["shortcut"] == 1
+        assert s["size"] == 2  # both key orders
+
+    def test_cache_never_exceeds_limit(self, monkeypatch):
+        import sys
+
+        # the package re-exports the ted() function under the same name, so
+        # reach the module through sys.modules
+        ted_mod = sys.modules["repro.distance.ted"]
+
+        clear_ted_cache()
+        monkeypatch.setattr(ted_mod, "_CACHE_LIMIT", 6)
+        trees = [from_sexpr(f"(r{i} (x{i} y{i}) z{i})") for i in range(8)]
+        base = from_sexpr("(q (w e) r)")
+        for t in trees:
+            ted(base, t)
+            assert len(ted_mod._CACHE) <= 6
+        assert ted_mod.cache_stats()["evicted"] > 0
+        # recent pairs survive eviction and still hit
+        assert ted(base, trees[-1]).cached
 
 
 class TestCustomCosts:

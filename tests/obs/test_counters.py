@@ -1,0 +1,89 @@
+"""Counter/gauge accumulation and the instrumented hot paths."""
+
+from repro import obs
+from repro.distance.ted import cache_stats, clear_ted_cache, ted, ted_lower_bound
+from repro.trees import from_sexpr
+
+
+class TestAccumulation:
+    def test_add_accumulates(self):
+        with obs.collect() as c:
+            obs.add("n")
+            obs.add("n", 2)
+            obs.add("other", 0.5)
+        assert c.counters == {"n": 3.0, "other": 0.5}
+
+    def test_gauge_overwrites(self):
+        with obs.collect() as c:
+            obs.gauge("size", 1)
+            obs.gauge("size", 9)
+        assert c.gauges == {"size": 9}
+
+    def test_get_reads_active_counter(self):
+        with obs.collect():
+            obs.add("x", 4)
+            assert obs.get("x") == 4.0
+            assert obs.get("missing") == 0.0
+        assert obs.get("x") == 0.0  # no collector -> 0
+
+    def test_noop_without_collector(self):
+        obs.add("ignored")
+        obs.gauge("ignored", 1)  # must not raise or leak anywhere
+
+
+class TestTedCounters:
+    def test_hit_miss_shortcut_distinct(self):
+        clear_ted_cache()
+        a = from_sexpr("(a (b c) (d e))")
+        b = from_sexpr("(a (b x) (d e f))")
+        with obs.collect() as c:
+            ted(a, b)  # miss (DP runs)
+            ted(a, b)  # memo hit
+            ted(a, a.copy())  # identical-hash shortcut
+        assert c.counters["ted.cache.miss"] == 1
+        assert c.counters["ted.cache.hit"] == 1
+        assert c.counters["ted.shortcut"] == 1
+        assert c.gauges["ted.cache.size"] == 2
+
+    def test_filter_counters(self):
+        with obs.collect() as c:
+            same = from_sexpr("(a b)")
+            ted_lower_bound(same, same.copy())  # bound 0: not pruned
+            ted_lower_bound(from_sexpr("(a b)"), from_sexpr("(x y z)"))  # pruned
+        assert c.counters["ted.filter.calls"] == 2
+        assert c.counters["ted.filter.pruned"] == 1
+
+    def test_zs_work_counters(self):
+        clear_ted_cache()
+        with obs.collect() as c:
+            ted(from_sexpr("(a (b c) (d e))"), from_sexpr("(a (b x) (d e f))"))
+        assert c.counters["zs.calls"] == 1
+        assert c.counters["zs.keyroot_pairs"] > 0
+        assert c.counters["zs.dp_cells"] > 0
+
+    def test_module_stats_always_on(self):
+        clear_ted_cache()
+        a = from_sexpr("(m n)")
+        b = from_sexpr("(m o p)")
+        ted(a, b)  # no collector installed
+        ted(a, b)
+        s = cache_stats()
+        assert s["miss"] == 1 and s["hit"] == 1
+
+
+class TestLexCounters:
+    def test_cpp_tokens_counted(self):
+        from repro.lang.cpp.lexer import lex
+
+        with obs.collect() as c:
+            toks = lex("int x = 1;\n", "t.cpp")
+        assert c.counters["lex.cpp.calls"] == 1
+        assert c.counters["lex.cpp.tokens"] == len(toks)
+
+    def test_fortran_tokens_counted(self):
+        from repro.lang.fortran.lexer import lex_fortran
+
+        with obs.collect() as c:
+            toks = lex_fortran("x = 1\n", "t.f90")
+        assert c.counters["lex.fortran.calls"] == 1
+        assert c.counters["lex.fortran.tokens"] == len(toks)

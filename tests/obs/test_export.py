@@ -1,0 +1,101 @@
+"""Export surfaces: aggregation, Chrome trace schema, metrics JSON."""
+
+import json
+
+from repro import obs
+from repro.viz.ascii import ascii_counters, ascii_span_tree
+
+
+def _sample_collector() -> obs.Collector:
+    with obs.collect() as c:
+        with obs.span("pipeline"):
+            for _ in range(3):
+                with obs.span("stage", path="a.cpp"):
+                    pass
+            with obs.span("other"):
+                pass
+        obs.add("tokens", 42)
+        obs.gauge("cache.size", 7)
+    return c
+
+
+class TestAggregation:
+    def test_sibling_spans_merge_by_name(self):
+        c = _sample_collector()
+        roots = obs.aggregate_spans(c)
+        assert [r.name for r in roots] == ["pipeline"]
+        pipeline = roots[0]
+        assert set(pipeline.children) == {"stage", "other"}
+        assert pipeline.children["stage"].count == 3
+        assert pipeline.children["other"].count == 1
+
+    def test_self_time_excludes_children(self):
+        c = _sample_collector()
+        pipeline = obs.aggregate_spans(c)[0]
+        child_total = sum(ch.total for ch in pipeline.children.values())
+        assert abs(pipeline.self_time - (pipeline.total - child_total)) < 1e-9
+
+    def test_ascii_tree_renders_counts_and_names(self):
+        c = _sample_collector()
+        text = ascii_span_tree(obs.aggregate_spans(c))
+        assert "pipeline" in text and "stage" in text and "×3" in text
+
+    def test_ascii_counters_renders(self):
+        c = _sample_collector()
+        text = ascii_counters(c.counters, c.gauges)
+        assert "tokens" in text and "42" in text and "(gauge)" in text
+
+
+class TestChromeTrace:
+    def test_schema_round_trip(self, tmp_path):
+        c = _sample_collector()
+        path = obs.write_chrome_trace(c, tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(c.spans)
+        for e in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+            assert e["dur"] >= 0
+        counters = [e for e in data["traceEvents"] if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {"tokens"}
+
+    def test_span_attrs_become_args(self):
+        c = _sample_collector()
+        trace = obs.chrome_trace(c)
+        stage_events = [e for e in trace["traceEvents"] if e["name"] == "stage"]
+        assert all(e["args"] == {"path": "a.cpp"} for e in stage_events)
+
+    def test_timestamps_are_relative_microseconds(self):
+        c = _sample_collector()
+        trace = obs.chrome_trace(c)
+        ts = [e["ts"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert min(ts) >= 0.0
+
+
+class TestMetricsJson:
+    def test_flat_snapshot_shape(self, tmp_path):
+        c = _sample_collector()
+        path = obs.write_metrics(c, tmp_path / "metrics.json", extra={"app": "demo"})
+        data = json.loads(path.read_text())
+        assert data["schema"] == obs.METRICS_SCHEMA
+        assert data["app"] == "demo"
+        assert data["counters"] == {"tokens": 42.0}
+        assert data["gauges"] == {"cache.size": 7}
+        stage = data["spans"]["stage"]
+        assert stage["count"] == 3
+        assert stage["total_s"] >= stage["min_s"] >= 0
+        assert stage["max_s"] >= stage["min_s"]
+
+    def test_self_time_in_flat_spans(self):
+        c = _sample_collector()
+        data = obs.metrics_json(c)
+        pipeline = data["spans"]["pipeline"]
+        children = data["spans"]["stage"]["total_s"] + data["spans"]["other"]["total_s"]
+        assert abs(pipeline["self_s"] - max(pipeline["total_s"] - children, 0.0)) < 1e-9
+
+    def test_empty_collector_exports_cleanly(self):
+        with obs.collect() as c:
+            pass
+        assert obs.metrics_json(c)["spans"] == {}
+        assert obs.chrome_trace(c)["traceEvents"][0]["ph"] == "M"

@@ -1,0 +1,132 @@
+"""Span semantics: nesting, ordering, no-op behaviour, thread fallback."""
+
+import threading
+
+from repro import obs
+from repro.obs.spans import _NOOP
+
+
+class TestDisabled:
+    def test_span_is_shared_noop_when_no_collector(self):
+        assert obs.span("x") is _NOOP
+        assert obs.span("y") is _NOOP  # same object, no allocation
+
+    def test_noop_span_supports_protocol(self):
+        with obs.span("x") as s:
+            s.set(foo=1)  # must not raise
+
+    def test_enabled_flag(self):
+        assert not obs.enabled()
+        with obs.collect():
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_traced_calls_through_when_disabled(self):
+        @obs.traced("f")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+
+    def test_current_collector_none_when_disabled(self):
+        assert obs.current_collector() is None
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        with obs.collect() as c:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner"):
+                    pass
+        outer = [r for r in c.spans if r.name == "outer"]
+        inner = [r for r in c.spans if r.name == "inner"]
+        assert len(outer) == 1 and len(inner) == 2
+        assert outer[0].parent == -1
+        assert all(r.parent == outer[0].index for r in inner)
+
+    def test_sibling_order_preserved(self):
+        with obs.collect() as c:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        names = [r.name for r in c.spans]
+        assert names == ["a", "b"]
+
+    def test_durations_nonnegative_and_nested_fit(self):
+        with obs.collect() as c:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    sum(range(1000))
+        outer = next(r for r in c.spans if r.name == "outer")
+        inner = next(r for r in c.spans if r.name == "inner")
+        assert inner.duration >= 0
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_span_attrs_recorded(self):
+        with obs.collect() as c:
+            with obs.span("stage", path="f.cpp") as s:
+                s.set(tokens=7)
+        rec = c.spans[0]
+        assert rec.attrs == {"path": "f.cpp", "tokens": 7}
+
+    def test_traced_uses_qualname_by_default(self):
+        @obs.traced()
+        def my_stage():
+            return 3
+
+        with obs.collect() as c:
+            assert my_stage() == 3
+        assert any("my_stage" in r.name for r in c.spans)
+
+    def test_exception_still_closes_span(self):
+        with obs.collect() as c:
+            try:
+                with obs.span("boom"):
+                    raise ValueError("x")
+            except ValueError:
+                pass
+            with obs.span("after"):
+                pass
+        after = next(r for r in c.spans if r.name == "after")
+        assert after.parent == -1  # "boom" was popped despite the exception
+
+
+class TestResetSemantics:
+    def test_each_collect_window_starts_clean(self):
+        with obs.collect() as c1:
+            with obs.span("x"):
+                pass
+            obs.add("k")
+        with obs.collect() as c2:
+            pass
+        assert len(c1.spans) == 1 and c1.counters == {"k": 1.0}
+        assert c2.spans == [] and c2.counters == {}
+
+    def test_nested_collect_shadows_outer(self):
+        with obs.collect() as outer:
+            with obs.span("for-outer"):
+                pass
+            with obs.collect() as inner:
+                with obs.span("for-inner"):
+                    pass
+        assert [r.name for r in outer.spans] == ["for-outer"]
+        assert [r.name for r in inner.spans] == ["for-inner"]
+
+
+class TestThreads:
+    def test_worker_thread_spans_fall_back_to_installed_collector(self):
+        def work():
+            with obs.span("worker"):
+                pass
+
+        with obs.collect() as c:
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        recs = [r for r in c.spans if r.name == "worker"]
+        assert len(recs) == 1
+        assert recs[0].parent == -1  # roots at the collector, not the main stack

@@ -50,6 +50,68 @@ class TestCommands:
             main(["bogus"])
 
 
+class TestProfiling:
+    """--profile / --trace-out / --metrics-out / stats (small Fortran corpus)."""
+
+    def test_compare_profile_prints_span_report(self, capsys):
+        rc = main(["compare", "babelstream-fortran", "omp", "-b", "sequential", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile" in out
+        # nested stage spans from the index+compare pipeline
+        for stage in ("index.", "parse", "lower", "ted"):
+            assert stage in out
+        assert "lex.fortran.tokens" in out
+
+    def test_trace_and_metrics_files(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "compare",
+                "babelstream-fortran",
+                "omp",
+                "-b",
+                "sequential",
+                "--trace-out",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert rc == 0
+        tdata = json.loads(trace.read_text())
+        assert any(e["ph"] == "X" and e["name"] == "ted" for e in tdata["traceEvents"])
+        mdata = json.loads(metrics.read_text())
+        assert mdata["spans"]["ted"]["count"] > 0
+
+    def test_stats_shows_cache_counters(self, capsys):
+        rc = main(["stats", "babelstream-fortran"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ted.cache.hit" in out
+        assert "ted.cache.miss" in out
+        assert "ted.shortcut" in out  # distinct from memo hits
+        assert "spans:" in out and "counters:" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        rc = main(["stats", "babelstream-fortran", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"].startswith("repro.obs/")
+        assert "ted.cache.hit" in data["counters"]
+
+    def test_profile_leaves_no_collector_installed(self):
+        from repro import obs
+
+        main(["compare", "babelstream-fortran", "omp", "-b", "sequential", "--profile"])
+        assert not obs.enabled()
+
+
 class TestSlowCommands:
     """cluster/heatmap exercised on the small Fortran corpus (fast)."""
 
