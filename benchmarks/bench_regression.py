@@ -1,0 +1,110 @@
+"""CI bench-regression harness for the distance engine.
+
+Runs one small, fixed TED workload (a TeaLeaf model subset under T_sem)
+three ways — cold serial, cold parallel (``jobs=2``), and warm-from-disk —
+and writes wall times plus the relevant counters to ``BENCH_pr.json``.
+
+The one hard gate: the warm-cache run must be strictly faster than the
+cold serial run AND perform zero Zhang–Shasha evaluations. Everything else
+is recorded for the PR artifact, not asserted, because shared CI runners
+make cross-process timing comparisons (serial vs parallel) too noisy to
+fail a build on.
+
+Usage: PYTHONPATH=src python benchmarks/bench_regression.py [--out BENCH_pr.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.cache import TedCacheStore
+from repro.corpus import index_app
+from repro.distance.engine import DistanceEngine
+from repro.distance.ted import clear_ted_cache
+from repro.workflow.comparer import MetricSpec, divergence_matrix
+
+#: Fixed workload: first N TeaLeaf models, semantic divergence. Small enough
+#: for CI, big enough that the DP dominates and caching is measurable.
+N_MODELS = 4
+SPEC = MetricSpec("Tsem")
+
+COUNTER_KEYS = (
+    "ted.pairs",
+    "ted.zs.calls",
+    "cache.disk.hit",
+    "cache.disk.miss",
+    "engine.chunks",
+)
+
+
+def run_case(name: str, codebases, engine: DistanceEngine) -> dict:
+    clear_ted_cache()  # in-process memo off: isolate the disk-cache effect
+    t0 = time.perf_counter()
+    with obs.collect() as col:
+        matrix = divergence_matrix(codebases, SPEC, engine=engine)
+    wall = time.perf_counter() - t0
+    counters = {k: col.counters.get(k, 0) for k in COUNTER_KEYS}
+    print(f"{name:14s} {wall:7.3f}s  " + "  ".join(f"{k}={counters[k]:g}" for k in COUNTER_KEYS))
+    return {"name": name, "wall_s": wall, "counters": counters, "checksum": float(matrix.sum())}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_pr.json", help="result JSON path")
+    args = parser.parse_args(argv)
+
+    cbs = index_app("tealeaf", coverage=True)
+    names = list(cbs)[:N_MODELS]
+    codebases = [cbs[m] for m in names]
+    print(f"workload: tealeaf[{', '.join(names)}] under {SPEC.name}\n")
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="svc-bench-") as tmp:
+        cache_dir = Path(tmp) / "ted-cache"
+        results.append(run_case("cold-serial", codebases, DistanceEngine(jobs=1)))
+        results.append(run_case("cold-jobs2", codebases, DistanceEngine(jobs=2)))
+        # populate, then measure warm (fresh store handle, no pending buffers)
+        clear_ted_cache()
+        divergence_matrix(codebases, SPEC, engine=DistanceEngine(cache=TedCacheStore(cache_dir)))
+        results.append(
+            run_case("warm-cache", codebases, DistanceEngine(cache=TedCacheStore(cache_dir)))
+        )
+
+    by_name = {r["name"]: r for r in results}
+    report = {
+        "workload": {"app": "tealeaf", "models": names, "spec": SPEC.name},
+        "runs": results,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    warm, cold = by_name["warm-cache"], by_name["cold-serial"]
+    if warm["counters"]["ted.zs.calls"] != 0:
+        failures.append(
+            f"warm run performed {warm['counters']['ted.zs.calls']:g} ZS evaluations (want 0)"
+        )
+    if not warm["wall_s"] < cold["wall_s"]:
+        failures.append(
+            f"warm cache not faster than cold serial ({warm['wall_s']:.3f}s vs {cold['wall_s']:.3f}s)"
+        )
+    for r in results:
+        if r["checksum"] != cold["checksum"]:
+            failures.append(f"{r['name']} checksum diverged from cold-serial")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        speedup = cold["wall_s"] / warm["wall_s"]
+        print(f"PASS: warm cache {speedup:.1f}x faster than cold serial, 0 ZS calls")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

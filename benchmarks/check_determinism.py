@@ -1,0 +1,74 @@
+"""CI determinism gate for the distance engine.
+
+Asserts, on a small fixed TeaLeaf workload, that
+
+1. the parallel (``jobs=2``) divergence matrix is ``np.array_equal`` to the
+   serial one — scheduling must not change a single bit;
+2. a matrix rebuilt entirely from the persistent cache (fresh process-level
+   memo, every pair a disk hit) is bit-identical to the directly computed
+   one — the cache round-trip loses nothing.
+
+Usage: PYTHONPATH=src python benchmarks/check_determinism.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.cache import TedCacheStore
+from repro.corpus import index_app
+from repro.distance.engine import DistanceEngine
+from repro.distance.ted import clear_ted_cache
+from repro.workflow.comparer import MetricSpec, divergence_matrix
+
+N_MODELS = 4
+SPEC = MetricSpec("Tsem")
+
+
+def build(codebases, engine: DistanceEngine) -> np.ndarray:
+    clear_ted_cache()
+    return divergence_matrix(codebases, SPEC, engine=engine)
+
+
+def main() -> int:
+    cbs = index_app("tealeaf", coverage=True)
+    names = list(cbs)[:N_MODELS]
+    codebases = [cbs[m] for m in names]
+    print(f"workload: tealeaf[{', '.join(names)}] under {SPEC.name}")
+
+    failures = []
+    serial = build(codebases, DistanceEngine(jobs=1))
+    parallel = build(codebases, DistanceEngine(jobs=2))
+    if np.array_equal(serial, parallel):
+        print("ok: parallel matrix bit-identical to serial")
+    else:
+        failures.append("parallel (jobs=2) matrix differs from serial")
+
+    with tempfile.TemporaryDirectory(prefix="svc-det-") as tmp:
+        cache_dir = Path(tmp) / "ted-cache"
+        build(codebases, DistanceEngine(cache=TedCacheStore(cache_dir)))  # populate
+        with obs.collect() as col:
+            cached = build(codebases, DistanceEngine(cache=TedCacheStore(cache_dir)))
+        if col.counters.get("ted.zs.calls", 0) != 0:
+            failures.append(
+                f"cache round-trip re-ran the DP ({col.counters['ted.zs.calls']:g} ZS calls)"
+            )
+        if np.array_equal(serial, cached):
+            print("ok: cache round-trip matrix bit-identical, zero ZS calls")
+        else:
+            failures.append("cache round-trip matrix differs from direct computation")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("PASS: determinism gate clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.corpus import app_models, index_app
+from repro.corpus import index_app
 
 OUT = Path(__file__).parent / "out"
 

@@ -8,7 +8,6 @@ from repro.analysis import render_table
 from repro.distance import ted
 from repro.distance.ted import clear_ted_cache, ted_lower_bound
 from repro.metrics.treemetrics import tree_distance, unit_trees
-from repro.trees.normalize import normalize_names
 from repro.workflow.comparer import MetricSpec, divergence
 
 

@@ -1,6 +1,5 @@
 """Fig. 6: BabelStream-Fortran clustering dendrograms, six metrics."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.analysis import cluster_models, cophenetic_matrix

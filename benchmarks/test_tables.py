@@ -21,7 +21,7 @@ def test_table1_metric_taxonomy(benchmark):
     # the paper's seven rows
     assert len(table.splitlines()) == 2 + 7
     # Tsem's variants are inlining+coverage, not preprocessor
-    tsem_row = [l for l in table.splitlines() if l.startswith("Tsem")][0]
+    tsem_row = [row for row in table.splitlines() if row.startswith("Tsem")][0]
     assert "+inlining" in tsem_row and "+preprocessor" not in tsem_row
 
 

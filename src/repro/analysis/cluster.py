@@ -7,8 +7,8 @@ tooling, while the implementation itself stays dependency-light.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -123,6 +123,25 @@ def cluster_models(
     """The paper's model-clustering recipe: rows → Euclidean → agglomerate."""
     with obs.span("cluster", models=len(labels), linkage=linkage):
         return agglomerative(euclidean_rows(divergence_matrix), labels, linkage)
+
+
+def cluster_codebases(
+    codebases: Sequence,
+    labels: Sequence[str],
+    spec,
+    linkage: str = "complete",
+    engine=None,
+) -> Dendrogram:
+    """Cluster model ports directly: divergence matrix (through the given
+    :class:`repro.distance.engine.DistanceEngine`, when any) then the
+    paper's rows → Euclidean → agglomerate recipe."""
+    # deferred import: workflow.comparer is a consumer-layer module and
+    # importing it at module scope would invert the analysis ← workflow
+    # layering for every cluster-only caller
+    from repro.workflow.comparer import divergence_matrix
+
+    matrix = divergence_matrix(codebases, spec, engine=engine)
+    return cluster_models(matrix, labels, linkage)
 
 
 def cophenetic_matrix(dend: Dendrogram) -> np.ndarray:

@@ -8,14 +8,15 @@ the numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.distance.engine import DistanceEngine
 from repro.workflow.codebase import IndexedCodebase
-from repro.workflow.comparer import MetricSpec, divergence
+from repro.workflow.comparer import MetricSpec, divergence_task
 
 
 @dataclass
@@ -62,13 +63,20 @@ def divergence_heatmap(
     baseline: IndexedCodebase,
     models: Sequence[IndexedCodebase],
     specs: Sequence[MetricSpec] = HEATMAP_SPECS,
+    engine: Optional[DistanceEngine] = None,
 ) -> HeatmapData:
-    """Divergence-from-baseline heatmap over metric variants × models."""
+    """Divergence-from-baseline heatmap over metric variants × models.
+
+    All rows × cols cells are independent evaluations, so the whole grid is
+    one flat task list for the engine — a single pool amortised across every
+    metric variant.
+    """
+    eng = engine if engine is not None else DistanceEngine()
     cols = [cb.model for cb in models]
     rows = [s.label for s in specs]
     values = np.zeros((len(rows), len(cols)))
-    with obs.span("heatmap", rows=len(rows), cols=len(cols)):
-        for i, spec in enumerate(specs):
-            for j, cb in enumerate(models):
-                values[i, j] = divergence(baseline, cb, spec)
+    with obs.span("heatmap", rows=len(rows), cols=len(cols), jobs=eng.jobs):
+        tasks = [(baseline, cb, spec) for spec in specs for cb in models]
+        flat = eng.map_tasks(divergence_task, tasks)
+        values[:] = np.asarray(flat, dtype=np.float64).reshape(len(rows), len(cols))
     return HeatmapData(rows, cols, values)

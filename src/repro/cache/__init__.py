@@ -1,0 +1,12 @@
+"""Persistent caching subsystem.
+
+:class:`TedCacheStore` memoises unit-cost TED distances on disk, keyed by
+the canonical structural-hash pair (see DESIGN.md §"TED cache key contract").
+The distance layer consults the installed store via
+:func:`repro.distance.ted.set_disk_cache`; the parallel engine installs it
+in every worker.
+"""
+
+from repro.cache.store import KEY_SPEC, SCHEMA, TedCacheStore, pair_key
+
+__all__ = ["KEY_SPEC", "SCHEMA", "TedCacheStore", "pair_key"]

@@ -63,7 +63,6 @@ from repro.lang.cpp.astnodes import (
 )
 from repro.lang.cpp.sema import SemaResult
 from repro.compiler.ir import IRBlock, IRFunction, IRGlobal, IRInstr, IRModule
-from repro.trees.node import SourceSpan
 
 _BIN_OPS = {
     "+": "add",

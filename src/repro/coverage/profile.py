@@ -29,7 +29,7 @@ class CoverageProfile:
         return sorted({f for f, _ in self.hits})
 
     def covered_lines(self, file: str) -> set[int]:
-        return {l for (f, l), c in self.hits.items() if f == file and c > 0}
+        return {ln for (f, ln), c in self.hits.items() if f == file and c > 0}
 
     def total_hits(self) -> int:
         return sum(self.hits.values())

@@ -14,7 +14,7 @@ def gcov_report(profile: CoverageProfile, fs: VirtualFS, path: str) -> str:
     """
     src = fs.get(path)
     covered = profile.covered_lines(path)
-    hits = {l: profile.hits[(path, l)] for l in covered}
+    hits = {ln: profile.hits[(path, ln)] for ln in covered}
     out = [f"        -:    0:Source:{path}"]
     for i, line in enumerate(src.lines, start=1):
         stripped = line.strip()

@@ -15,8 +15,10 @@ from repro.distance.wu_manber import onp_edit_distance, lcs_length
 from repro.distance.myers import myers_edit_distance
 from repro.distance.levenshtein import levenshtein
 from repro.distance.matrix import pairwise_matrix, condensed_to_square
+from repro.distance.engine import DistanceEngine
 
 __all__ = [
+    "DistanceEngine",
     "ted",
     "ted_normalized",
     "TedResult",

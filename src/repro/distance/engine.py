@@ -1,0 +1,178 @@
+"""Parallel distance-matrix engine with persistent TED caching.
+
+The paper's compare step is the cartesian product of all models (§V-A) —
+O(n²) divergence evaluations whose cost PR 1's spans showed to dominate
+every figure. This engine schedules that pair list:
+
+* **serially by default** (``jobs=1``), running tasks inline in submission
+  order so results stay byte-for-byte identical to the historical loops;
+* **across a ``fork`` multiprocessing pool** for ``jobs > 1``: the task
+  list is staged in a module global *before* the fork so workers inherit
+  the indexed codebases by copy-on-write instead of pickling tree forests
+  through a pipe, and only chunk bounds and result floats cross the pipe.
+  Every divergence evaluation is a pure function of its pair, so the
+  schedule cannot change the numbers — parallel matrices are
+  ``np.array_equal`` to serial ones (the CI determinism gate asserts this);
+* **against a persistent TED cache** (:class:`repro.cache.TedCacheStore`)
+  when one is attached: the engine installs it in the distance layer (and
+  in every pool worker) for the duration of the run and flushes buffered
+  writes on exit, so warm runs perform zero Zhang–Shasha evaluations.
+
+Counters: ``ted.pairs`` (tasks scheduled), ``engine.chunks``,
+``engine.workers``, plus the ``cache.disk.hit/miss`` pair recorded by the
+distance layer. Workers collect counters in-process and the parent merges
+them, so ``--profile`` output is complete either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from contextlib import contextmanager
+from typing import Any, Callable, Optional, Sequence
+
+from repro import obs
+
+# NB: function imports, not ``import repro.distance.ted as ...`` — the
+# package re-exports the ``ted`` *function* under the module's name, so any
+# attribute-style module reference resolves to the function instead.
+from repro.distance.ted import get_disk_cache, set_disk_cache
+
+#: Staged (fn, tasks, cache root) visible to pool workers via fork
+#: inheritance. Only valid between staging and pool shutdown.
+_STAGE: Optional[dict] = None
+
+
+def _flush_quietly(store) -> None:
+    """Flush cache writes; a failing cache degrades the run, never kills it."""
+    try:
+        store.flush()
+    except OSError:
+        obs.add("cache.disk.flush_errors")
+
+
+def _worker_init() -> None:
+    """Per-worker setup: attach a fresh store handle to the shared cache
+    directory (fresh so no parent pending-write buffers are inherited).
+
+    Must never raise: a failing pool initializer makes the pool respawn
+    workers forever, so any cache problem degrades to cache-off instead.
+    """
+    try:
+        assert _STAGE is not None
+        cache_root = _STAGE["cache_root"]
+        if cache_root is not None:
+            from repro.cache.store import TedCacheStore
+
+            set_disk_cache(TedCacheStore(cache_root))
+        else:
+            set_disk_cache(None)
+    except Exception:
+        set_disk_cache(None)
+
+
+def _run_chunk(bounds: tuple[int, int]) -> tuple[list[Any], dict[str, float]]:
+    """Evaluate one chunk of staged tasks inside a pool worker.
+
+    Returns the results plus the worker-side counter deltas so the parent
+    can merge them into its collector.
+    """
+    assert _STAGE is not None
+    fn = _STAGE["fn"]
+    tasks = _STAGE["tasks"]
+    lo, hi = bounds
+    with obs.collect() as col:
+        out = [fn(task) for task in tasks[lo:hi]]
+        disk = get_disk_cache()
+        if disk is not None:
+            _flush_quietly(disk)
+    return out, dict(col.counters)
+
+
+class DistanceEngine:
+    """Schedules bulk divergence work over workers and the persistent cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. 1 (default) runs inline — deterministic and
+        dependency-free; >1 forks a pool. Falls back to serial where the
+        ``fork`` start method is unavailable.
+    cache:
+        Optional :class:`repro.cache.TedCacheStore`; installed in the
+        distance layer (and every worker) for the duration of each run.
+    chunk_size:
+        Tasks per scheduled chunk. Default: enough chunks for ~4 rounds
+        per worker, which keeps the tail balanced without drowning the
+        pipe in tiny messages.
+    """
+
+    def __init__(self, jobs: int = 1, cache=None, chunk_size: Optional[int] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.cache = cache
+        self.chunk_size = chunk_size
+
+    @contextmanager
+    def _cache_installed(self):
+        """Install ``self.cache`` in the distance layer; flush on exit."""
+        if self.cache is None:
+            yield
+            return
+        prev = get_disk_cache()
+        set_disk_cache(self.cache)
+        try:
+            yield
+        finally:
+            _flush_quietly(self.cache)
+            set_disk_cache(prev)
+
+    def map_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every task, preserving order.
+
+        ``fn`` must be pure per task — that is what makes the parallel
+        schedule value-identical to the serial one.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        obs.add("ted.pairs", len(tasks))
+        jobs = min(self.jobs, len(tasks))
+        if jobs > 1 and "fork" not in multiprocessing.get_all_start_methods():
+            jobs = 1  # no fork (e.g. Windows): degrade to the serial path
+        with self._cache_installed():
+            if jobs == 1:
+                obs.gauge("engine.workers", 1)
+                return [fn(task) for task in tasks]
+            return self._map_parallel(fn, tasks, jobs)
+
+    def _map_parallel(self, fn, tasks: list, jobs: int) -> list:
+        global _STAGE
+        n = len(tasks)
+        size = self.chunk_size or max(1, -(-n // (jobs * 4)))
+        chunks = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+        obs.add("engine.chunks", len(chunks))
+        obs.gauge("engine.workers", jobs)
+        cache_root = str(self.cache.root) if self.cache is not None else None
+        _STAGE = {"fn": fn, "tasks": tasks, "cache_root": cache_root}
+        ctx = multiprocessing.get_context("fork")
+        try:
+            with obs.span("engine.pool", jobs=jobs, chunks=len(chunks)):
+                with ctx.Pool(processes=jobs, initializer=_worker_init) as pool:
+                    chunk_results = pool.map(_run_chunk, chunks)
+        finally:
+            _STAGE = None
+        out: list = []
+        collector = obs.current_collector()
+        for results, counters in chunk_results:
+            out.extend(results)
+            if collector is not None:
+                for name, value in counters.items():
+                    collector.add(name, value)
+        # Workers flushed their own pending writes; re-read shards lazily so
+        # parent-side lookups see them.
+        if self.cache is not None:
+            self.cache.drop_loaded()
+        return out

@@ -44,16 +44,28 @@ def pairwise_matrix(
 
 def condensed_to_square(condensed: np.ndarray, n: int) -> np.ndarray:
     """Expand a SciPy-style condensed distance vector into a square matrix."""
+    vec = np.asarray(condensed, dtype=np.float64).ravel()
+    expected = n * (n - 1) // 2
+    if vec.size != expected:
+        raise ValueError(
+            f"condensed vector has {vec.size} entries; n={n} needs {expected}"
+        )
     out = np.zeros((n, n), dtype=np.float64)
-    k = 0
-    for i in range(n):
-        for j in range(i + 1, n):
-            out[i, j] = out[j, i] = condensed[k]
-            k += 1
+    iu, ju = np.triu_indices(n, k=1)
+    out[iu, ju] = vec
+    out[ju, iu] = vec
     return out
 
 
 def square_to_condensed(square: np.ndarray) -> np.ndarray:
-    """Upper triangle of a square distance matrix, SciPy condensed order."""
-    n = square.shape[0]
-    return np.asarray([square[i, j] for i in range(n) for j in range(i + 1, n)])
+    """Upper triangle of a square distance matrix, SciPy condensed order.
+
+    ``np.triu_indices`` enumerates row-major exactly like the old double
+    loop, so ordering is unchanged; non-square (or non-2-D) input now raises
+    instead of silently truncating to the first ``shape[0]`` columns.
+    """
+    sq = np.asarray(square, dtype=np.float64)
+    if sq.ndim != 2 or sq.shape[0] != sq.shape[1]:
+        raise ValueError(f"expected a square 2-D matrix, got shape {sq.shape}")
+    iu = np.triu_indices(sq.shape[0], k=1)
+    return sq[iu]

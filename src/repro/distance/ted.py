@@ -80,6 +80,23 @@ class TedResult:
 _CACHE: dict[tuple[str, str], float] = {}
 _CACHE_LIMIT = 65536
 
+#: Optional persistent second-level cache (duck-typed to
+#: :class:`repro.cache.TedCacheStore`: ``lookup(h1, h2)`` / ``record(h1, h2,
+#: d)``). Consulted on memo misses in the unit-cost path; installed by the
+#: distance engine (and its pool workers) around matrix sweeps.
+_DISK_CACHE = None
+
+
+def set_disk_cache(store) -> None:
+    """Install (or with ``None``, remove) the persistent TED cache."""
+    global _DISK_CACHE
+    _DISK_CACHE = store
+
+
+def get_disk_cache():
+    """The currently installed persistent cache, if any."""
+    return _DISK_CACHE
+
 #: Always-on cache statistics (plain int increments — cheap enough to keep
 #: unconditionally). ``hit`` = memo hit, ``miss`` = DP ran, ``shortcut`` =
 #: identical-hash zero, ``evicted`` = entries dropped to respect the limit.
@@ -163,9 +180,21 @@ def ted(t1: Node, t2: Node, cost: Optional[Cost] = None) -> TedResult:
             if obs.enabled():
                 obs.add("ted.cache.hit")
             return TedResult(_CACHE[key], n1, n2, cached=True)
+        if _DISK_CACHE is not None:
+            stored = _DISK_CACHE.lookup(h1, h2)
+            if stored is not None:
+                _STATS["hit"] += 1
+                _cache_insert(key, stored)
+                if obs.enabled():
+                    obs.add("cache.disk.hit")
+                return TedResult(stored, n1, n2, cached=True)
         _STATS["miss"] += 1
         d = float(zhang_shasha_distance(t1, t2))
         _cache_insert(key, d)
+        if _DISK_CACHE is not None:
+            _DISK_CACHE.record(h1, h2, d)
+            if obs.enabled():
+                obs.add("cache.disk.miss")
         if obs.enabled():
             obs.add("ted.cache.miss")
             obs.gauge("ted.cache.size", len(_CACHE))

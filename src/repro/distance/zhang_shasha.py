@@ -96,6 +96,7 @@ def zhang_shasha_distance(t1: Node, t2: Node) -> int:
 
         if obs.enabled():
             obs.add("zs.calls")
+            obs.add("ted.zs.calls")
             obs.add("zs.batched_calls")
             with obs.span("zs.batched", cells=est):
                 return zhang_shasha_batched(t1, t2)
@@ -187,6 +188,7 @@ def zhang_shasha_distance(t1: Node, t2: Node) -> int:
                 )
     if track:
         obs.add("zs.calls")
+        obs.add("ted.zs.calls")
         obs.add("zs.keyroot_pairs", kr_pairs)
         obs.add("zs.leaf_pairs", leaf_pairs)
         obs.add("zs.dp_cells", dp_cells)

@@ -200,9 +200,6 @@ def zhang_shasha_batched(t1, t2) -> int:
             )
         )
 
-    glob_whole = djn[whole_mask[djn]]
-    glob_part = djn[~whole_mask[djn]]
-
     for i in kr1:
         li = int(l1[i])
         isz = i - li + 2

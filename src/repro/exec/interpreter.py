@@ -604,7 +604,6 @@ class Interpreter:
         else:
             cur = self._slot_load(slot)
             rhs = self.eval_expr(e.rhs, env)
-            binop = BinaryExpr(op=e.op[:-1], span=e.span)
             if isinstance(cur, Pointer) and e.op in ("+=", "-="):
                 val = cur.add(int(rhs) if e.op == "+=" else -int(rhs))
             else:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Optional
 
-from repro.exec.values import Buffer, Cell, Lambda, Pointer, StructVal
+from repro.exec.values import Buffer, Cell, Pointer, StructVal
 from repro.util.errors import InterpreterError
 
 # ---------------------------------------------------------------------------

@@ -16,7 +16,7 @@ until the shared TED name normalisation erases them (they are preserved in
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional
 
 from repro.lang.cpp.astnodes import (
     AssignExpr,
@@ -34,7 +34,6 @@ from repro.lang.cpp.astnodes import (
     DoStmt,
     Expr,
     ExprStmt,
-    FieldDecl,
     ForStmt,
     FunctionDecl,
     IdentExpr,

@@ -92,8 +92,8 @@ def _lex_iter(text: str, file: str) -> Iterator[Token]:
     col = 1
     at_line_start = True
 
-    def make(tt: TokenType, s: str, l: int, c: int) -> Token:
-        return Token(tt, s, file, l, c)
+    def make(tt: TokenType, s: str, ln: int, c: int) -> Token:
+        return Token(tt, s, file, ln, c)
 
     while i < n:
         ch = text[i]

@@ -16,7 +16,7 @@ semantically than they look in source.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
 from repro.lang.cpp.astnodes import (
     AssignExpr,

@@ -85,8 +85,8 @@ class FortranParser:
         t = self._peek()
         if t is None or t.text != text:
             got = t.text if t else "<eof>"
-            f, l, c = (t.file, t.line, t.col) if t else (self.path, 0, 0)
-            raise ParseError(f"expected {text!r}, got {got!r}", f, l, c)
+            f, ln, c = (t.file, t.line, t.col) if t else (self.path, 0, 0)
+            raise ParseError(f"expected {text!r}, got {got!r}", f, ln, c)
         self.i += 1
         return t
 

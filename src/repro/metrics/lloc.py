@@ -27,7 +27,7 @@ def lloc(cb: IndexedCodebase, variant: str = "pre", mask: Optional[LineMask] = N
         sig = unit.sig_lines_pre if variant == "pre" else unit.sig_lines_post
         for f, count in table.items():
             if mask is not None and f in sig and sig[f]:
-                covered = sum(1 for l in sig[f] if mask.covered(f, l))
+                covered = sum(1 for ln in sig[f] if mask.covered(f, ln))
                 count = round(count * covered / len(sig[f]))
             total += count
     return total

@@ -30,7 +30,7 @@ def sloc_per_file(
             if not include_system and is_system_path(f):
                 continue
             if mask is not None:
-                lines = {l for l in lines if mask.covered(f, l)}
+                lines = {ln for ln in lines if mask.covered(f, ln)}
             out[f] = out.get(f, 0) + len(lines)
     return out
 

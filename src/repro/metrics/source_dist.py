@@ -22,7 +22,7 @@ def _unit_lines(
     tags = unit.source_tags_pre if variant == "pre" else unit.source_tags_post
     if mask is None:
         return lines
-    return [l for l, (f, ln) in zip(lines, tags) if mask.covered(f, ln)]
+    return [line for line, (f, ln) in zip(lines, tags) if mask.covered(f, ln)]
 
 
 def source_distance(

@@ -15,7 +15,6 @@ everything shares one axis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.metrics.lloc import lloc
 from repro.metrics.sloc import sloc

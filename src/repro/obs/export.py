@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional
 
-from repro.obs.spans import Collector, SpanRecord
+from repro.obs.spans import Collector
 
 #: Schema identifier stamped into the metrics JSON so the harness can detect
 #: breaking changes to the snapshot layout.

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from repro.workflow.codebase import IndexedCodebase
+
 
 @dataclass
 class NavPoint:
@@ -73,3 +75,26 @@ def navigation_chart(
             )
         )
     return chart
+
+
+def navigation_chart_from_codebases(
+    app: str,
+    phis: Mapping[str, float],
+    baseline: IndexedCodebase,
+    others: Sequence[IndexedCodebase],
+    engine=None,
+) -> NavigationChart:
+    """Assemble a navigation chart by computing both divergence rows.
+
+    The ``T_sem`` and ``T_src`` rows are independent baseline→model
+    evaluations, so they are scheduled as one flat batch through ``engine``
+    (a :class:`repro.distance.engine.DistanceEngine`; serial when ``None``)
+    and benefit from its workers and persistent TED cache.
+    """
+    # deferred import: perfport is otherwise independent of the workflow
+    # layer, and comparer pulls in the whole metric stack
+    from repro.workflow.comparer import MetricSpec, divergence_row
+
+    tsem = divergence_row(baseline, others, MetricSpec("Tsem"), engine=engine)
+    tsrc = divergence_row(baseline, others, MetricSpec("Tsrc"), engine=engine)
+    return navigation_chart(app, phis, tsem, tsrc, [cb.model for cb in others])

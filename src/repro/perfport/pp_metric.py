@@ -8,7 +8,7 @@ platform set H, and zero if any platform in H is unsupported:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro import obs
 from repro.perfport.perfmodel import EfficiencyMatrix

@@ -36,7 +36,7 @@ class LineMask:
         if file not in self._lines:
             return self.unknown_covered
         hit = self._lines[file]
-        return any(l in hit for l in range(line_start, line_end + 1))
+        return any(ln in hit for ln in range(line_start, line_end + 1))
 
     def files(self) -> list[str]:
         return sorted(self._lines)

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
-import numpy as np
 
 from repro.analysis.cluster import Dendrogram
 from repro.analysis.heatmap import HeatmapData

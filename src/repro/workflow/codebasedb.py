@@ -82,7 +82,7 @@ def save_codebase_db(cb: IndexedCodebase, path: Union[str, Path]) -> int:
         "files": dict(cb.fs.files),
         "units": {role: _unit_to_obj(u) for role, u in cb.units.items()},
         "coverage": (
-            [[f, l, c] for (f, l), c in cb.coverage.hits.items()]
+            [[f, ln, c] for (f, ln), c in cb.coverage.hits.items()]
             if cb.coverage is not None
             else None
         ),
@@ -112,8 +112,8 @@ def load_codebase_db(path: Union[str, Path]) -> IndexedCodebase:
     cb.units = {role: _unit_from_obj(o) for role, o in obj["units"].items()}
     if obj["coverage"] is not None:
         prof = CoverageProfile()
-        for f, l, c in obj["coverage"]:
-            prof.hits[(f, l)] = c
+        for f, ln, c in obj["coverage"]:
+            prof.hits[(f, ln)] = c
         cb.coverage = prof
     cb.run_value = obj.get("run_value")
     return cb

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import obs
+from repro.distance.engine import DistanceEngine
 from repro.workflow.codebase import IndexedCodebase
 
 
@@ -90,19 +91,38 @@ def _divergence(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> flo
     raise ValueError(f"unknown metric {spec.name!r}")
 
 
+def divergence_task(task: tuple[IndexedCodebase, IndexedCodebase, MetricSpec]) -> float:
+    """One directed divergence evaluation (engine task form)."""
+    a, b, spec = task
+    return divergence(a, b, spec)
+
+
+def _pair_task(
+    task: tuple[IndexedCodebase, IndexedCodebase, MetricSpec],
+) -> tuple[float, float]:
+    """Both directions of one unordered pair; the underlying TED results are
+    shared through the memo, so computing them together halves kernel work."""
+    a, b, spec = task
+    return divergence(a, b, spec), divergence(b, a, spec)
+
+
 def divergence_row(
     base: IndexedCodebase,
     others: Sequence[IndexedCodebase],
     spec: MetricSpec,
+    engine: Optional[DistanceEngine] = None,
 ) -> dict[str, float]:
     """Divergence of every model from ``base`` (one heatmap row)."""
-    return {cb.model: divergence(base, cb, spec) for cb in others}
+    eng = engine if engine is not None else DistanceEngine()
+    values = eng.map_tasks(divergence_task, [(base, cb, spec) for cb in others])
+    return {cb.model: v for cb, v in zip(others, values)}
 
 
 def divergence_matrix(
     codebases: Sequence[IndexedCodebase],
     spec: MetricSpec,
     symmetrize: bool = True,
+    engine: Optional[DistanceEngine] = None,
 ) -> np.ndarray:
     """Dense divergence matrix over all model pairs.
 
@@ -110,15 +130,21 @@ def divergence_matrix(
     ``symmetrize`` averages the two directions so clustering sees a proper
     dissimilarity (the paper's correlation-matrix step does the same
     cartesian product).
+
+    The upper-triangle pair list is scheduled through ``engine`` (a default
+    serial :class:`DistanceEngine` when none is given). Every pair is a pure
+    function of its two codebases, so serial and parallel schedules produce
+    bit-identical matrices.
     """
+    eng = engine if engine is not None else DistanceEngine()
     n = len(codebases)
     m = np.zeros((n, n))
-    with obs.span("compare.matrix", metric=spec.label, models=n):
-        for i in range(n):
-            for j in range(n):
-                if i == j:
-                    continue
-                m[i, j] = divergence(codebases[i], codebases[j], spec)
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    with obs.span("compare.matrix", metric=spec.label, models=n, jobs=eng.jobs):
+        tasks = [(codebases[i], codebases[j], spec) for i, j in pairs]
+        for (i, j), (d_ij, d_ji) in zip(pairs, eng.map_tasks(_pair_task, tasks)):
+            m[i, j] = d_ij
+            m[j, i] = d_ji
         obs.add("compare.pairs", n * (n - 1))
     if symmetrize:
         m = (m + m.T) / 2.0

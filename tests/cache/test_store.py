@@ -1,0 +1,169 @@
+"""Persistent TED cache store: shard format, invalidation, concurrency."""
+
+import multiprocessing
+import zlib
+
+import pytest
+
+from repro import obs
+from repro.cache.store import KEY_SPEC, SCHEMA, TedCacheStore, pair_key
+from repro.serde.container import write_blob
+from repro.util.errors import SerdeError
+
+H1 = "aa" + "0" * 62
+H2 = "ab" + "0" * 62
+H3 = "ba" + "0" * 62
+
+
+class TestPairKey:
+    def test_canonical_order(self):
+        assert pair_key(H1, H2) == pair_key(H2, H1) == f"{H1}:{H2}"
+
+    def test_self_pair(self):
+        assert pair_key(H1, H1) == f"{H1}:{H1}"
+
+
+class TestRoundTrip:
+    def test_record_flush_lookup(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        store.record(H1, H2, 7.0)
+        assert store.lookup(H1, H2) == 7.0  # pending entries visible pre-flush
+        assert store.flush() == 1
+        fresh = TedCacheStore(tmp_path)
+        assert fresh.lookup(H2, H1) == 7.0  # either order hits
+        assert fresh.lookup(H1, H3) is None
+
+    def test_len_and_stats(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        store.record(H1, H2, 1.0)  # min hash aa.. -> shard "aa"
+        store.record(H2, H3, 2.0)  # min hash ab.. -> shard "ab"
+        store.flush()
+        assert len(store) == 2
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["schema"] == SCHEMA and stats["keyspec"] == KEY_SPEC
+        assert stats["shards"] == 2
+        assert not stats["invalid_shards"]
+
+    def test_clear_removes_shards(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        store.record(H1, H2, 1.0)
+        store.flush()
+        assert store.clear() == 1
+        assert TedCacheStore(tmp_path).lookup(H1, H2) is None
+
+
+class TestInvalidBlobs:
+    """Corrupt and foreign files must surface as SerdeError on the strict
+    path and behave as empty shards (recompute) on the lenient path."""
+
+    def _shard(self, tmp_path) -> TedCacheStore:
+        store = TedCacheStore(tmp_path)
+        store.record(H1, H2, 3.0)
+        store.flush()
+        return store
+
+    def test_truncated_container_is_serde_error(self, tmp_path):
+        store = self._shard(tmp_path)
+        path = store.shard_path("aa")
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(SerdeError):
+            TedCacheStore(tmp_path).read_shard("aa")
+
+    def test_corrupt_payload_is_serde_error_not_zlib(self, tmp_path):
+        store = self._shard(tmp_path)
+        path = store.shard_path("aa")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a byte inside the compressed payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerdeError):
+            TedCacheStore(tmp_path).read_shard("aa")
+        with pytest.raises(SerdeError):
+            try:
+                TedCacheStore(tmp_path).read_shard("aa")
+            except zlib.error:  # pragma: no cover - the failure being tested
+                pytest.fail("zlib.error escaped the serde layer")
+
+    def test_foreign_file_is_serde_error(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        store.shard_path("aa").write_bytes(b"not a container at all")
+        with pytest.raises(SerdeError):
+            store.read_shard("aa")
+
+    def test_valid_container_wrong_payload(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        write_blob(store.shard_path("aa"), ["something", "else"])
+        with pytest.raises(SerdeError, match="not a TED cache shard"):
+            store.read_shard("aa")
+
+    def test_lenient_lookup_treats_corrupt_as_miss(self, tmp_path):
+        store = self._shard(tmp_path)
+        store.shard_path("aa").write_bytes(b"garbage")
+        fresh = TedCacheStore(tmp_path)
+        with obs.collect() as col:
+            assert fresh.lookup(H1, H2) is None
+        assert col.counters["cache.disk.invalid"] == 1
+
+    def test_stats_reports_invalid_shards(self, tmp_path):
+        store = self._shard(tmp_path)
+        store.shard_path("aa").write_bytes(b"garbage")
+        assert TedCacheStore(tmp_path).stats()["invalid_shards"] == ["aa"]
+
+
+class TestVersionInvalidation:
+    def test_schema_mismatch_invalidates(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        write_blob(
+            store.shard_path("aa"),
+            {"schema": "repro.cache/v0", "keyspec": KEY_SPEC, "entries": {pair_key(H1, H2): 3.0}},
+        )
+        with pytest.raises(SerdeError, match="schema"):
+            store.read_shard("aa")
+        assert store.lookup(H1, H2) is None  # lenient: stale shard = empty
+
+    def test_keyspec_mismatch_invalidates(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        write_blob(
+            store.shard_path("aa"),
+            {"schema": SCHEMA, "keyspec": "ted:weighted:apted", "entries": {}},
+        )
+        with pytest.raises(SerdeError, match="keyspec"):
+            store.read_shard("aa")
+
+    def test_stale_shard_rewritten_on_flush(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        write_blob(
+            store.shard_path("aa"),
+            {"schema": "repro.cache/v0", "keyspec": KEY_SPEC, "entries": {pair_key(H1, H3): 9.0}},
+        )
+        store.record(H1, H2, 4.0)
+        store.flush()
+        fresh = TedCacheStore(tmp_path)
+        assert fresh.read_shard("aa") == {pair_key(H1, H2): 4.0}  # v0 entry gone
+
+
+def _writer(root: str, writer_id: int, n: int) -> None:
+    store = TedCacheStore(root)
+    for j in range(n):
+        # distinct synthetic hashes per writer/entry; all land in shard "cc"
+        h = f"cc{writer_id:02x}{j:04x}" + "0" * 56
+        store.record(h, h[:2] + "ff" + h[4:], float(writer_id * 1000 + j))
+        store.flush()  # flush per entry to maximise interleaving
+
+
+class TestConcurrentWriters:
+    def test_parallel_flushes_never_corrupt(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_writer, args=(str(tmp_path), w, 8)) for w in range(3)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        store = TedCacheStore(tmp_path)
+        entries = store.read_shard("cc")  # strict: raises if any write corrupted it
+        assert entries  # at least the last merge survived
+        for key, value in entries.items():
+            writer_id = int(key[2:4], 16)
+            j = int(key[4:8], 16)
+            assert value == float(writer_id * 1000 + j)  # no cross-writer smearing

@@ -28,9 +28,9 @@ class TestControlFlow:
         res = lower("void f(int n) {\nfor (int i = 0; i < n; i++) { }\n}")
         f = res.host.function("f")
         labels = [b.label for b in f.blocks]
-        assert any("for.cond" in l for l in labels)
-        assert any("for.body" in l for l in labels)
-        assert any("for.inc" in l for l in labels)
+        assert any("for.cond" in lab for lab in labels)
+        assert any("for.body" in lab for lab in labels)
+        assert any("for.inc" in lab for lab in labels)
 
     def test_while_loop(self):
         res = lower("void f(int n) {\nwhile (n) { n = n - 1; }\n}")

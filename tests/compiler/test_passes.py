@@ -1,7 +1,6 @@
 """MiniIR optimisation pass tests."""
 
 from repro.compiler import (
-    IRBlock,
     IRFunction,
     IRInstr,
     IRModule,

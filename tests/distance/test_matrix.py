@@ -1,6 +1,7 @@
 """Distance-matrix assembly helpers."""
 
 import numpy as np
+import pytest
 
 from repro.distance import condensed_to_square, pairwise_matrix
 from repro.distance.matrix import square_to_condensed
@@ -30,3 +31,28 @@ class TestCondensed:
         assert list(cond) == [1.0, 2.0, 3.0]
         back = condensed_to_square(cond, 3)
         assert np.allclose(back, sq)
+
+    def test_condensed_order_is_row_major(self):
+        # SciPy's condensed order: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3)
+        n = 4
+        sq = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                sq[i, j] = sq[j, i] = 10 * i + j
+        assert list(square_to_condensed(sq)) == [1.0, 2.0, 3.0, 12.0, 13.0, 23.0]
+
+    def test_square_to_condensed_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            square_to_condensed(np.zeros((3, 4)))
+
+    def test_square_to_condensed_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="square"):
+            square_to_condensed(np.zeros(9))
+
+    def test_square_to_condensed_trivial_sizes(self):
+        assert square_to_condensed(np.zeros((1, 1))).size == 0
+        assert list(square_to_condensed(np.array([[0.0, 5.0], [5.0, 0.0]]))) == [5.0]
+
+    def test_condensed_to_square_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="entries"):
+            condensed_to_square(np.array([1.0, 2.0]), 3)  # n=3 needs 3 entries

@@ -1,10 +1,8 @@
 """Tree edit distance unit tests (incl. the paper's Fig. 1 example)."""
 
-import pytest
-
-from repro.distance import Cost, TedResult, UnitCost, ted, ted_normalized
+from repro.distance import Cost, UnitCost, ted, ted_normalized
 from repro.distance.ted import clear_ted_cache, ted_lower_bound
-from repro.trees import Node, from_sexpr
+from repro.trees import from_sexpr
 
 
 class TestKnownDistances:

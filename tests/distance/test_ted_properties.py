@@ -3,7 +3,7 @@
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro.distance import brute_force_ted, ted
+from repro.distance import brute_force_ted
 from repro.distance.zhang_shasha import zhang_shasha_distance, zhang_shasha_generic
 from repro.trees import Node
 

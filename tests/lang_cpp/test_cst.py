@@ -75,7 +75,7 @@ class TestPrePostVariants:
         fs = fs_with('#include "h.h"\nint x;', **{"h.h": "int hidden;"})
         pre = cst_pre(fs, "main.cpp")
         labels = [n.label for n in pre.preorder()]
-        assert any(l.startswith("directive:include") for l in labels)
+        assert any(lab.startswith("directive:include") for lab in labels)
         assert "hidden" not in labels
 
     def test_post_shows_header_content(self):

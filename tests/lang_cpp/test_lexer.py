@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang.cpp.lexer import Token, TokenType, lex, significant
+from repro.lang.cpp.lexer import TokenType, lex, significant
 from repro.util.errors import ParseError
 
 

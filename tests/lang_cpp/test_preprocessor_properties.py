@@ -3,7 +3,7 @@
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro.lang.cpp.lexer import TokenType, lex, significant
+from repro.lang.cpp.lexer import lex, significant
 from repro.lang.cpp.preprocessor import preprocess
 from repro.lang.source import VirtualFS
 
@@ -48,8 +48,8 @@ def test_lexer_token_texts_reconstruct_source(parts):
 @given(st.booleans(), st.booleans())
 def test_conditionals_select_exactly_one_branch(a, b):
     src = (
-        (f"#define A 1\n" if a else "")
-        + (f"#define B 1\n" if b else "")
+        ("#define A 1\n" if a else "")
+        + ("#define B 1\n" if b else "")
         + "#if defined(A) && defined(B)\nint both;\n"
         + "#elif defined(A)\nint only_a;\n"
         + "#elif defined(B)\nint only_b;\n"

@@ -12,7 +12,6 @@ from repro.lang.fortran.astnodes import (
     FtDirective,
     FtDo,
     FtDoConcurrent,
-    FtIdent,
     FtIf,
     FtPrint,
     FtRange,

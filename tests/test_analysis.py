@@ -6,7 +6,6 @@ from scipy.cluster import hierarchy
 from scipy.spatial.distance import squareform
 
 from repro.analysis import (
-    Dendrogram,
     agglomerative,
     cluster_models,
     cophenetic_matrix,
@@ -83,8 +82,8 @@ class TestDendrogram:
     def test_newick_contains_all_leaves(self):
         d, labels = toy_distance_matrix()
         text = agglomerative(d, labels).newick()
-        for l in labels:
-            assert l in text
+        for lab in labels:
+            assert lab in text
         assert text.endswith(";")
 
     def test_leaf_order_is_permutation(self):
@@ -153,4 +152,4 @@ class TestRenderTable:
         out = render_table(["name", "v"], [["a", 1], ["longer", 22]])
         lines = out.splitlines()
         assert len(lines) == 4
-        assert all(len(l) == len(lines[0]) for l in lines[1:])
+        assert all(len(row) == len(lines[0]) for row in lines[1:])

@@ -52,6 +52,6 @@ class TestGcovReport:
         lines = report.splitlines()
         assert lines[0].endswith("Source:main.cpp")
         # executed line shows a count
-        assert any(":    2:" in l and l.strip()[0].isdigit() for l in lines)
+        assert any(":    2:" in row and row.strip()[0].isdigit() for row in lines)
         # dead line shows #####
-        assert any("#####" in l and ":    4:" in l for l in lines)
+        assert any("#####" in row and ":    4:" in row for row in lines)

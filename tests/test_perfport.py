@@ -4,15 +4,13 @@ import pytest
 
 from repro.perfport import (
     PLATFORMS,
-    CascadeData,
     PerfModel,
     cascade,
     navigation_chart,
     phi,
     platform_by_abbr,
 )
-from repro.perfport.perfmodel import MODEL_SUPPORT
-from repro.perfport.pp_metric import phi_subset, phi_table
+from repro.perfport.pp_metric import phi_subset
 
 
 class TestPhi:

@@ -64,7 +64,7 @@ class TestSvgCanvas:
 class TestChartRenderers:
     def test_dendrogram_svg(self):
         svg = render_dendrogram_svg(toy_dendrogram(), "title")
-        root = parse_svg(svg)
+        parse_svg(svg)  # must be well-formed XML
         assert "serial" in svg and "cuda" in svg
 
     def test_heatmap_svg(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.trees import Node, SourceSpan, from_sexpr, leaf, tree
+from repro.trees import Node, SourceSpan, from_sexpr, leaf
 
 
 class TestSourceSpan:

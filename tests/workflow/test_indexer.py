@@ -46,7 +46,7 @@ class TestCppUnit:
     def test_defines_applied(self):
         fs = make_fs(**{"main.cpp": "int a[COUNT];\n"})
         unit = index_cpp_unit(fs, "main", "main.cpp", CompileOptions(), {"COUNT": "9"})
-        assert any("9" in l for l in unit.source_lines_post)
+        assert any("9" in row for row in unit.source_lines_post)
 
     def test_names_normalised_in_trees(self):
         fs = make_fs(**{"main.cpp": "int my_special_var = 1;\n"})
