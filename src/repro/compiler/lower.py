@@ -37,6 +37,7 @@ from repro.lang.cpp.astnodes import (
     DeclStmt,
     DeleteExpr,
     DoStmt,
+    ErrorStmt,
     Expr,
     ExprStmt,
     ForStmt,
@@ -319,6 +320,10 @@ class _Lowerer:
                 self.emit("br", [self.loops[-1].cont], span=s.span)
         elif isinstance(s, PragmaStmt):
             self.lower_pragma(s)
+        elif isinstance(s, ErrorStmt):
+            # Parser recovery placeholder: keep a visible marker so T_ir
+            # stays aligned with the error-node leaves in T_src/T_sem.
+            self.emit("error-node", [], span=s.span)
 
     def var_decl(self, v: VarDecl) -> None:
         slot = self.emit("alloca", [v.name], result=True, span=v.span)

@@ -20,7 +20,7 @@ APPS = {
     "cloverleaf": cloverleaf,
 }
 
-_INDEX_CACHE: dict[tuple[str, str, bool], IndexedCodebase] = {}
+_INDEX_CACHE: dict[tuple[str, str, bool, bool], IndexedCodebase] = {}
 
 
 def app_models(app: str) -> list[str]:
@@ -69,22 +69,27 @@ def build_fs(app: str, model: str) -> VirtualFS:
     return fs
 
 
-def index_model(app: str, model: str, coverage: bool = False) -> IndexedCodebase:
+def index_model(
+    app: str, model: str, coverage: bool = False, strict: bool = False
+) -> IndexedCodebase:
     """Index one model port (cached per process)."""
-    key = (app, model, coverage)
+    key = (app, model, coverage, strict)
     if key not in _INDEX_CACHE:
         spec = get_spec(app, model)
         fs = build_fs(app, model)
-        _INDEX_CACHE[key] = index_codebase(spec, fs, run_coverage=coverage)
+        _INDEX_CACHE[key] = index_codebase(spec, fs, run_coverage=coverage, strict=strict)
     return _INDEX_CACHE[key]
 
 
 def index_app(
-    app: str, models: Optional[Sequence[str]] = None, coverage: bool = False
+    app: str,
+    models: Optional[Sequence[str]] = None,
+    coverage: bool = False,
+    strict: bool = False,
 ) -> dict[str, IndexedCodebase]:
     """Index several (default: all) model ports of an app."""
     names = list(models) if models is not None else app_models(app)
-    return {m: index_model(app, m, coverage) for m in names}
+    return {m: index_model(app, m, coverage, strict=strict) for m in names}
 
 
 def clear_index_cache() -> None:

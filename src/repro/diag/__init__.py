@@ -1,0 +1,50 @@
+"""Diagnostics: structured, source-located error reporting for the pipeline.
+
+Usage — emitting from pipeline code::
+
+    from repro import diag
+
+    diag.error("parse/unexpected-token", f"unexpected {tok.text!r}",
+               file=tok.file, line=tok.line, col=tok.col)
+
+Usage — capturing (CLI, tests, the fuzz harness)::
+
+    with diag.capture() as sink:
+        index_codebase(spec, fs)
+    if sink.has_errors():
+        print(sink.summary())
+
+Everything is a near-no-op while no sink is installed; see
+``diagnostics.py`` for the cost model and DESIGN.md for the error-code
+and error-node contracts.
+"""
+
+from repro.diag.diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    DiagnosticSink,
+    capture,
+    current_sink,
+    emit,
+    emit_exception,
+    enabled,
+    error,
+    fatal,
+    note,
+    warning,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "DiagnosticSink",
+    "capture",
+    "current_sink",
+    "emit",
+    "emit_exception",
+    "enabled",
+    "error",
+    "fatal",
+    "note",
+    "warning",
+]

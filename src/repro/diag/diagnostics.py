@@ -1,0 +1,220 @@
+"""Structured diagnostics: source-located records plus a per-run sink.
+
+Counterpart of the obs layer for *what went wrong* rather than *how long
+it took*. Frontends, the indexer and the execution engine emit
+:class:`Diagnostic` records instead of printing or silently swallowing
+failures; whoever owns the run (CLI, tests, the fuzz harness) installs a
+:class:`DiagnosticSink` around the work and inspects it afterwards.
+
+Design constraints (mirroring ``repro/obs/spans.py``):
+
+* **Near-zero cost when nobody listens.** ``emit()`` checks a module-level
+  integer before building the record; frontends can emit from hot loops
+  without a guard at the call site.
+* **Thread- and context-safe.** The active sink lives in a
+  :class:`contextvars.ContextVar` with a module-level fallback, so worker
+  threads that started before ``capture()`` still report into the sink.
+* **Stable error codes.** Codes are ``phase/slug`` strings
+  (``parse/unexpected-token``, ``index/quarantined`` …) — a public
+  contract for tests and the fuzz harness; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro import obs
+
+#: Severity ladder, least to most severe. ``error`` marks a unit that
+#: degraded; ``fatal`` marks a failure strict mode would abort on.
+SEVERITIES = ("note", "warning", "error", "fatal")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One source-located report. Immutable so sinks can be shared freely."""
+
+    severity: str  # one of SEVERITIES
+    code: str  # "phase/slug", e.g. "parse/unexpected-token"
+    message: str
+    file: str = ""
+    line: int = 0
+    col: int = 0
+
+    @property
+    def phase(self) -> str:
+        """The pipeline stage that emitted this (prefix of ``code``)."""
+        return self.code.split("/", 1)[0]
+
+    def format(self) -> str:
+        """Render in the familiar ``file:line:col: severity: message`` shape."""
+        loc = self.file or "<input>"
+        if self.line:
+            loc += f":{self.line}"
+            if self.col:
+                loc += f":{self.col}"
+        return f"{loc}: {self.severity}: {self.message} [{self.code}]"
+
+
+class DiagnosticSink:
+    """Accumulates diagnostics for one run (one CLI invocation, one test).
+
+    Bounded: after ``limit`` records further emissions are counted in
+    ``dropped`` but not stored, so a pathological input cannot hold the
+    whole error stream in memory.
+    """
+
+    def __init__(self, limit: int = 10_000) -> None:
+        self.diagnostics: list[Diagnostic] = []
+        self.limit = limit
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------
+
+    def emit(self, d: Diagnostic) -> None:
+        if len(self.diagnostics) < self.limit:
+            self.diagnostics.append(d)
+        else:
+            self.dropped += 1
+
+    # -- queries --------------------------------------------------------
+
+    def count(self, severity: Optional[str] = None) -> int:
+        if severity is None:
+            return len(self.diagnostics) + self.dropped
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def has_errors(self) -> bool:
+        return any(d.severity in ("error", "fatal") for d in self.diagnostics)
+
+    def by_code(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.code] = out.get(d.code, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """One line: ``7 diagnostics: 2 errors, 4 warnings, 1 note``."""
+        total = self.count()
+        if total == 0:
+            return "no diagnostics"
+        parts = []
+        for sev in ("fatal", "error", "warning", "note"):
+            n = self.count(sev)
+            if n:
+                label = sev if n == 1 else sev + "s"
+                parts.append(f"{n} {label}")
+        if self.dropped:
+            parts.append(f"{self.dropped} dropped")
+        noun = "diagnostic" if total == 1 else "diagnostics"
+        return f"{total} {noun}: " + ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Sink installation (same shape as obs collector installation)
+# ---------------------------------------------------------------------------
+
+_STATE: contextvars.ContextVar[Optional[DiagnosticSink]] = contextvars.ContextVar(
+    "repro_diag_sink", default=None
+)
+
+#: Count of installed sinks — the fast "is anyone listening" flag.
+_ACTIVE: int = 0
+
+#: Fallback sink for threads whose context never saw the install.
+_GLOBAL: Optional[DiagnosticSink] = None
+
+
+def enabled() -> bool:
+    """True when at least one sink is installed."""
+    return _ACTIVE > 0
+
+
+def current_sink() -> Optional[DiagnosticSink]:
+    """The sink this context reports into, if any."""
+    if not _ACTIVE:
+        return None
+    sink = _STATE.get()
+    if sink is None:
+        sink = _GLOBAL
+    return sink
+
+
+@contextmanager
+def capture(limit: int = 10_000) -> Iterator[DiagnosticSink]:
+    """Install a fresh :class:`DiagnosticSink` for the duration of the block.
+
+    Nested ``capture()`` blocks shadow the outer sink; each block starts
+    empty — the reset mechanism between tests and CLI runs.
+    """
+    global _ACTIVE, _GLOBAL
+    sink = DiagnosticSink(limit=limit)
+    token = _STATE.set(sink)
+    prev_global = _GLOBAL
+    _GLOBAL = sink
+    _ACTIVE += 1
+    try:
+        yield sink
+    finally:
+        _ACTIVE -= 1
+        _GLOBAL = prev_global
+        _STATE.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+
+def emit(
+    severity: str,
+    code: str,
+    message: str,
+    file: str = "",
+    line: int = 0,
+    col: int = 0,
+) -> Optional[Diagnostic]:
+    """Record one diagnostic; returns it, or ``None`` when nobody listens.
+
+    Also bumps the ``diag.<severity>`` obs counter so profiled runs see
+    diagnostic volume next to timing data.
+    """
+    if not _ACTIVE and not obs.enabled():
+        return None
+    d = Diagnostic(severity=severity, code=code, message=message, file=file, line=line, col=col)
+    sink = current_sink()
+    if sink is not None:
+        sink.emit(d)
+    obs.add(f"diag.{severity}")
+    return d
+
+
+def note(code: str, message: str, file: str = "", line: int = 0, col: int = 0):
+    return emit("note", code, message, file, line, col)
+
+
+def warning(code: str, message: str, file: str = "", line: int = 0, col: int = 0):
+    return emit("warning", code, message, file, line, col)
+
+
+def error(code: str, message: str, file: str = "", line: int = 0, col: int = 0):
+    return emit("error", code, message, file, line, col)
+
+
+def fatal(code: str, message: str, file: str = "", line: int = 0, col: int = 0):
+    return emit("fatal", code, message, file, line, col)
+
+
+def emit_exception(code: str, exc: BaseException, severity: str = "error"):
+    """Record an exception as a diagnostic, picking up source location from
+    :class:`repro.util.errors.ParseError`-style attributes when present."""
+    file = getattr(exc, "file", "") or ""
+    line = getattr(exc, "line", 0) or 0
+    col = getattr(exc, "col", 0) or 0
+    # ParseError/SemanticError bake the location into str(exc); prefer the
+    # raw message so format() does not print it twice.
+    message = getattr(exc, "message", "") or str(exc)
+    return emit(severity, code, message, file=file, line=line, col=col)

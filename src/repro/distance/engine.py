@@ -36,10 +36,15 @@ from repro import obs
 # package re-exports the ``ted`` *function* under the module's name, so any
 # attribute-style module reference resolves to the function instead.
 from repro.distance.ted import get_disk_cache, set_disk_cache
+from repro.util.errors import ReproError
 
 #: Staged (fn, tasks, cache root) visible to pool workers via fork
 #: inheritance. Only valid between staging and pool shutdown.
 _STAGE: Optional[dict] = None
+
+#: Set when this worker's initializer had to degrade to cache-off; counted
+#: inside the next chunk's collect window so the parent sees it.
+_INIT_FAILED: bool = False
 
 
 def _flush_quietly(store) -> None:
@@ -55,18 +60,30 @@ def _worker_init() -> None:
     directory (fresh so no parent pending-write buffers are inherited).
 
     Must never raise: a failing pool initializer makes the pool respawn
-    workers forever, so any cache problem degrades to cache-off instead.
+    workers forever, so any cache problem degrades to cache-off — but
+    visibly, via the ``engine.worker_init_errors`` counter, not silently.
     """
+    global _INIT_FAILED
+    _INIT_FAILED = False
+    if _STAGE is None:
+        # Fork without staging is a caller bug; degrade rather than letting
+        # the pool respawn workers forever, but flag it.
+        _INIT_FAILED = True
+        set_disk_cache(None)
+        return
+    cache_root = _STAGE["cache_root"]
+    if cache_root is None:
+        set_disk_cache(None)
+        return
     try:
-        assert _STAGE is not None
-        cache_root = _STAGE["cache_root"]
-        if cache_root is not None:
-            from repro.cache.store import TedCacheStore
+        from repro.cache.store import TedCacheStore
 
-            set_disk_cache(TedCacheStore(cache_root))
-        else:
-            set_disk_cache(None)
-    except Exception:
+        set_disk_cache(TedCacheStore(cache_root))
+    except (OSError, ReproError):
+        # Unreadable or corrupt cache directory: run cache-off. Anything
+        # else (a genuine bug) propagates — better a loud crash in CI than
+        # a silently cache-less run.
+        _INIT_FAILED = True
         set_disk_cache(None)
 
 
@@ -81,6 +98,8 @@ def _run_chunk(bounds: tuple[int, int]) -> tuple[list[Any], dict[str, float]]:
     tasks = _STAGE["tasks"]
     lo, hi = bounds
     with obs.collect() as col:
+        if _INIT_FAILED:
+            obs.add("engine.worker_init_errors")
         out = [fn(task) for task in tasks[lo:hi]]
         disk = get_disk_cache()
         if disk is not None:

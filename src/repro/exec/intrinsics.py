@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Optional
 
+from repro import obs
 from repro.exec.values import Buffer, Cell, Pointer, StructVal
 from repro.util.errors import InterpreterError
 
@@ -146,10 +147,13 @@ _FUNCTIONS["std::max"] = lambda interp, targs, args: max(args)
 @register_function("printf")
 def _printf(interp, targs, args):
     fmt = str(args[0]) if args else ""
+    text = fmt.replace("%d", "{}").replace("%f", "{}").replace("%g", "{}").replace("%s", "{}").replace("%e", "{}").replace("\\n", "\n")
     try:
-        text = fmt.replace("%d", "{}").replace("%f", "{}").replace("%g", "{}").replace("%s", "{}").replace("%e", "{}").replace("\\n", "\n")
         interp.stdout.append(text.format(*args[1:]))
-    except Exception:
+    except (IndexError, KeyError, ValueError):
+        # Format/argument mismatch in corpus code: keep the raw format
+        # string in the transcript and count the degradation.
+        obs.add("exec.printf.format_errors")
         interp.stdout.append(fmt)
     return len(args)
 

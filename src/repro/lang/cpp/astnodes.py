@@ -252,6 +252,15 @@ class ContinueStmt(Stmt):
 
 
 @dataclass
+class ErrorStmt(Stmt):
+    """Placeholder emitted by panic-mode recovery for an unparseable
+    statement. Converts to an ordinary ``error-node`` leaf in all tree
+    views so degraded trees stay TED-comparable (DESIGN.md)."""
+
+    message: str = ""
+
+
+@dataclass
 class PragmaClause(AstNode):
     """One clause of a retained pragma, e.g. ``reduction(+ : sum)``."""
 
@@ -372,6 +381,14 @@ class PragmaDecl(Decl):
     family: str = "omp"
     directives: list[str] = field(default_factory=list)
     clauses: list[PragmaClause] = field(default_factory=list)
+
+
+@dataclass
+class ErrorDecl(Decl):
+    """Placeholder emitted by panic-mode recovery for an unparseable
+    declaration (see :class:`ErrorStmt`)."""
+
+    message: str = ""
 
 
 @dataclass

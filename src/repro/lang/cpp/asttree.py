@@ -32,6 +32,8 @@ from repro.lang.cpp.astnodes import (
     DeclStmt,
     DeleteExpr,
     DoStmt,
+    ErrorDecl,
+    ErrorStmt,
     Expr,
     ExprStmt,
     ForStmt,
@@ -123,6 +125,10 @@ class _Converter:
             return self.pragma_node(d.family, d.directives, d.clauses, None, d.span)
         if isinstance(d, ParamDecl):
             return self.param(d)
+        if isinstance(d, ErrorDecl):
+            # Ordinary labelled leaf: degraded trees stay TED-comparable
+            # (DESIGN.md "Error-node semantics").
+            return Node("error-node", "error", None, d.span)
         return Node(type(d).__name__, "decl", None, d.span)
 
     def function(self, d: FunctionDecl) -> Node:
@@ -155,6 +161,9 @@ class _Converter:
         for b in d.bases:
             n.children.append(Node("base", "base", [self.type(b)], d.span))
         for f in d.fields:
+            if f.name == "<error>":
+                n.children.append(Node("error-node", "error", None, f.span))
+                continue
             fn_ = Node(f.name, "field", None, f.span)
             if f.type is not None:
                 fn_.children.append(self.type(f.type))
@@ -255,6 +264,8 @@ class _Converter:
             return Node("continue", "stmt", None, s.span)
         if isinstance(s, PragmaStmt):
             return self.pragma_node(s.family, s.directives, s.clauses, s.body, s.span)
+        if isinstance(s, ErrorStmt):
+            return Node("error-node", "error", None, s.span)
         return Node(type(s).__name__, "stmt", None, s.span)
 
     def pragma_node(

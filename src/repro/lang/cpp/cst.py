@@ -17,10 +17,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import diag
 from repro.lang.cpp.lexer import Token, TokenType, lex
 from repro.lang.cpp.preprocessor import preprocess
 from repro.lang.source import VirtualFS
 from repro.trees.node import Node, SourceSpan
+from repro.util.errors import ParseError
 
 _OPEN = {"(": ")", "[": "]", "{": "}"}
 _CLOSE = {")", "]", "}"}
@@ -68,13 +70,23 @@ def _directive_node(tok: Token) -> Node:
     rest = body[len(name) :].strip()
     if rest:
         try:
+            children = []
             for t in lex(rest, tok.file):
                 if t.is_trivia or t.type is TokenType.EOF:
                     continue
-                child = _token_node(Token(t.type, t.text, tok.file, tok.line, t.col))
-                node.children.append(child)
-        except Exception:
-            node.children.append(Node("directive-body", "tok", None, span))
+                children.append(_token_node(Token(t.type, t.text, tok.file, tok.line, t.col)))
+            node.children.extend(children)
+        except ParseError as e:
+            # The directive body does not lex as C++ (e.g. an include path
+            # with a stray quote). Keep the raw text — word per node — so
+            # T_src still sees the directive's content, and say so.
+            diag.warning(
+                "lex/directive-body",
+                f"directive body does not lex as C++ ({e}); keeping raw text",
+                tok.file, tok.line, tok.col,
+            )
+            for word in rest.split():
+                node.children.append(Node(word, "tok", None, span))
     return node
 
 

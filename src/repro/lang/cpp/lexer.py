@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
 
-from repro import obs
+from repro import diag, obs
 from repro.util.errors import ParseError
 
 
@@ -76,16 +76,22 @@ class Token:
         return f"Token({self.type.value}, {self.text!r}, {self.file}:{self.line})"
 
 
-def lex(text: str, file: str = "<memory>") -> list[Token]:
-    """Tokenise MiniC++ source; raises :class:`ParseError` on bad input."""
-    tokens = list(_lex_iter(text, file))
+def lex(text: str, file: str = "<memory>", tolerant: bool = False) -> list[Token]:
+    """Tokenise MiniC++ source; raises :class:`ParseError` on bad input.
+
+    With ``tolerant=True``, lexical errors (unterminated comments/literals,
+    unexpected characters) are repaired in place — the broken region is
+    kept as the nearest sensible token, a diagnostic is emitted, and lexing
+    continues. Used by the fault-tolerant indexing path.
+    """
+    tokens = list(_lex_iter(text, file, tolerant))
     if obs.enabled():
         obs.add("lex.cpp.calls")
         obs.add("lex.cpp.tokens", len(tokens))
     return tokens
 
 
-def _lex_iter(text: str, file: str) -> Iterator[Token]:
+def _lex_iter(text: str, file: str, tolerant: bool = False) -> Iterator[Token]:
     i = 0
     n = len(text)
     line = 1
@@ -151,7 +157,14 @@ def _lex_iter(text: str, file: str) -> Iterator[Token]:
         if ch == "/" and i + 1 < n and text[i + 1] == "*":
             j = text.find("*/", i + 2)
             if j == -1:
-                raise ParseError("unterminated block comment", file, start_line, start_col)
+                if not tolerant:
+                    raise ParseError("unterminated block comment", file, start_line, start_col)
+                diag.warning(
+                    "lex/unterminated-comment",
+                    "unterminated block comment (treated as running to end of file)",
+                    file, start_line, start_col,
+                )
+                j = n - 2  # consume to EOF
             j += 2
             segment = text[i:j]
             yield make(TokenType.COMMENT, segment, start_line, start_col)
@@ -168,15 +181,27 @@ def _lex_iter(text: str, file: str) -> Iterator[Token]:
         if ch == '"' or ch == "'":
             quote = ch
             j = i + 1
+            broken = False
             while j < n and text[j] != quote:
                 if text[j] == "\\":
                     j += 1
                 if j < n and text[j] == "\n":
-                    raise ParseError("unterminated literal", file, start_line, start_col)
+                    broken = True
+                    break
                 j += 1
             if j >= n:
-                raise ParseError("unterminated literal", file, start_line, start_col)
-            j += 1
+                broken = True
+                j = n
+            if broken:
+                if not tolerant:
+                    raise ParseError("unterminated literal", file, start_line, start_col)
+                diag.warning(
+                    "lex/unterminated-literal",
+                    "unterminated literal (closed at end of line)",
+                    file, start_line, start_col,
+                )
+            else:
+                j += 1  # include the closing quote
             tt = TokenType.STRING if quote == '"' else TokenType.CHAR
             yield make(tt, text[i:j], start_line, start_col)
             col += j - i
@@ -239,7 +264,15 @@ def _lex_iter(text: str, file: str) -> Iterator[Token]:
                 i += len(p)
                 break
         else:
-            raise ParseError(f"unexpected character {ch!r}", file, start_line, start_col)
+            if not tolerant:
+                raise ParseError(f"unexpected character {ch!r}", file, start_line, start_col)
+            diag.warning(
+                "lex/unexpected-char",
+                f"unexpected character {ch!r} (skipped)",
+                file, start_line, start_col,
+            )
+            col += 1
+            i += 1
 
     yield Token(TokenType.EOF, "", file, line, col)
 

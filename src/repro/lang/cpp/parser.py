@@ -13,6 +13,13 @@ scaled to the MiniC++ subset:
   list; on failure the ``<`` is an operator. Nested ``>>`` closers are
   split into two ``>`` tokens on demand.
 * *CUDA launches* — ``<<<`` is unambiguous and parsed eagerly.
+
+With ``recover=True`` the parser runs in panic-mode error-recovery:
+a :class:`ParseError` inside a declaration or statement is recorded as a
+diagnostic, an :class:`ErrorDecl`/:class:`ErrorStmt` placeholder is
+appended, and parsing resynchronises on ``;`` / ``}`` / statement
+keywords (tracking bracket depth, always making forward progress), so a
+partial tree is produced for any input. The default remains fail-fast.
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from repro.lang.cpp.astnodes import (
     DeclStmt,
     DeleteExpr,
     DoStmt,
+    ErrorDecl,
+    ErrorStmt,
     Expr,
     ExprStmt,
     FieldDecl,
@@ -65,6 +74,7 @@ from repro.lang.cpp.astnodes import (
     VarDecl,
     WhileStmt,
 )
+from repro import diag
 from repro.lang.cpp.lexer import Token, TokenType, lex
 from repro.lang.source import VirtualFS
 from repro.lang.cpp.preprocessor import preprocess
@@ -93,12 +103,29 @@ _STANDALONE = frozenset(
 )
 
 
+#: Keywords a statement-level resync can safely stop in front of.
+_STMT_SYNC = frozenset("if for while do return break continue switch".split())
+
+#: Keywords a declaration-level resync can safely stop in front of. At
+#: bracket depth 0 a type keyword / linkage attribute / class head almost
+#: always opens a fresh declaration, so stopping there keeps one bad decl
+#: from swallowing the well-formed ones after it (found by fuzz_frontends).
+_DECL_SYNC = (
+    frozenset("namespace template using typedef class struct enum".split())
+    | _TYPE_KEYWORDS
+    | _FN_ATTRS
+)
+
+
 class Parser:
-    def __init__(self, tokens: list[Token], path: str = "<memory>"):
+    def __init__(self, tokens: list[Token], path: str = "<memory>", recover: bool = False):
         # Copy: '>>' splitting mutates the list.
         self.toks = list(tokens)
         self.i = 0
         self.path = path
+        self.recover = recover
+        #: Number of errors recovered from (0 on a clean parse).
+        self.error_count = 0
 
     # ------------------------------------------------------------------
     # token helpers
@@ -160,14 +187,115 @@ class Parser:
         return SourceSpan(start.file, lo, hi)
 
     # ------------------------------------------------------------------
+    # panic-mode error recovery
+    # ------------------------------------------------------------------
+    def _error_span(self, at_i: int) -> SourceSpan:
+        t = self.toks[at_i] if at_i < len(self.toks) else None
+        if t is None:
+            return SourceSpan(self.path, 0)
+        return SourceSpan(t.file, t.line)
+
+    def _report(self, code: str, e: ParseError) -> None:
+        self.error_count += 1
+        diag.emit_exception(code, e)
+
+    def _sync_decl(self, start_i: int, stop_before_brace: bool = False) -> None:
+        """Resync after a failed declaration: skip to just past the next
+        ``;`` or ``}`` at bracket depth 0, or stop before a token that can
+        start a fresh declaration. Always advances past ``start_i``.
+
+        ``stop_before_brace`` leaves a depth-0 ``}`` unconsumed — used
+        inside namespaces, where that brace closes the enclosing scope."""
+        if self.i <= start_i:
+            self.i = start_i + 1
+        depth = 0
+        while (t := self._peek()) is not None:
+            if depth == 0:
+                if t.text == "}":
+                    if stop_before_brace:
+                        return
+                    self.i += 1
+                    return
+                if t.text == ";":
+                    self.i += 1
+                    return
+                if t.text in _DECL_SYNC or t.type is TokenType.DIRECTIVE:
+                    return
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth = max(depth - 1, 0)
+            self.i += 1
+
+    def _sync_stmt(self, start_i: int) -> None:
+        """Resync after a failed statement: skip to just past the next
+        ``;`` at bracket depth 0, or stop before a ``}`` closing the
+        enclosing block / a statement keyword. Always advances past
+        ``start_i``."""
+        if self.i <= start_i:
+            self.i = start_i + 1
+        depth = 0
+        while (t := self._peek()) is not None:
+            if depth == 0:
+                if t.text == ";":
+                    self.i += 1
+                    return
+                if t.text == "}":
+                    return
+                if t.text in _STMT_SYNC or t.type is TokenType.DIRECTIVE:
+                    return
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth = max(depth - 1, 0)
+            self.i += 1
+
+    def _parse_decls_into(self, decls: list[Decl], stop: Optional[str]) -> None:
+        """Parse declarations until ``stop`` (EOF when None), recovering
+        per-declaration when ``self.recover`` is set."""
+        while True:
+            t = self._peek()
+            if t is None:
+                if stop is None:
+                    return
+                if self.recover:
+                    diag.error(
+                        "parse/unclosed-brace",
+                        f"unexpected end of input: missing {stop!r}",
+                        self.path,
+                    )
+                    return
+                raise ParseError(
+                    f"unexpected end of input: missing {stop!r}", self.path, 0, 0
+                )
+            if stop is not None and t.text == stop:
+                return
+            start_i = self.i
+            try:
+                d = self.parse_decl()
+            except ParseError as e:
+                if not self.recover:
+                    raise
+                self._report("parse/bad-decl", e)
+                decls.append(ErrorDecl(message=str(e), span=self._error_span(start_i)))
+                self._sync_decl(start_i, stop_before_brace=stop is not None)
+                continue
+            if d is not None:
+                decls.append(d)
+
+    def _expect_close(self, text: str) -> Optional[Token]:
+        """Like :meth:`_expect`, but in recover mode a missing closer at
+        EOF is tolerated (the diagnostic was already emitted)."""
+        if self.recover and self._peek() is None:
+            return None
+        return self._expect(text)
+
+    # ------------------------------------------------------------------
     # entry points
     # ------------------------------------------------------------------
     def parse_translation_unit(self) -> TranslationUnit:
         tu = TranslationUnit(path=self.path)
-        while self._peek() is not None:
-            d = self.parse_decl()
-            if d is not None:
-                tu.decls.append(d)
+        self._parse_decls_into(tu.decls, None)
         return tu
 
     # ------------------------------------------------------------------
@@ -175,7 +303,8 @@ class Parser:
     # ------------------------------------------------------------------
     def parse_decl(self) -> Optional[Decl]:
         t = self._peek()
-        assert t is not None
+        if t is None:
+            raise ParseError("unexpected end of input in declaration", self.path, 0, 0)
         if t.type is TokenType.DIRECTIVE:
             return self._parse_pragma_decl()
         if self._accept(";"):
@@ -206,11 +335,8 @@ class Parser:
         name = self._advance().text if not self._at("{") else ""
         ns = NamespaceDecl(name=name)
         self._expect("{")
-        while not self._at("}"):
-            d = self.parse_decl()
-            if d is not None:
-                ns.decls.append(d)
-        self._expect("}")
+        self._parse_decls_into(ns.decls, "}")
+        self._expect_close("}")
         ns.span = SourceSpan(start.file, start.line, (self._peek(-1) or start).line)
         return ns
 
@@ -271,7 +397,8 @@ class Parser:
 
     def _parse_template_param(self) -> TemplateParam:
         t = self._peek()
-        assert t is not None
+        if t is None:
+            raise ParseError("unexpected end of input in template parameters", self.path, 0, 0)
         if t.text in ("typename", "class"):
             self._advance()
             name = self._advance().text if self._at_type(TokenType.IDENT) else ""
@@ -310,24 +437,44 @@ class Parser:
             return cls
         self._expect("{")
         while not self._at("}"):
+            if self._peek() is None:
+                if self.recover:
+                    diag.error(
+                        "parse/unclosed-brace",
+                        f"unexpected end of input in class {name!r}",
+                        kw.file, kw.line, kw.col,
+                    )
+                    break
+                raise ParseError(f"unclosed class {name!r}", kw.file, kw.line, kw.col)
             if self._accept("public") or self._accept("private") or self._accept("protected"):
                 self._expect(":")
                 continue
-            if self._at("template"):
-                d = self._parse_template()
-                if isinstance(d, FunctionDecl):
-                    d.is_method = True
-                    cls.methods.append(d)
-                continue
-            self._parse_member(cls)
-        self._expect("}")
+            start_i = self.i
+            try:
+                if self._at("template"):
+                    d = self._parse_template()
+                    if isinstance(d, FunctionDecl):
+                        d.is_method = True
+                        cls.methods.append(d)
+                    continue
+                self._parse_member(cls)
+            except ParseError as e:
+                if not self.recover:
+                    raise
+                self._report("parse/bad-member", e)
+                cls.fields.append(
+                    FieldDecl(name="<error>", span=self._error_span(start_i))
+                )
+                self._sync_stmt(start_i)
+        self._expect_close("}")
         self._accept(";")
         cls.span = SourceSpan(kw.file, kw.line, (self._peek(-1) or kw).line)
         return cls
 
     def _parse_member(self, cls: ClassDecl) -> None:
         start = self._peek()
-        assert start is not None
+        if start is None:
+            raise ParseError(f"unexpected end of input in class {cls.name!r}", self.path, 0, 0)
         attrs: list[str] = []
         while (t := self._peek()) is not None and t.text in _FN_ATTRS:
             attrs.append(t.text)
@@ -398,7 +545,8 @@ class Parser:
         self, attrs: list[str], tparams: Optional[list[TemplateParam]] = None
     ) -> Decl:
         start = self._peek()
-        assert start is not None
+        if start is None:
+            raise ParseError("unexpected end of input in declaration", self.path, 0, 0)
         attrs = list(attrs)
         while (t := self._peek()) is not None and t.text in _FN_ATTRS:
             attrs.append(t.text)
@@ -678,7 +826,23 @@ class Parser:
         open_tok = self._expect("{")
         node = CompoundStmt()
         while not self._at("}"):
-            node.stmts.append(self.parse_stmt())
+            if self.recover and self._peek() is None:
+                diag.error(
+                    "parse/unclosed-brace",
+                    "unexpected end of input: unclosed '{'",
+                    open_tok.file, open_tok.line, open_tok.col,
+                )
+                node.span = SourceSpan(open_tok.file, open_tok.line)
+                return node
+            start_i = self.i
+            try:
+                node.stmts.append(self.parse_stmt())
+            except ParseError as e:
+                if not self.recover:
+                    raise
+                self._report("parse/bad-stmt", e)
+                node.stmts.append(ErrorStmt(message=str(e), span=self._error_span(start_i)))
+                self._sync_stmt(start_i)
         close = self._expect("}")
         node.span = SourceSpan(
             open_tok.file,
@@ -730,7 +894,8 @@ class Parser:
     def _try_decl_stmt(self) -> Optional[DeclStmt]:
         saved = self.i
         start = self._peek()
-        assert start is not None
+        if start is None:
+            return None
         is_static = self._accept("static")
         ty = self._parse_type()
         if ty is None:
@@ -815,7 +980,7 @@ class Parser:
         # text = 'pragma omp parallel for ...'
         toks = [
             t
-            for t in lex(text, tok.file)
+            for t in lex(text, tok.file, tolerant=self.recover)
             if not t.is_trivia and t.type is not TokenType.EOF
         ]
         # toks[0] = 'pragma', toks[1] = family
@@ -1206,13 +1371,25 @@ class Parser:
 # ---------------------------------------------------------------------------
 
 
-def parse_tokens(tokens: list[Token], path: str = "<memory>") -> TranslationUnit:
-    """Parse a significant token stream into a :class:`TranslationUnit`."""
-    return Parser(tokens, path).parse_translation_unit()
+def parse_tokens(
+    tokens: list[Token], path: str = "<memory>", recover: bool = False
+) -> TranslationUnit:
+    """Parse a significant token stream into a :class:`TranslationUnit`.
+
+    ``recover=True`` enables panic-mode error recovery: unparseable
+    declarations/statements become error-node placeholders plus
+    diagnostics instead of raising.
+    """
+    return Parser(tokens, path, recover=recover).parse_translation_unit()
 
 
-def parse_unit(fs: VirtualFS, path: str, defines: Optional[dict[str, str]] = None) -> TranslationUnit:
+def parse_unit(
+    fs: VirtualFS,
+    path: str,
+    defines: Optional[dict[str, str]] = None,
+    recover: bool = False,
+) -> TranslationUnit:
     """Preprocess + parse one translation unit from a virtual filesystem."""
     pp = preprocess(fs, path, defines)
-    tu = parse_tokens(pp.tokens, path)
+    tu = parse_tokens(pp.tokens, path, recover=recover)
     return tu

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import diag
 from repro.lang.cpp.astnodes import (
     AssignExpr,
     BinaryExpr,
@@ -30,6 +31,8 @@ from repro.lang.cpp.astnodes import (
     DeclStmt,
     DeleteExpr,
     DoStmt,
+    ErrorDecl,
+    ErrorStmt,
     Expr,
     ExprStmt,
     ForStmt,
@@ -126,7 +129,17 @@ def analyze(tu: TranslationUnit) -> SemaResult:
 
 def _collect(decls: list[Decl], prefix: str, res: SemaResult) -> None:
     for d in decls:
-        if isinstance(d, NamespaceDecl):
+        if isinstance(d, ErrorDecl):
+            # Parser recovery placeholder: analysis proceeds around it, but
+            # the degradation is recorded so downstream metrics can tell.
+            res.diagnostics.append(f"skipped unparseable declaration: {d.message}")
+            diag.note(
+                "sema/error-decl",
+                "declaration skipped by semantic analysis (parser recovery placeholder)",
+                d.span.file if d.span else "",
+                d.span.line_start if d.span else 0,
+            )
+        elif isinstance(d, NamespaceDecl):
             sub = f"{prefix}{d.name}::" if d.name else prefix
             _collect(d.decls, sub, res)
         elif isinstance(d, FunctionDecl):
@@ -232,6 +245,8 @@ class _Analyzer:
             self.visit_expr(s.value, scope, caller)
         elif isinstance(s, PragmaStmt):
             self.visit_stmt(s.body, scope, caller)
+        elif isinstance(s, ErrorStmt):
+            self.res.diagnostics.append(f"skipped unparseable statement in {caller}: {s.message}")
         # break/continue: nothing to do
 
     def visit_var(self, v: VarDecl, scope: _Scope, caller: str) -> None:

@@ -189,6 +189,15 @@ class FtExitCycle(FtStmt):
 
 
 @dataclass
+class FtError(FtStmt):
+    """Placeholder emitted by panic-mode recovery for an unparseable
+    statement. Converts to an ordinary ``error-node`` leaf in all tree
+    views so degraded trees stay TED-comparable (DESIGN.md)."""
+
+    message: str = ""
+
+
+@dataclass
 class FtDirective(FtStmt):
     """``!$omp`` / ``!$acc`` sentinel directive with optional attached body.
 

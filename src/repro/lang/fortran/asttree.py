@@ -25,6 +25,7 @@ from repro.lang.fortran.astnodes import (
     FtDirective,
     FtDo,
     FtDoConcurrent,
+    FtError,
     FtExitCycle,
     FtExpr,
     FtFile,
@@ -67,6 +68,10 @@ def _unit(u: FtUnit) -> Node:
 
 
 def _stmt(s: FtStmt) -> Node:
+    if isinstance(s, FtError):
+        # Recovery placeholder: an ordinary labelled leaf, so degraded trees
+        # stay TED-comparable (DESIGN.md, error-node contract).
+        return Node("error-node", "error", None, s.span)
     if isinstance(s, FtDecl):
         n = Node(f"ft-decl:{s.base_type}", "stmt", None, s.span, {"kind": s.kind or ""})
         for a in s.attrs:

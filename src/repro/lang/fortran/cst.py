@@ -52,9 +52,9 @@ def _directive_node(tok: FtToken) -> Node:
     return node
 
 
-def fortran_cst(text: str, path: str = "<memory>") -> Node:
+def fortran_cst(text: str, path: str = "<memory>", tolerant: bool = False) -> Node:
     """Lossless-ish CST: file → statements/blocks → token leaves."""
-    toks = lex_fortran(text, path)
+    toks = lex_fortran(text, path, tolerant=tolerant)
     root = Node("file", "cst", None, None, {"path": path})
     # stack of (container node, kind) for block nesting
     stack: list[Node] = [root]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro import obs
+from repro import diag, obs
 from repro.util.errors import ParseError
 
 
@@ -63,8 +63,13 @@ class FtToken:
         return f"FtToken({self.type.value}, {self.text!r}, {self.file}:{self.line})"
 
 
-def lex_fortran(text: str, file: str = "<memory>") -> list[FtToken]:
-    """Tokenise free-form Fortran source (continuations already joined)."""
+def lex_fortran(text: str, file: str = "<memory>", tolerant: bool = False) -> list[FtToken]:
+    """Tokenise free-form Fortran source (continuations already joined).
+
+    With ``tolerant=True``, lexical damage (unterminated strings, stray
+    characters) is repaired in place and reported as ``lex/*`` warnings
+    instead of raising :class:`ParseError`.
+    """
     out: list[FtToken] = []
     lines = text.splitlines()
     # Join '&' continuations, tracking the first line number of each joined
@@ -104,7 +109,7 @@ def lex_fortran(text: str, file: str = "<memory>") -> list[FtToken]:
         logical.append((buf_line, buf))
 
     for lineno, ln in logical:
-        _lex_line(ln, lineno, file, out)
+        _lex_line(ln, lineno, file, out, tolerant)
         out.append(FtToken(FtTokenType.NEWLINE, "\n", file, lineno, len(ln) + 1))
     out.append(FtToken(FtTokenType.EOF, "", file, len(lines) + 1, 1))
     if obs.enabled():
@@ -113,7 +118,7 @@ def lex_fortran(text: str, file: str = "<memory>") -> list[FtToken]:
     return out
 
 
-def _lex_line(ln: str, lineno: int, file: str, out: list[FtToken]) -> None:
+def _lex_line(ln: str, lineno: int, file: str, out: list[FtToken], tolerant: bool = False) -> None:
     i = 0
     n = len(ln)
     while i < n:
@@ -128,6 +133,16 @@ def _lex_line(ln: str, lineno: int, file: str, out: list[FtToken]) -> None:
             if low.startswith("!$omp") or low.startswith("!$acc"):
                 out.append(FtToken(FtTokenType.DIRECTIVE, rest, file, lineno, col))
             else:
+                # a '!$'-prefixed comment that is not a known sentinel (and
+                # not the bare '!$ ' conditional-compilation form) is almost
+                # certainly a typo'd directive — flag it rather than letting
+                # it vanish as an ordinary comment
+                if low.startswith("!$") and low[2:3] not in ("", " ", "\t", "&"):
+                    diag.warning(
+                        "lex/unknown-sentinel",
+                        f"unknown directive sentinel {rest.split()[0]!r} (treated as comment)",
+                        file, lineno, col,
+                    )
                 out.append(FtToken(FtTokenType.COMMENT, rest, file, lineno, col))
             return
         if ch == ";":
@@ -139,7 +154,16 @@ def _lex_line(ln: str, lineno: int, file: str, out: list[FtToken]) -> None:
             while j < n and ln[j] != ch:
                 j += 1
             if j >= n:
-                raise ParseError("unterminated string", file, lineno, col)
+                if not tolerant:
+                    raise ParseError("unterminated string", file, lineno, col)
+                diag.warning(
+                    "lex/unterminated-literal",
+                    "unterminated string (closed at end of line)",
+                    file, lineno, col,
+                )
+                out.append(FtToken(FtTokenType.STRING, ln[i:] + ch, file, lineno, col))
+                i = n
+                continue
             out.append(FtToken(FtTokenType.STRING, ln[i : j + 1], file, lineno, col))
             i = j + 1
             continue
@@ -199,7 +223,14 @@ def _lex_line(ln: str, lineno: int, file: str, out: list[FtToken]) -> None:
                 i += len(p)
                 break
         else:
-            raise ParseError(f"unexpected character {ch!r}", file, lineno, col)
+            if not tolerant:
+                raise ParseError(f"unexpected character {ch!r}", file, lineno, col)
+            diag.warning(
+                "lex/unexpected-char",
+                f"unexpected character {ch!r} (skipped)",
+                file, lineno, col,
+            )
+            i += 1
 
 
 def significant(tokens: list[FtToken]) -> list[FtToken]:

@@ -28,6 +28,7 @@ from repro.lang.fortran.astnodes import (
     FtDirective,
     FtDo,
     FtDoConcurrent,
+    FtError,
     FtExitCycle,
     FtExpr,
     FtFile,
@@ -192,6 +193,10 @@ class _FtLowerer:
                 self.emit("br", [target], span=s.span)
         elif isinstance(s, FtDirective):
             self.lower_directive(s)
+        elif isinstance(s, FtError):
+            # Recovery placeholder: keep an aligned marker in T_ir so the
+            # degraded region costs the same TED on every tree view.
+            self.emit("error-node", [], span=s.span)
 
     def lower_assign(self, s: FtAssign) -> None:
         if self._assign_is_array(s):

@@ -5,6 +5,14 @@ Parses the significant token stream line by line; block constructs
 ``end``. A post-pass resolves the call-vs-array-index ambiguity using the
 declaration table, and attaches ``!$omp``/``!$acc`` directives to the
 following statement (consuming optional ``!$omp end …`` closers).
+
+With ``recover=True`` the parser practices panic-mode recovery: a
+statement that fails to parse is reported through :mod:`repro.diag`,
+replaced by an :class:`FtError` placeholder, and the parser resynchronises
+at the next statement boundary (newline). Unterminated block constructs
+(``do``/``if``/program units missing their ``end``) keep their partial
+bodies and emit ``parse/missing-end`` diagnostics, so damaged files still
+produce TED-comparable trees.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from repro.lang.fortran.astnodes import (
     FtDirective,
     FtDo,
     FtDoConcurrent,
+    FtError,
     FtExitCycle,
     FtExpr,
     FtFile,
@@ -39,6 +48,7 @@ from repro.lang.fortran.astnodes import (
     FtUse,
     FtWhile,
 )
+from repro import diag
 from repro.lang.fortran.lexer import FtToken, FtTokenType, lex_fortran, significant
 from repro.trees.node import SourceSpan
 from repro.util.errors import ParseError
@@ -55,11 +65,13 @@ INTRINSICS = frozenset(
 
 
 class FortranParser:
-    def __init__(self, tokens: list[FtToken], path: str):
+    def __init__(self, tokens: list[FtToken], path: str, recover: bool = False):
         self.toks = significant(tokens)
         self.i = 0
         self.path = path
         self.array_names: set[str] = set()
+        self.recover = recover
+        self.error_count = 0
 
     # -- token helpers -----------------------------------------------------
     def _peek(self, off: int = 0) -> Optional[FtToken]:
@@ -107,12 +119,104 @@ class FortranParser:
         elif t is not None and t.type is not FtTokenType.EOF:
             raise ParseError(f"trailing tokens: {t.text!r}", t.file, t.line, t.col)
 
+    # -- recovery helpers ---------------------------------------------------
+    def _at_eof(self) -> bool:
+        t = self._peek()
+        return t is None or t.type is FtTokenType.EOF
+
+    def _report(self, code: str, e: ParseError) -> None:
+        self.error_count += 1
+        diag.emit_exception(code, e)
+
+    def _sync_line(self, start_i: int) -> None:
+        """Panic-mode resync: skip to just past the next statement boundary.
+
+        Guarantees progress even when the failed parse consumed nothing.
+        """
+        if self.i <= start_i:
+            self.i = start_i + 1
+        while (t := self._peek()) is not None and t.type not in (
+            FtTokenType.NEWLINE,
+            FtTokenType.EOF,
+        ):
+            self.i += 1
+        if (t := self._peek()) is not None and t.type is FtTokenType.NEWLINE:
+            self.i += 1
+
+    def _sync_unit(self, start_i: int) -> None:
+        """Skip whole lines until one starts with a unit keyword (or EOF)."""
+        if self.i <= start_i:
+            self.i = start_i + 1
+        heads = ("program", "module", "subroutine", "function")
+        while not self._at_eof():
+            self._sync_line(self.i)
+            t = self._peek()
+            if t is None or t.type is FtTokenType.EOF or t.text in heads:
+                return
+
+    def _missing_end(self, what: str) -> bool:
+        """In recover mode at EOF, report the missing block closer and let
+        the partial body stand. Returns True when the closer is waived."""
+        if not (self.recover and self._at_eof()):
+            return False
+        prev = self.toks[self.i - 1] if 0 < self.i <= len(self.toks) else None
+        f, ln, c = (prev.file, prev.line, prev.col) if prev else (self.path, 0, 0)
+        self.error_count += 1
+        diag.error(
+            "parse/missing-end",
+            f"unexpected end of input: missing 'end' closing {what}",
+            f, ln, c,
+        )
+        return True
+
+    def _close_block(self, kind: str, what: str, combined: Optional[str] = None) -> None:
+        """Consume the ``end <kind>`` / ``<endkind>`` closing a block.
+
+        In recover mode a mismatched closer (e.g. ``end program`` reached
+        while still inside a ``do``) degrades to a ``parse/missing-end``
+        diagnostic; the closer tokens are left unconsumed for the
+        enclosing construct, so the partial body stands."""
+        if self._missing_end(what):
+            return
+        start_i = self.i
+        try:
+            if combined is not None and self._accept(combined):
+                pass
+            else:
+                self._expect("end")
+                self._accept(kind)
+            self._end_of_stmt()
+        except ParseError:
+            if not self.recover:
+                raise
+            self.i = start_i
+            self.error_count += 1
+            t = self._peek()
+            f, ln, c = (t.file, t.line, t.col) if t else (self.path, 0, 0)
+            diag.error("parse/missing-end", f"missing 'end {kind}' closing {what}", f, ln, c)
+
     # -- entry ----------------------------------------------------------------
     def parse_file(self) -> FtFile:
         f = FtFile(path=self.path)
         self._skip_newlines()
         while (t := self._peek()) is not None and t.type is not FtTokenType.EOF:
-            f.units.append(self.parse_unit())
+            start_i = self.i
+            try:
+                f.units.append(self.parse_unit())
+            except ParseError as e:
+                if not self.recover:
+                    raise
+                self._report("parse/bad-unit", e)
+                span = SourceSpan(t.file, t.line)
+                f.units.append(
+                    FtUnit(
+                        kind="program",
+                        name="<error>",
+                        body=[FtError(message=str(e), span=span)],
+                        span=span,
+                    )
+                )
+                self._sync_unit(start_i)
             self._skip_newlines()
         for u in f.units:
             _attach_directives(u.body)
@@ -121,7 +225,8 @@ class FortranParser:
 
     def parse_unit(self) -> FtUnit:
         t = self._peek()
-        assert t is not None
+        if t is None:
+            raise ParseError("unexpected end of input", self.path, 0, 0)
         if t.text in ("program", "module", "subroutine", "function"):
             return self._parse_unit_block(t.text)
         raise ParseError(f"expected program unit, got {t.text!r}", t.file, t.line, t.col)
@@ -140,14 +245,35 @@ class FortranParser:
                 unit.result = self._advance().text
                 self._expect(")")
         self._end_of_stmt()
-        unit.body = self._parse_block(until={"end"}, unit=unit)
-        # 'end [kind [name]]'
-        self._expect("end")
-        if self._at(kind):
-            self._advance()
-            if not self._at_nl():
-                self._advance()  # trailing name
-        self._end_of_stmt()
+        while True:
+            unit.body.extend(self._parse_block(until={"end"}, unit=unit))
+            if self._missing_end(f"{kind} {name!r}"):
+                break
+            # 'end [kind [name]]'
+            self._expect("end")
+            nxt = self._peek()
+            if (
+                self.recover
+                and nxt is not None
+                and nxt.type not in (FtTokenType.NEWLINE, FtTokenType.EOF)
+                and nxt.text != kind
+            ):
+                # Stray 'end do'/'end if' left behind by a failed block
+                # header: skip the line and keep parsing the unit body.
+                self.error_count += 1
+                diag.error(
+                    "parse/stray-end",
+                    f"unmatched 'end {nxt.text}'",
+                    nxt.file, nxt.line, nxt.col,
+                )
+                self._sync_line(self.i)
+                continue
+            if self._at(kind):
+                self._advance()
+                if not self._at_nl():
+                    self._advance()  # trailing name
+            self._end_of_stmt()
+            break
         if unit.span is not None:
             prev = self._peek(-1) or start
             unit.span = SourceSpan(start.file, start.line, prev.line)
@@ -174,17 +300,40 @@ class FortranParser:
                         "subroutine",
                         "function",
                     ):
-                        unit.contains.append(self.parse_unit())
+                        sub_i = self.i
+                        try:
+                            unit.contains.append(self.parse_unit())
+                        except ParseError as e:
+                            if not self.recover:
+                                raise
+                            self._report("parse/bad-unit", e)
+                            unit.contains.append(
+                                FtUnit(
+                                    kind="subroutine",
+                                    name="<error>",
+                                    body=[FtError(message=str(e))],
+                                )
+                            )
+                            self._sync_unit(sub_i)
                         self._skip_newlines()
                     continue
                 break
-            stmts.append(self.parse_stmt())
+            start_i = self.i
+            try:
+                stmts.append(self.parse_stmt())
+            except ParseError as e:
+                if not self.recover:
+                    raise
+                self._report("parse/bad-stmt", e)
+                stmts.append(FtError(message=str(e), span=SourceSpan(t.file, t.line)))
+                self._sync_line(start_i)
         return stmts
 
     # -- statements ----------------------------------------------------------------
     def parse_stmt(self) -> FtStmt:
         t = self._peek()
-        assert t is not None
+        if t is None or t.type is FtTokenType.EOF:
+            raise ParseError("unexpected end of input in statement", self.path, 0, 0)
         span = SourceSpan(t.file, t.line)
         if t.type is FtTokenType.DIRECTIVE:
             return self._parse_directive()
@@ -362,9 +511,7 @@ class FortranParser:
             self._expect(")")
             self._end_of_stmt()
             body = self._parse_block(until={"end"})
-            self._expect("end")
-            self._accept("do")
-            self._end_of_stmt()
+            self._close_block("do", "'do while' loop")
             return FtWhile(cond=cond, body=body, span=span)
         if self._accept("concurrent"):
             self._expect("(")
@@ -376,9 +523,7 @@ class FortranParser:
             self._expect(")")
             self._end_of_stmt()
             body = self._parse_block(until={"end"})
-            self._expect("end")
-            self._accept("do")
-            self._end_of_stmt()
+            self._close_block("do", "'do concurrent' loop")
             node = FtDoConcurrent(var=var, lo=lo, hi=hi, body=body, span=span)
             return node
         var = self._advance().text
@@ -391,12 +536,7 @@ class FortranParser:
             step = self.parse_expr()
         self._end_of_stmt()
         body = self._parse_block(until={"end", "enddo"})
-        if self._accept("enddo"):
-            pass
-        else:
-            self._expect("end")
-            self._accept("do")
-        self._end_of_stmt()
+        self._close_block("do", "'do' loop", combined="enddo")
         return FtDo(var=var, lo=lo, hi=hi, step=step, body=body, span=span)
 
     def _parse_if(self) -> FtIf:
@@ -431,12 +571,7 @@ class FortranParser:
                 self._end_of_stmt()
                 node.other = self._parse_block(until={"end", "endif"})
             break
-        if self._accept("endif"):
-            pass
-        else:
-            self._expect("end")
-            self._accept("if")
-        self._end_of_stmt()
+        self._close_block("if", "'if' block", combined="endif")
         return node
 
     # -- directives -------------------------------------------------------------
@@ -479,6 +614,15 @@ class FortranParser:
                 clause_start = k
                 break
         node.directives = [w for w in words[:clause_start]]
+        if words and not node.directives:
+            # First word is not a known directive — likely a misspelled
+            # sentinel body like '!$omp paralel do'. Keep it as clause text
+            # but flag it so the damage is visible.
+            diag.warning(
+                "parse/unknown-directive",
+                f"unrecognised {family} directive word {words[0]!r}",
+                tok.file, tok.line, tok.col,
+            )
         if node.directives and node.directives[0] == "end":
             node.is_end = True
             node.directives = node.directives[1:]
@@ -571,7 +715,8 @@ class FortranParser:
 
     def _parse_primary(self) -> FtExpr:
         t = self._peek()
-        assert t is not None
+        if t is None:
+            raise ParseError("unexpected end of expression", self.path, 0, 0)
         span = SourceSpan(t.file, t.line)
         if t.type is FtTokenType.INT:
             self._advance()
@@ -690,6 +835,12 @@ def _resolve_indexing(unit: FtUnit, array_names: set[str]) -> None:
         _resolve_indexing(sub, array_names)
 
 
-def parse_fortran(text: str, path: str = "<memory>") -> FtFile:
-    """Lex + parse free-form Fortran source."""
-    return FortranParser(lex_fortran(text, path), path).parse_file()
+def parse_fortran(text: str, path: str = "<memory>", recover: bool = False) -> FtFile:
+    """Lex + parse free-form Fortran source.
+
+    ``recover=True`` enables tolerant lexing plus panic-mode parser
+    recovery: damaged statements become :class:`FtError` placeholders and
+    every problem is reported through :mod:`repro.diag`.
+    """
+    toks = lex_fortran(text, path, tolerant=recover)
+    return FortranParser(toks, path, recover=recover).parse_file()

@@ -18,6 +18,7 @@ class ParseError(ReproError):
     """
 
     def __init__(self, message: str, file: str = "<unknown>", line: int = 0, col: int = 0):
+        self.message = message
         self.file = file
         self.line = line
         self.col = col
@@ -28,6 +29,7 @@ class SemanticError(ReproError):
     """Semantic analysis failed (unknown symbol, bad redefinition, ...)."""
 
     def __init__(self, message: str, file: str = "<unknown>", line: int = 0):
+        self.message = message
         self.file = file
         self.line = line
         super().__init__(f"{file}:{line}: {message}")

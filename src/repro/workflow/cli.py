@@ -20,6 +20,12 @@ Matrix-sweeping subcommands additionally accept ``--jobs N`` (parallel
 distance engine; default serial), ``--cache-dir DIR`` (persistent TED cache,
 also settable via ``REPRO_CACHE_DIR``) and ``--no-cache`` (ignore any
 configured cache for this run).
+
+Error handling: indexing subcommands run with recovering frontends by
+default — damaged units are quarantined, the run completes, and the
+collected diagnostics are summarised on stderr (exit 0). ``--strict``
+restores fail-fast behaviour: the first frontend error aborts the run with
+exit 1.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ import argparse
 import os
 import sys
 
-from repro import obs
+from repro import diag, obs
 from repro.analysis.cluster import cluster_codebases
 from repro.analysis.heatmap import HEATMAP_SPECS, divergence_heatmap
 from repro.cache import TedCacheStore
@@ -45,6 +51,7 @@ from repro.viz.ascii import (
     ascii_heatmap,
     ascii_span_tree,
 )
+from repro.util.errors import ReproError
 from repro.workflow.codebasedb import save_codebase_db
 from repro.workflow.comparer import MetricSpec, divergence_matrix, divergence_row
 
@@ -84,8 +91,12 @@ def cmd_apps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _strict(args: argparse.Namespace) -> bool:
+    return getattr(args, "strict", False)
+
+
 def cmd_index(args: argparse.Namespace) -> int:
-    cb = index_model(args.app, args.model, coverage=args.coverage)
+    cb = index_model(args.app, args.model, coverage=args.coverage, strict=_strict(args))
     out = args.output or f"{args.app}-{args.model}.svdb"
     size = save_codebase_db(cb, out)
     print(f"indexed {args.app}/{args.model}: {len(cb.units)} unit(s), {size} bytes -> {out}")
@@ -96,8 +107,8 @@ def cmd_index(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     spec = _metric_spec(args.metric)
-    base = index_model(args.app, args.baseline, coverage=spec.coverage)
-    other = index_model(args.app, args.model, coverage=spec.coverage)
+    base = index_model(args.app, args.baseline, coverage=spec.coverage, strict=_strict(args))
+    other = index_model(args.app, args.model, coverage=spec.coverage, strict=_strict(args))
     # routed through the engine so a configured persistent cache is consulted
     d = divergence_row(base, [other], spec, engine=_engine_from_args(args))[other.model]
     print(f"{args.app}: divergence({args.baseline} -> {args.model}, {spec.label}) = {d:.4f}")
@@ -106,7 +117,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_cluster(args: argparse.Namespace) -> int:
     spec = _metric_spec(args.metric)
-    cbs = index_app(args.app, coverage=spec.coverage)
+    cbs = index_app(args.app, coverage=spec.coverage, strict=_strict(args))
     names = list(cbs)
     dend = cluster_codebases(
         [cbs[m] for m in names], names, spec, engine=_engine_from_args(args)
@@ -117,7 +128,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def cmd_heatmap(args: argparse.Namespace) -> int:
-    cbs = index_app(args.app, coverage=True)
+    cbs = index_app(args.app, coverage=True, strict=_strict(args))
     baseline = cbs[args.baseline]
     models = [cb for m, cb in cbs.items() if m != args.baseline]
     data = divergence_heatmap(baseline, models, HEATMAP_SPECS, engine=_engine_from_args(args))
@@ -142,7 +153,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     engine = _engine_from_args(args)
-    cbs = index_app(args.app, coverage=True)
+    cbs = index_app(args.app, coverage=True, strict=_strict(args))
     names = list(cbs)
     spec = _metric_spec(args.metric)
 
@@ -190,7 +201,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     collector = obs.current_collector()
     assert collector is not None  # installed by main() for this subcommand
     spec = _metric_spec(args.metric)
-    cbs = index_app(args.app, coverage=spec.coverage)
+    cbs = index_app(args.app, coverage=spec.coverage, strict=_strict(args))
     names = list(cbs)
     divergence_matrix([cbs[m] for m in names], spec, engine=_engine_from_args(args))
     # process-lifetime cache state rides along as gauges (the window-scoped
@@ -284,6 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     g.add_argument("--trace-out", metavar="FILE", help="write Chrome trace-event JSON")
     g.add_argument("--metrics-out", metavar="FILE", help="write flat metrics JSON")
+    # error-handling option shared by every indexing subcommand
+    tol = argparse.ArgumentParser(add_help=False)
+    tol.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast on frontend errors instead of quarantining damaged units",
+    )
     # distance-engine options shared by every matrix-sweeping subcommand
     eng = argparse.ArgumentParser(add_help=False)
     ge = eng.add_argument_group("distance engine")
@@ -309,7 +327,9 @@ def build_parser() -> argparse.ArgumentParser:
     pa = sub.add_parser("apps", help="list corpus apps and models", parents=[prof])
     pa.set_defaults(fn=cmd_apps)
 
-    pi = sub.add_parser("index", help="index one model port into a Codebase DB", parents=[prof])
+    pi = sub.add_parser(
+        "index", help="index one model port into a Codebase DB", parents=[prof, tol]
+    )
     pi.add_argument("app")
     pi.add_argument("model")
     pi.add_argument("-o", "--output")
@@ -317,7 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     pi.set_defaults(fn=cmd_index)
 
     pc = sub.add_parser(
-        "compare", help="divergence of a model from a baseline", parents=[prof, eng]
+        "compare", help="divergence of a model from a baseline", parents=[prof, eng, tol]
     )
     pc.add_argument("app")
     pc.add_argument("model")
@@ -326,14 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
     pc.set_defaults(fn=cmd_compare)
 
     pk = sub.add_parser(
-        "cluster", help="dendrogram of all models under a metric", parents=[prof, eng]
+        "cluster", help="dendrogram of all models under a metric", parents=[prof, eng, tol]
     )
     pk.add_argument("app")
     pk.add_argument("-m", "--metric", default="Tsem")
     pk.set_defaults(fn=cmd_cluster)
 
     ph = sub.add_parser(
-        "heatmap", help="divergence-from-baseline heatmap", parents=[prof, eng]
+        "heatmap", help="divergence-from-baseline heatmap", parents=[prof, eng, tol]
     )
     ph.add_argument("app")
     ph.add_argument("-b", "--baseline", default="serial")
@@ -347,7 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps = sub.add_parser(
         "stats",
         help="run an index+compare workload and dump spans/counters/cache stats",
-        parents=[prof, eng],
+        parents=[prof, eng, tol],
     )
     ps.add_argument("app")
     ps.add_argument("-m", "--metric", default="Tsem")
@@ -355,7 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.set_defaults(fn=cmd_stats, _always_collect=True)
 
     pf = sub.add_parser(
-        "figures", help="render all figure SVGs for an app", parents=[prof, eng]
+        "figures", help="render all figure SVGs for an app", parents=[prof, eng, tol]
     )
     pf.add_argument("app")
     pf.add_argument("-o", "--output", default="figures")
@@ -392,6 +412,18 @@ def _emit_reports(args: argparse.Namespace, collector: obs.Collector) -> None:
         print(f"metrics written to {path}")
 
 
+def _emit_diagnostics(sink: diag.DiagnosticSink, limit: int = 50) -> None:
+    """Print collected diagnostics and a one-line summary on stderr."""
+    if sink.count() == 0:
+        return
+    for d in sink.diagnostics[:limit]:
+        print(d.format(), file=sys.stderr)
+    hidden = len(sink.diagnostics) - limit
+    if hidden > 0:
+        print(f"... {hidden} more diagnostic(s) not shown", file=sys.stderr)
+    print(f"completed with {sink.summary()}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     wants_collect = (
@@ -400,11 +432,22 @@ def main(argv: list[str] | None = None) -> int:
         or getattr(args, "metrics_out", None)
         or getattr(args, "_always_collect", False)
     )
-    if not wants_collect:
-        return args.fn(args)
-    with obs.collect() as collector:
-        rc = args.fn(args)
-        _emit_reports(args, collector)
+    try:
+        with diag.capture() as sink:
+            try:
+                if not wants_collect:
+                    rc = args.fn(args)
+                else:
+                    with obs.collect() as collector:
+                        rc = args.fn(args)
+                        _emit_reports(args, collector)
+            finally:
+                _emit_diagnostics(sink)
+    except ReproError as e:
+        # strict-mode failures (and genuine workflow misconfiguration)
+        # abort with a distinct exit status; quarantined runs return 0 above
+        print(f"error: {e}", file=sys.stderr)
+        return 1
     return rc
 
 

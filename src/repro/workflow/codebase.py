@@ -41,6 +41,10 @@ class IndexedUnit:
     role: str
     path: str
     deps: list[str] = field(default_factory=list)
+    #: True when the frontend failed and the unit was quarantined: only the
+    #: raw-text line representations below are populated; all trees are None
+    #: (``tree_distance`` treats a missing tree as pure insert/delete cost).
+    degraded: bool = False
     # -- line representations ------------------------------------------------
     #: file -> significant (code-bearing) line numbers, pre-preprocessor
     sig_lines_pre: dict[str, set[int]] = field(default_factory=dict)

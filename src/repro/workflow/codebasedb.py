@@ -28,6 +28,7 @@ def _unit_to_obj(u: IndexedUnit) -> dict:
         "role": u.role,
         "path": u.path,
         "deps": u.deps,
+        "degraded": u.degraded,
         "sig_pre": {f: sorted(ls) for f, ls in u.sig_lines_pre.items()},
         "sig_post": {f: sorted(ls) for f, ls in u.sig_lines_post.items()},
         "lloc_pre": u.lloc_pre,
@@ -48,7 +49,12 @@ def _unit_from_obj(o: dict) -> IndexedUnit:
     def tree(d):
         return Node.from_dict(d) if d is not None else None
 
-    u = IndexedUnit(role=o["role"], path=o["path"], deps=list(o["deps"]))
+    u = IndexedUnit(
+        role=o["role"],
+        path=o["path"],
+        deps=list(o["deps"]),
+        degraded=bool(o.get("degraded", False)),
+    )
     u.sig_lines_pre = {f: set(ls) for f, ls in o["sig_pre"].items()}
     u.sig_lines_post = {f: set(ls) for f, ls in o["sig_post"].items()}
     u.lloc_pre = dict(o["lloc_pre"])

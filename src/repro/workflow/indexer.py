@@ -9,13 +9,20 @@ For every translation unit this extracts (Fig. 3 of the paper):
 
 and optionally executes the unit's verification run in the interpreter to
 obtain the coverage profile.
+
+Fault tolerance: by default each unit is indexed with recovering frontends
+(tolerant lexing + panic-mode parsing), and a unit whose frontend still
+fails is *quarantined* — it degrades to raw-text SLOC metrics with no
+trees, the failure is reported via :mod:`repro.diag`
+(``index/quarantined`` / ``index/internal-error``), and the rest of the
+codebase indexes normally. ``strict=True`` restores fail-fast behaviour.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro import obs
+from repro import diag, obs
 from repro.compiler import CompileOptions, bundle_to_tree, lower_unit
 from repro.coverage.profile import CoverageProfile, profile_from_run
 from repro.exec.interpreter import run_program
@@ -101,8 +108,13 @@ def index_cpp_unit(
     path: str,
     options: CompileOptions,
     defines: Optional[dict[str, str]] = None,
+    recover: bool = False,
 ) -> IndexedUnit:
-    """Index one MiniC++ translation unit."""
+    """Index one MiniC++ translation unit.
+
+    ``recover=True`` lexes tolerantly and parses with panic-mode recovery,
+    so damaged sources yield partial trees plus diagnostics.
+    """
     unit = IndexedUnit(role=role, path=path)
     with obs.span("preprocess", path=path):
         pp = preprocess(fs, path, defines)
@@ -112,7 +124,7 @@ def index_cpp_unit(
     with obs.span("lex", path=path):
         pre_tokens: list[Token] = []
         for f in [path, *unit.deps]:
-            toks = lex(fs.get(f).text, f)
+            toks = lex(fs.get(f).text, f, tolerant=recover)
             pre_tokens.extend(toks)
             unit.lloc_pre[f] = _cpp_lloc(toks)
     unit.sig_lines_pre = _cpp_sig_lines(pre_tokens)
@@ -125,10 +137,12 @@ def index_cpp_unit(
 
     # trees
     with obs.span("trees.src", path=path):
-        unit.t_src_pre = normalize_names(normalized_src_tree(build_cst(lex(fs.get(path).text, path), path)))
+        unit.t_src_pre = normalize_names(
+            normalized_src_tree(build_cst(lex(fs.get(path).text, path, tolerant=recover), path))
+        )
         unit.t_src_post = normalize_names(normalized_src_tree(build_cst(pp.tokens, path)))
     with obs.span("parse", path=path):
-        tu = parse_tokens(pp.tokens, path)
+        tu = parse_tokens(pp.tokens, path, recover=recover)
     with obs.span("sema", path=path):
         sema = analyze(tu)
     with obs.span("trees.sem", path=path):
@@ -153,13 +167,13 @@ def index_cpp_unit(
 
 
 @timed("index.fortran")
-def index_fortran_unit(fs: VirtualFS, role: str, path: str) -> IndexedUnit:
+def index_fortran_unit(fs: VirtualFS, role: str, path: str, recover: bool = False) -> IndexedUnit:
     """Index one MiniFortran file (Fortran has no preprocessing phase here:
     the pre/post representations coincide)."""
     unit = IndexedUnit(role=role, path=path)
     text = fs.get(path).text
     with obs.span("lex", path=path):
-        toks = lex_fortran(text, path)
+        toks = lex_fortran(text, path, tolerant=recover)
     sig: dict[str, set[int]] = {}
     lloc = 0
     lines: list[str] = []
@@ -190,11 +204,11 @@ def index_fortran_unit(fs: VirtualFS, role: str, path: str) -> IndexedUnit:
     unit.source_tags_post = list(tags)
 
     with obs.span("trees.src", path=path):
-        cst = fortran_cst(text, path)
+        cst = fortran_cst(text, path, tolerant=recover)
         unit.t_src_pre = normalize_names(fortran_src_tree(cst))
         unit.t_src_post = unit.t_src_pre
     with obs.span("parse", path=path):
-        ftfile = parse_fortran(text, path)
+        ftfile = parse_fortran(text, path, recover=recover)
     with obs.span("trees.sem", path=path):
         sem = normalize_names(fortran_to_tree(ftfile))
         unit.t_sem = sem
@@ -248,22 +262,96 @@ def _fortran_coverage(cb: IndexedCodebase) -> CoverageProfile:
 # ---------------------------------------------------------------------------
 
 
+def _degraded_unit(fs: VirtualFS, role: str, path: str) -> IndexedUnit:
+    """SLOC-only fallback for a quarantined unit.
+
+    Populates the raw-text line representations (approximate: non-blank,
+    non-comment physical lines) and leaves every tree ``None`` —
+    ``tree_distance`` treats a missing tree as pure insert/delete cost, so
+    the unit stays comparable.
+    """
+    unit = IndexedUnit(role=role, path=path, degraded=True)
+    try:
+        text = fs.get(path).text
+    except (KeyError, OSError, ReproError):
+        text = ""
+    sig: set[int] = set()
+    lines: list[str] = []
+    tags: list[tuple[str, int]] = []
+    for no, raw in enumerate(text.splitlines(), start=1):
+        stripped = " ".join(raw.split())
+        low = stripped.lower()
+        if not stripped:
+            continue
+        if stripped.startswith(("//", "/*", "*")):
+            continue
+        if stripped.startswith("!") and not low.startswith(("!$omp", "!$acc")):
+            continue
+        sig.add(no)
+        lines.append(stripped)
+        tags.append((path, no))
+    unit.sig_lines_pre = {path: sig}
+    unit.sig_lines_post = {path: set(sig)}
+    unit.lloc_pre[path] = len(lines)
+    unit.lloc_post[path] = len(lines)
+    unit.source_lines_pre = lines
+    unit.source_tags_pre = tags
+    unit.source_lines_post = list(lines)
+    unit.source_tags_post = list(tags)
+    obs.add("index.quarantined")
+    return unit
+
+
 def index_codebase(
     spec: ModelSpec,
     fs: VirtualFS,
     run_coverage: bool = False,
+    strict: bool = False,
 ) -> IndexedCodebase:
-    """Index every unit of one model port; optionally run for coverage."""
+    """Index every unit of one model port; optionally run for coverage.
+
+    Non-strict (default): frontends run in recovery mode and a unit whose
+    frontend still raises is quarantined into a SLOC-only degraded unit,
+    with the failure reported through :mod:`repro.diag`. ``strict=True``
+    disables recovery and re-raises the first failure.
+    """
     cb = IndexedCodebase(spec=spec, fs=fs)
     options = CompileOptions(dialect=spec.dialect, openmp=spec.openmp, name=spec.model)
     with obs.span("index.codebase", app=spec.app, model=spec.model):
         for role, path in sorted(spec.units.items()):
-            if spec.lang == "cpp":
-                cb.units[role] = index_cpp_unit(fs, role, path, options, spec.defines)
-            elif spec.lang == "fortran":
-                cb.units[role] = index_fortran_unit(fs, role, path)
-            else:
-                raise ReproError(f"unknown language {spec.lang!r}")
+            if spec.lang not in ("cpp", "fortran"):
+                raise ReproError(
+                    f"unknown language {spec.lang!r} for unit {role!r} ({path}) "
+                    f"in spec {spec.app}/{spec.model}"
+                )
+            try:
+                if spec.lang == "cpp":
+                    cb.units[role] = index_cpp_unit(
+                        fs, role, path, options, spec.defines, recover=not strict
+                    )
+                else:
+                    cb.units[role] = index_fortran_unit(fs, role, path, recover=not strict)
+            except ReproError as e:
+                if strict:
+                    raise
+                diag.emit_exception("index/quarantined", e)
+                diag.note(
+                    "index/quarantined",
+                    f"unit {role!r} degraded to SLOC-only metrics",
+                    path,
+                )
+                cb.units[role] = _degraded_unit(fs, role, path)
+            except Exception as e:  # noqa: BLE001 — quarantine wall: an
+                # unexpected frontend bug must degrade the unit, not kill
+                # the whole run; the type name keeps it debuggable.
+                if strict:
+                    raise
+                diag.error(
+                    "index/internal-error",
+                    f"{type(e).__name__} while indexing unit {role!r}: {e}",
+                    path,
+                )
+                cb.units[role] = _degraded_unit(fs, role, path)
     if run_coverage:
         with obs.span("coverage", app=spec.app, model=spec.model):
             _run_coverage(cb, spec)

@@ -1,0 +1,114 @@
+"""Diagnostics subsystem tests: sink, capture, emit helpers, formatting."""
+
+from repro import diag
+from repro.diag.diagnostics import Diagnostic
+from repro.util.errors import ParseError
+
+
+class TestEmitWithoutSink:
+    def test_emit_is_noop_when_nobody_listens(self):
+        assert not diag.enabled()
+        assert diag.error("parse/bad-stmt", "dropped on the floor") is None
+        assert diag.current_sink() is None
+
+    def test_enabled_reflects_capture(self):
+        assert not diag.enabled()
+        with diag.capture():
+            assert diag.enabled()
+        assert not diag.enabled()
+
+
+class TestCapture:
+    def test_collects_records(self):
+        with diag.capture() as sink:
+            diag.warning("lex/unexpected-char", "unexpected character '$'", "a.f90", 3, 7)
+            diag.error("parse/bad-stmt", "unexpected token", "a.f90", 4)
+        assert sink.count() == 2
+        d = sink.diagnostics[0]
+        assert d.severity == "warning"
+        assert d.code == "lex/unexpected-char"
+        assert (d.file, d.line, d.col) == ("a.f90", 3, 7)
+
+    def test_severity_helpers(self):
+        with diag.capture() as sink:
+            diag.note("index/quarantined", "n")
+            diag.warning("lex/unexpected-char", "w")
+            diag.error("parse/bad-decl", "e")
+        assert sink.count("note") == 1
+        assert sink.count("warning") == 1
+        assert sink.count("error") == 1
+        assert sink.has_errors()
+
+    def test_has_errors_false_for_warnings_only(self):
+        with diag.capture() as sink:
+            diag.warning("lex/unexpected-char", "w")
+        assert not sink.has_errors()
+
+    def test_by_code_aggregates(self):
+        with diag.capture() as sink:
+            for _ in range(3):
+                diag.error("parse/bad-stmt", "x")
+            diag.warning("lex/unexpected-char", "y")
+        assert sink.by_code() == {"parse/bad-stmt": 3, "lex/unexpected-char": 1}
+
+    def test_summary_counts_severities(self):
+        with diag.capture() as sink:
+            diag.error("parse/bad-decl", "e")
+            diag.warning("lex/unexpected-char", "w")
+            diag.warning("lex/unterminated-literal", "w")
+        assert sink.summary() == "3 diagnostics: 1 error, 2 warnings"
+
+    def test_summary_empty(self):
+        with diag.capture() as sink:
+            pass
+        assert sink.summary() == "no diagnostics"
+
+    def test_limit_drops_overflow(self):
+        with diag.capture(limit=2) as sink:
+            for _ in range(5):
+                diag.note("index/quarantined", "x")
+        assert len(sink.diagnostics) == 2
+        assert sink.dropped == 3
+        assert sink.count() == 5
+        assert "3 dropped" in sink.summary()
+
+    def test_nested_capture_shadows_outer(self):
+        with diag.capture() as outer:
+            diag.note("a/one", "outer")
+            with diag.capture() as inner:
+                diag.note("a/two", "inner")
+            diag.note("a/three", "outer again")
+        assert [d.code for d in outer.diagnostics] == ["a/one", "a/three"]
+        assert [d.code for d in inner.diagnostics] == ["a/two"]
+
+
+class TestEmitException:
+    def test_prefers_bare_message_over_str(self):
+        # ParseError.__str__ embeds file:line:col — the diagnostic carries
+        # the location separately, so the message must not repeat it.
+        e = ParseError("unexpected token ';'", "a.cpp", 4, 9)
+        with diag.capture() as sink:
+            diag.emit_exception("parse/bad-stmt", e)
+        d = sink.diagnostics[0]
+        assert d.message == "unexpected token ';'"
+        assert "a.cpp" not in d.message
+        assert (d.file, d.line, d.col) == ("a.cpp", 4, 9)
+
+    def test_plain_exception_falls_back_to_str(self):
+        with diag.capture() as sink:
+            diag.emit_exception("index/internal-error", ValueError("boom"))
+        assert sink.diagnostics[0].message == "boom"
+
+
+class TestFormat:
+    def test_full_location(self):
+        d = Diagnostic("error", "parse/bad-stmt", "unexpected token", "a.f90", 4, 9)
+        assert d.format() == "a.f90:4:9: error: unexpected token [parse/bad-stmt]"
+
+    def test_no_location(self):
+        d = Diagnostic("note", "index/quarantined", "degraded")
+        assert d.format() == "<input>: note: degraded [index/quarantined]"
+
+    def test_phase_prefix(self):
+        d = Diagnostic("error", "parse/bad-stmt", "m")
+        assert d.phase == "parse"

@@ -1,0 +1,102 @@
+"""Regression pins for crashes found while fuzzing the frontends.
+
+Each test reproduces an input class that once crashed (or hung) the
+recovering frontends — found by ``benchmarks/fuzz_frontends.py`` or while
+hardening the parsers for it. The contract: recover mode returns a
+partial tree, strict mode raises :class:`ParseError` — never an
+``AssertionError``, ``RecursionError`` or infinite loop.
+"""
+
+import pytest
+
+from repro import diag
+from repro.lang.cpp.lexer import TokenType, lex
+from repro.lang.cpp.parser import parse_tokens
+from repro.lang.fortran.parser import parse_fortran
+from repro.util.errors import ParseError, ReproError
+
+
+def cpp_recover(src):
+    toks = [
+        t
+        for t in lex(src, "t.cpp", tolerant=True)
+        if not t.is_trivia and t.type is not TokenType.EOF
+    ]
+    with diag.capture() as sink:
+        tu = parse_tokens(toks, "t.cpp", recover=True)
+    return tu, sink
+
+
+class TestCppRegressions:
+    def test_namespace_closer_not_swallowed_by_decl_sync(self):
+        # a failed decl inside a namespace once consumed the namespace's
+        # closing brace during resync, cascading errors to EOF
+        src = "namespace ns {\n) ) );\nint ok();\n}\nint after() { return 1; }\n"
+        tu, sink = cpp_recover(src)
+        assert sink.has_errors()
+        names = [getattr(d, "name", "") for d in tu.decls]
+        assert "after" in names
+
+    def test_truncated_class_body_terminates(self):
+        # EOF inside a class body once looped forever in _parse_class
+        tu, sink = cpp_recover("class C {\nint x;\nvoid m();\n")
+        assert sink.count() > 0
+
+    def test_truncated_compound_terminates(self):
+        # EOF inside a compound statement once looped forever
+        tu, sink = cpp_recover("int f() { while (1) { g();\n")
+        assert "parse/unclosed-brace" in sink.by_code()
+
+    def test_truncated_directive_body_keeps_lexed_prefix(self):
+        # a lex failure mid-directive once polluted the token list with a
+        # partial lex of the body
+        tu, sink = cpp_recover('#pragma omp parallel for reduction(+:sum\nint f() { return 0; }\n')
+        names = [getattr(d, "name", "") for d in tu.decls]
+        assert "f" in names
+
+    def test_eof_in_declarator_raises_parse_error_not_assert(self):
+        with pytest.raises(ParseError):
+            parse_tokens(
+                [
+                    t
+                    for t in lex("int f(", "t.cpp")
+                    if not t.is_trivia and t.type is not TokenType.EOF
+                ],
+                "t.cpp",
+            )
+
+    def test_decl_sync_stops_at_type_keyword(self):
+        # one bad top-level decl once swallowed every declaration after it
+        tu, sink = cpp_recover(">>> <<< >>\nint f() { return 1; }\ndouble g() { return 2.0; }\n")
+        names = [getattr(d, "name", "") for d in tu.decls]
+        assert "f" in names and "g" in names
+
+
+class TestFortranRegressions:
+    def test_eof_in_statement_raises_parse_error_not_assert(self):
+        with pytest.raises(ReproError):
+            parse_fortran("program p\ndo i = 1,", "t.f90")
+
+    def test_truncated_unit_header_terminates(self):
+        with diag.capture() as sink:
+            parse_fortran("subroutine s(", "t.f90", recover=True)
+        assert sink.count() > 0
+
+    def test_mismatched_closer_keeps_loop_body(self):
+        # 'end program' reached inside a 'do' once discarded the whole
+        # loop (body included) and ate the unit's own closer
+        with diag.capture() as sink:
+            f = parse_fortran(
+                "program p\ndo i = 1, 10\ncall work(i)\nend program p\n",
+                "t.f90",
+                recover=True,
+            )
+        assert sink.by_code() == {"parse/missing-end": 1}
+        assert f.units[0].body and f.units[0].body[0].body
+
+    def test_orphan_end_do_does_not_lose_unit(self):
+        src = "program p\nx = 1\nend do\ny = 2\nend program p\n"
+        with diag.capture() as sink:
+            f = parse_fortran(src, "t.f90", recover=True)
+        assert f.units and f.units[0].name == "p"
+        assert sink.count() > 0

@@ -1,0 +1,123 @@
+"""Panic-mode recovery tests: malformed C++ yields partial trees, not tracebacks."""
+
+import pytest
+
+from repro import diag
+from repro.lang.cpp.astnodes import ErrorDecl, ErrorStmt, FunctionDecl
+from repro.lang.cpp.asttree import ast_to_tree
+from repro.lang.cpp.lexer import TokenType, lex
+from repro.lang.cpp.parser import parse_tokens
+from repro.util.errors import ParseError
+
+
+def significant(src):
+    """What the preprocessor hands the parser: no trivia, no EOF marker."""
+    return [
+        t
+        for t in lex(src, "t.cpp", tolerant=True)
+        if not t.is_trivia and t.type is not TokenType.EOF
+    ]
+
+
+def recover_parse(src):
+    """Parse with recovery on, returning (translation unit, sink)."""
+    with diag.capture() as sink:
+        tu = parse_tokens(significant(src), "t.cpp", recover=True)
+    return tu, sink
+
+
+def functions(tu):
+    return [d for d in tu.decls if isinstance(d, FunctionDecl)]
+
+
+class TestStrictStillRaises:
+    def test_default_mode_unchanged(self):
+        with pytest.raises(ParseError):
+            parse_tokens(significant("int f( {"), "t.cpp")
+
+    def test_recover_mode_is_noop_on_valid_input(self):
+        tu, sink = recover_parse("int good() { return 1; }\n")
+        assert sink.count() == 0
+        assert [d.name for d in functions(tu)] == ["good"]
+
+
+class TestUnbalancedBraces:
+    SRC = (
+        "int good() { return 1; }\n"
+        "int bad() { if (x { return 2; }\n"
+        "int after() { return 3; }\n"
+    )
+
+    def test_no_raise_and_diagnostics(self):
+        _tu, sink = recover_parse(self.SRC)
+        assert sink.has_errors()
+        assert "parse/bad-stmt" in sink.by_code()
+        assert "parse/unclosed-brace" in sink.by_code()
+
+    def test_preceding_function_survives_intact(self):
+        tu, _ = recover_parse(self.SRC)
+        names = [d.name for d in functions(tu)]
+        assert names[0] == "good"
+        assert "bad" in names
+
+    def test_bad_statement_becomes_error_node(self):
+        tu, _ = recover_parse(self.SRC)
+        bad = [d for d in functions(tu) if d.name == "bad"][0]
+        assert any(isinstance(s, ErrorStmt) for s in bad.body.stmts)
+
+    def test_unclosed_at_eof_keeps_partial_body(self):
+        tu, sink = recover_parse("int f() { int a = 1;\n")
+        assert "parse/unclosed-brace" in sink.by_code()
+        fns = functions(tu)
+        assert fns and fns[0].body is not None and fns[0].body.stmts
+
+
+class TestTruncatedTemplates:
+    def test_truncated_template_header(self):
+        tu, sink = recover_parse("template <typename T\nint ok() { return 0; }\n")
+        assert sink.has_errors()
+        assert any(isinstance(d, ErrorDecl) for d in tu.decls)
+        # the sync stops at the type keyword, so 'ok' still parses
+        assert "ok" in [d.name for d in functions(tu)]
+
+    def test_truncated_template_argument_list(self):
+        tu, sink = recover_parse(
+            "std::vector<std::pair<int, x = 1;\nint ok() { return 0; }\n"
+        )
+        assert sink.has_errors()
+        assert "ok" in [d.name for d in functions(tu)]
+
+
+class TestStrayChevrons:
+    def test_stray_triple_chevron_launch(self):
+        # CUDA-ish <<<...>>> is not in the grammar; must degrade gracefully
+        src = "int main() {\nkernel<<<>>>(a);\nreturn 0;\n}\n"
+        tu, sink = recover_parse(src)
+        assert sink.has_errors()
+        fns = functions(tu)
+        assert fns and fns[0].name == "main"
+        assert any(isinstance(s, ErrorStmt) for s in fns[0].body.stmts)
+        # the statement after the launch still parses
+        assert len(fns[0].body.stmts) >= 2
+
+    def test_chevron_soup_at_top_level(self):
+        tu, sink = recover_parse(">>> <<< >>\nint f() { return 1; }\n")
+        assert sink.has_errors()
+        assert "f" in [d.name for d in functions(tu)]
+
+
+class TestErrorNodeContract:
+    def test_error_nodes_in_source_tree(self):
+        tu, _ = recover_parse("int f() { <<<>>>; return 1; }\n")
+        nodes = [n for n in ast_to_tree(tu).preorder() if n.kind == "error"]
+        assert nodes
+        for n in nodes:
+            assert n.label == "error-node"
+
+    def test_error_nodes_survive_sema(self):
+        from repro.lang.cpp.sema import analyze
+
+        tu, _ = recover_parse("int f() { <<<>>>; return 1; }\n")
+        sem = analyze(tu)
+        labels = {n.label for n in ast_to_tree(tu, sem).preorder()}
+        assert "error-node" in labels

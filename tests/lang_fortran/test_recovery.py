@@ -1,0 +1,101 @@
+"""Panic-mode recovery tests: malformed Fortran yields partial trees, not tracebacks."""
+
+import pytest
+
+from repro import diag
+from repro.lang.fortran.astnodes import FtCallStmt, FtDecl, FtDo, FtError, FtIf
+from repro.lang.fortran.asttree import fortran_to_tree
+from repro.lang.fortran.parser import parse_fortran
+from repro.util.errors import ParseError
+
+
+def recover_parse(src):
+    with diag.capture() as sink:
+        f = parse_fortran(src, "t.f90", recover=True)
+    return f, sink
+
+
+class TestStrictStillRaises:
+    def test_default_mode_unchanged(self):
+        with pytest.raises(ParseError):
+            parse_fortran("program p\ndo i = 1, 10\ncall w(i)\nend program p\n")
+
+    def test_recover_mode_is_noop_on_valid_input(self):
+        src = "program p\ninteger :: i\ndo i = 1, 3\ncall w(i)\nend do\nend program p\n"
+        f, sink = recover_parse(src)
+        assert sink.count() == 0
+        assert isinstance(f.units[0].body[1], FtDo)
+
+
+class TestUnterminatedDo:
+    def test_closed_by_end_program_keeps_body(self):
+        src = "program p\ninteger :: i\ndo i = 1, 10\ncall work(i)\nend program p\n"
+        f, sink = recover_parse(src)
+        assert "parse/missing-end" in sink.by_code()
+        body = f.units[0].body
+        assert isinstance(body[0], FtDecl)
+        do = body[1]
+        assert isinstance(do, FtDo)
+        assert any(isinstance(s, FtCallStmt) for s in do.body)
+
+    def test_truncated_at_eof_keeps_body(self):
+        f, sink = recover_parse("program p\ndo i = 1, 10\ncall work(i)\n")
+        # one missing-end for the do, one for the program unit
+        assert sink.by_code()["parse/missing-end"] == 2
+        do = f.units[0].body[0]
+        assert isinstance(do, FtDo) and do.body
+
+    def test_nested_do_missing_inner_end(self):
+        src = "program p\ndo i = 1, 2\ndo j = 1, 3\ncall w(i, j)\nend do\nend program p\n"
+        f, sink = recover_parse(src)
+        assert "parse/missing-end" in sink.by_code()
+        outer = f.units[0].body[0]
+        assert isinstance(outer, FtDo)
+        assert isinstance(outer.body[0], FtDo)
+
+    def test_unterminated_if_block(self):
+        f, sink = recover_parse("program p\nif (x > 0) then\ncall w()\nend program p\n")
+        assert "parse/missing-end" in sink.by_code()
+        assert isinstance(f.units[0].body[0], FtIf)
+
+
+class TestBadOmpSentinels:
+    def test_typo_in_directive_word_is_diagnosed(self):
+        src = (
+            "program p\n!$omp paralel do\ndo i = 1, 10\nend do\n"
+            "!$omp end parallel do\nend program p\n"
+        )
+        f, sink = recover_parse(src)
+        assert "parse/unknown-directive" in sink.by_code()
+
+    def test_typo_in_sentinel_is_diagnosed(self):
+        src = "program p\n!$opm parallel do\ndo i = 1, 10\ncall w(i)\nend do\nend program p\n"
+        f, sink = recover_parse(src)
+        assert "lex/unknown-sentinel" in sink.by_code()
+        # the loop under the typo'd sentinel still parses
+        assert isinstance(f.units[0].body[0], FtDo)
+
+    def test_conditional_compilation_sentinel_not_flagged(self):
+        f, sink = recover_parse("program p\n!$ x = 1\nend program p\n")
+        assert "lex/unknown-sentinel" not in sink.by_code()
+
+    def test_plain_comment_not_flagged(self):
+        f, sink = recover_parse("program p\n! just a comment\nend program p\n")
+        assert sink.count() == 0
+
+
+class TestStatementRecovery:
+    def test_junk_statement_becomes_error_node(self):
+        src = "program p\ninteger :: i\n= = 1 +\ncall ok()\nend program p\n"
+        f, sink = recover_parse(src)
+        assert "parse/bad-stmt" in sink.by_code()
+        body = f.units[0].body
+        assert any(isinstance(s, FtError) for s in body)
+        # the statement after the junk line still parses
+        assert any(isinstance(s, FtCallStmt) for s in body)
+
+    def test_error_node_in_tree(self):
+        f, _ = recover_parse("program p\n= = 1 +\nend program p\n")
+        tree = fortran_to_tree(f)
+        nodes = [n for n in tree.preorder() if n.kind == "error"]
+        assert nodes and all(n.label == "error-node" for n in nodes)

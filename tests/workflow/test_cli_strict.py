@@ -1,0 +1,70 @@
+"""CLI exit codes: quarantined runs complete (0), strict runs fail fast (1)."""
+
+import pytest
+
+from repro.corpus.registry import clear_index_cache
+from repro.workflow.cli import main
+
+
+@pytest.fixture
+def corrupted_omp(monkeypatch):
+    """babelstream-fortran/omp with one damaged statement in its main file."""
+    from repro.corpus import babelstream_fortran as mod
+
+    fname, src = mod.MODELS["omp"]
+    assert "end do" in src
+    monkeypatch.setitem(mod.MODELS, "omp", (fname, src.replace("end do", "= = oops", 1)))
+    clear_index_cache()
+    yield
+    clear_index_cache()
+
+
+class TestCorruptedCorpus:
+    def test_compare_completes_with_diagnostics(self, corrupted_omp, capsys):
+        rc = main(["compare", "babelstream-fortran", "omp", "-b", "sequential"])
+        assert rc == 0
+        cap = capsys.readouterr()
+        assert "divergence" in cap.out
+        assert "parse/" in cap.err  # located diagnostics on stderr
+        assert "completed with" in cap.err
+        assert "error" in cap.err
+
+    def test_compare_strict_fails_fast(self, corrupted_omp, capsys):
+        rc = main(["compare", "babelstream-fortran", "omp", "-b", "sequential", "--strict"])
+        assert rc == 1
+        cap = capsys.readouterr()
+        assert cap.err.startswith("error:")
+        assert "divergence" not in cap.out
+
+    def test_index_strict_fails_fast(self, corrupted_omp, tmp_path, capsys):
+        out = tmp_path / "db.svdb"
+        rc = main(["index", "babelstream-fortran", "omp", "-o", str(out), "--strict"])
+        assert rc == 1
+        assert not out.exists()
+
+    def test_index_nonstrict_writes_db(self, corrupted_omp, tmp_path, capsys):
+        out = tmp_path / "db.svdb"
+        rc = main(["index", "babelstream-fortran", "omp", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+
+
+class TestCleanCorpus:
+    def test_no_diagnostics_on_clean_run(self, capsys):
+        clear_index_cache()
+        rc = main(["compare", "babelstream-fortran", "omp", "-b", "sequential"])
+        assert rc == 0
+        cap = capsys.readouterr()
+        # a clean corpus must produce zero diagnostic chatter on stderr
+        assert "completed with" not in cap.err
+        assert "error" not in cap.err
+
+    def test_strict_flag_accepted_on_clean_run(self, capsys):
+        clear_index_cache()
+        try:
+            rc = main(
+                ["compare", "babelstream-fortran", "omp", "-b", "sequential", "--strict"]
+            )
+        finally:
+            clear_index_cache()
+        assert rc == 0

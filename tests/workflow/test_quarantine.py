@@ -1,0 +1,102 @@
+"""Per-file quarantine in index_codebase: damaged units degrade, strict raises."""
+
+import pytest
+
+from repro import diag
+from repro.lang.source import VirtualFS
+from repro.util.errors import ReproError
+from repro.workflow.codebase import ModelSpec
+from repro.workflow.indexer import index_codebase
+
+GOOD_CPP = "int main() { return 0; }\n"
+# lexically broken: unterminated block comment never closes
+BROKEN_CPP = "int main() { /* unterminated\n"
+GOOD_F90 = "program p\nx = 1\nend program p\n"
+
+
+def make_fs(**files):
+    fs = VirtualFS()
+    for p, t in files.items():
+        fs.add(p.replace("__", "/"), t)
+    return fs
+
+
+def cpp_spec(units):
+    return ModelSpec(app="t", model="m", lang="cpp", units=units, entry=None)
+
+
+class TestQuarantine:
+    def test_broken_unit_degrades_others_survive(self):
+        fs = make_fs(**{"good.cpp": GOOD_CPP, "bad.cpp": BROKEN_CPP})
+        spec = cpp_spec({"good": "good.cpp", "bad": "bad.cpp"})
+        with diag.capture() as sink:
+            cb = index_codebase(spec, fs)
+        assert "index/quarantined" in sink.by_code()
+        assert not cb.units["good"].degraded
+        assert cb.units["good"].t_sem is not None
+        bad = cb.units["bad"]
+        assert bad.degraded
+        assert bad.t_sem is None and bad.t_src_pre is None and bad.t_ir is None
+
+    def test_degraded_unit_keeps_sloc_metrics(self):
+        fs = make_fs(**{"bad.cpp": BROKEN_CPP})
+        with diag.capture():
+            cb = index_codebase(cpp_spec({"bad": "bad.cpp"}), fs)
+        bad = cb.units["bad"]
+        assert bad.lloc_pre.get("bad.cpp", 0) > 0
+        assert bad.source_lines_pre
+        assert len(bad.source_lines_pre) == len(bad.source_tags_pre)
+
+    def test_strict_mode_raises(self):
+        fs = make_fs(**{"bad.cpp": BROKEN_CPP})
+        with pytest.raises(ReproError):
+            index_codebase(cpp_spec({"bad": "bad.cpp"}), fs, strict=True)
+
+    def test_missing_file_quarantined(self):
+        fs = make_fs(**{"good.cpp": GOOD_CPP})
+        spec = cpp_spec({"good": "good.cpp", "gone": "gone.cpp"})
+        with diag.capture() as sink:
+            cb = index_codebase(spec, fs)
+        assert cb.units["gone"].degraded
+        assert sink.has_errors() or "index/quarantined" in sink.by_code()
+
+    def test_unknown_language_always_raises(self):
+        # a spec error, not file damage: never quarantined, even non-strict
+        spec = ModelSpec(app="t", model="m", lang="cobol", units={"main": "x"})
+        with pytest.raises(ReproError) as ei:
+            index_codebase(spec, make_fs(x="y"))
+        msg = str(ei.value)
+        assert "cobol" in msg and "x" in msg and "t/m" in msg
+
+    def test_quarantine_emits_note_with_unit_role(self):
+        fs = make_fs(**{"bad.cpp": BROKEN_CPP})
+        with diag.capture() as sink:
+            index_codebase(cpp_spec({"bad": "bad.cpp"}), fs)
+        notes = [d for d in sink.diagnostics if d.code == "index/quarantined"]
+        assert any("bad" in d.message for d in notes)
+
+
+class TestDegradedRoundTrip:
+    def test_degraded_flag_survives_codebase_db(self, tmp_path):
+        from repro.workflow.codebasedb import load_codebase_db, save_codebase_db
+
+        fs = make_fs(**{"good.cpp": GOOD_CPP, "bad.cpp": BROKEN_CPP})
+        spec = cpp_spec({"good": "good.cpp", "bad": "bad.cpp"})
+        with diag.capture():
+            cb = index_codebase(spec, fs)
+        p = tmp_path / "db.svdb"
+        save_codebase_db(cb, p)
+        back = load_codebase_db(p)
+        assert back.units["bad"].degraded
+        assert not back.units["good"].degraded
+
+
+class TestFortranQuarantine:
+    def test_mixed_language_corpus_with_broken_fortran(self):
+        # lexically fine but so damaged the parser gives up at unit level
+        fs = make_fs(**{"ok.f90": GOOD_F90})
+        spec = ModelSpec(app="t", model="m", lang="fortran", units={"main": "ok.f90"})
+        with diag.capture() as sink:
+            cb = index_codebase(spec, fs)
+        assert not cb.units["main"].degraded
+        assert sink.count() == 0
