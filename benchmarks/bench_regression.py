@@ -40,6 +40,7 @@ COUNTER_KEYS = (
     "cache.disk.hit",
     "cache.disk.miss",
     "engine.chunks",
+    "engine.retries",
 )
 
 

@@ -1,0 +1,146 @@
+"""CI chaos gate for the fault-tolerant distance engine.
+
+Computes the fault-free serial divergence matrix on a small fixed TeaLeaf
+workload, then recomputes it in parallel while the ``REPRO_CHAOS`` hook
+deterministically kills one worker, hangs another past the chunk timeout,
+and exception-bombs a third — all at injection points drawn from a seeded
+RNG so every CI run replays the same faults.
+
+The gate: the chaos-run matrix must be ``np.array_equal`` to the fault-free
+serial one (the determinism contract survives worker loss), every fault
+class must actually have been exercised (retries, chunk timeouts), and no
+chunk may have degraded to NaN. Results land in ``CHAOS_pr.json``.
+
+Usage: PYTHONPATH=src python benchmarks/chaos_engine.py [--seed N] [--out CHAOS_pr.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.corpus import index_app
+from repro.distance.engine import DistanceEngine
+from repro.distance.ted import clear_ted_cache
+from repro.workflow.comparer import MetricSpec, divergence_matrix
+
+N_MODELS = 4
+SPEC = MetricSpec("Tsem")
+
+#: Watchdog settings for the chaos run. The hang sleeps well past the chunk
+#: timeout so the watchdog (not luck) must reclaim the chunk; kills are only
+#: detectable the same way, so each of those faults costs ~one timeout.
+CHUNK_TIMEOUT_S = 4.0
+HANG_S = 60.0
+RETRIES = 3
+
+COUNTER_KEYS = (
+    "engine.chunks",
+    "engine.retries",
+    "engine.chunk_timeouts",
+    "engine.worker_deaths",
+    "engine.chunks_failed",
+)
+
+
+def build(codebases, engine: DistanceEngine) -> tuple[np.ndarray, dict, float]:
+    clear_ted_cache()
+    t0 = time.perf_counter()
+    with obs.collect() as col:
+        matrix = divergence_matrix(codebases, SPEC, engine=engine)
+    wall = time.perf_counter() - t0
+    return matrix, dict(col.counters), wall
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1, help="injection-point seed")
+    parser.add_argument("--out", default="CHAOS_pr.json", help="result JSON path")
+    args = parser.parse_args(argv)
+
+    cbs = index_app("tealeaf", coverage=True)
+    names = list(cbs)[:N_MODELS]
+    codebases = [cbs[m] for m in names]
+    n_tasks = N_MODELS * (N_MODELS - 1) // 2
+    print(f"workload: tealeaf[{', '.join(names)}] under {SPEC.name} ({n_tasks} pair tasks)")
+
+    baseline, _, base_wall = build(codebases, DistanceEngine(jobs=1))
+    print(f"fault-free serial baseline: {base_wall:.3f}s, checksum={baseline.sum():.6f}")
+
+    # one injection point per fault class, at distinct seeded task indices
+    rng = random.Random(args.seed)
+    points = rng.sample(range(n_tasks), 3)
+    spec = ",".join(f"{m}@{i}" for m, i in zip(("kill", "hang", "exc"), points))
+    print(f"chaos plan (seed {args.seed}): {spec}")
+
+    os.environ["REPRO_CHAOS"] = spec
+    os.environ["REPRO_CHAOS_HANG_S"] = str(HANG_S)
+    try:
+        chaotic, counters, chaos_wall = build(
+            codebases,
+            DistanceEngine(
+                jobs=2,
+                chunk_size=1,
+                chunk_timeout=CHUNK_TIMEOUT_S,
+                retries=RETRIES,
+            ),
+        )
+    finally:
+        os.environ.pop("REPRO_CHAOS", None)
+        os.environ.pop("REPRO_CHAOS_HANG_S", None)
+
+    fault_counters = {k: counters.get(k, 0) for k in COUNTER_KEYS}
+    print(
+        f"chaos run: {chaos_wall:.3f}s  "
+        + "  ".join(f"{k}={fault_counters[k]:g}" for k in COUNTER_KEYS)
+    )
+
+    failures = []
+    if not np.array_equal(baseline, chaotic):
+        failures.append("chaos-run matrix differs from fault-free serial baseline")
+    else:
+        print("ok: chaos-run matrix bit-identical to fault-free serial")
+    if np.isnan(chaotic).any():
+        failures.append("chaos-run matrix contains NaN (a chunk degraded)")
+    if fault_counters["engine.chunks_failed"]:
+        failures.append(f"{fault_counters['engine.chunks_failed']:g} chunks exhausted retries")
+    if not fault_counters["engine.retries"]:
+        failures.append("no retries recorded: injected faults never fired")
+    if not fault_counters["engine.chunk_timeouts"]:
+        failures.append("no chunk timeouts recorded: kill/hang never tripped the watchdog")
+    if not fault_counters["engine.worker_deaths"]:
+        # best-effort PID probe; warn rather than fail if the platform hides it
+        print("warn: worker death not observed via PID probe", file=sys.stderr)
+
+    report = {
+        "workload": {"app": "tealeaf", "models": names, "spec": SPEC.name},
+        "seed": args.seed,
+        "chaos": spec,
+        "chunk_timeout_s": CHUNK_TIMEOUT_S,
+        "retries": RETRIES,
+        "baseline_wall_s": base_wall,
+        "chaos_wall_s": chaos_wall,
+        "counters": fault_counters,
+        "matrix_checksum": float(baseline.sum()),
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("PASS: matrix survived kill+hang+exc injection bit-identically")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,10 @@ Asserts, on a small fixed TeaLeaf workload, that
    serial one — scheduling must not change a single bit;
 2. a matrix rebuilt entirely from the persistent cache (fresh process-level
    memo, every pair a disk hit) is bit-identical to the directly computed
-   one — the cache round-trip loses nothing.
+   one — the cache round-trip loses nothing;
+3. a run killed halfway and resumed from its checkpoint produces the same
+   matrix while recomputing only the unfinished pairs — resume must neither
+   lose work nor redo it.
 
 Usage: PYTHONPATH=src python benchmarks/check_determinism.py
 """
@@ -21,6 +24,7 @@ import numpy as np
 
 from repro import obs
 from repro.cache import TedCacheStore
+from repro.ckpt import CheckpointStore
 from repro.corpus import index_app
 from repro.distance.engine import DistanceEngine
 from repro.distance.ted import clear_ted_cache
@@ -33,6 +37,75 @@ SPEC = MetricSpec("Tsem")
 def build(codebases, engine: DistanceEngine) -> np.ndarray:
     clear_ted_cache()
     return divergence_matrix(codebases, SPEC, engine=engine)
+
+
+class InterruptingEngine(DistanceEngine):
+    """Serial engine that raises KeyboardInterrupt after ``stop_after``
+    computed tasks — a deterministic stand-in for Ctrl-C at 50%."""
+
+    def __init__(self, stop_after: int, **kw):
+        super().__init__(**kw)
+        self.stop_after = stop_after
+        self.computed = 0
+
+    def map_tasks(self, fn, tasks, keys=None, fail_value=float("nan")):
+        def guarded(task):
+            if self.computed >= self.stop_after:
+                raise KeyboardInterrupt
+            out = fn(task)
+            self.computed += 1
+            return out
+
+        return super().map_tasks(guarded, tasks, keys=keys, fail_value=fail_value)
+
+
+def check_resume(codebases, serial: np.ndarray, failures: list[str]) -> None:
+    n_tasks = len(codebases) * (len(codebases) - 1) // 2
+    with tempfile.TemporaryDirectory(prefix="svc-det-ckpt-") as tmp:
+        store = CheckpointStore(Path(tmp))
+        clear_ted_cache()
+        with obs.collect() as full_col:
+            eng = InterruptingEngine(
+                n_tasks + 1, checkpoint=store, checkpoint_every=0.0
+            )
+            divergence_matrix(codebases, SPEC, engine=eng)  # uninterrupted control
+        full_calls = full_col.counters.get("ted.zs.calls", 0)
+
+        killer = InterruptingEngine(
+            n_tasks // 2, checkpoint=store, checkpoint_every=0.0
+        )
+        clear_ted_cache()
+        try:
+            divergence_matrix(codebases, SPEC, engine=killer)
+        except KeyboardInterrupt:
+            pass
+        else:
+            failures.append("interrupting engine ran to completion (gate bug)")
+            return
+        if killer.last_checkpoint is None:
+            failures.append("killed run left no checkpoint behind")
+            return
+
+        clear_ted_cache()
+        with obs.collect() as col:
+            resumed = divergence_matrix(
+                codebases,
+                SPEC,
+                engine=DistanceEngine(checkpoint=store, resume=True),
+            )
+        resumed_calls = col.counters.get("ted.zs.calls", 0)
+        if not np.array_equal(serial, resumed):
+            failures.append("resumed matrix differs from uninterrupted serial run")
+        elif not 0 < resumed_calls < full_calls:
+            failures.append(
+                f"resume recomputed {resumed_calls:g} ZS calls "
+                f"(want strictly between 0 and the full run's {full_calls:g})"
+            )
+        else:
+            print(
+                "ok: kill-at-50% + resume bit-identical, "
+                f"recomputed {resumed_calls:g}/{full_calls:g} ZS calls"
+            )
 
 
 def main() -> int:
@@ -62,6 +135,8 @@ def main() -> int:
             print("ok: cache round-trip matrix bit-identical, zero ZS calls")
         else:
             failures.append("cache round-trip matrix differs from direct computation")
+
+    check_resume(codebases, serial, failures)
 
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)

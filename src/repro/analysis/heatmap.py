@@ -16,7 +16,7 @@ import numpy as np
 from repro import obs
 from repro.distance.engine import DistanceEngine
 from repro.workflow.codebase import IndexedCodebase
-from repro.workflow.comparer import MetricSpec, divergence_task
+from repro.workflow.comparer import MetricSpec, directed_task_key, divergence_task
 
 
 @dataclass
@@ -77,6 +77,7 @@ def divergence_heatmap(
     values = np.zeros((len(rows), len(cols)))
     with obs.span("heatmap", rows=len(rows), cols=len(cols), jobs=eng.jobs):
         tasks = [(baseline, cb, spec) for spec in specs for cb in models]
-        flat = eng.map_tasks(divergence_task, tasks)
+        keys = [directed_task_key(baseline, cb, spec) for spec in specs for cb in models]
+        flat = eng.map_tasks(divergence_task, tasks, keys=keys)
         values[:] = np.asarray(flat, dtype=np.float64).reshape(len(rows), len(cols))
     return HeatmapData(rows, cols, values)

@@ -1,0 +1,21 @@
+"""Checkpoint/resume layer for long-running distance workloads.
+
+See :mod:`repro.ckpt.store` for the ``repro.ckpt/v1`` format and the
+invalidation contract, and DESIGN.md for the pinned public contract.
+"""
+
+from repro.ckpt.store import (
+    KEY_SPEC,
+    SCHEMA,
+    CheckpointStore,
+    resolve_checkpoint_dir,
+    run_key_for,
+)
+
+__all__ = [
+    "KEY_SPEC",
+    "SCHEMA",
+    "CheckpointStore",
+    "resolve_checkpoint_dir",
+    "run_key_for",
+]

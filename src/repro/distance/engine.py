@@ -1,8 +1,9 @@
-"""Parallel distance-matrix engine with persistent TED caching.
+"""Fault-tolerant parallel distance-matrix engine with cache + checkpoints.
 
 The paper's compare step is the cartesian product of all models (§V-A) —
 O(n²) divergence evaluations whose cost PR 1's spans showed to dominate
-every figure. This engine schedules that pair list:
+every figure. On production corpora that is a multi-minute-to-multi-hour
+run, so this engine schedules the pair list *defensively*:
 
 * **serially by default** (``jobs=1``), running tasks inline in submission
   order so results stay byte-for-byte identical to the historical loops;
@@ -13,28 +14,59 @@ every figure. This engine schedules that pair list:
   Every divergence evaluation is a pure function of its pair, so the
   schedule cannot change the numbers — parallel matrices are
   ``np.array_equal`` to serial ones (the CI determinism gate asserts this);
+* **under a watchdog**: chunks are dispatched asynchronously and polled
+  against a per-chunk wall-clock deadline (``chunk_timeout``). A chunk lost
+  to a hung or killed worker (the pool respawns dead workers) is
+  rescheduled with capped exponential backoff up to ``retries`` extra
+  attempts; a chunk that exhausts its retries degrades to a
+  ``distance/chunk-failed`` diagnostic with ``fail_value`` entries instead
+  of aborting the run — unless ``strict``, which restores fail-fast;
 * **against a persistent TED cache** (:class:`repro.cache.TedCacheStore`)
   when one is attached: the engine installs it in the distance layer (and
   in every pool worker) for the duration of the run and flushes buffered
-  writes on exit, so warm runs perform zero Zhang–Shasha evaluations.
+  writes on exit, so warm runs perform zero Zhang–Shasha evaluations;
+* **through a checkpoint** (:class:`repro.ckpt.CheckpointStore`) when one
+  is attached and the caller supplies stable task keys: completed task
+  values are periodically flushed to an atomic ``repro.ckpt/v1`` file, and
+  ``resume=True`` reloads them so an interrupted run recomputes only
+  unfinished work. SIGTERM is mapped to :class:`KeyboardInterrupt` during
+  the run, and any interrupt terminates the pool, flushes cache +
+  checkpoint, emits a ``distance/interrupted`` diagnostic naming the
+  resumable checkpoint, and re-raises.
+
+Fault injection for tests and the chaos harness rides in the worker: the
+``REPRO_CHAOS`` environment variable (e.g. ``"kill@3,hang@5,exc@7"``)
+deterministically kills, hangs or exception-bombs the worker at the given
+scheduled-task indices on the **first** attempt of the owning chunk (an
+``!`` suffix on the mode fires on every attempt, for retry-exhaustion
+tests). Retries skip the injection, so a chaos run must still converge to
+the fault-free matrix — ``benchmarks/chaos_engine.py`` asserts exactly
+that.
 
 Counters: ``ted.pairs`` (tasks scheduled), ``engine.chunks``,
-``engine.workers``, plus the ``cache.disk.hit/miss`` pair recorded by the
-distance layer. Workers collect counters in-process and the parent merges
-them, so ``--profile`` output is complete either way.
+``engine.workers``, ``engine.retries``, ``engine.chunk_timeouts``,
+``engine.worker_deaths``, ``engine.chunks_failed``,
+``ckpt.saved/loaded/invalid``, plus the ``cache.disk.hit/miss`` pair
+recorded by the distance layer. Workers collect counters in-process and the
+parent merges them, so ``--profile`` output is complete either way.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Optional, Sequence
 
-from repro import obs
+from repro import diag, obs
 
 # NB: function imports, not ``import repro.distance.ted as ...`` — the
 # package re-exports the ``ted`` *function* under the module's name, so any
 # attribute-style module reference resolves to the function instead.
+from repro.ckpt.store import run_key_for
 from repro.distance.ted import get_disk_cache, set_disk_cache
 from repro.util.errors import ReproError
 
@@ -46,13 +78,79 @@ _STAGE: Optional[dict] = None
 #: inside the next chunk's collect window so the parent sees it.
 _INIT_FAILED: bool = False
 
+#: Watchdog poll period (seconds). Small enough that timeouts and worker
+#: deaths are noticed promptly, large enough to stay invisible in profiles.
+_POLL_S = 0.02
+
+#: Exponential-backoff cap for chunk retries (seconds).
+_BACKOFF_CAP_S = 8.0
+
 
 def _flush_quietly(store) -> None:
-    """Flush cache writes; a failing cache degrades the run, never kills it."""
+    """Flush cache writes; a failing cache degrades the run, never kills it.
+
+    Broad on purpose: a corrupted pending-write buffer surfaces as
+    ``SerdeError``/``ValueError``/``TypeError`` from the serializer rather
+    than ``OSError`` — any of them escaping here would kill an otherwise
+    healthy run at exit. ``KeyboardInterrupt`` (a ``BaseException``) still
+    propagates so Ctrl-C cannot be swallowed.
+    """
     try:
         store.flush()
-    except OSError:
+    except Exception as e:
         obs.add("cache.disk.flush_errors")
+        diag.error("cache/flush-failed", f"TED cache flush failed: {e!r}")
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (chaos harness hook)
+# ---------------------------------------------------------------------------
+
+
+class ChaosError(RuntimeError):
+    """Exception injected by the ``REPRO_CHAOS`` hook (never raised outside
+    fault-injection runs)."""
+
+
+def _parse_chaos(spec: str) -> list[tuple[str, int, bool]]:
+    """Parse ``REPRO_CHAOS`` into (mode, task_index, every_attempt) triples.
+
+    Format: comma-separated ``mode@index`` with mode one of ``kill``,
+    ``hang``, ``exc``; a ``!`` suffix on the mode (``exc!@4``) fires on
+    every attempt instead of only the first. Malformed parts are ignored —
+    the hook must never be able to break a production run.
+    """
+    plan: list[tuple[str, int, bool]] = []
+    for part in spec.replace(";", ",").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        mode, _, at = part.partition("@")
+        every = mode.endswith("!")
+        if every:
+            mode = mode[:-1]
+        if mode not in ("kill", "hang", "exc") or not at.isdigit():
+            continue
+        plan.append((mode, int(at), every))
+    return plan
+
+
+def _chaos_fire(plan: list[tuple[str, int, bool]], idx: int, attempt: int) -> None:
+    """Trigger any injection registered for scheduled-task index ``idx``."""
+    for mode, at, every in plan:
+        if at != idx or (attempt > 0 and not every):
+            continue
+        if mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif mode == "hang":
+            time.sleep(float(os.environ.get("REPRO_CHAOS_HANG_S", "3600")))
+        elif mode == "exc":
+            raise ChaosError(f"injected exception at task {idx} (attempt {attempt})")
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
 
 
 def _worker_init() -> None:
@@ -65,6 +163,13 @@ def _worker_init() -> None:
     """
     global _INIT_FAILED
     _INIT_FAILED = False
+    try:
+        # undo the parent's SIGTERM→KeyboardInterrupt mapping (inherited
+        # through fork): pool.terminate() must kill workers quietly, not
+        # make a hung worker spew an interrupt traceback
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
     if _STAGE is None:
         # Fork without staging is a caller bug; degrade rather than letting
         # the pool respawn workers forever, but flag it.
@@ -87,28 +192,167 @@ def _worker_init() -> None:
         set_disk_cache(None)
 
 
-def _run_chunk(bounds: tuple[int, int]) -> tuple[list[Any], dict[str, float]]:
+def _run_chunk(args: tuple[tuple[int, int], int]) -> tuple[list[Any], dict[str, float]]:
     """Evaluate one chunk of staged tasks inside a pool worker.
+
+    ``args`` is ``((lo, hi), attempt)`` — the attempt number exists so the
+    chaos hook can fire only on a chunk's first execution, which is what
+    makes fault-injected runs converge to the fault-free matrix.
 
     Returns the results plus the worker-side counter deltas so the parent
     can merge them into its collector.
     """
+    (lo, hi), attempt = args
     assert _STAGE is not None
     fn = _STAGE["fn"]
     tasks = _STAGE["tasks"]
-    lo, hi = bounds
+    plan = _parse_chaos(os.environ.get("REPRO_CHAOS", ""))
     with obs.collect() as col:
         if _INIT_FAILED:
             obs.add("engine.worker_init_errors")
-        out = [fn(task) for task in tasks[lo:hi]]
+        out = []
+        for idx in range(lo, hi):
+            if plan:
+                _chaos_fire(plan, idx, attempt)
+            out.append(fn(tasks[idx]))
         disk = get_disk_cache()
         if disk is not None:
             _flush_quietly(disk)
     return out, dict(col.counters)
 
 
+# ---------------------------------------------------------------------------
+# Checkpoint session (one map_tasks call against one CheckpointStore)
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    """Checkpoint-payload form of one task result (msgpack-safe)."""
+    if isinstance(value, tuple):
+        return [float(v) for v in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Inverse of :func:`_encode_value` (sequences come back as tuples)."""
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+class _CkptSession:
+    """Progress tracker for one run: buffers completed entries and flushes
+    them to the store periodically and on interrupt."""
+
+    def __init__(self, store, keys: Sequence[str], interval_s: float):
+        self.store = store
+        self.keys = list(keys)
+        self.run_key = run_key_for(self.keys, store.keyspec)
+        self.interval_s = interval_s
+        self.entries: dict[str, Any] = {}
+        self._dirty = False
+        self._last_save = time.monotonic()
+
+    @property
+    def path(self):
+        return self.store.path_for(self.run_key)
+
+    def load_into(self, results: list, done: list[bool]) -> int:
+        """Adopt completed values from a previous run's checkpoint."""
+        stored = self.store.load(self.run_key)
+        reused = 0
+        for i, key in enumerate(self.keys):
+            if key in stored:
+                results[i] = _decode_value(stored[key])
+                done[i] = True
+                self.entries[key] = stored[key]
+                reused += 1
+        if reused:
+            obs.add("ckpt.loaded", reused)
+        return reused
+
+    def note_done(self, index: int, value: Any) -> None:
+        self.entries[self.keys[index]] = _encode_value(value)
+        self._dirty = True
+        self.maybe_save()
+
+    def maybe_save(self) -> None:
+        if self._dirty and time.monotonic() - self._last_save >= self.interval_s:
+            self.save()
+
+    def save(self) -> None:
+        """Flush buffered entries; a failing checkpoint degrades, never kills."""
+        try:
+            self.store.save(self.run_key, self.entries)
+        except Exception as e:
+            obs.add("ckpt.save_errors")
+            diag.warning("ckpt/save-failed", f"checkpoint save failed: {e!r}")
+        else:
+            self._dirty = False
+        self._last_save = time.monotonic()
+
+    def discard(self) -> None:
+        self.store.discard(self.run_key)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def _sigterm_as_interrupt():
+    """Map SIGTERM to KeyboardInterrupt for the duration of a run, so an
+    orchestrator's soft-kill flushes cache + checkpoint exactly like Ctrl-C.
+    Only touches the handler from the main thread (signal API constraint)."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+    try:
+        prev = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # exotic embedding: no signal support
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, prev)
+
+
+class _RunState:
+    """Mutable bookkeeping for one ``map_tasks`` call."""
+
+    __slots__ = ("results", "done", "pending", "ckpt", "fail_value", "degraded", "collector")
+
+    def __init__(self, n_tasks: int, ckpt: Optional[_CkptSession], fail_value: Any):
+        self.results: list[Any] = [None] * n_tasks
+        self.done: list[bool] = [False] * n_tasks
+        #: original task indices still to compute, in submission order
+        self.pending: list[int] = []
+        self.ckpt = ckpt
+        self.fail_value = fail_value
+        #: tasks filled with ``fail_value`` after retry exhaustion
+        self.degraded = 0
+        self.collector = obs.current_collector()
+
+
+class _ChunkState:
+    """Watchdog bookkeeping for one scheduled chunk."""
+
+    __slots__ = ("bounds", "attempts", "inflight", "deadline", "next_submit")
+
+    def __init__(self, bounds: tuple[int, int]):
+        self.bounds = bounds
+        self.attempts = 0  # submissions so far
+        self.inflight = None  # AsyncResult while running
+        self.deadline = float("inf")
+        self.next_submit = 0.0  # monotonic time gate (backoff)
+
+
 class DistanceEngine:
-    """Schedules bulk divergence work over workers and the persistent cache.
+    """Schedules bulk divergence work over workers, cache and checkpoints.
 
     Parameters
     ----------
@@ -123,16 +367,66 @@ class DistanceEngine:
         Tasks per scheduled chunk. Default: enough chunks for ~4 rounds
         per worker, which keeps the tail balanced without drowning the
         pipe in tiny messages.
+    chunk_timeout:
+        Per-chunk wall-clock deadline in seconds for the parallel watchdog
+        (None = no deadline). A chunk past its deadline is abandoned and
+        rescheduled; this is also how chunks lost to killed workers are
+        recovered.
+    retries:
+        Extra attempts per chunk after the first (timeouts and worker
+        exceptions both count). Retried submissions back off exponentially
+        (``backoff_s`` doubling, capped at 8s).
+    strict:
+        When True a chunk that exhausts its retries raises
+        :class:`ReproError` (fail-fast). When False (default) it degrades:
+        a ``distance/chunk-failed`` diagnostic plus ``fail_value`` for each
+        of its tasks.
+    checkpoint:
+        Optional :class:`repro.ckpt.CheckpointStore`. Active only for
+        ``map_tasks`` calls that supply per-task ``keys``.
+    resume:
+        When True, adopt completed values from an existing checkpoint of
+        the same workload before computing anything.
+    checkpoint_every:
+        Seconds between periodic checkpoint flushes.
+    backoff_s:
+        First-retry backoff delay (doubles per attempt, capped).
     """
 
-    def __init__(self, jobs: int = 1, cache=None, chunk_size: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache=None,
+        chunk_size: Optional[int] = None,
+        chunk_timeout: Optional[float] = None,
+        retries: int = 2,
+        strict: bool = False,
+        checkpoint=None,
+        resume: bool = False,
+        checkpoint_every: float = 5.0,
+        backoff_s: float = 0.25,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(f"chunk_timeout must be > 0, got {chunk_timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.jobs = jobs
         self.cache = cache
         self.chunk_size = chunk_size
+        self.chunk_timeout = chunk_timeout
+        self.retries = retries
+        self.strict = strict
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.checkpoint_every = checkpoint_every
+        self.backoff_s = backoff_s
+        #: Path of the last checkpoint saved by an interrupted run, if any —
+        #: the CLI uses it for its "resumable from ..." message.
+        self.last_checkpoint = None
 
     @contextmanager
     def _cache_installed(self):
@@ -148,50 +442,210 @@ class DistanceEngine:
             _flush_quietly(self.cache)
             set_disk_cache(prev)
 
-    def map_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+    # -- public API --------------------------------------------------------
+
+    def map_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        keys: Optional[Sequence[str]] = None,
+        fail_value: Any = float("nan"),
+    ) -> list[Any]:
         """Apply ``fn`` to every task, preserving order.
 
         ``fn`` must be pure per task — that is what makes the parallel
-        schedule value-identical to the serial one.
+        schedule value-identical to the serial one, duplicate evaluations
+        after a watchdog reschedule harmless, and checkpointed values
+        interchangeable with freshly computed ones.
+
+        ``keys`` (optional, same length as ``tasks``) are stable per-task
+        identity strings; they enable checkpoint/resume when the engine has
+        a checkpoint store attached. ``fail_value`` is substituted for each
+        task of a chunk that exhausts its retries in non-strict mode.
         """
         tasks = list(tasks)
         if not tasks:
             return []
+        if keys is not None and len(keys) != len(tasks):
+            raise ValueError(f"keys length {len(keys)} != tasks length {len(tasks)}")
         obs.add("ted.pairs", len(tasks))
-        jobs = min(self.jobs, len(tasks))
+
+        ckpt: Optional[_CkptSession] = None
+        if self.checkpoint is not None and keys is not None:
+            ckpt = _CkptSession(self.checkpoint, keys, self.checkpoint_every)
+
+        run = _RunState(len(tasks), ckpt, fail_value)
+        if ckpt is not None and self.resume:
+            ckpt.load_into(run.results, run.done)
+        run.pending = [i for i, d in enumerate(run.done) if not d]
+        if not run.pending:
+            return run.results
+
+        jobs = min(self.jobs, len(run.pending))
         if jobs > 1 and "fork" not in multiprocessing.get_all_start_methods():
             jobs = 1  # no fork (e.g. Windows): degrade to the serial path
-        with self._cache_installed():
-            if jobs == 1:
-                obs.gauge("engine.workers", 1)
-                return [fn(task) for task in tasks]
-            return self._map_parallel(fn, tasks, jobs)
+        finished = False
+        with self._cache_installed(), _sigterm_as_interrupt():
+            try:
+                if jobs == 1:
+                    self._run_serial(fn, tasks, run)
+                else:
+                    self._run_parallel(fn, tasks, run, jobs)
+                finished = True
+            except BaseException as e:
+                if ckpt is not None and ckpt.entries:
+                    ckpt.save()
+                    self.last_checkpoint = ckpt.path
+                    if isinstance(e, KeyboardInterrupt):
+                        diag.warning(
+                            "distance/interrupted",
+                            f"run interrupted; resumable from {ckpt.path} "
+                            "(re-run with --resume)",
+                        )
+                raise
+        if ckpt is not None:
+            if finished and not run.degraded:
+                # every task finished for real: the checkpoint has served
+                # its purpose and a stale file would only accumulate
+                ckpt.discard()
+            elif ckpt.entries:
+                # degraded tasks are not checkpointed, so a later --resume
+                # run retries exactly them
+                ckpt.save()
+                self.last_checkpoint = ckpt.path
+        return run.results
 
-    def _map_parallel(self, fn, tasks: list, jobs: int) -> list:
+    # -- serial ------------------------------------------------------------
+
+    def _run_serial(self, fn, tasks, run: "_RunState") -> None:
+        obs.gauge("engine.workers", 1)
+        for i in run.pending:
+            value = fn(tasks[i])
+            run.results[i] = value
+            run.done[i] = True
+            if run.ckpt is not None:
+                run.ckpt.note_done(i, value)
+
+    # -- parallel (watchdogged) --------------------------------------------
+
+    def _run_parallel(self, fn, tasks, run: "_RunState", jobs: int) -> None:
         global _STAGE
-        n = len(tasks)
+        staged = [tasks[i] for i in run.pending]
+        n = len(staged)
         size = self.chunk_size or max(1, -(-n // (jobs * 4)))
-        chunks = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+        chunks = [_ChunkState((lo, min(lo + size, n))) for lo in range(0, n, size)]
         obs.add("engine.chunks", len(chunks))
         obs.gauge("engine.workers", jobs)
         cache_root = str(self.cache.root) if self.cache is not None else None
-        _STAGE = {"fn": fn, "tasks": tasks, "cache_root": cache_root}
+        _STAGE = {"fn": fn, "tasks": staged, "cache_root": cache_root}
         ctx = multiprocessing.get_context("fork")
         try:
             with obs.span("engine.pool", jobs=jobs, chunks=len(chunks)):
                 with ctx.Pool(processes=jobs, initializer=_worker_init) as pool:
-                    chunk_results = pool.map(_run_chunk, chunks)
+                    self._drive(pool, chunks, run)
         finally:
             _STAGE = None
-        out: list = []
-        collector = obs.current_collector()
-        for results, counters in chunk_results:
-            out.extend(results)
-            if collector is not None:
-                for name, value in counters.items():
-                    collector.add(name, value)
         # Workers flushed their own pending writes; re-read shards lazily so
         # parent-side lookups see them.
         if self.cache is not None:
             self.cache.drop_loaded()
-        return out
+
+    def _drive(self, pool, chunks, run: "_RunState") -> None:
+        """Watchdog loop: async dispatch, deadlines, retries, degradation."""
+        remaining = list(chunks)
+        known_pids = _live_pids(pool)
+        while remaining:
+            now = time.monotonic()
+            remaining = [c for c in remaining if not self._step_chunk(pool, c, now, run)]
+            if run.ckpt is not None:
+                run.ckpt.maybe_save()
+            pids = _live_pids(pool)
+            vanished = known_pids - pids
+            if vanished:
+                obs.add("engine.worker_deaths", len(vanished))
+            known_pids = pids
+            if remaining:
+                time.sleep(_POLL_S)
+
+    def _step_chunk(self, pool, chunk, now, run: "_RunState") -> bool:
+        """Advance one chunk's state machine; True when it is finished."""
+        if chunk.inflight is None:
+            if now >= chunk.next_submit:
+                self._submit(pool, chunk, now)
+            return False
+        if chunk.inflight.ready():
+            try:
+                out, counters = chunk.inflight.get()
+            except Exception as e:  # worker raised (or pool lost the task)
+                return self._register_failure(chunk, now, e, run)
+            lo, hi = chunk.bounds
+            for off, value in zip(range(lo, hi), out):
+                i = run.pending[off]
+                run.results[i] = value
+                run.done[i] = True
+                if run.ckpt is not None:
+                    run.ckpt.note_done(i, value)
+            if run.collector is not None:
+                for name, value in counters.items():
+                    run.collector.add(name, value)
+            return True
+        if now > chunk.deadline:
+            obs.add("engine.chunk_timeouts")
+            lo, hi = chunk.bounds
+            err = TimeoutError(
+                f"chunk {lo}:{hi} exceeded chunk_timeout={self.chunk_timeout}s "
+                f"(attempt {chunk.attempts})"
+            )
+            return self._register_failure(chunk, now, err, run)
+        return False
+
+    def _submit(self, pool, chunk, now) -> None:
+        chunk.attempts += 1
+        # attempt is 0-based on the worker side: the chaos hook fires only
+        # on a chunk's first execution unless marked always-on
+        chunk.inflight = pool.apply_async(_run_chunk, ((chunk.bounds, chunk.attempts - 1),))
+        chunk.deadline = (
+            now + self.chunk_timeout if self.chunk_timeout is not None else float("inf")
+        )
+
+    def _register_failure(self, chunk, now, err, run: "_RunState") -> bool:
+        """Handle one failed attempt: reschedule with backoff, or degrade.
+
+        Returns True when the chunk is finished (degraded); raises in
+        strict mode once retries are exhausted. The abandoned in-flight
+        result (a hung worker may still deliver it) is dropped — ``fn`` is
+        pure, so a late duplicate could only ever carry identical values.
+        """
+        chunk.inflight = None
+        lo, hi = chunk.bounds
+        if chunk.attempts <= self.retries:
+            obs.add("engine.retries")
+            backoff = min(self.backoff_s * 2 ** (chunk.attempts - 1), _BACKOFF_CAP_S)
+            chunk.next_submit = now + backoff
+            chunk.deadline = float("inf")
+            return False
+        if self.strict:
+            raise ReproError(
+                f"distance chunk {lo}:{hi} failed after {chunk.attempts} attempt(s): {err}"
+            )
+        obs.add("engine.chunks_failed")
+        diag.error(
+            "distance/chunk-failed",
+            f"tasks {lo}:{hi} degraded to fail_value after {chunk.attempts} "
+            f"attempt(s): {err}",
+        )
+        run.degraded += hi - lo
+        for off in range(lo, hi):
+            i = run.pending[off]
+            run.results[i] = run.fail_value
+            run.done[i] = True  # degraded, but accounted for (not checkpointed)
+        return True
+
+
+def _live_pids(pool) -> set[int]:
+    """PIDs of the pool's current workers (best-effort: reads a CPython
+    implementation detail, so any surprise degrades to 'no information')."""
+    try:
+        return {p.pid for p in list(pool._pool) if p.pid is not None}
+    except Exception:
+        return set()

@@ -8,6 +8,7 @@ backtrace.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from pathlib import Path
@@ -20,11 +21,27 @@ MAGIC = b"SVALEDB\x00"
 VERSION = 1
 
 
-def write_blob(path: str | Path, obj: Any, level: int = 6) -> int:
-    """Serialise ``obj`` into the container at ``path``; returns bytes written."""
+def write_blob(path: str | Path, obj: Any, level: int = 6, atomic: bool = False) -> int:
+    """Serialise ``obj`` into the container at ``path``; returns bytes written.
+
+    With ``atomic=True`` the container is written to a unique sibling temp
+    file and ``os.replace``d into place, so concurrent readers (and a run
+    killed mid-write) only ever observe a complete old or new file — the
+    durability contract the TED cache shards and ``repro.ckpt`` checkpoints
+    rely on.
+    """
     payload = zlib.compress(pack(obj), level)
     data = MAGIC + bytes([VERSION]) + struct.pack(">I", len(payload)) + payload
-    Path(path).write_bytes(data)
+    target = Path(path)
+    if atomic:
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+    else:
+        target.write_bytes(data)
     return len(data)
 
 

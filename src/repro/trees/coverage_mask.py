@@ -47,6 +47,22 @@ class LineMask:
             merged.setdefault(f, set()).update(ls)
         return LineMask(merged, self.unknown_covered or other.unknown_covered)
 
+    def digest(self) -> str:
+        """Stable content hash of the mask (checkpoint/cache fingerprints:
+        coverage-filtered metrics change whenever the executed-line sets
+        change, so the mask must be part of any persisted-result key)."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(b"1" if self.unknown_covered else b"0")
+        for f in sorted(self._lines):
+            h.update(b"\x00")
+            h.update(f.encode())
+            for ln in sorted(self._lines[f]):
+                h.update(b"\x01")
+                h.update(str(ln).encode())
+        return h.hexdigest()[:16]
+
 
 def mask_tree(root: Node, mask: LineMask) -> Optional[Node]:
     """Prune subtrees whose spans never executed.

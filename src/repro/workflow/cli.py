@@ -19,7 +19,14 @@ JSON — load in ``chrome://tracing`` / Perfetto) and ``--metrics-out FILE``
 Matrix-sweeping subcommands additionally accept ``--jobs N`` (parallel
 distance engine; default serial), ``--cache-dir DIR`` (persistent TED cache,
 also settable via ``REPRO_CACHE_DIR``) and ``--no-cache`` (ignore any
-configured cache for this run).
+configured cache for this run), plus the fault-tolerance options:
+``--chunk-timeout S`` (watchdog deadline per scheduled chunk),
+``--retries N`` (rescheduling budget for timed-out/crashed chunks),
+``--checkpoint-dir DIR`` (periodic atomic partial-matrix checkpoints, also
+settable via ``REPRO_CKPT_DIR``) and ``--resume`` (adopt a previous
+interrupted run's checkpoint and recompute only unfinished work). An
+interrupted run (Ctrl-C or SIGTERM) terminates its workers, flushes cache
+and checkpoint, and names the resumable checkpoint on stderr.
 
 Error handling: indexing subcommands run with recovering frontends by
 default — damaged units are quarantined, the run completes, and the
@@ -38,6 +45,7 @@ from repro import diag, obs
 from repro.analysis.cluster import cluster_codebases
 from repro.analysis.heatmap import HEATMAP_SPECS, divergence_heatmap
 from repro.cache import TedCacheStore
+from repro.ckpt import CheckpointStore, resolve_checkpoint_dir
 from repro.corpus import APPS, app_models, index_app, index_model
 from repro.distance.engine import DistanceEngine
 from repro.distance.ted import cache_stats
@@ -79,10 +87,30 @@ def _cache_dir_from_args(args: argparse.Namespace) -> str | None:
     return getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR") or None
 
 
+def _checkpoint_from_args(args: argparse.Namespace):
+    """Build the checkpoint store when checkpointing is requested:
+    ``--checkpoint-dir`` beats ``REPRO_CKPT_DIR``; bare ``--resume`` uses
+    the conventional local directory."""
+    ckpt_dir = resolve_checkpoint_dir(
+        explicit=getattr(args, "checkpoint_dir", None),
+        env=os.environ.get("REPRO_CKPT_DIR"),
+        resume=getattr(args, "resume", False),
+    )
+    return CheckpointStore(ckpt_dir) if ckpt_dir else None
+
+
 def _engine_from_args(args: argparse.Namespace) -> DistanceEngine:
     cache_dir = _cache_dir_from_args(args)
     cache = TedCacheStore(cache_dir) if cache_dir else None
-    return DistanceEngine(jobs=getattr(args, "jobs", 1), cache=cache)
+    return DistanceEngine(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        chunk_timeout=getattr(args, "chunk_timeout", None),
+        retries=getattr(args, "retries", 2),
+        strict=getattr(args, "strict", False),
+        checkpoint=_checkpoint_from_args(args),
+        resume=getattr(args, "resume", False),
+    )
 
 
 def cmd_apps(args: argparse.Namespace) -> int:
@@ -322,6 +350,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore any configured persistent TED cache for this run",
     )
+    gf = eng.add_argument_group("fault tolerance")
+    gf.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="watchdog wall-clock deadline per scheduled chunk in seconds "
+        "(default: none); timed-out chunks are rescheduled on other workers",
+    )
+    gf.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts per chunk after a timeout or worker crash "
+        "(default: 2); an exhausted chunk degrades to NaN cells unless --strict",
+    )
+    gf.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write periodic partial-matrix checkpoints to this directory "
+        "(default: $REPRO_CKPT_DIR if set)",
+    )
+    gf.add_argument(
+        "--resume",
+        action="store_true",
+        help="adopt a matching checkpoint from a previous interrupted run and "
+        "recompute only unfinished work",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     pa = sub.add_parser("apps", help="list corpus apps and models", parents=[prof])
@@ -448,6 +505,12 @@ def main(argv: list[str] | None = None) -> int:
         # abort with a distinct exit status; quarantined runs return 0 above
         print(f"error: {e}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # engine runs already terminated their pool and flushed cache +
+        # checkpoint; the distance/interrupted diagnostic above names the
+        # resumable checkpoint file when one was written
+        print("interrupted: re-run with --resume to continue", file=sys.stderr)
+        return 130
     return rc
 
 

@@ -8,6 +8,7 @@ rows (Figs. 7–10).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -15,7 +16,12 @@ import numpy as np
 
 from repro import obs
 from repro.distance.engine import DistanceEngine
+from repro.trees.hashing import structural_hash
 from repro.workflow.codebase import IndexedCodebase
+
+#: NaN pair used when a chunk of pair evaluations exhausts its retries in
+#: non-strict mode — the matrix keeps its shape, the cells are honest holes.
+_NAN_PAIR = (float("nan"), float("nan"))
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,89 @@ def _pair_task(
     return divergence(a, b, spec), divergence(b, a, spec)
 
 
+# ---------------------------------------------------------------------------
+# Task identity (checkpoint/resume keys)
+# ---------------------------------------------------------------------------
+
+
+def _tree_hash(t) -> str:
+    """Structural hash with the same root-attr memo the TED layer uses."""
+    h = t.attrs.get("_shash")
+    if h is None:
+        h = structural_hash(t)
+        t.attrs["_shash"] = h
+    return h
+
+
+def codebase_fingerprint(cb: IndexedCodebase, spec: MetricSpec) -> str:
+    """Stable content identity of one codebase *as this spec compares it*.
+
+    Digest over every representation a divergence evaluation can read:
+    per-unit structural hashes of all five trees plus the line/source
+    summaries, and — when the spec is coverage-filtered — the executed-line
+    mask. Any reindex that changes a compared tree, a line count or the
+    coverage data changes the fingerprint, which is what makes checkpoints
+    keyed by these fingerprints self-invalidating (same contract as the TED
+    cache's structural-hash keys; see DESIGN.md).
+
+    Fingerprints are memoised per (codebase, coverage-flag): the trees are
+    frozen once indexed, exactly like the TED layer assumes.
+    """
+    memo = getattr(cb, "_fingerprints", None)
+    if memo is None:
+        memo = {}
+        cb._fingerprints = memo
+    cached = memo.get(spec.coverage)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(f"{cb.app}/{cb.model}".encode())
+    for role in cb.roles():
+        u = cb.units[role]
+        h.update(b"\x00")
+        h.update(role.encode())
+        h.update(b"1" if u.degraded else b"0")
+        for t in (u.t_src_pre, u.t_src_post, u.t_sem, u.t_sem_inlined, u.t_ir):
+            h.update(b"\x01")
+            h.update(_tree_hash(t).encode() if t is not None else b"-")
+        for lines in (u.sig_lines_pre, u.sig_lines_post):
+            for f in sorted(lines):
+                h.update(f.encode())
+                h.update(str(sorted(lines[f])).encode())
+        h.update(str(sorted(u.lloc_pre.items())).encode())
+        h.update(str(sorted(u.lloc_post.items())).encode())
+        for src in (u.source_lines_pre, u.source_lines_post):
+            for line in src:
+                h.update(b"\x02")
+                h.update(line.encode())
+    if spec.coverage:
+        mask = cb.mask()
+        h.update(b"\x03")
+        h.update(mask.digest().encode() if mask is not None else b"-")
+    fp = h.hexdigest()[:16]
+    memo[spec.coverage] = fp
+    return fp
+
+
+def directed_task_key(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> str:
+    """Checkpoint key of one directed divergence evaluation (a → b)."""
+    fa = codebase_fingerprint(a, spec)
+    fb = codebase_fingerprint(b, spec)
+    return f"dir:{spec.label}:{fa}:{fb}"
+
+
+def pair_task_key(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> str:
+    """Checkpoint key of one unordered pair evaluation (both directions).
+
+    Sorted like the TED cache's pair keys: the pair is one unit of work
+    regardless of orientation.
+    """
+    fa = codebase_fingerprint(a, spec)
+    fb = codebase_fingerprint(b, spec)
+    lo, hi = (fa, fb) if fa <= fb else (fb, fa)
+    return f"pair:{spec.label}:{lo}:{hi}"
+
+
 def divergence_row(
     base: IndexedCodebase,
     others: Sequence[IndexedCodebase],
@@ -114,7 +203,11 @@ def divergence_row(
 ) -> dict[str, float]:
     """Divergence of every model from ``base`` (one heatmap row)."""
     eng = engine if engine is not None else DistanceEngine()
-    values = eng.map_tasks(divergence_task, [(base, cb, spec) for cb in others])
+    values = eng.map_tasks(
+        divergence_task,
+        [(base, cb, spec) for cb in others],
+        keys=[directed_task_key(base, cb, spec) for cb in others],
+    )
     return {cb.model: v for cb, v in zip(others, values)}
 
 
@@ -142,7 +235,9 @@ def divergence_matrix(
     pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
     with obs.span("compare.matrix", metric=spec.label, models=n, jobs=eng.jobs):
         tasks = [(codebases[i], codebases[j], spec) for i, j in pairs]
-        for (i, j), (d_ij, d_ji) in zip(pairs, eng.map_tasks(_pair_task, tasks)):
+        keys = [pair_task_key(codebases[i], codebases[j], spec) for i, j in pairs]
+        values = eng.map_tasks(_pair_task, tasks, keys=keys, fail_value=_NAN_PAIR)
+        for (i, j), (d_ij, d_ji) in zip(pairs, values):
             m[i, j] = d_ij
             m[j, i] = d_ji
         obs.add("compare.pairs", n * (n - 1))

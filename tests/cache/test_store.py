@@ -142,6 +142,58 @@ class TestVersionInvalidation:
         assert fresh.read_shard("aa") == {pair_key(H1, H2): 4.0}  # v0 entry gone
 
 
+class TestFlushQuietly:
+    """Regression: a corrupted pending-write buffer raises a serializer
+    error (SerdeError/ValueError), not OSError — the engine's quiet flush
+    must swallow it with a ``cache/flush-failed`` diagnostic instead of
+    letting it kill the run at exit."""
+
+    def _poisoned_store(self, tmp_path):
+        store = TedCacheStore(tmp_path)
+        store.record(H1, H2, 1.0)
+        # simulate in-memory corruption: an unpackable object in the buffer
+        store._pending["aa"][pair_key(H1, H2)] = object()
+        return store
+
+    def test_poisoned_buffer_raises_from_flush(self, tmp_path):
+        with pytest.raises(SerdeError, match="cannot pack"):
+            self._poisoned_store(tmp_path).flush()
+
+    def test_engine_flush_quietly_degrades_with_diagnostic(self, tmp_path):
+        from repro import diag
+        from repro.distance.engine import _flush_quietly
+
+        store = self._poisoned_store(tmp_path)
+        with diag.capture() as sink, obs.collect() as col:
+            _flush_quietly(store)  # must not raise
+        assert col.counters["cache.disk.flush_errors"] == 1
+        assert sink.by_code() == {"cache/flush-failed": 1}
+
+    def test_oserror_still_degrades(self, tmp_path, monkeypatch):
+        from repro import diag
+        from repro.distance.engine import _flush_quietly
+
+        store = TedCacheStore(tmp_path)
+        store.record(H1, H2, 1.0)
+        monkeypatch.setattr(
+            store, "flush", lambda: (_ for _ in ()).throw(OSError("disk full"))
+        )
+        with diag.capture() as sink, obs.collect() as col:
+            _flush_quietly(store)
+        assert col.counters["cache.disk.flush_errors"] == 1
+        assert sink.by_code() == {"cache/flush-failed": 1}
+
+    def test_keyboard_interrupt_not_swallowed(self, tmp_path, monkeypatch):
+        from repro.distance.engine import _flush_quietly
+
+        store = TedCacheStore(tmp_path)
+        monkeypatch.setattr(
+            store, "flush", lambda: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+        with pytest.raises(KeyboardInterrupt):
+            _flush_quietly(store)
+
+
 def _writer(root: str, writer_id: int, n: int) -> None:
     store = TedCacheStore(root)
     for j in range(n):

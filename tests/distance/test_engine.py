@@ -1,10 +1,14 @@
-"""DistanceEngine scheduling: serial/parallel equivalence and counters."""
+"""DistanceEngine scheduling: serial/parallel equivalence, counters,
+checkpoint/resume, and the worker-init degrade path."""
 
 import numpy as np
 import pytest
 
 from repro import obs
-from repro.distance.engine import DistanceEngine
+from repro.ckpt import CheckpointStore
+from repro.distance import engine as engine_mod
+from repro.distance.engine import DistanceEngine, _run_chunk, _worker_init
+from repro.distance.ted import get_disk_cache, set_disk_cache
 from repro.trees import from_sexpr
 
 
@@ -76,3 +80,153 @@ class TestCounters:
             DistanceEngine(jobs=2, chunk_size=4).map_tasks(_ted_task, tasks)
         # the DP ran somewhere (workers), and the deltas were merged here
         assert col.counters.get("ted.zs.calls", 0) > 0
+
+
+TASKS = list(range(10))
+KEYS = [f"task:{i}" for i in TASKS]
+EXPECTED = [x * x for x in TASKS]
+
+
+class TestCheckpointResume:
+    def test_completed_run_discards_checkpoint(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        eng = DistanceEngine(checkpoint=store)
+        assert eng.map_tasks(_square, TASKS, keys=KEYS) == EXPECTED
+        assert store.run_keys() == []  # nothing left to resume
+
+    def test_interrupt_saves_checkpoint_and_resume_skips_done(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        calls = {"n": 0}
+
+        def flaky(task):
+            if calls["n"] >= 4:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return task * task
+
+        eng = DistanceEngine(checkpoint=store, checkpoint_every=0.0)
+        with pytest.raises(KeyboardInterrupt):
+            eng.map_tasks(flaky, TASKS, keys=KEYS)
+        assert eng.last_checkpoint is not None and eng.last_checkpoint.exists()
+
+        resumed_calls = {"n": 0}
+
+        def counting(task):
+            resumed_calls["n"] += 1
+            return task * task
+
+        with obs.collect() as col:
+            out = DistanceEngine(checkpoint=store, resume=True).map_tasks(
+                counting, TASKS, keys=KEYS
+            )
+        assert out == EXPECTED
+        assert resumed_calls["n"] == len(TASKS) - 4  # only unfinished work
+        assert col.counters["ckpt.loaded"] == 4
+        assert store.run_keys() == []  # completed resume cleans up
+
+    def test_interrupt_emits_resumable_diagnostic(self, tmp_path):
+        from repro import diag
+
+        def boom(task):
+            if task >= 3:
+                raise KeyboardInterrupt
+            return task
+
+        with diag.capture() as sink:
+            with pytest.raises(KeyboardInterrupt):
+                DistanceEngine(checkpoint=CheckpointStore(tmp_path)).map_tasks(
+                    boom, TASKS, keys=KEYS
+                )
+        codes = sink.by_code()
+        assert codes.get("distance/interrupted") == 1
+        assert "resumable from" in sink.diagnostics[0].message
+
+    def test_resume_without_checkpoint_computes_everything(self, tmp_path):
+        with obs.collect() as col:
+            out = DistanceEngine(
+                checkpoint=CheckpointStore(tmp_path), resume=True
+            ).map_tasks(_square, TASKS, keys=KEYS)
+        assert out == EXPECTED
+        assert "ckpt.loaded" not in col.counters
+
+    def test_parallel_run_checkpoints_and_resumes(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        eng = DistanceEngine(jobs=2, chunk_size=3, checkpoint=store, checkpoint_every=0.0)
+        assert eng.map_tasks(_square, TASKS, keys=KEYS) == EXPECTED
+
+        # simulate a torn run: seed a partial checkpoint, then resume parallel
+        from repro.ckpt import run_key_for
+
+        store.save(run_key_for(KEYS), {KEYS[i]: float(EXPECTED[i]) for i in range(6)})
+        with obs.collect() as col:
+            out = DistanceEngine(
+                jobs=2, chunk_size=2, checkpoint=store, resume=True
+            ).map_tasks(_square, TASKS, keys=KEYS)
+        assert out == EXPECTED
+        assert col.counters["ckpt.loaded"] == 6
+        assert col.counters["engine.chunks"] == 2  # only 4 pending tasks scheduled
+
+    def test_tuple_values_roundtrip_through_checkpoint(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+
+        def both(task):
+            return (float(task), float(task * task))
+
+        keys = KEYS[:4]
+        from repro.ckpt import run_key_for
+
+        store.save(run_key_for(keys), {keys[0]: [0.0, 0.0]})
+        out = DistanceEngine(checkpoint=store, resume=True).map_tasks(
+            both, TASKS[:4], keys=keys
+        )
+        assert out == [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]
+
+    def test_no_keys_means_no_checkpointing(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        DistanceEngine(checkpoint=store).map_tasks(_square, TASKS)
+        assert store.run_keys() == []
+
+
+class TestWorkerInitDegrade:
+    """Direct coverage of the `_worker_init` degrade path: a broken stage or
+    cache must leave the worker cache-off and flagged, never raise."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_state(self):
+        prev_stage = engine_mod._STAGE
+        prev_cache = get_disk_cache()
+        yield
+        engine_mod._STAGE = prev_stage
+        engine_mod._INIT_FAILED = False
+        set_disk_cache(prev_cache)
+
+    def test_missing_stage_degrades_and_flags(self):
+        engine_mod._STAGE = None
+        _worker_init()
+        assert engine_mod._INIT_FAILED is True
+        assert get_disk_cache() is None
+
+    def test_unusable_cache_root_degrades_and_flags(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file where the cache dir should be")
+        engine_mod._STAGE = {
+            "fn": _square,
+            "tasks": TASKS,
+            "cache_root": str(blocker / "cache"),
+        }
+        _worker_init()
+        assert engine_mod._INIT_FAILED is True
+        assert get_disk_cache() is None
+
+    def test_healthy_init_without_cache(self):
+        engine_mod._STAGE = {"fn": _square, "tasks": TASKS, "cache_root": None}
+        _worker_init()
+        assert engine_mod._INIT_FAILED is False
+
+    def test_degraded_worker_counts_in_next_chunk(self):
+        engine_mod._STAGE = None
+        _worker_init()  # sets _INIT_FAILED
+        engine_mod._STAGE = {"fn": _square, "tasks": TASKS, "cache_root": None}
+        out, counters = _run_chunk(((0, 3), 0))
+        assert out == [0, 1, 4]
+        assert counters["engine.worker_init_errors"] == 1

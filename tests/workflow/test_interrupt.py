@@ -1,0 +1,130 @@
+"""Interrupting a live engine run must leave no zombie workers, flush the
+checkpoint, and leave the workload resumable.
+
+The interrupt test drives a real subprocess and sends it SIGINT mid-pool —
+the regression it pins: KeyboardInterrupt during the pool phase used to
+leave live fork workers behind and lose all progress.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.ckpt import CheckpointStore, run_key_for
+from repro.distance.engine import DistanceEngine
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+N_TASKS = 200
+KEYS = [f"k{i}" for i in range(N_TASKS)]
+
+_SCRIPT = textwrap.dedent(
+    """
+    import sys, time
+    sys.path.insert(0, {src!r})
+    from repro.ckpt import CheckpointStore
+    from repro.distance.engine import DistanceEngine
+
+    def slow(task):
+        time.sleep(0.1)
+        return task * 2.0
+
+    tasks = list(range({n}))
+    keys = ["k%d" % i for i in range({n})]
+    store = CheckpointStore({ckpt!r})
+    eng = DistanceEngine(jobs=2, chunk_size=1, checkpoint=store, checkpoint_every=0.05)
+    print("WORKERS-UP", flush=True)
+    try:
+        eng.map_tasks(slow, tasks, keys=keys)
+    except KeyboardInterrupt:
+        # the engine has already terminated the pool and flushed the
+        # checkpoint before re-raising; report our own pool children
+        import multiprocessing
+        print("LIVE-CHILDREN %d" % len(multiprocessing.active_children()), flush=True)
+        print("INTERRUPTED", flush=True)
+        sys.exit(130)
+    sys.exit(0)
+    """
+)
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals required")
+class TestSigintDuringPoolPhase:
+    def test_sigint_flushes_checkpoint_and_is_resumable(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        script = _SCRIPT.format(src=SRC, n=N_TASKS, ckpt=str(ckpt_dir))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # wait until the run has made checkpointed progress, then Ctrl-C it
+            deadline = time.monotonic() + 30
+            store = CheckpointStore(ckpt_dir)
+            while time.monotonic() < deadline and not store.run_keys():
+                time.sleep(0.05)
+                if proc.poll() is not None:
+                    break
+            assert store.run_keys(), "run never checkpointed before finishing"
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, f"stdout={out!r} stderr={err!r}"
+        assert "INTERRUPTED" in out
+        # the pool was terminated before the engine re-raised
+        assert "LIVE-CHILDREN 0" in out, out
+
+        entries = store.load(run_key_for(KEYS))
+        assert 0 < len(entries) < N_TASKS  # partial progress persisted
+
+        # the interrupted workload resumes, recomputing only unfinished tasks
+        computed = {"n": 0}
+
+        def fast(task):
+            computed["n"] += 1
+            return task * 2.0
+
+        out_values = DistanceEngine(
+            checkpoint=CheckpointStore(ckpt_dir), resume=True
+        ).map_tasks(fast, list(range(N_TASKS)), keys=KEYS)
+        assert out_values == [t * 2.0 for t in range(N_TASKS)]
+        assert computed["n"] == N_TASKS - len(entries)
+
+    def test_sigterm_behaves_like_sigint(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        script = _SCRIPT.format(src=SRC, n=N_TASKS, ckpt=str(ckpt_dir))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            store = CheckpointStore(ckpt_dir)
+            while time.monotonic() < deadline and not store.run_keys():
+                time.sleep(0.05)
+                if proc.poll() is not None:
+                    break
+            assert store.run_keys(), "run never checkpointed before finishing"
+            os.kill(proc.pid, signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        # the engine maps SIGTERM to KeyboardInterrupt during the run
+        assert proc.returncode == 130, f"stdout={out!r} stderr={err!r}"
+        assert "INTERRUPTED" in out
+        assert store.load(run_key_for(KEYS))
