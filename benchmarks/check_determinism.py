@@ -9,7 +9,10 @@ Asserts, on a small fixed TeaLeaf workload, that
    one — the cache round-trip loses nothing;
 3. a run killed halfway and resumed from its checkpoint produces the same
    matrix while recomputing only the unfinished pairs — resume must neither
-   lose work nor redo it.
+   lose work nor redo it;
+4. an incremental re-index from unit artifacts yields a bit-identical
+   Codebase DB with zero frontend invocations, and touching one source file
+   re-fronts exactly that one unit.
 
 Usage: PYTHONPATH=src python benchmarks/check_determinism.py
 """
@@ -28,7 +31,11 @@ from repro.ckpt import CheckpointStore
 from repro.corpus import index_app
 from repro.distance.engine import DistanceEngine
 from repro.distance.ted import clear_ted_cache
+from repro.corpus.registry import app_models, build_fs, get_spec
+from repro.workflow.codebasedb import save_codebase_db
 from repro.workflow.comparer import MetricSpec, divergence_matrix
+from repro.workflow.indexer import index_codebase
+from repro.workflow.unitstore import UnitArtifactStore
 
 N_MODELS = 4
 SPEC = MetricSpec("Tsem")
@@ -108,6 +115,48 @@ def check_resume(codebases, serial: np.ndarray, failures: list[str]) -> None:
             )
 
 
+def check_incremental(failures: list[str]) -> None:
+    models = app_models("tealeaf")[:2]
+
+    def index_all(store, touch: str | None = None):
+        dbs = {}
+        with obs.collect() as col:
+            for model in models:
+                spec = get_spec("tealeaf", model)
+                fs = build_fs("tealeaf", model)
+                if model == touch:
+                    main = spec.units["main"]
+                    fs.files[main] = fs.files[main] + "// determinism touch\n"
+                cb = index_codebase(spec, fs, run_coverage=True, artifacts=store)
+                with tempfile.NamedTemporaryFile(suffix=".svdb") as tmp:
+                    save_codebase_db(cb, tmp.name)
+                    dbs[model] = Path(tmp.name).read_bytes()
+        return dbs, col.counters
+
+    before = len(failures)
+    with tempfile.TemporaryDirectory(prefix="svc-det-incr-") as tmp:
+        store = UnitArtifactStore(Path(tmp) / "artifacts")
+        cold_dbs, _ = index_all(store)
+        warm_dbs, warm = index_all(store)
+        if warm.get("index.units", 0) != 0:
+            failures.append(
+                f"warm re-index invoked frontends for {warm['index.units']:g} units (want 0)"
+            )
+        if warm_dbs != cold_dbs:
+            failures.append("warm re-index DB not bit-identical to cold index")
+        _, touched = index_all(store, touch=models[0])
+        if touched.get("index.units", 0) != 1 or touched.get("index.unit.miss", 0) != 1:
+            failures.append(
+                f"touching one file re-fronted {touched.get('index.units', 0):g} units "
+                "(want exactly 1)"
+            )
+    if len(failures) == before:
+        print(
+            "ok: incremental re-index bit-identical with zero frontend calls, "
+            "touch-one re-fronts exactly one unit"
+        )
+
+
 def main() -> int:
     cbs = index_app("tealeaf", coverage=True)
     names = list(cbs)[:N_MODELS]
@@ -137,6 +186,7 @@ def main() -> int:
             failures.append("cache round-trip matrix differs from direct computation")
 
     check_resume(codebases, serial, failures)
+    check_incremental(failures)
 
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)

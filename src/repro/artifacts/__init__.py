@@ -1,0 +1,15 @@
+"""Generic content-addressed artifact store (namespaces over one layout)."""
+
+from repro.artifacts.store import (
+    ArtifactStore,
+    BlobStore,
+    ShardMapStore,
+    scan_namespaces,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "BlobStore",
+    "ShardMapStore",
+    "scan_namespaces",
+]

@@ -18,27 +18,22 @@ in the payload ``schema`` version; either mismatching invalidates the entry.
 
 Layout
 ------
-``root/`` holds up to 256 shard files named ``ted-<xx>.svc`` (``xx`` = first
-two hex digits of the smaller hash). Each shard is a standard ``SVALEDB``
-container (:mod:`repro.serde.container`) whose payload is::
+The store is the ``ted`` namespace of the generic artifact layer
+(:class:`repro.artifacts.ShardMapStore`): up to 256 shard files named
+``ted-<xx>.svc`` (``xx`` = first two hex digits of the smaller hash), each a
+standard ``SVALEDB`` container whose payload is::
 
     {"schema": "repro.cache/v1", "keyspec": KEY_SPEC, "entries": {key: d}}
 
-Writes are buffered in memory and flushed with read-merge-replace: the shard
-is re-read, merged with the pending entries, written to a unique temp file
-and ``os.replace``d into place. Concurrent writers can lose each other's
-*entries* (last merge wins — it is a cache) but can never corrupt a shard.
+Sharding, pending-write buffering, atomic read-merge-replace flushes and
+the strict/lenient read split all live in the artifact layer.
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
-from typing import Iterator, Optional
+from typing import Optional
 
-from repro import obs
-from repro.serde.container import read_blob, write_blob
-from repro.util.errors import SerdeError
+from repro.artifacts import ShardMapStore
 
 #: Payload schema version; bump when the entry layout changes. Old shards
 #: are silently invalidated (treated as empty) on the lenient read path.
@@ -47,9 +42,6 @@ SCHEMA = "repro.cache/v1"
 #: What the structural hashes cannot encode: the cost model and the kernel
 #: family whose distances the entries hold. Part of the stable key contract.
 KEY_SPEC = "ted:unit:zs"
-
-_SHARD_PREFIX = "ted-"
-_SHARD_SUFFIX = ".svc"
 
 
 def pair_key(h1: str, h2: str) -> str:
@@ -62,159 +54,23 @@ def pair_key(h1: str, h2: str) -> str:
 
 
 def _shard_id(key: str) -> str:
-    return key[:2]
+    return ShardMapStore.shard_of(key)
 
 
-class TedCacheStore:
+class TedCacheStore(ShardMapStore):
     """On-disk memo of unit-cost TED distances, sharded by hash prefix."""
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        #: shard id -> entries loaded from disk (lenient reads)
-        self._loaded: dict[str, dict[str, float]] = {}
-        #: shard id -> entries recorded this run, not yet flushed
-        self._pending: dict[str, dict[str, float]] = {}
-
-    # -- paths -------------------------------------------------------------
-
-    def shard_path(self, shard: str) -> Path:
-        return self.root / f"{_SHARD_PREFIX}{shard}{_SHARD_SUFFIX}"
-
-    def _shard_ids_on_disk(self) -> list[str]:
-        out = []
-        for p in sorted(self.root.glob(f"{_SHARD_PREFIX}??{_SHARD_SUFFIX}")):
-            out.append(p.name[len(_SHARD_PREFIX) : -len(_SHARD_SUFFIX)])
-        return out
-
-    # -- reading -----------------------------------------------------------
-
-    def read_shard(self, shard: str) -> dict[str, float]:
-        """Entries of one shard file, *strict*: a corrupt or foreign file, a
-        container-version bump, or a schema/keyspec mismatch raises a clear
-        :class:`SerdeError` instead of returning partial data.
-        """
-        path = self.shard_path(shard)
-        payload = read_blob(path)  # raises SerdeError on foreign/corrupt
-        if not isinstance(payload, dict) or "schema" not in payload:
-            raise SerdeError(f"{path}: not a TED cache shard")
-        if payload.get("schema") != SCHEMA:
-            raise SerdeError(
-                f"{path}: cache schema {payload.get('schema')!r} != {SCHEMA!r}"
-            )
-        if payload.get("keyspec") != KEY_SPEC:
-            raise SerdeError(
-                f"{path}: cache keyspec {payload.get('keyspec')!r} != {KEY_SPEC!r}"
-            )
-        entries = payload.get("entries")
-        if not isinstance(entries, dict):
-            raise SerdeError(f"{path}: malformed cache entries")
-        return entries
-
-    def _load(self, shard: str) -> dict[str, float]:
-        """Lenient shard load used on the hot path: anything unreadable
-        (corrupt, foreign, stale schema) counts as ``cache.disk.invalid``
-        and behaves as an empty shard — the engine recomputes and the next
-        flush rewrites the shard in the current format.
-        """
-        cached = self._loaded.get(shard)
-        if cached is not None:
-            return cached
-        entries: dict[str, float] = {}
-        if self.shard_path(shard).exists():
-            try:
-                entries = self.read_shard(shard)
-            except SerdeError:
-                obs.add("cache.disk.invalid")
-        self._loaded[shard] = entries
-        return entries
+    NAMESPACE = "ted"
+    SCHEMA = SCHEMA
+    KEY_SPEC = KEY_SPEC
+    DESCRIPTION = "TED cache shard"
+    KIND = "cache"
+    INVALID_COUNTER = "cache.disk.invalid"
 
     def lookup(self, h1: str, h2: str) -> Optional[float]:
         """Stored distance for the pair, or ``None`` on a miss."""
-        key = pair_key(h1, h2)
-        shard = _shard_id(key)
-        pending = self._pending.get(shard)
-        if pending is not None and key in pending:
-            return pending[key]
-        return self._load(shard).get(key)
-
-    # -- writing -----------------------------------------------------------
+        return self.get(pair_key(h1, h2))
 
     def record(self, h1: str, h2: str, distance: float) -> None:
         """Buffer one distance for the next :meth:`flush`."""
-        key = pair_key(h1, h2)
-        self._pending.setdefault(_shard_id(key), {})[key] = float(distance)
-
-    def flush(self) -> int:
-        """Write pending entries to disk; returns the number written.
-
-        Each dirty shard is re-read (picking up entries other processes
-        flushed meanwhile), merged, and atomically replaced.
-        """
-        written = 0
-        for shard, pending in sorted(self._pending.items()):
-            self._loaded.pop(shard, None)  # re-read: another writer may have run
-            entries = dict(self._load(shard))
-            entries.update(pending)
-            payload = {"schema": SCHEMA, "keyspec": KEY_SPEC, "entries": entries}
-            tmp = self.root / f".{_SHARD_PREFIX}{shard}.{os.getpid()}.tmp"
-            write_blob(tmp, payload)
-            os.replace(tmp, self.shard_path(shard))
-            self._loaded[shard] = entries
-            written += len(pending)
-        self._pending.clear()
-        return written
-
-    def drop_loaded(self) -> None:
-        """Forget in-memory shard snapshots so the next lookup re-reads disk
-        (used after other processes may have flushed new entries)."""
-        self._loaded.clear()
-
-    # -- maintenance -------------------------------------------------------
-
-    def __len__(self) -> int:
-        ids = set(self._shard_ids_on_disk()) | set(self._pending)
-        total = 0
-        for shard in ids:
-            keys = set(self._load(shard))
-            keys.update(self._pending.get(shard, ()))
-            total += len(keys)
-        return total
-
-    def iter_entries(self) -> Iterator[tuple[str, float]]:
-        """All (key, distance) pairs currently on disk (lenient)."""
-        for shard in self._shard_ids_on_disk():
-            yield from self._load(shard).items()
-
-    def stats(self) -> dict:
-        """Store summary for ``silvervale cache stats`` (strict per shard:
-        unreadable shards are reported, not hidden)."""
-        shards = self._shard_ids_on_disk()
-        entries = 0
-        size_bytes = 0
-        invalid: list[str] = []
-        for shard in shards:
-            size_bytes += self.shard_path(shard).stat().st_size
-            try:
-                entries += len(self.read_shard(shard))
-            except SerdeError:
-                invalid.append(shard)
-        return {
-            "root": str(self.root),
-            "schema": SCHEMA,
-            "keyspec": KEY_SPEC,
-            "shards": len(shards),
-            "entries": entries,
-            "bytes": size_bytes,
-            "invalid_shards": invalid,
-        }
-
-    def clear(self) -> int:
-        """Delete every shard file; returns the number removed."""
-        removed = 0
-        for shard in self._shard_ids_on_disk():
-            self.shard_path(shard).unlink(missing_ok=True)
-            removed += 1
-        self._loaded.clear()
-        self._pending.clear()
-        return removed
+        self.put(pair_key(h1, h2), float(distance))

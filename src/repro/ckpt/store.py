@@ -9,13 +9,14 @@ stopped instead of starting over.
 Checkpoint format + invalidation contract (pinned in DESIGN.md)
 ---------------------------------------------------------------
 One checkpoint file per *run*, named ``ckpt-<run-key>.svc`` under the
-checkpoint root. The run key is a SHA-256 digest over the keyspec and the
-ordered task-key list of the workload (:func:`run_key_for`); each task key
-embeds the structural-hash fingerprints of the compared codebases — the
-same hashes that key the TED cache — so any change to the compared trees,
-the metric spec, the coverage mask or the task list changes the run key and
-the stale checkpoint is simply never found. The payload is a standard
-``SVALEDB`` container::
+checkpoint root — the ``ckpt`` namespace of the generic artifact layer
+(:class:`repro.artifacts.BlobStore`). The run key is a SHA-256 digest over
+the keyspec and the ordered task-key list of the workload
+(:func:`run_key_for`); each task key embeds the structural-hash
+fingerprints of the compared codebases — the same hashes that key the TED
+cache — so any change to the compared trees, the metric spec, the coverage
+mask or the task list changes the run key and the stale checkpoint is
+simply never found. The payload is a standard ``SVALEDB`` container::
 
     {"schema": "repro.ckpt/v1", "keyspec": KEY_SPEC,
      "run": <run-key>, "entries": {task_key: value}}
@@ -31,12 +32,9 @@ checkpoint intact.
 from __future__ import annotations
 
 import hashlib
-from pathlib import Path
 from typing import Optional, Sequence
 
-from repro import obs
-from repro.serde.container import read_blob, write_blob
-from repro.util.errors import SerdeError
+from repro.artifacts import BlobStore
 
 #: Payload schema version; bump when the entry layout changes.
 SCHEMA = "repro.ckpt/v1"
@@ -44,9 +42,6 @@ SCHEMA = "repro.ckpt/v1"
 #: What the task keys cannot encode: the divergence semantics the stored
 #: values were computed under. Bump to invalidate every existing checkpoint.
 KEY_SPEC = "div:structhash:v1"
-
-_CKPT_PREFIX = "ckpt-"
-_CKPT_SUFFIX = ".svc"
 
 
 def run_key_for(keys: Sequence[str], keyspec: str = KEY_SPEC) -> str:
@@ -63,81 +58,32 @@ def run_key_for(keys: Sequence[str], keyspec: str = KEY_SPEC) -> str:
     return h.hexdigest()[:32]
 
 
-class CheckpointStore:
-    """Directory of per-run partial-matrix checkpoints."""
+class CheckpointStore(BlobStore):
+    """Directory of per-run partial-matrix checkpoints.
 
-    def __init__(self, root: str | Path, keyspec: str = KEY_SPEC):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.keyspec = keyspec
+    ``load``/``save``/``discard`` are the lenient-read / atomic-write /
+    delete primitives of the blob artifact layer; only the naming
+    (``run``/``entries`` payload fields, ``ckpt.*`` counters) is pinned
+    here because it is an on-disk compatibility surface.
+    """
 
-    def path_for(self, run_key: str) -> Path:
-        return self.root / f"{_CKPT_PREFIX}{run_key}{_CKPT_SUFFIX}"
-
-    # -- reading -----------------------------------------------------------
-
-    def load(self, run_key: str) -> dict:
-        """Completed entries of one run's checkpoint, lenient.
-
-        A missing file is a fresh run (empty dict). A corrupt or foreign
-        file, a schema or keyspec mismatch, or malformed entries count as
-        ``ckpt.invalid`` and also behave as empty — the run recomputes and
-        the next save rewrites the checkpoint in the current format.
-        """
-        path = self.path_for(run_key)
-        if not path.exists():
-            return {}
-        try:
-            payload = read_blob(path)
-        except SerdeError:
-            obs.add("ckpt.invalid")
-            return {}
-        if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != SCHEMA
-            or payload.get("keyspec") != self.keyspec
-            or payload.get("run") != run_key
-            or not isinstance(payload.get("entries"), dict)
-        ):
-            obs.add("ckpt.invalid")
-            return {}
-        return payload["entries"]
-
-    # -- writing -----------------------------------------------------------
-
-    def save(self, run_key: str, entries: dict) -> Path:
-        """Atomically write one run's checkpoint; returns its path."""
-        payload = {
-            "schema": SCHEMA,
-            "keyspec": self.keyspec,
-            "run": run_key,
-            "entries": entries,
-        }
-        path = self.path_for(run_key)
-        write_blob(path, payload, atomic=True)
-        obs.add("ckpt.saved")
-        return path
+    NAMESPACE = "ckpt"
+    SCHEMA = SCHEMA
+    KEY_SPEC = KEY_SPEC
+    DESCRIPTION = "checkpoint file"
+    KIND = "checkpoint"
+    INVALID_COUNTER = "ckpt.invalid"
+    SAVED_COUNTER = "ckpt.saved"
+    KEY_FIELD = "run"
+    VALUE_FIELD = "entries"
 
     def discard(self, run_key: str) -> None:
         """Remove one run's checkpoint (called after a fully successful run)."""
-        self.path_for(run_key).unlink(missing_ok=True)
-
-    # -- maintenance -------------------------------------------------------
+        self.delete(run_key)
 
     def run_keys(self) -> list[str]:
         """Run keys that currently have a checkpoint file on disk."""
-        out = []
-        for p in sorted(self.root.glob(f"{_CKPT_PREFIX}*{_CKPT_SUFFIX}")):
-            out.append(p.name[len(_CKPT_PREFIX) : -len(_CKPT_SUFFIX)])
-        return out
-
-    def clear(self) -> int:
-        """Delete every checkpoint file; returns the number removed."""
-        removed = 0
-        for run_key in self.run_keys():
-            self.path_for(run_key).unlink(missing_ok=True)
-            removed += 1
-        return removed
+        return self.keys()
 
 
 def resolve_checkpoint_dir(

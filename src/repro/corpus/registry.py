@@ -70,14 +70,26 @@ def build_fs(app: str, model: str) -> VirtualFS:
 
 
 def index_model(
-    app: str, model: str, coverage: bool = False, strict: bool = False
+    app: str,
+    model: str,
+    coverage: bool = False,
+    strict: bool = False,
+    artifacts=None,
+    jobs: int = 1,
 ) -> IndexedCodebase:
-    """Index one model port (cached per process)."""
+    """Index one model port (cached per process).
+
+    ``artifacts``/``jobs`` thread through to :func:`index_codebase` for
+    incremental/parallel indexing; they do not partition the in-process
+    cache (the indexed result is identical either way).
+    """
     key = (app, model, coverage, strict)
     if key not in _INDEX_CACHE:
         spec = get_spec(app, model)
         fs = build_fs(app, model)
-        _INDEX_CACHE[key] = index_codebase(spec, fs, run_coverage=coverage, strict=strict)
+        _INDEX_CACHE[key] = index_codebase(
+            spec, fs, run_coverage=coverage, strict=strict, artifacts=artifacts, jobs=jobs
+        )
     return _INDEX_CACHE[key]
 
 
@@ -86,10 +98,15 @@ def index_app(
     models: Optional[Sequence[str]] = None,
     coverage: bool = False,
     strict: bool = False,
+    artifacts=None,
+    jobs: int = 1,
 ) -> dict[str, IndexedCodebase]:
     """Index several (default: all) model ports of an app."""
     names = list(models) if models is not None else app_models(app)
-    return {m: index_model(app, m, coverage, strict=strict) for m in names}
+    return {
+        m: index_model(app, m, coverage, strict=strict, artifacts=artifacts, jobs=jobs)
+        for m in names
+    }
 
 
 def clear_index_cache() -> None:

@@ -3,45 +3,30 @@
 The paper's compare step is the cartesian product of all models (§V-A) —
 O(n²) divergence evaluations whose cost PR 1's spans showed to dominate
 every figure. On production corpora that is a multi-minute-to-multi-hour
-run, so this engine schedules the pair list *defensively*:
+run, so this engine schedules the pair list *defensively* on top of the
+shared :class:`repro.parallel.ChunkedPool` (serial by default, fork pool
+for ``jobs > 1``, per-chunk watchdog deadlines, capped-backoff retries,
+chaos-hook fault injection — see :mod:`repro.parallel.pool` for that
+contract; the engine keeps its historical ``engine.*`` counter names via
+the pool's counter prefix) and adds the distance-specific layers:
 
-* **serially by default** (``jobs=1``), running tasks inline in submission
-  order so results stay byte-for-byte identical to the historical loops;
-* **across a ``fork`` multiprocessing pool** for ``jobs > 1``: the task
-  list is staged in a module global *before* the fork so workers inherit
-  the indexed codebases by copy-on-write instead of pickling tree forests
-  through a pipe, and only chunk bounds and result floats cross the pipe.
-  Every divergence evaluation is a pure function of its pair, so the
-  schedule cannot change the numbers — parallel matrices are
-  ``np.array_equal`` to serial ones (the CI determinism gate asserts this);
-* **under a watchdog**: chunks are dispatched asynchronously and polled
-  against a per-chunk wall-clock deadline (``chunk_timeout``). A chunk lost
-  to a hung or killed worker (the pool respawns dead workers) is
-  rescheduled with capped exponential backoff up to ``retries`` extra
-  attempts; a chunk that exhausts its retries degrades to a
-  ``distance/chunk-failed`` diagnostic with ``fail_value`` entries instead
-  of aborting the run — unless ``strict``, which restores fail-fast;
-* **against a persistent TED cache** (:class:`repro.cache.TedCacheStore`)
-  when one is attached: the engine installs it in the distance layer (and
-  in every pool worker) for the duration of the run and flushes buffered
-  writes on exit, so warm runs perform zero Zhang–Shasha evaluations;
-* **through a checkpoint** (:class:`repro.ckpt.CheckpointStore`) when one
-  is attached and the caller supplies stable task keys: completed task
-  values are periodically flushed to an atomic ``repro.ckpt/v1`` file, and
+* **a persistent TED cache** (:class:`repro.cache.TedCacheStore`) when one
+  is attached: the engine installs it in the distance layer (and attaches
+  a fresh store handle in every pool worker via the pool's setup hook) for
+  the duration of the run and flushes buffered writes on exit, so warm
+  runs perform zero Zhang–Shasha evaluations;
+* **a checkpoint** (:class:`repro.ckpt.CheckpointStore`) when one is
+  attached and the caller supplies stable task keys: completed task values
+  are periodically flushed to an atomic ``repro.ckpt/v1`` file, and
   ``resume=True`` reloads them so an interrupted run recomputes only
   unfinished work. SIGTERM is mapped to :class:`KeyboardInterrupt` during
   the run, and any interrupt terminates the pool, flushes cache +
   checkpoint, emits a ``distance/interrupted`` diagnostic naming the
-  resumable checkpoint, and re-raises.
-
-Fault injection for tests and the chaos harness rides in the worker: the
-``REPRO_CHAOS`` environment variable (e.g. ``"kill@3,hang@5,exc@7"``)
-deterministically kills, hangs or exception-bombs the worker at the given
-scheduled-task indices on the **first** attempt of the owning chunk (an
-``!`` suffix on the mode fires on every attempt, for retry-exhaustion
-tests). Retries skip the injection, so a chaos run must still converge to
-the fault-free matrix — ``benchmarks/chaos_engine.py`` asserts exactly
-that.
+  resumable checkpoint, and re-raises;
+* **degradation semantics**: a chunk that exhausts its retries degrades to
+  a ``distance/chunk-failed`` diagnostic with ``fail_value`` entries
+  instead of aborting the run — unless ``strict``, which restores
+  fail-fast.
 
 Counters: ``ted.pairs`` (tasks scheduled), ``engine.chunks``,
 ``engine.workers``, ``engine.retries``, ``engine.chunk_timeouts``,
@@ -53,10 +38,6 @@ parent merges them, so ``--profile`` output is complete either way.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import signal
-import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Optional, Sequence
@@ -68,22 +49,21 @@ from repro import diag, obs
 # attribute-style module reference resolves to the function instead.
 from repro.ckpt.store import run_key_for
 from repro.distance.ted import get_disk_cache, set_disk_cache
+from repro.parallel.pool import (  # noqa: F401 — historical import surface:
+    # the chaos hook, worker entry points and watchdog tunables moved to
+    # repro.parallel.pool; tests and harnesses still reach them here
+    _BACKOFF_CAP_S,
+    _POLL_S,
+    ChaosError,
+    ChunkedPool,
+    _chaos_fire,
+    _live_pids,
+    _parse_chaos,
+    _run_chunk,
+    _worker_init,
+    sigterm_as_interrupt as _sigterm_as_interrupt,
+)
 from repro.util.errors import ReproError
-
-#: Staged (fn, tasks, cache root) visible to pool workers via fork
-#: inheritance. Only valid between staging and pool shutdown.
-_STAGE: Optional[dict] = None
-
-#: Set when this worker's initializer had to degrade to cache-off; counted
-#: inside the next chunk's collect window so the parent sees it.
-_INIT_FAILED: bool = False
-
-#: Watchdog poll period (seconds). Small enough that timeouts and worker
-#: deaths are noticed promptly, large enough to stay invisible in profiles.
-_POLL_S = 0.02
-
-#: Exponential-backoff cap for chunk retries (seconds).
-_BACKOFF_CAP_S = 8.0
 
 
 def _flush_quietly(store) -> None:
@@ -103,122 +83,42 @@ def _flush_quietly(store) -> None:
 
 
 # ---------------------------------------------------------------------------
-# Fault injection (chaos harness hook)
+# Worker hooks (staged into pool workers by fork inheritance)
 # ---------------------------------------------------------------------------
 
 
-class ChaosError(RuntimeError):
-    """Exception injected by the ``REPRO_CHAOS`` hook (never raised outside
-    fault-injection runs)."""
+def _make_worker_setup(cache_root: Optional[str]) -> Callable[[], Any]:
+    """Build the per-worker setup hook: attach a fresh store handle to the
+    shared cache directory (fresh so no parent pending-write buffers are
+    inherited). Returns ``False`` to flag degraded init — an unreadable or
+    corrupt cache directory runs cache-off, visibly, via the
+    ``engine.worker_init_errors`` counter, not silently."""
+
+    def _setup():
+        if cache_root is None:
+            set_disk_cache(None)
+            return True
+        try:
+            from repro.cache.store import TedCacheStore
+
+            set_disk_cache(TedCacheStore(cache_root))
+        except (OSError, ReproError):
+            # Unreadable or corrupt cache directory: run cache-off.
+            # Anything else (a genuine bug) propagates — better a loud
+            # crash in CI than a silently cache-less run.
+            set_disk_cache(None)
+            return False
+        return True
+
+    return _setup
 
 
-def _parse_chaos(spec: str) -> list[tuple[str, int, bool]]:
-    """Parse ``REPRO_CHAOS`` into (mode, task_index, every_attempt) triples.
-
-    Format: comma-separated ``mode@index`` with mode one of ``kill``,
-    ``hang``, ``exc``; a ``!`` suffix on the mode (``exc!@4``) fires on
-    every attempt instead of only the first. Malformed parts are ignored —
-    the hook must never be able to break a production run.
-    """
-    plan: list[tuple[str, int, bool]] = []
-    for part in spec.replace(";", ",").split(","):
-        part = part.strip()
-        if not part:
-            continue
-        mode, _, at = part.partition("@")
-        every = mode.endswith("!")
-        if every:
-            mode = mode[:-1]
-        if mode not in ("kill", "hang", "exc") or not at.isdigit():
-            continue
-        plan.append((mode, int(at), every))
-    return plan
-
-
-def _chaos_fire(plan: list[tuple[str, int, bool]], idx: int, attempt: int) -> None:
-    """Trigger any injection registered for scheduled-task index ``idx``."""
-    for mode, at, every in plan:
-        if at != idx or (attempt > 0 and not every):
-            continue
-        if mode == "kill":
-            os.kill(os.getpid(), signal.SIGKILL)
-        elif mode == "hang":
-            time.sleep(float(os.environ.get("REPRO_CHAOS_HANG_S", "3600")))
-        elif mode == "exc":
-            raise ChaosError(f"injected exception at task {idx} (attempt {attempt})")
-
-
-# ---------------------------------------------------------------------------
-# Worker side
-# ---------------------------------------------------------------------------
-
-
-def _worker_init() -> None:
-    """Per-worker setup: attach a fresh store handle to the shared cache
-    directory (fresh so no parent pending-write buffers are inherited).
-
-    Must never raise: a failing pool initializer makes the pool respawn
-    workers forever, so any cache problem degrades to cache-off — but
-    visibly, via the ``engine.worker_init_errors`` counter, not silently.
-    """
-    global _INIT_FAILED
-    _INIT_FAILED = False
-    try:
-        # undo the parent's SIGTERM→KeyboardInterrupt mapping (inherited
-        # through fork): pool.terminate() must kill workers quietly, not
-        # make a hung worker spew an interrupt traceback
-        signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    except (ValueError, OSError):
-        pass
-    if _STAGE is None:
-        # Fork without staging is a caller bug; degrade rather than letting
-        # the pool respawn workers forever, but flag it.
-        _INIT_FAILED = True
-        set_disk_cache(None)
-        return
-    cache_root = _STAGE["cache_root"]
-    if cache_root is None:
-        set_disk_cache(None)
-        return
-    try:
-        from repro.cache.store import TedCacheStore
-
-        set_disk_cache(TedCacheStore(cache_root))
-    except (OSError, ReproError):
-        # Unreadable or corrupt cache directory: run cache-off. Anything
-        # else (a genuine bug) propagates — better a loud crash in CI than
-        # a silently cache-less run.
-        _INIT_FAILED = True
-        set_disk_cache(None)
-
-
-def _run_chunk(args: tuple[tuple[int, int], int]) -> tuple[list[Any], dict[str, float]]:
-    """Evaluate one chunk of staged tasks inside a pool worker.
-
-    ``args`` is ``((lo, hi), attempt)`` — the attempt number exists so the
-    chaos hook can fire only on a chunk's first execution, which is what
-    makes fault-injected runs converge to the fault-free matrix.
-
-    Returns the results plus the worker-side counter deltas so the parent
-    can merge them into its collector.
-    """
-    (lo, hi), attempt = args
-    assert _STAGE is not None
-    fn = _STAGE["fn"]
-    tasks = _STAGE["tasks"]
-    plan = _parse_chaos(os.environ.get("REPRO_CHAOS", ""))
-    with obs.collect() as col:
-        if _INIT_FAILED:
-            obs.add("engine.worker_init_errors")
-        out = []
-        for idx in range(lo, hi):
-            if plan:
-                _chaos_fire(plan, idx, attempt)
-            out.append(fn(tasks[idx]))
-        disk = get_disk_cache()
-        if disk is not None:
-            _flush_quietly(disk)
-    return out, dict(col.counters)
+def _worker_teardown() -> None:
+    """End-of-chunk hook: flush the worker's disk-cache writes so they land
+    inside the chunk's counter-collect window."""
+    disk = get_disk_cache()
+    if disk is not None:
+        _flush_quietly(disk)
 
 
 # ---------------------------------------------------------------------------
@@ -296,59 +196,8 @@ class _CkptSession:
 
 
 # ---------------------------------------------------------------------------
-# Parent side
+# The engine
 # ---------------------------------------------------------------------------
-
-
-@contextmanager
-def _sigterm_as_interrupt():
-    """Map SIGTERM to KeyboardInterrupt for the duration of a run, so an
-    orchestrator's soft-kill flushes cache + checkpoint exactly like Ctrl-C.
-    Only touches the handler from the main thread (signal API constraint)."""
-    if threading.current_thread() is not threading.main_thread():
-        yield
-        return
-    def _raise(signum, frame):
-        raise KeyboardInterrupt
-    try:
-        prev = signal.signal(signal.SIGTERM, _raise)
-    except (ValueError, OSError):  # exotic embedding: no signal support
-        yield
-        return
-    try:
-        yield
-    finally:
-        signal.signal(signal.SIGTERM, prev)
-
-
-class _RunState:
-    """Mutable bookkeeping for one ``map_tasks`` call."""
-
-    __slots__ = ("results", "done", "pending", "ckpt", "fail_value", "degraded", "collector")
-
-    def __init__(self, n_tasks: int, ckpt: Optional[_CkptSession], fail_value: Any):
-        self.results: list[Any] = [None] * n_tasks
-        self.done: list[bool] = [False] * n_tasks
-        #: original task indices still to compute, in submission order
-        self.pending: list[int] = []
-        self.ckpt = ckpt
-        self.fail_value = fail_value
-        #: tasks filled with ``fail_value`` after retry exhaustion
-        self.degraded = 0
-        self.collector = obs.current_collector()
-
-
-class _ChunkState:
-    """Watchdog bookkeeping for one scheduled chunk."""
-
-    __slots__ = ("bounds", "attempts", "inflight", "deadline", "next_submit")
-
-    def __init__(self, bounds: tuple[int, int]):
-        self.bounds = bounds
-        self.attempts = 0  # submissions so far
-        self.inflight = None  # AsyncResult while running
-        self.deadline = float("inf")
-        self.next_submit = 0.0  # monotonic time gate (backoff)
 
 
 class DistanceEngine:
@@ -406,14 +255,22 @@ class DistanceEngine:
         checkpoint_every: float = 5.0,
         backoff_s: float = 0.25,
     ):
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        if chunk_timeout is not None and chunk_timeout <= 0:
-            raise ValueError(f"chunk_timeout must be > 0, got {chunk_timeout}")
-        if retries < 0:
-            raise ValueError(f"retries must be >= 0, got {retries}")
+        cache_root = str(cache.root) if cache is not None else None
+        # validation (jobs/chunk_size/chunk_timeout/retries) happens here
+        self._pool = ChunkedPool(
+            jobs=jobs,
+            chunk_size=chunk_size,
+            chunk_timeout=chunk_timeout,
+            retries=retries,
+            strict=strict,
+            backoff_s=backoff_s,
+            counter_prefix="engine",
+            label="distance chunk",
+            fail_code="distance/chunk-failed",
+            worker_setup=_make_worker_setup(cache_root),
+            worker_teardown=_worker_teardown,
+            init_counter="engine.worker_init_errors",
+        )
         self.jobs = jobs
         self.cache = cache
         self.chunk_size = chunk_size
@@ -474,24 +331,29 @@ class DistanceEngine:
         if self.checkpoint is not None and keys is not None:
             ckpt = _CkptSession(self.checkpoint, keys, self.checkpoint_every)
 
-        run = _RunState(len(tasks), ckpt, fail_value)
+        results: list[Any] = [None] * len(tasks)
+        done = [False] * len(tasks)
         if ckpt is not None and self.resume:
-            ckpt.load_into(run.results, run.done)
-        run.pending = [i for i, d in enumerate(run.done) if not d]
-        if not run.pending:
-            return run.results
+            ckpt.load_into(results, done)
+        #: original task indices still to compute, in submission order
+        pending = [i for i, d in enumerate(done) if not d]
+        if not pending:
+            return results
 
-        jobs = min(self.jobs, len(run.pending))
-        if jobs > 1 and "fork" not in multiprocessing.get_all_start_methods():
-            jobs = 1  # no fork (e.g. Windows): degrade to the serial path
-        finished = False
+        def _note(off: int, value: Any) -> None:
+            if ckpt is not None:
+                ckpt.note_done(pending[off], value)
+
+        res = None
         with self._cache_installed(), _sigterm_as_interrupt():
             try:
-                if jobs == 1:
-                    self._run_serial(fn, tasks, run)
-                else:
-                    self._run_parallel(fn, tasks, run, jobs)
-                finished = True
+                res = self._pool.run(
+                    fn,
+                    [tasks[i] for i in pending],
+                    fail_value=fail_value,
+                    on_result=_note,
+                    tick=ckpt.maybe_save if ckpt is not None else None,
+                )
             except BaseException as e:
                 if ckpt is not None and ckpt.entries:
                     ckpt.save()
@@ -503,8 +365,14 @@ class DistanceEngine:
                             "(re-run with --resume)",
                         )
                 raise
+        for off, i in enumerate(pending):
+            results[i] = res.values[off]
+        if res.parallel and self.cache is not None:
+            # Workers flushed their own pending writes; re-read shards
+            # lazily so parent-side lookups see them.
+            self.cache.drop_loaded()
         if ckpt is not None:
-            if finished and not run.degraded:
+            if not res.degraded:
                 # every task finished for real: the checkpoint has served
                 # its purpose and a stale file would only accumulate
                 ckpt.discard()
@@ -513,139 +381,4 @@ class DistanceEngine:
                 # run retries exactly them
                 ckpt.save()
                 self.last_checkpoint = ckpt.path
-        return run.results
-
-    # -- serial ------------------------------------------------------------
-
-    def _run_serial(self, fn, tasks, run: "_RunState") -> None:
-        obs.gauge("engine.workers", 1)
-        for i in run.pending:
-            value = fn(tasks[i])
-            run.results[i] = value
-            run.done[i] = True
-            if run.ckpt is not None:
-                run.ckpt.note_done(i, value)
-
-    # -- parallel (watchdogged) --------------------------------------------
-
-    def _run_parallel(self, fn, tasks, run: "_RunState", jobs: int) -> None:
-        global _STAGE
-        staged = [tasks[i] for i in run.pending]
-        n = len(staged)
-        size = self.chunk_size or max(1, -(-n // (jobs * 4)))
-        chunks = [_ChunkState((lo, min(lo + size, n))) for lo in range(0, n, size)]
-        obs.add("engine.chunks", len(chunks))
-        obs.gauge("engine.workers", jobs)
-        cache_root = str(self.cache.root) if self.cache is not None else None
-        _STAGE = {"fn": fn, "tasks": staged, "cache_root": cache_root}
-        ctx = multiprocessing.get_context("fork")
-        try:
-            with obs.span("engine.pool", jobs=jobs, chunks=len(chunks)):
-                with ctx.Pool(processes=jobs, initializer=_worker_init) as pool:
-                    self._drive(pool, chunks, run)
-        finally:
-            _STAGE = None
-        # Workers flushed their own pending writes; re-read shards lazily so
-        # parent-side lookups see them.
-        if self.cache is not None:
-            self.cache.drop_loaded()
-
-    def _drive(self, pool, chunks, run: "_RunState") -> None:
-        """Watchdog loop: async dispatch, deadlines, retries, degradation."""
-        remaining = list(chunks)
-        known_pids = _live_pids(pool)
-        while remaining:
-            now = time.monotonic()
-            remaining = [c for c in remaining if not self._step_chunk(pool, c, now, run)]
-            if run.ckpt is not None:
-                run.ckpt.maybe_save()
-            pids = _live_pids(pool)
-            vanished = known_pids - pids
-            if vanished:
-                obs.add("engine.worker_deaths", len(vanished))
-            known_pids = pids
-            if remaining:
-                time.sleep(_POLL_S)
-
-    def _step_chunk(self, pool, chunk, now, run: "_RunState") -> bool:
-        """Advance one chunk's state machine; True when it is finished."""
-        if chunk.inflight is None:
-            if now >= chunk.next_submit:
-                self._submit(pool, chunk, now)
-            return False
-        if chunk.inflight.ready():
-            try:
-                out, counters = chunk.inflight.get()
-            except Exception as e:  # worker raised (or pool lost the task)
-                return self._register_failure(chunk, now, e, run)
-            lo, hi = chunk.bounds
-            for off, value in zip(range(lo, hi), out):
-                i = run.pending[off]
-                run.results[i] = value
-                run.done[i] = True
-                if run.ckpt is not None:
-                    run.ckpt.note_done(i, value)
-            if run.collector is not None:
-                for name, value in counters.items():
-                    run.collector.add(name, value)
-            return True
-        if now > chunk.deadline:
-            obs.add("engine.chunk_timeouts")
-            lo, hi = chunk.bounds
-            err = TimeoutError(
-                f"chunk {lo}:{hi} exceeded chunk_timeout={self.chunk_timeout}s "
-                f"(attempt {chunk.attempts})"
-            )
-            return self._register_failure(chunk, now, err, run)
-        return False
-
-    def _submit(self, pool, chunk, now) -> None:
-        chunk.attempts += 1
-        # attempt is 0-based on the worker side: the chaos hook fires only
-        # on a chunk's first execution unless marked always-on
-        chunk.inflight = pool.apply_async(_run_chunk, ((chunk.bounds, chunk.attempts - 1),))
-        chunk.deadline = (
-            now + self.chunk_timeout if self.chunk_timeout is not None else float("inf")
-        )
-
-    def _register_failure(self, chunk, now, err, run: "_RunState") -> bool:
-        """Handle one failed attempt: reschedule with backoff, or degrade.
-
-        Returns True when the chunk is finished (degraded); raises in
-        strict mode once retries are exhausted. The abandoned in-flight
-        result (a hung worker may still deliver it) is dropped — ``fn`` is
-        pure, so a late duplicate could only ever carry identical values.
-        """
-        chunk.inflight = None
-        lo, hi = chunk.bounds
-        if chunk.attempts <= self.retries:
-            obs.add("engine.retries")
-            backoff = min(self.backoff_s * 2 ** (chunk.attempts - 1), _BACKOFF_CAP_S)
-            chunk.next_submit = now + backoff
-            chunk.deadline = float("inf")
-            return False
-        if self.strict:
-            raise ReproError(
-                f"distance chunk {lo}:{hi} failed after {chunk.attempts} attempt(s): {err}"
-            )
-        obs.add("engine.chunks_failed")
-        diag.error(
-            "distance/chunk-failed",
-            f"tasks {lo}:{hi} degraded to fail_value after {chunk.attempts} "
-            f"attempt(s): {err}",
-        )
-        run.degraded += hi - lo
-        for off in range(lo, hi):
-            i = run.pending[off]
-            run.results[i] = run.fail_value
-            run.done[i] = True  # degraded, but accounted for (not checkpointed)
-        return True
-
-
-def _live_pids(pool) -> set[int]:
-    """PIDs of the pool's current workers (best-effort: reads a CPython
-    implementation detail, so any surprise degrades to 'no information')."""
-    try:
-        return {p.pid for p in list(pool._pool) if p.pid is not None}
-    except Exception:
-        return set()
+        return results

@@ -13,7 +13,7 @@ from typing import Callable, Optional
 
 from repro import obs
 from repro.distance.zhang_shasha import zhang_shasha_distance, zhang_shasha_generic
-from repro.trees.hashing import structural_hash
+from repro.trees.hashing import cached_structural_hash, structural_hash
 from repro.trees.node import Node
 from repro.trees.stats import histogram_lower_bound, label_histogram
 from repro.util.timing import timed
@@ -140,17 +140,8 @@ def _cache_insert(key: tuple[str, str], d: float) -> None:
 
 
 def _cached_hash(t: Node) -> str:
-    """Structural hash memoised on the root's attrs.
-
-    Metric-pipeline trees are frozen once built; callers who mutate a tree
-    after it has entered a distance computation must drop the ``_shash``
-    attr (or rebuild the tree, which is the idiomatic path).
-    """
-    h = t.attrs.get("_shash")
-    if h is None:
-        h = structural_hash(t)
-        t.attrs["_shash"] = h
-    return h
+    """Structural hash memoised on the root's attrs (shared helper)."""
+    return cached_structural_hash(t)
 
 
 @timed("ted")

@@ -1,0 +1,10 @@
+"""Reusable fork-pool machinery (watchdog, retries, chaos hook)."""
+
+from repro.parallel.pool import ChaosError, ChunkedPool, PoolResult, sigterm_as_interrupt
+
+__all__ = [
+    "ChaosError",
+    "ChunkedPool",
+    "PoolResult",
+    "sigterm_as_interrupt",
+]

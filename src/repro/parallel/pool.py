@@ -1,0 +1,487 @@
+"""Fault-tolerant chunked fork pool, hoisted out of the distance engine.
+
+PR 4 built this machinery for the O(n²) compare step; the incremental index
+step wants exactly the same defensive schedule for fanning translation
+units across workers, so the pool now lives here as a task-agnostic layer:
+
+* **serial by default** (``jobs=1``), running tasks inline in submission
+  order so results stay byte-for-byte identical to a plain loop;
+* **across a ``fork`` multiprocessing pool** for ``jobs > 1``: the task
+  list is staged in a module global *before* the fork so workers inherit
+  large task payloads (tree forests, virtual filesystems) by copy-on-write
+  instead of pickling them through a pipe — only chunk bounds and results
+  cross the pipe. Tasks must be pure functions of their inputs, which is
+  what makes any schedule value-identical to the serial one;
+* **under a watchdog**: chunks are dispatched asynchronously and polled
+  against a per-chunk wall-clock deadline (``chunk_timeout``). A chunk lost
+  to a hung or killed worker (the pool respawns dead workers) is
+  rescheduled with capped exponential backoff up to ``retries`` extra
+  attempts; a chunk that exhausts its retries degrades to ``fail_value``
+  entries plus a diagnostic (``fail_code``) instead of aborting the run —
+  unless ``strict``, which restores fail-fast.
+
+Fault injection for tests and the chaos harness rides in the worker: the
+``REPRO_CHAOS`` environment variable (e.g. ``"kill@3,hang@5,exc@7"``)
+deterministically kills, hangs or exception-bombs the worker at the given
+staged-task indices on the **first** attempt of the owning chunk (an ``!``
+suffix on the mode fires on every attempt, for retry-exhaustion tests).
+Retries skip the injection, so a chaos run must still converge to the
+fault-free result — ``benchmarks/chaos_engine.py`` asserts exactly that.
+
+Counters are emitted under the pool's ``counter_prefix`` (the engine keeps
+its historical ``engine.*`` names): ``<prefix>.chunks``,
+``<prefix>.workers`` (gauge), ``<prefix>.retries``,
+``<prefix>.chunk_timeouts``, ``<prefix>.worker_deaths``,
+``<prefix>.chunks_failed`` plus the staged ``init_counter`` for degraded
+worker initialisation. Workers collect counters in-process and the parent
+merges them, so ``--profile`` output is complete either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Optional, Sequence
+
+from repro import diag, obs
+from repro.util.errors import ReproError
+
+#: Staged work visible to pool workers via fork inheritance. Shape:
+#: ``{"fn", "tasks", "setup", "teardown", "init_counter"}``. Only valid
+#: between staging and pool shutdown.
+_STAGE: Optional[dict] = None
+
+#: Set when this worker's initializer had to degrade; counted inside the
+#: next chunk's collect window so the parent sees it.
+_INIT_FAILED: bool = False
+
+#: Watchdog poll period (seconds). Small enough that timeouts and worker
+#: deaths are noticed promptly, large enough to stay invisible in profiles.
+_POLL_S = 0.02
+
+#: Exponential-backoff cap for chunk retries (seconds).
+_BACKOFF_CAP_S = 8.0
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (chaos harness hook)
+# ---------------------------------------------------------------------------
+
+
+class ChaosError(RuntimeError):
+    """Exception injected by the ``REPRO_CHAOS`` hook (never raised outside
+    fault-injection runs)."""
+
+
+def _parse_chaos(spec: str) -> list[tuple[str, int, bool]]:
+    """Parse ``REPRO_CHAOS`` into (mode, task_index, every_attempt) triples.
+
+    Format: comma-separated ``mode@index`` with mode one of ``kill``,
+    ``hang``, ``exc``; a ``!`` suffix on the mode (``exc!@4``) fires on
+    every attempt instead of only the first. Malformed parts are ignored —
+    the hook must never be able to break a production run.
+    """
+    plan: list[tuple[str, int, bool]] = []
+    for part in spec.replace(";", ",").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        mode, _, at = part.partition("@")
+        every = mode.endswith("!")
+        if every:
+            mode = mode[:-1]
+        if mode not in ("kill", "hang", "exc") or not at.isdigit():
+            continue
+        plan.append((mode, int(at), every))
+    return plan
+
+
+def _chaos_fire(plan: list[tuple[str, int, bool]], idx: int, attempt: int) -> None:
+    """Trigger any injection registered for staged-task index ``idx``."""
+    for mode, at, every in plan:
+        if at != idx or (attempt > 0 and not every):
+            continue
+        if mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif mode == "hang":
+            time.sleep(float(os.environ.get("REPRO_CHAOS_HANG_S", "3600")))
+        elif mode == "exc":
+            raise ChaosError(f"injected exception at task {idx} (attempt {attempt})")
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_init() -> None:
+    """Per-worker setup: reset signal state, then run the staged ``setup``
+    hook (e.g. the engine attaching a fresh disk-cache handle).
+
+    Must never raise: a failing pool initializer makes the pool respawn
+    workers forever, so any setup problem degrades — but visibly, via the
+    staged ``init_counter``, not silently. A setup hook signals degradation
+    by returning ``False``.
+    """
+    global _INIT_FAILED
+    _INIT_FAILED = False
+    try:
+        # undo the parent's SIGTERM→KeyboardInterrupt mapping (inherited
+        # through fork): pool.terminate() must kill workers quietly, not
+        # make a hung worker spew an interrupt traceback
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+    if _STAGE is None:
+        # Fork without staging is a caller bug; degrade rather than letting
+        # the pool respawn workers forever, but flag it.
+        _INIT_FAILED = True
+        return
+    setup = _STAGE.get("setup")
+    if setup is not None and setup() is False:
+        _INIT_FAILED = True
+
+
+def _run_chunk(args: tuple[tuple[int, int], int]) -> tuple[list[Any], dict[str, float]]:
+    """Evaluate one chunk of staged tasks inside a pool worker.
+
+    ``args`` is ``((lo, hi), attempt)`` — the attempt number exists so the
+    chaos hook can fire only on a chunk's first execution, which is what
+    makes fault-injected runs converge to the fault-free result.
+
+    Returns the results plus the worker-side counter deltas so the parent
+    can merge them into its collector.
+    """
+    (lo, hi), attempt = args
+    assert _STAGE is not None
+    fn = _STAGE["fn"]
+    tasks = _STAGE["tasks"]
+    plan = _parse_chaos(os.environ.get("REPRO_CHAOS", ""))
+    with obs.collect() as col:
+        if _INIT_FAILED:
+            obs.add(_STAGE.get("init_counter") or "pool.worker_init_errors")
+        out = []
+        for idx in range(lo, hi):
+            if plan:
+                _chaos_fire(plan, idx, attempt)
+            out.append(fn(tasks[idx]))
+        teardown = _STAGE.get("teardown")
+        if teardown is not None:
+            teardown()
+    return out, dict(col.counters)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def sigterm_as_interrupt():
+    """Map SIGTERM to KeyboardInterrupt for the duration of a run, so an
+    orchestrator's soft-kill flushes caches + checkpoints exactly like
+    Ctrl-C. Only touches the handler from the main thread (signal API
+    constraint)."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        prev = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # exotic embedding: no signal support
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, prev)
+
+
+class PoolResult:
+    """Outcome of one :meth:`ChunkedPool.run` call."""
+
+    __slots__ = ("values", "degraded", "parallel")
+
+    def __init__(self, values: list[Any], degraded: list[int], parallel: bool):
+        #: per-task results, in submission order
+        self.values = values
+        #: task indices filled with ``fail_value`` after retry exhaustion
+        self.degraded = degraded
+        #: True when a fork pool actually ran (vs the inline serial path)
+        self.parallel = parallel
+
+
+class _PoolRun:
+    """Mutable bookkeeping for one ``run`` call."""
+
+    __slots__ = ("values", "degraded", "on_result", "tick", "fail_value", "collector")
+
+    def __init__(self, n_tasks, on_result, tick, fail_value):
+        self.values: list[Any] = [None] * n_tasks
+        self.degraded: list[int] = []
+        self.on_result = on_result
+        self.tick = tick
+        self.fail_value = fail_value
+        self.collector = obs.current_collector()
+
+
+class _ChunkState:
+    """Watchdog bookkeeping for one scheduled chunk."""
+
+    __slots__ = ("bounds", "attempts", "inflight", "deadline", "next_submit")
+
+    def __init__(self, bounds: tuple[int, int]):
+        self.bounds = bounds
+        self.attempts = 0  # submissions so far
+        self.inflight = None  # AsyncResult while running
+        self.deadline = float("inf")
+        self.next_submit = 0.0  # monotonic time gate (backoff)
+
+
+class ChunkedPool:
+    """Schedules pure per-task work over forked workers with a watchdog.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. 1 (default) runs inline — deterministic and
+        dependency-free; >1 forks a pool. Falls back to serial where the
+        ``fork`` start method is unavailable.
+    chunk_size:
+        Tasks per scheduled chunk. Default: enough chunks for ~4 rounds
+        per worker, which keeps the tail balanced without drowning the
+        pipe in tiny messages.
+    chunk_timeout:
+        Per-chunk wall-clock deadline in seconds for the parallel watchdog
+        (None = no deadline). A chunk past its deadline is abandoned and
+        rescheduled; this is also how chunks lost to killed workers are
+        recovered.
+    retries:
+        Extra attempts per chunk after the first (timeouts and worker
+        exceptions both count). Retried submissions back off exponentially
+        (``backoff_s`` doubling, capped at 8s).
+    strict:
+        When True a chunk that exhausts its retries raises
+        :class:`ReproError` (fail-fast). When False (default) it degrades:
+        a ``fail_code`` diagnostic plus ``fail_value`` for each of its
+        tasks.
+    backoff_s:
+        First-retry backoff delay (doubles per attempt, capped).
+    counter_prefix / label / fail_code:
+        Naming knobs: obs counters are ``<counter_prefix>.*``, strict
+        errors read ``"<label> <lo>:<hi> failed ..."`` and degraded chunks
+        emit a ``fail_code`` diagnostic.
+    worker_setup / worker_teardown:
+        Optional hooks staged into workers by fork inheritance: ``setup``
+        runs in the pool initializer (return ``False`` to flag degraded
+        init), ``teardown`` runs at the end of every chunk (e.g. flushing
+        a worker-side cache) inside the chunk's counter-collect window.
+    init_counter:
+        Counter bumped (inside the next chunk) when a worker's setup
+        degraded.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        chunk_timeout: Optional[float] = None,
+        retries: int = 2,
+        strict: bool = False,
+        backoff_s: float = 0.25,
+        counter_prefix: str = "pool",
+        label: str = "chunk",
+        fail_code: str = "parallel/chunk-failed",
+        worker_setup: Optional[Callable[[], Any]] = None,
+        worker_teardown: Optional[Callable[[], Any]] = None,
+        init_counter: Optional[str] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(f"chunk_timeout must be > 0, got {chunk_timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.chunk_timeout = chunk_timeout
+        self.retries = retries
+        self.strict = strict
+        self.backoff_s = backoff_s
+        self.counter_prefix = counter_prefix
+        self.label = label
+        self.fail_code = fail_code
+        self.worker_setup = worker_setup
+        self.worker_teardown = worker_teardown
+        self.init_counter = init_counter or f"{counter_prefix}.worker_init_errors"
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        fail_value: Any = None,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        tick: Optional[Callable[[], None]] = None,
+    ) -> PoolResult:
+        """Apply ``fn`` to every task, preserving order.
+
+        ``fn`` must be pure per task — that is what makes the parallel
+        schedule value-identical to the serial one and duplicate
+        evaluations after a watchdog reschedule harmless. ``on_result`` is
+        called as ``(index, value)`` when a task completes (never for
+        degraded tasks); ``tick`` runs once per watchdog poll so callers
+        can piggy-back periodic work (checkpoint flushes) on the loop.
+        """
+        tasks = list(tasks)
+        run = _PoolRun(len(tasks), on_result, tick, fail_value)
+        if not tasks:
+            return PoolResult(run.values, run.degraded, False)
+        jobs = min(self.jobs, len(tasks))
+        if jobs > 1 and "fork" not in multiprocessing.get_all_start_methods():
+            jobs = 1  # no fork (e.g. Windows): degrade to the serial path
+        if jobs == 1:
+            self._run_serial(fn, tasks, run)
+            return PoolResult(run.values, run.degraded, False)
+        self._run_parallel(fn, tasks, run, jobs)
+        return PoolResult(run.values, run.degraded, True)
+
+    # -- serial ------------------------------------------------------------
+
+    def _run_serial(self, fn, tasks, run: "_PoolRun") -> None:
+        obs.gauge(f"{self.counter_prefix}.workers", 1)
+        for i, task in enumerate(tasks):
+            value = fn(task)
+            run.values[i] = value
+            if run.on_result is not None:
+                run.on_result(i, value)
+
+    # -- parallel (watchdogged) --------------------------------------------
+
+    def _run_parallel(self, fn, tasks, run: "_PoolRun", jobs: int) -> None:
+        global _STAGE
+        n = len(tasks)
+        size = self.chunk_size or max(1, -(-n // (jobs * 4)))
+        chunks = [_ChunkState((lo, min(lo + size, n))) for lo in range(0, n, size)]
+        obs.add(f"{self.counter_prefix}.chunks", len(chunks))
+        obs.gauge(f"{self.counter_prefix}.workers", jobs)
+        _STAGE = {
+            "fn": fn,
+            "tasks": tasks,
+            "setup": self.worker_setup,
+            "teardown": self.worker_teardown,
+            "init_counter": self.init_counter,
+        }
+        ctx = multiprocessing.get_context("fork")
+        try:
+            with obs.span(f"{self.counter_prefix}.pool", jobs=jobs, chunks=len(chunks)):
+                with ctx.Pool(processes=jobs, initializer=_worker_init) as pool:
+                    self._drive(pool, chunks, run)
+        finally:
+            _STAGE = None
+
+    def _drive(self, pool, chunks, run: "_PoolRun") -> None:
+        """Watchdog loop: async dispatch, deadlines, retries, degradation."""
+        remaining = list(chunks)
+        known_pids = _live_pids(pool)
+        while remaining:
+            now = time.monotonic()
+            remaining = [c for c in remaining if not self._step_chunk(pool, c, now, run)]
+            if run.tick is not None:
+                run.tick()
+            pids = _live_pids(pool)
+            vanished = known_pids - pids
+            if vanished:
+                obs.add(f"{self.counter_prefix}.worker_deaths", len(vanished))
+            known_pids = pids
+            if remaining:
+                time.sleep(_POLL_S)
+
+    def _step_chunk(self, pool, chunk, now, run: "_PoolRun") -> bool:
+        """Advance one chunk's state machine; True when it is finished."""
+        if chunk.inflight is None:
+            if now >= chunk.next_submit:
+                self._submit(pool, chunk, now)
+            return False
+        if chunk.inflight.ready():
+            try:
+                out, counters = chunk.inflight.get()
+            except Exception as e:  # worker raised (or pool lost the task)
+                return self._register_failure(chunk, now, e, run)
+            lo, hi = chunk.bounds
+            for i, value in zip(range(lo, hi), out):
+                run.values[i] = value
+                if run.on_result is not None:
+                    run.on_result(i, value)
+            if run.collector is not None:
+                for name, value in counters.items():
+                    run.collector.add(name, value)
+            return True
+        if now > chunk.deadline:
+            obs.add(f"{self.counter_prefix}.chunk_timeouts")
+            lo, hi = chunk.bounds
+            err = TimeoutError(
+                f"chunk {lo}:{hi} exceeded chunk_timeout={self.chunk_timeout}s "
+                f"(attempt {chunk.attempts})"
+            )
+            return self._register_failure(chunk, now, err, run)
+        return False
+
+    def _submit(self, pool, chunk, now) -> None:
+        chunk.attempts += 1
+        # attempt is 0-based on the worker side: the chaos hook fires only
+        # on a chunk's first execution unless marked always-on
+        chunk.inflight = pool.apply_async(_run_chunk, ((chunk.bounds, chunk.attempts - 1),))
+        chunk.deadline = (
+            now + self.chunk_timeout if self.chunk_timeout is not None else float("inf")
+        )
+
+    def _register_failure(self, chunk, now, err, run: "_PoolRun") -> bool:
+        """Handle one failed attempt: reschedule with backoff, or degrade.
+
+        Returns True when the chunk is finished (degraded); raises in
+        strict mode once retries are exhausted. The abandoned in-flight
+        result (a hung worker may still deliver it) is dropped — ``fn`` is
+        pure, so a late duplicate could only ever carry identical values.
+        """
+        chunk.inflight = None
+        lo, hi = chunk.bounds
+        if chunk.attempts <= self.retries:
+            obs.add(f"{self.counter_prefix}.retries")
+            backoff = min(self.backoff_s * 2 ** (chunk.attempts - 1), _BACKOFF_CAP_S)
+            chunk.next_submit = now + backoff
+            chunk.deadline = float("inf")
+            return False
+        if self.strict:
+            raise ReproError(
+                f"{self.label} {lo}:{hi} failed after {chunk.attempts} attempt(s): {err}"
+            )
+        obs.add(f"{self.counter_prefix}.chunks_failed")
+        diag.error(
+            self.fail_code,
+            f"tasks {lo}:{hi} degraded to fail_value after {chunk.attempts} "
+            f"attempt(s): {err}",
+        )
+        for i in range(lo, hi):
+            run.values[i] = run.fail_value
+            run.degraded.append(i)
+        return True
+
+
+def _live_pids(pool) -> set[int]:
+    """PIDs of the pool's current workers (best-effort: reads a CPython
+    implementation detail, so any surprise degrades to 'no information')."""
+    try:
+        return {p.pid for p in list(pool._pool) if p.pid is not None}
+    except Exception:
+        return set()

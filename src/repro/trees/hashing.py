@@ -29,3 +29,19 @@ def structural_hash(root: Node) -> str:
             h.update(memo[id(c)].encode())
         memo[id(node)] = h.hexdigest()
     return memo[id(root)]
+
+
+def cached_structural_hash(root: Node) -> str:
+    """Structural hash memoised on the root's attrs (``_shash``).
+
+    Metric-pipeline trees are frozen once built; callers who mutate a tree
+    after it has been hashed must drop the ``_shash`` attr (or rebuild the
+    tree, which is the idiomatic path). Shared by the TED memo, checkpoint
+    task keys and unit-artifact fingerprints so they all agree on tree
+    identity.
+    """
+    h = root.attrs.get("_shash")
+    if h is None:
+        h = structural_hash(root)
+        root.attrs["_shash"] = h
+    return h

@@ -28,6 +28,14 @@ interrupted run's checkpoint and recompute only unfinished work). An
 interrupted run (Ctrl-C or SIGTERM) terminates its workers, flushes cache
 and checkpoint, and names the resumable checkpoint on stderr.
 
+Incremental indexing: subcommands that index (``index``, ``compare``,
+``cluster``, ``heatmap``, ``figures``, ``stats``) persist per-unit index
+artifacts in the shared artifact root (``--cache-dir`` / ``REPRO_CACHE_DIR``
+/ ``.silvervale-cache``) and replay unchanged units from disk on the next
+run — a warm re-index of an unchanged corpus runs zero frontend work.
+``--no-incremental`` opts out; ``--strict`` implies a fresh, serial index.
+``--jobs N`` also fans changed units across worker processes.
+
 Error handling: indexing subcommands run with recovering frontends by
 default — damaged units are quarantined, the run completes, and the
 collected diagnostics are summarised on stderr (exit 0). ``--strict``
@@ -60,8 +68,10 @@ from repro.viz.ascii import (
     ascii_span_tree,
 )
 from repro.util.errors import ReproError
+from repro.artifacts import scan_namespaces
 from repro.workflow.codebasedb import save_codebase_db
 from repro.workflow.comparer import MetricSpec, divergence_matrix, divergence_row
+from repro.workflow.unitstore import UnitArtifactStore
 
 
 def _metric_spec(name: str) -> MetricSpec:
@@ -85,6 +95,36 @@ def _cache_dir_from_args(args: argparse.Namespace) -> str | None:
     if getattr(args, "no_cache", False):
         return None
     return getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def _artifacts_from_args(args: argparse.Namespace) -> UnitArtifactStore | None:
+    """Unit-artifact store for incremental indexing.
+
+    ``--no-incremental`` disables it; otherwise the root is ``--cache-dir``
+    beats ``REPRO_CACHE_DIR`` beats the conventional local directory.
+    ``--no-cache`` only disables the TED cache — incremental indexing has
+    its own switch. An unusable root degrades to non-incremental indexing.
+    """
+    if not getattr(args, "incremental", True) or getattr(args, "strict", False):
+        return None
+    root = (
+        getattr(args, "cache_dir", None)
+        or os.environ.get("REPRO_CACHE_DIR")
+        or ".silvervale-cache"
+    )
+    try:
+        return UnitArtifactStore(root)
+    except OSError:
+        return None
+
+
+def _index_kwargs(args: argparse.Namespace) -> dict:
+    """Keyword arguments shared by every indexing subcommand."""
+    return {
+        "strict": _strict(args),
+        "artifacts": _artifacts_from_args(args),
+        "jobs": getattr(args, "jobs", 1),
+    }
 
 
 def _checkpoint_from_args(args: argparse.Namespace):
@@ -124,7 +164,7 @@ def _strict(args: argparse.Namespace) -> bool:
 
 
 def cmd_index(args: argparse.Namespace) -> int:
-    cb = index_model(args.app, args.model, coverage=args.coverage, strict=_strict(args))
+    cb = index_model(args.app, args.model, coverage=args.coverage, **_index_kwargs(args))
     out = args.output or f"{args.app}-{args.model}.svdb"
     size = save_codebase_db(cb, out)
     print(f"indexed {args.app}/{args.model}: {len(cb.units)} unit(s), {size} bytes -> {out}")
@@ -135,8 +175,9 @@ def cmd_index(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     spec = _metric_spec(args.metric)
-    base = index_model(args.app, args.baseline, coverage=spec.coverage, strict=_strict(args))
-    other = index_model(args.app, args.model, coverage=spec.coverage, strict=_strict(args))
+    kw = _index_kwargs(args)
+    base = index_model(args.app, args.baseline, coverage=spec.coverage, **kw)
+    other = index_model(args.app, args.model, coverage=spec.coverage, **kw)
     # routed through the engine so a configured persistent cache is consulted
     d = divergence_row(base, [other], spec, engine=_engine_from_args(args))[other.model]
     print(f"{args.app}: divergence({args.baseline} -> {args.model}, {spec.label}) = {d:.4f}")
@@ -145,7 +186,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_cluster(args: argparse.Namespace) -> int:
     spec = _metric_spec(args.metric)
-    cbs = index_app(args.app, coverage=spec.coverage, strict=_strict(args))
+    cbs = index_app(args.app, coverage=spec.coverage, **_index_kwargs(args))
     names = list(cbs)
     dend = cluster_codebases(
         [cbs[m] for m in names], names, spec, engine=_engine_from_args(args)
@@ -156,7 +197,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def cmd_heatmap(args: argparse.Namespace) -> int:
-    cbs = index_app(args.app, coverage=True, strict=_strict(args))
+    cbs = index_app(args.app, coverage=True, **_index_kwargs(args))
     baseline = cbs[args.baseline]
     models = [cb for m, cb in cbs.items() if m != args.baseline]
     data = divergence_heatmap(baseline, models, HEATMAP_SPECS, engine=_engine_from_args(args))
@@ -181,7 +222,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     engine = _engine_from_args(args)
-    cbs = index_app(args.app, coverage=True, strict=_strict(args))
+    cbs = index_app(args.app, coverage=True, **_index_kwargs(args))
     names = list(cbs)
     spec = _metric_spec(args.metric)
 
@@ -229,7 +270,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     collector = obs.current_collector()
     assert collector is not None  # installed by main() for this subcommand
     spec = _metric_spec(args.metric)
-    cbs = index_app(args.app, coverage=spec.coverage, strict=_strict(args))
+    cbs = index_app(args.app, coverage=spec.coverage, **_index_kwargs(args))
     names = list(cbs)
     divergence_matrix([cbs[m] for m in names], spec, engine=_engine_from_args(args))
     # process-lifetime cache state rides along as gauges (the window-scoped
@@ -271,19 +312,49 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect (``stats``) or empty (``clear``) the persistent TED cache."""
+    """Inspect (``stats``) or empty (``clear``) the shared artifact root.
+
+    The root holds every artifact namespace side by side — TED cache shards
+    (``ted``), partial-matrix checkpoints (``ckpt``) and per-unit index
+    artifacts (``unit``). ``stats`` keeps the historical top-level TED keys
+    (the CI warm-cache gate reads ``entries``) and adds a ``namespaces``
+    section; ``clear`` empties every namespace unless ``--namespace``
+    narrows it.
+    """
     import json
 
     cache_dir = getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR")
     if not cache_dir:
         print("no cache directory: pass --cache-dir or set REPRO_CACHE_DIR", file=sys.stderr)
         return 2
-    store = TedCacheStore(cache_dir)
+    stores = {
+        "ted": TedCacheStore(cache_dir),
+        "ckpt": CheckpointStore(cache_dir),
+        "unit": UnitArtifactStore(cache_dir),
+    }
     if args.cache_command == "clear":
-        removed = store.clear()
-        print(f"cleared {removed} shard file(s) from {store.root}")
+        namespace = getattr(args, "namespace", None)
+        if namespace:
+            if namespace not in stores:
+                print(
+                    f"unknown namespace {namespace!r}; have {sorted(stores)}",
+                    file=sys.stderr,
+                )
+                return 2
+            removed = stores[namespace].clear()
+            print(f"cleared {removed} {namespace} artifact file(s) from {stores['ted'].root}")
+        else:
+            removed = sum(store.clear() for store in stores.values())
+            print(f"cleared {removed} artifact file(s) from {stores['ted'].root}")
         return 0
-    stats = store.stats()
+    # top-level keys stay the TED shard summary (back-compat contract);
+    # the namespaces section enumerates everything under the root
+    stats = stores["ted"].stats()
+    namespaces = scan_namespaces(cache_dir)
+    for ns, store in stores.items():
+        if ns in namespaces:
+            namespaces[ns]["entries"] = store.stats()["entries"]
+    stats["namespaces"] = namespaces
     if getattr(args, "json", False):
         print(json.dumps(stats, indent=1, sort_keys=True))
         return 0
@@ -294,6 +365,13 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"bytes      : {stats['bytes']}")
     if stats["invalid_shards"]:
         print(f"invalid    : {', '.join(stats['invalid_shards'])} (clear to rebuild)")
+    if namespaces:
+        print("namespaces :")
+        for ns in sorted(namespaces):
+            rec = namespaces[ns]
+            entries = f", {rec['entries']} entr{'y' if rec['entries'] == 1 else 'ies'}" \
+                if "entries" in rec else ""
+            print(f"  {ns:<5} {rec['files']} file(s), {rec['bytes']} bytes{entries}")
     return 0
 
 
@@ -379,13 +457,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="adopt a matching checkpoint from a previous interrupted run and "
         "recompute only unfinished work",
     )
+    gi = eng.add_argument_group("incremental indexing")
+    gi.add_argument(
+        "--incremental",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="replay unchanged units from per-unit index artifacts in the "
+        "cache directory (default: on; --no-incremental re-runs every "
+        "frontend)",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     pa = sub.add_parser("apps", help="list corpus apps and models", parents=[prof])
     pa.set_defaults(fn=cmd_apps)
 
     pi = sub.add_parser(
-        "index", help="index one model port into a Codebase DB", parents=[prof, tol]
+        "index", help="index one model port into a Codebase DB", parents=[prof, eng, tol]
     )
     pi.add_argument("app")
     pi.add_argument("model")
@@ -446,8 +533,13 @@ def build_parser() -> argparse.ArgumentParser:
     pcs.add_argument("--cache-dir", metavar="DIR")
     pcs.add_argument("--json", action="store_true", help="print stats as JSON")
     pcs.set_defaults(fn=cmd_cache)
-    pcc = cache_sub.add_parser("clear", help="delete every cache shard")
+    pcc = cache_sub.add_parser("clear", help="delete artifact files from the cache root")
     pcc.add_argument("--cache-dir", metavar="DIR")
+    pcc.add_argument(
+        "--namespace",
+        metavar="NS",
+        help="clear only one namespace (ted, ckpt or unit; default: all)",
+    )
     pcc.set_defaults(fn=cmd_cache)
     return p
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro import obs
 from repro.distance.engine import DistanceEngine
-from repro.trees.hashing import structural_hash
+from repro.trees.hashing import cached_structural_hash
 from repro.workflow.codebase import IndexedCodebase
 
 #: NaN pair used when a chunk of pair evaluations exhausts its retries in
@@ -119,11 +119,7 @@ def _pair_task(
 
 def _tree_hash(t) -> str:
     """Structural hash with the same root-attr memo the TED layer uses."""
-    h = t.attrs.get("_shash")
-    if h is None:
-        h = structural_hash(t)
-        t.attrs["_shash"] = h
-    return h
+    return cached_structural_hash(t)
 
 
 def codebase_fingerprint(cb: IndexedCodebase, spec: MetricSpec) -> str:

@@ -16,6 +16,16 @@ fails is *quarantined* — it degrades to raw-text SLOC metrics with no
 trees, the failure is reported via :mod:`repro.diag`
 (``index/quarantined`` / ``index/internal-error``), and the rest of the
 codebase indexes normally. ``strict=True`` restores fail-fast behaviour.
+
+Incremental builds: indexing is a pure function of (source content,
+frontend configuration), so each unit's output can be persisted as a
+content-addressed artifact (:mod:`repro.workflow.unitstore`) and replayed
+on the next run. Pass ``artifacts=UnitArtifactStore(...)`` to enable;
+unchanged units load from disk with **zero** lex/parse/sema work
+(``index.unit.hit``), changed units re-index (``index.unit.miss``) and,
+with ``jobs > 1``, fan out across a :class:`repro.parallel.ChunkedPool`.
+Strict mode bypasses the store entirely (fail-fast implies fresh
+frontends) and indexes serially.
 """
 
 from __future__ import annotations
@@ -38,11 +48,14 @@ from repro.lang.fortran.parser import parse_fortran
 from repro.lang.fortran.asttree import fortran_to_tree
 from repro.lang.fortran.lower import lower_fortran
 from repro.lang.source import VirtualFS
+from repro.parallel import ChunkedPool
 from repro.trees.inline import collect_definitions, inline_calls
 from repro.trees.normalize import normalize_names, strip_non_semantic
 from repro.util.errors import ReproError
 from repro.util.timing import timed
 from repro.workflow.codebase import IndexedCodebase, IndexedUnit, ModelSpec
+from repro.workflow.linesummary import LineSummary
+from repro.workflow.unitstore import UnitArtifactStore, load_unit, save_unit, unit_key
 
 _CTRL_KEYWORDS = frozenset({"for", "if", "while", "do", "switch", "case"})
 
@@ -52,13 +65,15 @@ _CTRL_KEYWORDS = frozenset({"for", "if", "while", "do", "switch", "case"})
 # ---------------------------------------------------------------------------
 
 
-def _cpp_sig_lines(tokens: list[Token]) -> dict[str, set[int]]:
-    out: dict[str, set[int]] = {}
+def _cpp_line_summary(tokens: list[Token]) -> LineSummary:
+    """Sig-line sets and normalised lines from one C++ token stream. The
+    tokeniser has no newline tokens, so groups auto-break on (file, line)."""
+    ls = LineSummary(auto_break=True)
     for t in tokens:
         if t.is_trivia or t.type is TokenType.EOF:
             continue
-        out.setdefault(t.file, set()).add(t.line)
-    return out
+        ls.feed(t.file, t.line, t.text)
+    return ls.finish()
 
 
 def _cpp_lloc(tokens: list[Token]) -> int:
@@ -76,29 +91,6 @@ def _cpp_lloc(tokens: list[Token]) -> int:
         elif t.type is TokenType.DIRECTIVE:
             ctrl += 1  # a retained pragma is one logical line
     return max(semis - 2 * fors + ctrl, 0)
-
-
-def _cpp_norm_lines(tokens: list[Token]) -> tuple[list[str], list[tuple[str, int]]]:
-    """Whitespace/comment-normalised text lines with (file, line) tags."""
-    lines: list[str] = []
-    tags: list[tuple[str, int]] = []
-    cur_key: Optional[tuple[str, int]] = None
-    cur: list[str] = []
-    for t in tokens:
-        if t.is_trivia or t.type is TokenType.EOF:
-            continue
-        key = (t.file, t.line)
-        if key != cur_key:
-            if cur:
-                lines.append(" ".join(cur))
-                tags.append(cur_key)  # type: ignore[arg-type]
-            cur = []
-            cur_key = key
-        cur.append(t.text)
-    if cur and cur_key is not None:
-        lines.append(" ".join(cur))
-        tags.append(cur_key)
-    return lines, tags
 
 
 @timed("index.cpp")
@@ -127,13 +119,15 @@ def index_cpp_unit(
             toks = lex(fs.get(f).text, f, tolerant=recover)
             pre_tokens.extend(toks)
             unit.lloc_pre[f] = _cpp_lloc(toks)
-    unit.sig_lines_pre = _cpp_sig_lines(pre_tokens)
-    unit.source_lines_pre, unit.source_tags_pre = _cpp_norm_lines(pre_tokens)
+    pre = _cpp_line_summary(pre_tokens)
+    unit.sig_lines_pre = pre.sig
+    unit.source_lines_pre, unit.source_tags_pre = pre.lines, pre.tags
 
     # post-preprocessor
-    unit.sig_lines_post = _cpp_sig_lines(pp.tokens)
+    post = _cpp_line_summary(pp.tokens)
+    unit.sig_lines_post = post.sig
     unit.lloc_post[path] = _cpp_lloc(pp.tokens)
-    unit.source_lines_post, unit.source_tags_post = _cpp_norm_lines(pp.tokens)
+    unit.source_lines_post, unit.source_tags_post = post.lines, post.tags
 
     # trees
     with obs.span("trees.src", path=path):
@@ -174,34 +168,25 @@ def index_fortran_unit(fs: VirtualFS, role: str, path: str, recover: bool = Fals
     text = fs.get(path).text
     with obs.span("lex", path=path):
         toks = lex_fortran(text, path, tolerant=recover)
-    sig: dict[str, set[int]] = {}
-    lloc = 0
-    lines: list[str] = []
-    tags: list[tuple[str, int]] = []
-    cur: list[str] = []
-    cur_line = 0
+    # explicit NEWLINE/EOF tokens delimit logical lines, so the summary
+    # groups on break_line() rather than (file, line) changes
+    ls = LineSummary(auto_break=False)
     for t in toks:
         if t.type is FtTokenType.COMMENT:
             continue
         if t.type in (FtTokenType.NEWLINE, FtTokenType.EOF):
-            if cur:
-                lloc += 1
-                lines.append(" ".join(cur))
-                tags.append((path, cur_line))
-                cur = []
+            ls.break_line()
             continue
-        sig.setdefault(t.file, set()).add(t.line)
-        if not cur:
-            cur_line = t.line
-        cur.append(t.text)
-    unit.sig_lines_pre = sig
-    unit.sig_lines_post = {f: set(ls) for f, ls in sig.items()}
-    unit.lloc_pre[path] = lloc
-    unit.lloc_post[path] = lloc
-    unit.source_lines_pre = lines
-    unit.source_tags_pre = tags
-    unit.source_lines_post = list(lines)
-    unit.source_tags_post = list(tags)
+        ls.feed(t.file, t.line, t.text)
+    ls.finish()
+    unit.sig_lines_pre = ls.sig
+    unit.sig_lines_post = {f: set(lines) for f, lines in ls.sig.items()}
+    unit.lloc_pre[path] = len(ls.lines)
+    unit.lloc_post[path] = len(ls.lines)
+    unit.source_lines_pre = ls.lines
+    unit.source_tags_pre = ls.tags
+    unit.source_lines_post = list(ls.lines)
+    unit.source_tags_post = list(ls.tags)
 
     with obs.span("trees.src", path=path):
         cst = fortran_cst(text, path, tolerant=recover)
@@ -233,28 +218,109 @@ def _fortran_static_profile(spec: ModelSpec, units: dict[str, IndexedUnit]) -> C
     return profile
 
 
-def _fortran_coverage(cb: IndexedCodebase) -> CoverageProfile:
-    """Real interpreted run where possible; static profile otherwise."""
+# ---------------------------------------------------------------------------
+# per-unit coverage records
+# ---------------------------------------------------------------------------
+#
+# The verification run is part of the per-unit pass (it only needs that
+# unit's frontend handles), recorded as a plain-data "covrec" so it can ride
+# inside the unit's persisted artifact. The codebase-level coverage profile
+# and run value are then *merged* from the covrecs — identically whether a
+# unit was freshly indexed or replayed from disk.
+
+
+def _record_hits(hits) -> list[list]:
+    return [[f, ln, c] for (f, ln), c in hits.items()]
+
+
+def _cpp_coverage_record(unit: IndexedUnit, spec: ModelSpec) -> Optional[dict]:
+    fe = unit.__dict__.get("_frontend")
+    if not fe or spec.entry is None:
+        return None
+    sema = fe["sema"]
+    entry_fn = sema.functions.get(spec.entry)
+    if entry_fn is None or entry_fn.body is None:
+        return None
+    rec: dict = {"attempted": True, "failed": None, "value": None, "hits": []}
+    try:
+        result = run_program(fe["tu"], sema, spec.entry)
+    except ReproError as e:
+        # the program may call across translation units the per-TU
+        # interpreter cannot link; index without coverage rather than
+        # failing the whole step
+        rec["failed"] = f"coverage run failed: {e}"
+        return rec
+    if isinstance(result.value, (int, float, str)):
+        rec["value"] = result.value
+    rec["hits"] = _record_hits(profile_from_run(result).hits)
+    return rec
+
+
+def _fortran_coverage_record(unit: IndexedUnit) -> Optional[dict]:
     from repro.exec.ft_interpreter import run_fortran
 
-    profile = CoverageProfile()
-    ran = False
-    for unit in cb.units.values():
-        fe = unit.__dict__.get("_frontend")
-        if not fe or "ftfile" not in fe:
+    fe = unit.__dict__.get("_frontend")
+    if not fe or "ftfile" not in fe:
+        return None
+    rec: dict = {"attempted": True, "failed": None, "value": None, "hits": []}
+    try:
+        result = run_fortran(fe["ftfile"])
+    except ReproError as e:
+        rec["failed"] = f"coverage run failed: {e}"
+        return rec
+    if isinstance(result.value, (int, float, str)):
+        rec["value"] = result.value
+    rec["hits"] = _record_hits(result.coverage)
+    return rec
+
+
+def _unit_coverage(unit: IndexedUnit, spec: ModelSpec, run_coverage: bool) -> Optional[dict]:
+    if not run_coverage:
+        return None
+    if spec.lang == "fortran":
+        return _fortran_coverage_record(unit)
+    return _cpp_coverage_record(unit, spec)
+
+
+def _merge_coverage(cb: IndexedCodebase, spec: ModelSpec, covrecs: dict) -> None:
+    """Replay the per-unit coverage records into the codebase profile.
+
+    Preserves the historical semantics exactly: C++ uses the first unit
+    whose entry point was runnable (a failed run leaves ``coverage`` unset);
+    Fortran accumulates every runnable unit and falls back to the static
+    all-statements profile when none ran.
+    """
+    if spec.lang == "fortran":
+        profile = CoverageProfile()
+        ran = False
+        for role in sorted(cb.units):
+            rec = covrecs.get(role)
+            if not rec or not rec.get("attempted"):
+                continue
+            if rec.get("failed"):
+                cb.run_value = rec["failed"]
+                continue
+            cb.run_value = rec.get("value")
+            for f, ln, c in rec.get("hits", []):
+                profile.hits[(f, ln)] += c
+            ran = True
+        cb.coverage = profile if ran else _fortran_static_profile(cb.spec, cb.units)
+        return
+    if spec.entry is None:
+        return
+    for role in sorted(cb.units):
+        rec = covrecs.get(role)
+        if not rec or not rec.get("attempted"):
             continue
-        try:
-            result = run_fortran(fe["ftfile"])
-        except ReproError as e:
-            cb.run_value = f"coverage run failed: {e}"
-            continue
-        cb.run_value = result.value
-        for key, c in result.coverage.items():
-            profile.hits[key] += c
-        ran = True
-    if not ran:
-        return _fortran_static_profile(cb.spec, cb.units)
-    return profile
+        if rec.get("failed"):
+            cb.run_value = rec["failed"]
+        else:
+            cb.run_value = rec.get("value")
+            profile = CoverageProfile()
+            for f, ln, c in rec.get("hits", []):
+                profile.hits[(f, ln)] += c
+            cb.coverage = profile
+        break
 
 
 # ---------------------------------------------------------------------------
@@ -302,11 +368,83 @@ def _degraded_unit(fs: VirtualFS, role: str, path: str) -> IndexedUnit:
     return unit
 
 
+def _front_unit(
+    spec: ModelSpec,
+    fs: VirtualFS,
+    options: CompileOptions,
+    role: str,
+    path: str,
+    recover: bool,
+) -> IndexedUnit:
+    if spec.lang == "cpp":
+        return index_cpp_unit(fs, role, path, options, spec.defines, recover=recover)
+    return index_fortran_unit(fs, role, path, recover=recover)
+
+
+def _make_unit_worker(spec: ModelSpec, fs: VirtualFS, options: CompileOptions, run_coverage: bool):
+    """Self-contained per-unit pass: front, run coverage, quarantine on
+    failure. Diagnostics are captured and returned alongside the unit so
+    the parent can replay them into its own sink (essential when the pass
+    runs in a pool worker, and harmless in-process)."""
+
+    def work(task: tuple[str, str]):
+        role, path = task
+        with diag.capture() as sink:
+            try:
+                unit = _front_unit(spec, fs, options, role, path, recover=True)
+                covrec = _unit_coverage(unit, spec, run_coverage)
+            except ReproError as e:
+                diag.emit_exception("index/quarantined", e)
+                diag.note(
+                    "index/quarantined",
+                    f"unit {role!r} degraded to SLOC-only metrics",
+                    path,
+                )
+                unit, covrec = _degraded_unit(fs, role, path), None
+            except Exception as e:  # noqa: BLE001 — quarantine wall: an
+                # unexpected frontend bug must degrade the unit, not kill
+                # the whole run; the type name keeps it debuggable.
+                diag.error(
+                    "index/internal-error",
+                    f"{type(e).__name__} while indexing unit {role!r}: {e}",
+                    path,
+                )
+                unit, covrec = _degraded_unit(fs, role, path), None
+            # the tu/sema/ftfile handles served the coverage run above and
+            # must not cross the process boundary (or reach an artifact)
+            unit.__dict__.pop("_frontend", None)
+        return unit, covrec, list(sink.diagnostics)
+
+    return work
+
+
+def _absorb_result(fs: VirtualFS, role: str, path: str, res):
+    """Integrate one worker result; returns (unit, covrec, pristine)."""
+    if res is None:  # pool chunk exhausted its retries (worker death etc.)
+        diag.error(
+            "index/internal-error",
+            f"worker failed while indexing unit {role!r}",
+            path,
+        )
+        return _degraded_unit(fs, role, path), None, False
+    unit, covrec, diags = res
+    sink = diag.current_sink()
+    if sink is not None:
+        for d in diags:
+            # direct sink append: the diag.<severity> counters were already
+            # bumped where the diagnostic was emitted (and merged from pool
+            # workers), so routing through diag.emit would double-count
+            sink.emit(d)
+    return unit, covrec, not diags and not unit.degraded
+
+
 def index_codebase(
     spec: ModelSpec,
     fs: VirtualFS,
     run_coverage: bool = False,
     strict: bool = False,
+    artifacts: Optional[UnitArtifactStore] = None,
+    jobs: int = 1,
 ) -> IndexedCodebase:
     """Index every unit of one model port; optionally run for coverage.
 
@@ -314,77 +452,78 @@ def index_codebase(
     frontend still raises is quarantined into a SLOC-only degraded unit,
     with the failure reported through :mod:`repro.diag`. ``strict=True``
     disables recovery and re-raises the first failure.
+
+    With ``artifacts`` set (and not strict), unchanged units replay from
+    the store (``index.unit.hit``) and only changed units re-run their
+    frontends; freshly indexed units that produced no diagnostics are
+    persisted back. ``jobs > 1`` fans the misses across worker processes.
     """
     cb = IndexedCodebase(spec=spec, fs=fs)
     options = CompileOptions(dialect=spec.dialect, openmp=spec.openmp, name=spec.model)
+    recover = not strict
+    store = artifacts if (artifacts is not None and not strict) else None
+    covrecs: dict[str, Optional[dict]] = {}
     with obs.span("index.codebase", app=spec.app, model=spec.model):
-        for role, path in sorted(spec.units.items()):
+        roles = sorted(spec.units.items())
+        for role, path in roles:
             if spec.lang not in ("cpp", "fortran"):
                 raise ReproError(
                     f"unknown language {spec.lang!r} for unit {role!r} ({path}) "
                     f"in spec {spec.app}/{spec.model}"
                 )
-            try:
-                if spec.lang == "cpp":
-                    cb.units[role] = index_cpp_unit(
-                        fs, role, path, options, spec.defines, recover=not strict
-                    )
-                else:
-                    cb.units[role] = index_fortran_unit(fs, role, path, recover=not strict)
-            except ReproError as e:
-                if strict:
-                    raise
-                diag.emit_exception("index/quarantined", e)
-                diag.note(
-                    "index/quarantined",
-                    f"unit {role!r} degraded to SLOC-only metrics",
-                    path,
+        units: dict[str, IndexedUnit] = {}
+        keys: dict[str, Optional[str]] = {}
+        misses: list[tuple[str, str]] = []
+        for role, path in roles:
+            key = (
+                unit_key(spec, fs, role, path, recover=recover, coverage=run_coverage)
+                if store is not None
+                else None
+            )
+            keys[role] = key
+            hit = load_unit(store, key, fs) if key is not None else None
+            if hit is not None:
+                units[role], covrecs[role] = hit
+                obs.add("index.unit.hit")
+            else:
+                if store is not None:
+                    obs.add("index.unit.miss")
+                misses.append((role, path))
+        if misses and strict:
+            for role, path in misses:
+                unit = _front_unit(spec, fs, options, role, path, recover=False)
+                covrecs[role] = _unit_coverage(unit, spec, run_coverage)
+                unit.__dict__.pop("_frontend", None)
+                units[role] = unit
+        elif misses:
+            worker = _make_unit_worker(spec, fs, options, run_coverage)
+            if jobs > 1 and len(misses) > 1:
+                pool = ChunkedPool(
+                    jobs=jobs,
+                    chunk_size=1,
+                    counter_prefix="index.pool",
+                    label="index chunk",
+                    fail_code="index/chunk-failed",
                 )
-                cb.units[role] = _degraded_unit(fs, role, path)
-            except Exception as e:  # noqa: BLE001 — quarantine wall: an
-                # unexpected frontend bug must degrade the unit, not kill
-                # the whole run; the type name keeps it debuggable.
-                if strict:
-                    raise
-                diag.error(
-                    "index/internal-error",
-                    f"{type(e).__name__} while indexing unit {role!r}: {e}",
-                    path,
-                )
-                cb.units[role] = _degraded_unit(fs, role, path)
+                results = pool.run(worker, misses, fail_value=None).values
+            else:
+                results = [worker(t) for t in misses]
+            for (role, path), res in zip(misses, results):
+                unit, covrec, pristine = _absorb_result(fs, role, path, res)
+                units[role] = unit
+                covrecs[role] = covrec
+                key = keys.get(role)
+                if store is not None and key is not None and pristine:
+                    try:
+                        save_unit(store, key, unit, covrec, fs)
+                    except (OSError, ReproError) as e:
+                        diag.warning(
+                            "index/artifact-write-failed",
+                            f"could not persist unit artifact: {e}",
+                            path,
+                        )
+        cb.units = {role: units[role] for role, _ in roles}
     if run_coverage:
         with obs.span("coverage", app=spec.app, model=spec.model):
-            _run_coverage(cb, spec)
+            _merge_coverage(cb, spec, covrecs)
     return cb
-
-
-def _run_coverage(cb: IndexedCodebase, spec: ModelSpec) -> None:
-    """The optional coverage-run step, split out so it traces as one span."""
-    if spec.lang == "fortran":
-        cb.coverage = _fortran_coverage(cb)
-        return
-    if spec.entry is None:
-        return
-    profile = CoverageProfile()
-    ran = False
-    for unit in cb.units.values():
-        fe = unit.__dict__.get("_frontend")
-        if not fe:
-            continue
-        sema = fe["sema"]
-        entry_fn = sema.functions.get(spec.entry)
-        if entry_fn is not None and entry_fn.body is not None:
-            try:
-                result = run_program(fe["tu"], sema, spec.entry)
-            except ReproError as e:
-                # the program may call across translation units the
-                # per-TU interpreter cannot link; index without
-                # coverage rather than failing the whole step
-                cb.run_value = f"coverage run failed: {e}"
-                break
-            cb.run_value = result.value
-            profile = profile_from_run(result)
-            ran = True
-            break
-    if ran:
-        cb.coverage = profile

@@ -1,0 +1,61 @@
+"""Token-stream line summaries shared by the C++ and Fortran indexers.
+
+Both frontends reduce a token stream to the same three line
+representations (Fig. 3 of the paper):
+
+* ``sig`` — file → significant (code-bearing) line numbers,
+* ``lines`` — whitespace/comment-normalised token text per logical line,
+* ``tags`` — the ``(file, line)`` origin of each normalised line.
+
+They differ only in how logical lines are delimited: the C++ tokeniser
+carries no newline tokens, so a new ``(file, line)`` key starts a new
+group (``auto_break=True``); the Fortran tokeniser has explicit
+``NEWLINE``/``EOF`` tokens, so the indexer calls :meth:`break_line`
+itself (``auto_break=False``) and reads the statement count back as
+``len(summary.lines)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LineSummary:
+    """Accumulates line representations from one significant-token stream.
+
+    Feed only semantic-bearing tokens (no trivia, comments or EOF); call
+    :meth:`finish` once to flush the trailing group.
+    """
+
+    def __init__(self, auto_break: bool = True) -> None:
+        self.auto_break = auto_break
+        #: file -> set of significant line numbers
+        self.sig: dict[str, set[int]] = {}
+        #: normalised token text, one entry per logical line group
+        self.lines: list[str] = []
+        #: (file, line) of each group's first token, aligned with ``lines``
+        self.tags: list[tuple[str, int]] = []
+        self._cur: list[str] = []
+        self._tag: Optional[tuple[str, int]] = None
+
+    def feed(self, file: str, line: int, text: str) -> None:
+        """Add one significant token at ``(file, line)``."""
+        self.sig.setdefault(file, set()).add(line)
+        key = (file, line)
+        if self.auto_break and self._cur and key != self._tag:
+            self.break_line()
+        if not self._cur:
+            self._tag = key
+        self._cur.append(text)
+
+    def break_line(self) -> None:
+        """Close the current group (explicit delimiter, e.g. a NEWLINE)."""
+        if self._cur and self._tag is not None:
+            self.lines.append(" ".join(self._cur))
+            self.tags.append(self._tag)
+            self._cur = []
+
+    def finish(self) -> "LineSummary":
+        """Flush the trailing group; returns self for chaining."""
+        self.break_line()
+        return self

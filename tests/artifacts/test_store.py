@@ -1,0 +1,146 @@
+"""Generic artifact-layer tests: namespacing, version stamps, lenient loads.
+
+The concrete stores (TED cache, checkpoints, unit artifacts) have their own
+suites; these tests pin the shared contract every namespace relies on.
+"""
+
+import pytest
+
+from repro import obs
+from repro.artifacts import ArtifactStore, BlobStore, ShardMapStore, scan_namespaces
+from repro.serde.container import write_blob
+from repro.util.errors import SerdeError
+
+
+class ToyShards(ShardMapStore):
+    NAMESPACE = "toy"
+    SCHEMA = "repro.toy/v1"
+    KEY_SPEC = "toy:v1"
+    DESCRIPTION = "toy shard"
+    KIND = "toy"
+    INVALID_COUNTER = "toy.invalid"
+
+
+class ToyBlobs(BlobStore):
+    NAMESPACE = "blob"
+    SCHEMA = "repro.blob/v1"
+    KEY_SPEC = "blob:v1"
+    DESCRIPTION = "toy blob"
+    KIND = "blob"
+    INVALID_COUNTER = "blob.invalid"
+    SAVED_COUNTER = "blob.saved"
+
+
+class TestNamespacing:
+    def test_files_carry_namespace_prefix(self, tmp_path):
+        shards = ToyShards(tmp_path)
+        shards.put("ab12", 1.0)
+        shards.flush()
+        blobs = ToyBlobs(tmp_path)
+        blobs.save("deadbeef", {"x": 1})
+        names = sorted(p.name for p in tmp_path.glob("*.svc"))
+        assert names == ["blob-deadbeef.svc", "toy-ab.svc"]
+
+    def test_namespaces_do_not_interfere(self, tmp_path):
+        ToyShards(tmp_path).put("ab", 1.0)
+        store = ToyShards(tmp_path)
+        store.put("ab12", 2.0)
+        store.flush()
+        blobs = ToyBlobs(tmp_path)
+        blobs.save("ab", {"x": 1})
+        assert store.get("ab12") == 2.0
+        assert blobs.load("ab") == {"x": 1}
+        assert blobs.keys() == ["ab"]
+        assert store._shard_ids_on_disk() == ["ab"]
+
+    def test_scan_namespaces_groups_by_prefix(self, tmp_path):
+        ToyBlobs(tmp_path).save("k1", {"a": 1})
+        ToyBlobs(tmp_path).save("k2", {"a": 2})
+        s = ToyShards(tmp_path)
+        s.put("ab12", 1.0)
+        s.flush()
+        (tmp_path / "unrelated.txt").write_text("ignored")
+        (tmp_path / "noprefix.svc").write_bytes(b"ignored: no namespace dash")
+        out = scan_namespaces(tmp_path)
+        assert set(out) == {"blob", "toy"}
+        assert out["blob"]["files"] == 2
+        assert out["toy"]["files"] == 1
+        assert out["blob"]["bytes"] > 0
+
+    def test_scan_missing_root_is_empty(self, tmp_path):
+        assert scan_namespaces(tmp_path / "nope") == {}
+
+
+class TestVersionStamps:
+    def test_schema_mismatch_is_strict_error(self, tmp_path):
+        path = ToyShards(tmp_path).shard_path("ab")
+        write_blob(path, {"schema": "other/v9", "keyspec": "toy:v1", "entries": {}})
+        with pytest.raises(SerdeError, match="schema"):
+            ToyShards(tmp_path).read_shard("ab")
+
+    def test_keyspec_mismatch_is_strict_error(self, tmp_path):
+        store = ToyShards(tmp_path)
+        store.put("ab12", 1.0)
+        store.flush()
+        with pytest.raises(SerdeError, match="keyspec"):
+            ToyShards(tmp_path, keyspec="toy:v2").read_shard("ab")
+
+    def test_foreign_file_is_strict_error(self, tmp_path):
+        path = ToyShards(tmp_path).shard_path("ab")
+        path.write_bytes(b"not a container at all")
+        with pytest.raises(SerdeError):
+            ToyShards(tmp_path).read_shard("ab")
+
+    def test_lenient_load_counts_and_continues(self, tmp_path):
+        store = ToyShards(tmp_path)
+        store.shard_path("ab").write_bytes(b"junk")
+        with obs.collect() as col:
+            assert store.get("ab12") is None
+        assert col.counters["toy.invalid"] == 1
+
+    def test_blob_key_mismatch_is_lenient_miss(self, tmp_path):
+        blobs = ToyBlobs(tmp_path)
+        blobs.save("realkey", {"x": 1})
+        # rename the artifact into the wrong identity
+        blobs.path_for("realkey").rename(blobs.path_for("stolen"))
+        with obs.collect() as col:
+            assert blobs.load("stolen") == {}
+        assert col.counters["blob.invalid"] == 1
+
+
+class TestBlobStore:
+    def test_roundtrip_and_delete(self, tmp_path):
+        blobs = ToyBlobs(tmp_path)
+        with obs.collect() as col:
+            blobs.save("k", {"v": [1, 2, 3]})
+        assert col.counters["blob.saved"] == 1
+        assert blobs.load("k") == {"v": [1, 2, 3]}
+        blobs.delete("k")
+        assert blobs.load("k") == {}
+        blobs.delete("k")  # idempotent
+
+    def test_stats_and_clear(self, tmp_path):
+        blobs = ToyBlobs(tmp_path)
+        blobs.save("a", {"x": 1})
+        blobs.save("b", {"x": 2})
+        blobs.path_for("b").write_bytes(b"corrupt")
+        stats = blobs.stats()
+        assert stats["files"] == 2
+        assert stats["entries"] == 1
+        assert stats["invalid"] == ["b"]
+        assert blobs.clear() == 2
+        assert blobs.keys() == []
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        blobs = ToyBlobs(tmp_path)
+        blobs.save("k", {"x": 1})
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestDefaults:
+    def test_base_store_has_uncounted_invalid(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with obs.collect() as col:
+            store._count_invalid()
+        assert col.counters == {}

@@ -6,9 +6,29 @@ codebases are session-scoped and cached through the corpus registry.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.corpus import index_model
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _artifact_root_env(tmp_path_factory):
+    """Point the CLI's artifact root at a session tmp dir.
+
+    Indexing subcommands default to a ``.silvervale-cache`` directory in the
+    cwd; a session-scoped override keeps test runs from polluting the
+    working tree and from warm-starting off a previous session's artifacts.
+    Tests that pin the resolution order still monkeypatch per-test.
+    """
+    prev = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("artifact-root"))
+    yield
+    if prev is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prev
 
 
 @pytest.fixture(scope="session")

@@ -6,9 +6,10 @@ import pytest
 
 from repro import obs
 from repro.ckpt import CheckpointStore
-from repro.distance import engine as engine_mod
-from repro.distance.engine import DistanceEngine, _run_chunk, _worker_init
+from repro.distance.engine import DistanceEngine, _make_worker_setup
 from repro.distance.ted import get_disk_cache, set_disk_cache
+from repro.parallel import pool as pool_mod
+from repro.parallel.pool import _run_chunk, _worker_init
 from repro.trees import from_sexpr
 
 
@@ -187,46 +188,52 @@ class TestCheckpointResume:
         assert store.run_keys() == []
 
 
+def _stage(setup=None, init_counter="engine.worker_init_errors"):
+    return {
+        "fn": _square,
+        "tasks": TASKS,
+        "setup": setup,
+        "teardown": None,
+        "init_counter": init_counter,
+    }
+
+
 class TestWorkerInitDegrade:
     """Direct coverage of the `_worker_init` degrade path: a broken stage or
     cache must leave the worker cache-off and flagged, never raise."""
 
     @pytest.fixture(autouse=True)
     def _restore_state(self):
-        prev_stage = engine_mod._STAGE
+        prev_stage = pool_mod._STAGE
         prev_cache = get_disk_cache()
         yield
-        engine_mod._STAGE = prev_stage
-        engine_mod._INIT_FAILED = False
+        pool_mod._STAGE = prev_stage
+        pool_mod._INIT_FAILED = False
         set_disk_cache(prev_cache)
 
     def test_missing_stage_degrades_and_flags(self):
-        engine_mod._STAGE = None
+        pool_mod._STAGE = None
         _worker_init()
-        assert engine_mod._INIT_FAILED is True
-        assert get_disk_cache() is None
+        assert pool_mod._INIT_FAILED is True
 
     def test_unusable_cache_root_degrades_and_flags(self, tmp_path):
         blocker = tmp_path / "not-a-dir"
         blocker.write_text("file where the cache dir should be")
-        engine_mod._STAGE = {
-            "fn": _square,
-            "tasks": TASKS,
-            "cache_root": str(blocker / "cache"),
-        }
+        pool_mod._STAGE = _stage(setup=_make_worker_setup(str(blocker / "cache")))
         _worker_init()
-        assert engine_mod._INIT_FAILED is True
+        assert pool_mod._INIT_FAILED is True
         assert get_disk_cache() is None
 
     def test_healthy_init_without_cache(self):
-        engine_mod._STAGE = {"fn": _square, "tasks": TASKS, "cache_root": None}
+        pool_mod._STAGE = _stage(setup=_make_worker_setup(None))
         _worker_init()
-        assert engine_mod._INIT_FAILED is False
+        assert pool_mod._INIT_FAILED is False
+        assert get_disk_cache() is None
 
     def test_degraded_worker_counts_in_next_chunk(self):
-        engine_mod._STAGE = None
+        pool_mod._STAGE = None
         _worker_init()  # sets _INIT_FAILED
-        engine_mod._STAGE = {"fn": _square, "tasks": TASKS, "cache_root": None}
+        pool_mod._STAGE = _stage()
         out, counters = _run_chunk(((0, 3), 0))
         assert out == [0, 1, 4]
         assert counters["engine.worker_init_errors"] == 1

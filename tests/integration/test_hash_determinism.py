@@ -1,0 +1,73 @@
+"""Cross-process hash determinism.
+
+Every persisted artifact key (structural hashes in the TED cache, unit
+artifact keys, checkpoint run keys) must be identical across interpreter
+invocations regardless of ``PYTHONHASHSEED`` — otherwise a warm cache from
+one run would be invisible to the next. All key paths are built on sha256
+over explicitly ordered inputs; this test pins that by actually running two
+subprocesses with different hash seeds.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = """
+import json
+
+from repro.ckpt.store import run_key_for
+from repro.lang.source import VirtualFS
+from repro.trees.hashing import structural_hash
+from repro.trees.node import Node
+from repro.workflow.codebase import ModelSpec
+from repro.workflow.unitstore import unit_key
+
+tree = Node("root", "decl", [
+    Node("call", "expr", [Node("var", "expr"), Node("lit", "expr")]),
+    Node("ret", "stmt"),
+])
+
+fs = VirtualFS()
+fs.add("main.cpp", "int main() { return 0; }\\n")
+fs.add("util.h", "int u();\\n")
+spec = ModelSpec(
+    app="a", model="m", lang="cpp",
+    units={"main": "main.cpp"},
+    defines={"B": "2", "A": "1"},
+)
+
+print(json.dumps({
+    "tree": structural_hash(tree),
+    "unit": unit_key(spec, fs, "main", "main.cpp", recover=True, coverage=False),
+    "run": run_key_for(["k1", "k2", "k3"]),
+}))
+"""
+
+
+def _keys_with_seed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_keys_stable_across_hash_seeds():
+    a = _keys_with_seed("0")
+    b = _keys_with_seed("1")
+    c = _keys_with_seed("424242")
+    assert a == b == c
+    # and non-trivial: all three key kinds present and distinct
+    import json
+
+    keys = json.loads(a)
+    assert len({keys["tree"], keys["unit"], keys["run"]}) == 3
+    assert all(v for v in keys.values())

@@ -1,0 +1,119 @@
+"""ChunkedPool behaviour independent of the distance engine.
+
+The engine suite covers checkpoint/cache integration and the chaos
+harness covers worker deaths/hangs; these tests pin the reusable pool
+contract: ordering, counter prefixes, degrade-vs-strict failure handling
+and argument validation.
+"""
+
+import pytest
+
+from repro import diag, obs
+from repro.parallel import ChunkedPool, PoolResult
+from repro.util.errors import ReproError
+
+
+def _square(x):
+    return x * x
+
+
+def _count_and_square(x):
+    obs.add("pooltest.calls")
+    return x * x
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError("task three always fails")
+    return x * x
+
+
+class TestSerial:
+    def test_empty_tasks(self):
+        res = ChunkedPool().run(_square, [])
+        assert isinstance(res, PoolResult)
+        assert res.values == [] and res.degraded == [] and res.parallel is False
+
+    def test_preserves_order_and_reports_serial(self):
+        res = ChunkedPool(jobs=1).run(_square, [3, 1, 2])
+        assert res.values == [9, 1, 4]
+        assert res.parallel is False
+
+    def test_on_result_called_in_order(self):
+        seen = []
+        ChunkedPool().run(_square, [1, 2, 3], on_result=lambda i, v: seen.append((i, v)))
+        assert seen == [(0, 1), (1, 4), (2, 9)]
+
+    def test_custom_prefix_gauges_workers(self):
+        with obs.collect() as col:
+            ChunkedPool(counter_prefix="myindex").run(_square, [1, 2])
+        assert col.gauges["myindex.workers"] == 1
+        assert "myindex.chunks" not in col.counters
+
+
+class TestParallel:
+    def test_matches_serial(self):
+        tasks = list(range(23))
+        serial = ChunkedPool(jobs=1).run(_square, tasks).values
+        parallel = ChunkedPool(jobs=2, chunk_size=3).run(_square, tasks).values
+        assert parallel == serial
+
+    def test_prefix_applies_to_all_counters(self):
+        with obs.collect() as col:
+            res = ChunkedPool(jobs=2, chunk_size=2, counter_prefix="myindex").run(
+                _square, list(range(10))
+            )
+        assert res.parallel is True
+        assert col.counters["myindex.chunks"] == 5
+        assert col.gauges["myindex.workers"] == 2
+
+    def test_worker_counters_merge_into_parent(self):
+        with obs.collect() as col:
+            ChunkedPool(jobs=2, chunk_size=2).run(_count_and_square, list(range(8)))
+        assert col.counters["pooltest.calls"] == 8
+
+    def test_on_result_covers_every_index(self):
+        seen = {}
+        ChunkedPool(jobs=2, chunk_size=1).run(
+            _square, [1, 2, 3, 4], on_result=lambda i, v: seen.setdefault(i, v)
+        )
+        assert seen == {0: 1, 1: 4, 2: 9, 3: 16}
+
+
+class TestFailureHandling:
+    def test_degrades_to_fail_value_with_custom_code(self):
+        pool = ChunkedPool(
+            jobs=2,
+            chunk_size=1,
+            retries=1,
+            backoff_s=0.0,
+            counter_prefix="myindex",
+            label="my chunk",
+            fail_code="mytest/chunk-failed",
+        )
+        with diag.capture() as sink, obs.collect() as col:
+            res = pool.run(_explode_on_three, [1, 2, 3, 4], fail_value=-1.0)
+        assert res.values == [1, 4, -1.0, 16]
+        assert res.degraded == [2]
+        assert sink.by_code().get("mytest/chunk-failed") == 1
+        assert col.counters["myindex.retries"] >= 1
+        assert col.counters["myindex.chunks_failed"] == 1
+
+    def test_strict_raises_with_label(self):
+        pool = ChunkedPool(
+            jobs=2, chunk_size=1, retries=0, backoff_s=0.0, strict=True, label="my chunk"
+        )
+        with pytest.raises(ReproError, match="my chunk"):
+            pool.run(_explode_on_three, [1, 2, 3, 4])
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            ChunkedPool(jobs=0)
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            ChunkedPool(chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_timeout must be > 0"):
+            ChunkedPool(chunk_timeout=0.0)
+        with pytest.raises(ValueError, match="retries must be >= 0"):
+            ChunkedPool(retries=-1)
