@@ -19,13 +19,13 @@ Usage: PYTHONPATH=src python benchmarks/bench_regression.py [--out BENCH_pr.json
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
 from pathlib import Path
 
 from repro import obs
+from repro.obs import ledger as runledger
 from repro.cache import TedCacheStore
 from repro.corpus import index_app
 from repro.corpus.registry import app_models, build_fs, get_spec
@@ -58,7 +58,13 @@ def run_case(name: str, codebases, engine: DistanceEngine) -> dict:
     wall = time.perf_counter() - t0
     counters = {k: col.counters.get(k, 0) for k in COUNTER_KEYS}
     print(f"{name:14s} {wall:7.3f}s  " + "  ".join(f"{k}={counters[k]:g}" for k in COUNTER_KEYS))
-    return {"name": name, "wall_s": wall, "counters": counters, "checksum": float(matrix.sum())}
+    return {
+        "name": name,
+        "wall_s": wall,
+        "counters": counters,
+        "checksum": float(matrix.sum()),
+        "metrics": obs.metrics_json(col),
+    }
 
 
 def run_index_case(name: str, store) -> dict:
@@ -77,13 +83,19 @@ def run_index_case(name: str, store) -> dict:
         for k in ("index.units", "index.unit.hit", "index.unit.miss")
     }
     print(f"{name:14s} {wall:7.3f}s  " + "  ".join(f"{k}={v:g}" for k, v in counters.items()))
-    return {"name": name, "wall_s": wall, "counters": counters}
+    return {"name": name, "wall_s": wall, "counters": counters, "metrics": obs.metrics_json(col)}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_pr.json", help="result JSON path")
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        help="also record this run as an obs run-ledger snapshot under DIR",
+    )
     args = parser.parse_args(argv)
+    t_start = time.perf_counter()
 
     cbs = index_app("tealeaf", coverage=True)
     names = list(cbs)[:N_MODELS]
@@ -115,7 +127,10 @@ def main(argv: list[str] | None = None) -> int:
         "runs": results,
         "index_runs": index_results,
     }
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    runledger.write_harness_artifact(args.out, "bench", report)
+    runledger.record_harness_run(
+        args.ledger_dir, "bench", None, report, duration_s=time.perf_counter() - t_start
+    )
     print(f"\nwrote {args.out}")
 
     failures = []

@@ -17,16 +17,15 @@ Usage: PYTHONPATH=src python benchmarks/chaos_engine.py [--seed N] [--out CHAOS_
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import random
 import sys
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro import obs
+from repro.obs import ledger as runledger
 from repro.corpus import index_app
 from repro.distance.engine import DistanceEngine
 from repro.distance.ted import clear_ted_cache
@@ -51,20 +50,26 @@ COUNTER_KEYS = (
 )
 
 
-def build(codebases, engine: DistanceEngine) -> tuple[np.ndarray, dict, float]:
+def build(codebases, engine: DistanceEngine) -> tuple[np.ndarray, dict, float, dict]:
     clear_ted_cache()
     t0 = time.perf_counter()
     with obs.collect() as col:
         matrix = divergence_matrix(codebases, SPEC, engine=engine)
     wall = time.perf_counter() - t0
-    return matrix, dict(col.counters), wall
+    return matrix, dict(col.counters), wall, obs.metrics_json(col)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=1, help="injection-point seed")
     parser.add_argument("--out", default="CHAOS_pr.json", help="result JSON path")
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        help="also record this run as an obs run-ledger snapshot under DIR",
+    )
     args = parser.parse_args(argv)
+    t_start = time.perf_counter()
 
     cbs = index_app("tealeaf", coverage=True)
     names = list(cbs)[:N_MODELS]
@@ -72,7 +77,7 @@ def main(argv: list[str] | None = None) -> int:
     n_tasks = N_MODELS * (N_MODELS - 1) // 2
     print(f"workload: tealeaf[{', '.join(names)}] under {SPEC.name} ({n_tasks} pair tasks)")
 
-    baseline, _, base_wall = build(codebases, DistanceEngine(jobs=1))
+    baseline, _, base_wall, _ = build(codebases, DistanceEngine(jobs=1))
     print(f"fault-free serial baseline: {base_wall:.3f}s, checksum={baseline.sum():.6f}")
 
     # one injection point per fault class, at distinct seeded task indices
@@ -84,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
     os.environ["REPRO_CHAOS"] = spec
     os.environ["REPRO_CHAOS_HANG_S"] = str(HANG_S)
     try:
-        chaotic, counters, chaos_wall = build(
+        chaotic, counters, chaos_wall, chaos_metrics = build(
             codebases,
             DistanceEngine(
                 jobs=2,
@@ -131,8 +136,12 @@ def main(argv: list[str] | None = None) -> int:
         "counters": fault_counters,
         "matrix_checksum": float(baseline.sum()),
         "failures": failures,
+        "metrics": chaos_metrics,
     }
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    runledger.write_harness_artifact(args.out, "chaos", report)
+    runledger.record_harness_run(
+        args.ledger_dir, "chaos", None, report, duration_s=time.perf_counter() - t_start
+    )
     print(f"wrote {args.out}")
 
     for f in failures:

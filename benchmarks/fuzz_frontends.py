@@ -25,14 +25,15 @@ is fixed and pinned by a named regression test in
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import diag  # noqa: E402
+from repro import diag, obs  # noqa: E402
+from repro.obs import ledger as runledger  # noqa: E402
 from repro.compiler import CompileOptions  # noqa: E402
 from repro.corpus.registry import APPS, app_models, build_fs, get_spec  # noqa: E402
 from repro.distance.ted import ted  # noqa: E402
@@ -180,12 +181,25 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--out", metavar="FILE", help="write the JSON summary here")
     ap.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        help="also record this run as an obs run-ledger snapshot under DIR",
+    )
+    ap.add_argument(
         "--no-ted", action="store_true", help="skip the TED cross-check (faster)"
     )
     args = ap.parse_args(argv)
-    summary = run(args.iterations, args.seed, ted_check=not args.no_ted)
+    t_start = time.perf_counter()
+    # collect while fuzzing: the per-stage latency distributions over
+    # hostile inputs ride along in the artifact's metrics section
+    with obs.collect() as col:
+        summary = run(args.iterations, args.seed, ted_check=not args.no_ted)
+    summary["metrics"] = obs.metrics_json(col)
     if args.out:
-        Path(args.out).write_text(json.dumps(summary, indent=1, sort_keys=True))
+        runledger.write_harness_artifact(args.out, "fuzz", summary)
+    runledger.record_harness_run(
+        args.ledger_dir, "fuzz", None, summary, duration_s=time.perf_counter() - t_start
+    )
     n_crash = len(summary["crashes"])
     print(
         f"fuzz: {summary['iterations']} iterations (seed {summary['seed']}): "

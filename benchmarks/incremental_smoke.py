@@ -21,13 +21,13 @@ Usage: PYTHONPATH=src python benchmarks/incremental_smoke.py [--out INCR_pr.json
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
 from pathlib import Path
 
 from repro import obs
+from repro.obs import ledger as runledger
 from repro.corpus.registry import app_models, build_fs, get_spec
 from repro.workflow.codebasedb import _unit_to_obj, load_codebase_db, save_codebase_db
 from repro.workflow.indexer import index_codebase
@@ -66,7 +66,13 @@ def run_pass(name: str, store, touched: tuple[str, str] | None = None) -> dict:
         for k in ("index.units", "index.unit.hit", "index.unit.miss", "index.unit.saved")
     }
     print(f"{name:10s} {wall:7.3f}s  " + "  ".join(f"{k}={v:g}" for k, v in counters.items()))
-    return {"name": name, "wall_s": wall, "counters": counters, "dbs": dbs}
+    return {
+        "name": name,
+        "wall_s": wall,
+        "counters": counters,
+        "dbs": dbs,
+        "metrics": obs.metrics_json(col),
+    }
 
 
 def _same_representations(a_bytes: bytes, b_bytes: bytes) -> bool:
@@ -88,7 +94,13 @@ def _same_representations(a_bytes: bytes, b_bytes: bytes) -> bool:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="INCR_pr.json", help="result JSON path")
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        help="also record this run as an obs run-ledger snapshot under DIR",
+    )
     args = parser.parse_args(argv)
+    t_start = time.perf_counter()
 
     n_units = len(workload())
     print(f"workload: {n_units} units — " + ", ".join(f"{a}/{m}" for a, m in workload()) + "\n")
@@ -130,7 +142,10 @@ def main(argv: list[str] | None = None) -> int:
             {k: v for k, v in r.items() if k != "dbs"} for r in (cold, warm, touched)
         ],
     }
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    runledger.write_harness_artifact(args.out, "incr", report)
+    runledger.record_harness_run(
+        args.ledger_dir, "incr", None, report, duration_s=time.perf_counter() - t_start
+    )
     print(f"\nwrote {args.out}")
 
     for f in failures:

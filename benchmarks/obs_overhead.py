@@ -1,0 +1,164 @@
+"""CI gate: the observability layer must stay near-free when disabled.
+
+The span/counter/histogram entry points are compiled into every hot path
+of the pipeline (lexers, parsers, the TED DP, the pool), on the promise
+that they cost almost nothing while no collector is installed. This
+harness measures that promise directly:
+
+* **instrumented** — the real disabled path: ``obs.span`` returns the
+  shared no-op, ``obs.add``/``obs.observe`` bail on the contextvar check;
+* **baseline** — the same workload with the ``repro.obs`` entry points
+  monkeypatched to raw do-nothing functions, approximating a build with
+  the instrumentation deleted. (Call sites resolve ``obs.span`` through
+  the module attribute at call time, which is what makes the patch an
+  honest stand-in.)
+
+Both run the same fixed workload (index two TeaLeaf ports from scratch +
+one semantic divergence) several times; the best-of-N wall times are
+compared and the run fails when the instrumented path is more than
+``--threshold`` (default 5%) slower. Best-of-N is deliberate: shared CI
+runners jitter upward, never downward, so minima are the stable statistic.
+
+Results land in ``OVERHEAD_pr.json`` (harness envelope, like the other
+benchmark artifacts).
+
+Usage: PYTHONPATH=src python benchmarks/obs_overhead.py [--repeats 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.obs import ledger as runledger
+from repro.corpus.registry import app_models, build_fs, get_spec
+from repro.distance.ted import clear_ted_cache
+from repro.workflow.comparer import MetricSpec, divergence_row
+from repro.workflow.indexer import index_codebase
+
+N_MODELS = 2
+SPEC = MetricSpec("Tsem")
+
+
+class _RawNoopSpan:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+    def set(self, **attrs):
+        return None
+
+    @property
+    def index(self):
+        return -1
+
+
+_RAW = _RawNoopSpan()
+
+
+def _no_span(name, **attrs):
+    return _RAW
+
+
+def _no_metric(name, value=1.0):
+    return None
+
+
+def workload() -> float:
+    """One fixed cold pass: index N models, compute one divergence."""
+    clear_ted_cache()
+    models = app_models("tealeaf")[:N_MODELS]
+    cbs = []
+    for model in models:
+        cbs.append(index_codebase(get_spec("tealeaf", model), build_fs("tealeaf", model)))
+    return divergence_row(cbs[0], cbs[1:], SPEC)[cbs[1].model]
+
+
+def measure(repeats: int) -> float:
+    """Best-of-``repeats`` wall time for one workload pass."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5, help="passes per variant (best-of)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="maximum tolerated fractional overhead (default: 0.05 = 5%%)",
+    )
+    parser.add_argument("--out", default="OVERHEAD_pr.json", help="result JSON path")
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        help="also record this run as an obs run-ledger snapshot under DIR",
+    )
+    args = parser.parse_args(argv)
+    t_start = time.perf_counter()
+
+    assert obs.current_collector() is None, "harness must run with no collector installed"
+    expect = workload()  # warm imports and interned tables out of the timing
+
+    instrumented = measure(args.repeats)
+
+    saved = {name: getattr(obs, name) for name in ("span", "add", "gauge", "observe")}
+    obs.span = _no_span
+    obs.add = _no_metric
+    obs.gauge = _no_metric
+    obs.observe = _no_metric
+    try:
+        got = workload()
+        baseline = measure(args.repeats)
+    finally:
+        for name, fn in saved.items():
+            setattr(obs, name, fn)
+
+    overhead = (instrumented - baseline) / baseline if baseline > 0 else 0.0
+    print(
+        f"baseline {baseline:.3f}s  instrumented {instrumented:.3f}s  "
+        f"overhead {overhead * 100:+.2f}% (threshold {args.threshold * 100:.0f}%)"
+    )
+
+    failures = []
+    if got != expect:
+        failures.append("workload result changed under patched no-ops (harness bug)")
+    if overhead > args.threshold:
+        failures.append(
+            f"disabled-path overhead {overhead * 100:.2f}% exceeds "
+            f"{args.threshold * 100:.0f}% budget"
+        )
+
+    report = {
+        "workload": {"app": "tealeaf", "models": app_models("tealeaf")[:N_MODELS]},
+        "repeats": args.repeats,
+        "baseline_s": baseline,
+        "instrumented_s": instrumented,
+        "overhead_frac": overhead,
+        "threshold_frac": args.threshold,
+        "failures": failures,
+    }
+    runledger.write_harness_artifact(args.out, "overhead", report)
+    runledger.record_harness_run(
+        args.ledger_dir, "overhead", None, report, duration_s=time.perf_counter() - t_start
+    )
+    print(f"wrote {args.out}")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"PASS: disabled observability costs {overhead * 100:+.2f}% on the fixed workload")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,9 +18,13 @@ Usage — collecting (CLI ``--profile``, tests, benchmarks)::
 Everything is a near-no-op while no collector is installed; see
 ``spans.py`` for the cost model and DESIGN.md for the span taxonomy
 (stage names are a stable public contract for benchmarks).
+
+The persistent run ledger lives in :mod:`repro.obs.ledger` and is *not*
+re-exported here: the artifact layer it builds on imports ``repro.obs``,
+so consumers import it directly (``from repro.obs import ledger``).
 """
 
-from repro.obs.counters import add, gauge, get
+from repro.obs.counters import add, gauge, get, get_gauge, get_histogram, observe
 from repro.obs.export import (
     METRICS_SCHEMA,
     SpanAggregate,
@@ -30,6 +34,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.hist import BOUNDS, Histogram
 from repro.obs.spans import (
     Collector,
     SpanRecord,
@@ -41,13 +46,18 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "BOUNDS",
     "Collector",
+    "Histogram",
     "SpanRecord",
     "SpanAggregate",
     "METRICS_SCHEMA",
     "add",
     "gauge",
     "get",
+    "get_gauge",
+    "get_histogram",
+    "observe",
     "collect",
     "current_collector",
     "enabled",

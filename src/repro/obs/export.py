@@ -20,8 +20,9 @@ from typing import Any, Optional
 from repro.obs.spans import Collector
 
 #: Schema identifier stamped into the metrics JSON so the harness can detect
-#: breaking changes to the snapshot layout.
-METRICS_SCHEMA = "repro.obs/v1"
+#: breaking changes to the snapshot layout. v2 added the ``hists`` section
+#: (per-name latency distributions) and worker pid lanes in the trace.
+METRICS_SCHEMA = "repro.obs/v2"
 
 
 # ---------------------------------------------------------------------------
@@ -83,10 +84,12 @@ def chrome_trace(collector: Collector) -> dict[str, Any]:
     """The collector as a Chrome trace-event object (``ph: "X"`` events).
 
     Timestamps are microseconds since the collector epoch; thread ids are
-    remapped to small integers so the trace viewer's lane labels stay
-    readable.
+    remapped to small integers per process so the trace viewer's lane
+    labels stay readable. Spans adopted from pool workers keep their
+    originating pid, so every worker gets its own process lane (named
+    ``silvervale worker <pid>``) alongside the parent's.
     """
-    tid_map: dict[int, int] = {}
+    tid_map: dict[tuple[int, int], int] = {}
     events: list[dict[str, Any]] = [
         {
             "name": "process_name",
@@ -96,15 +99,28 @@ def chrome_trace(collector: Collector) -> dict[str, Any]:
             "args": {"name": "silvervale"},
         }
     ]
+    named_pids = {collector.pid}
     for rec in collector.spans:
-        tid = tid_map.setdefault(rec.thread, len(tid_map))
+        pid = rec.pid or collector.pid
+        if pid not in named_pids:
+            named_pids.add(pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"silvervale worker {pid}"},
+                }
+            )
+        tid = tid_map.setdefault((pid, rec.thread), len(tid_map))
         ev: dict[str, Any] = {
             "name": rec.name,
             "cat": "span",
             "ph": "X",
             "ts": rec.start * 1e6,
             "dur": rec.duration * 1e6,
-            "pid": collector.pid,
+            "pid": pid,
             "tid": tid,
         }
         if rec.attrs:
@@ -167,6 +183,7 @@ def metrics_json(collector: Collector, extra: Optional[dict[str, Any]] = None) -
         "spans": spans,
         "counters": dict(sorted(collector.counters.items())),
         "gauges": dict(sorted(collector.gauges.items())),
+        "hists": {name: collector.hists[name].summary() for name in sorted(collector.hists)},
     }
     if extra:
         out.update(extra)

@@ -1,0 +1,149 @@
+"""Fixed-bucket latency histograms: the distribution half of the metrics layer.
+
+Counters answer "how many"; histograms answer "how long, usually — and in
+the tail". Every closed span feeds its duration into a histogram keyed by
+the span name (see :meth:`repro.obs.Collector._close_span`), and pipeline
+code can record any other distribution explicitly::
+
+    obs.observe("engine.chunk.wait", waited_s)
+
+Design constraints (same cost model as spans/counters):
+
+* **Near-zero cost when disabled.** :func:`observe` checks the module-level
+  active flag before touching contextvars; with no collector installed it
+  allocates nothing and returns immediately.
+* **Fixed buckets, mergeable across workers.** Bucket boundaries are a
+  process-independent geometric series (:data:`BOUNDS` — 10^(1/10) steps
+  from 100 ns to 10 000 s, ~26 % relative resolution), so two histograms
+  merge by adding bucket counts: pool workers record locally and the
+  parent merges the serialized counts, exactly like counters.
+* **Stable export.** :meth:`Histogram.summary` (count/sum/min/max and
+  interpolated p50/p90/p99) is what ``metrics_json``, the ``--profile``
+  report and the run ledger persist; the bucket layout itself is pinned in
+  DESIGN.md §"Histogram bucket contract" — changing :data:`BOUNDS` is a
+  breaking change to merged artifacts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any
+
+#: Geometric bucket upper bounds in seconds: 10^(k/10) for k in [-70, 40),
+#: i.e. 1e-7 .. 1e4 in ~26% steps. Values <= BOUNDS[0] land in bucket 0,
+#: values > BOUNDS[-1] in the overflow bucket. 111 bounds -> 112 buckets.
+BOUNDS: tuple[float, ...] = tuple(10.0 ** (k / 10.0) for k in range(-70, 41))
+
+#: Percentiles exported by :meth:`Histogram.summary` (a stable contract for
+#: the metrics JSON, the --profile report and the run ledger).
+SUMMARY_PERCENTILES: tuple[int, ...] = (50, 90, 99)
+
+
+def bucket_index(value: float) -> int:
+    """Bucket holding ``value``: the first bound >= value (overflow last)."""
+    return bisect_left(BOUNDS, value)
+
+
+class Histogram:
+    """One named distribution: fixed geometric buckets + exact moments.
+
+    ``counts`` is dense (``len(BOUNDS) + 1`` ints including the overflow
+    bucket); ``min``/``max``/``sum``/``count`` are exact, so single-valued
+    histograms report exact percentiles and interpolation is always clamped
+    to the observed range.
+    """
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: list[int] = [0] * (len(BOUNDS) + 1)
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_left(BOUNDS, v)] += 1
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram of the same bucket layout into this one."""
+        for i, n in enumerate(other.counts):
+            if n:
+                self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    # -- queries -----------------------------------------------------------
+
+    def percentile(self, q: float) -> float:
+        """Interpolated q-th percentile (0..100), clamped to [min, max].
+
+        Accuracy is bounded by the bucket resolution (~26 % relative); the
+        exact min/max tighten the edge buckets, so a single-valued
+        histogram reports the exact value at every percentile.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = BOUNDS[i - 1] if i > 0 else 0.0
+                hi = BOUNDS[i] if i < len(BOUNDS) else self.max
+                frac = (rank - seen) / n
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.min), self.max)
+            seen += n
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """Flat export shape: count, sum, min, max, p50/p90/p99."""
+        if self.count == 0:
+            return {"count": 0, "sum_s": 0.0, "min_s": 0.0, "max_s": 0.0}
+        out: dict[str, float] = {
+            "count": self.count,
+            "sum_s": self.sum,
+            "min_s": self.min,
+            "max_s": self.max,
+        }
+        for q in SUMMARY_PERCENTILES:
+            out[f"p{q}_s"] = self.percentile(q)
+        return out
+
+    # -- serialisation (worker -> parent transport) ------------------------
+
+    def to_obj(self) -> dict[str, Any]:
+        """Sparse, picklable form for cross-process merges."""
+        return {
+            "buckets": [[i, n] for i, n in enumerate(self.counts) if n],
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "Histogram":
+        h = cls()
+        for i, n in obj.get("buckets", ()):
+            if 0 <= int(i) < len(h.counts):
+                h.counts[int(i)] = int(n)
+        h.count = int(obj.get("count", 0))
+        h.sum = float(obj.get("sum", 0.0))
+        h.min = float(obj.get("min", float("inf")))
+        h.max = float(obj.get("max", 0.0))
+        return h

@@ -27,6 +27,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional, TypeVar
 
+from repro.obs.hist import Histogram
+
 F = TypeVar("F", bound=Callable)
 
 
@@ -41,6 +43,10 @@ class SpanRecord:
     end: float = 0.0
     thread: int = 0
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: originating process; 0 means "the collector's own process". Only
+    #: spans adopted from pool workers carry a foreign pid — the trace
+    #: export renders them as separate pid lanes.
+    pid: int = 0
 
     @property
     def duration(self) -> float:
@@ -54,6 +60,7 @@ class Collector:
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.hists: dict[str, Histogram] = {}
         self._lock = threading.Lock()
         #: perf_counter value all span timestamps are relative to.
         self.epoch = time.perf_counter()
@@ -79,8 +86,11 @@ class Collector:
 
     def _close_span(self, rec: SpanRecord) -> None:
         rec.end = time.perf_counter() - self.epoch
+        # every span name doubles as a latency histogram, so percentiles
+        # per stage fall out of tracing with no extra call sites
+        self.observe(rec.name, rec.duration)
 
-    # -- counters / gauges ---------------------------------------------
+    # -- counters / gauges / histograms --------------------------------
 
     def add(self, name: str, value: float = 1.0) -> None:
         with self._lock:
@@ -89,6 +99,77 @@ class Collector:
     def gauge(self, name: str, value: float) -> None:
         with self._lock:
             self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            h = self.hists.get(name)
+            if h is None:
+                h = self.hists[name] = Histogram()
+            h.observe(value)
+
+    def export_spans(self, limit: Optional[int] = None) -> tuple[list[tuple], int]:
+        """Span log as transport tuples for :meth:`adopt_chunk`.
+
+        Returns ``(tuples, dropped)``: when ``limit`` caps the log, the
+        *earliest* spans are kept (their parents are guaranteed in-range
+        because parents precede children in the log) and the overflow count
+        is reported so the parent can surface it as a counter.
+        """
+        recs = self.spans
+        dropped = 0
+        if limit is not None and len(recs) > limit:
+            dropped = len(recs) - limit
+            recs = recs[:limit]
+        out = [(r.name, r.parent, r.start, r.end, r.thread, dict(r.attrs)) for r in recs]
+        return out, dropped
+
+    def export_hists(self) -> dict[str, dict]:
+        """Histograms as transport objects for :meth:`adopt_chunk`."""
+        return {name: h.to_obj() for name, h in self.hists.items()}
+
+    # -- worker-payload adoption ----------------------------------------
+
+    def adopt_chunk(
+        self,
+        spans: list[tuple],
+        hists: dict[str, dict],
+        pid: int,
+        epoch_wall: float,
+        parent: int = -1,
+    ) -> None:
+        """Merge one pool worker's serialized collection window.
+
+        ``spans`` is the worker's span log in index order as
+        ``(name, parent, start, end, thread, attrs)`` tuples (parent links
+        are positional within the chunk, -1 for chunk roots); ``hists`` maps
+        name -> :meth:`Histogram.to_obj`. Worker timestamps are relative to
+        the worker collector's epoch, so they are re-anchored onto this
+        collector's timeline via the wall-clock epoch difference — same
+        machine, same clock, so lanes line up in the trace viewer. Chunk
+        roots are re-parented under ``parent`` (the pool span), keeping the
+        aggregate tree navigable.
+        """
+        shift = epoch_wall - self.epoch_wall
+        with self._lock:
+            base = len(self.spans)
+            for off, (name, rel_parent, start, end, thread, attrs) in enumerate(spans):
+                self.spans.append(
+                    SpanRecord(
+                        name=name,
+                        index=base + off,
+                        parent=base + rel_parent if rel_parent >= 0 else parent,
+                        start=start + shift,
+                        end=end + shift,
+                        thread=thread,
+                        attrs=attrs or {},
+                        pid=pid,
+                    )
+                )
+            for name, obj in hists.items():
+                h = self.hists.get(name)
+                if h is None:
+                    h = self.hists[name] = Histogram()
+                h.merge(Histogram.from_obj(obj))
 
     # -- queries --------------------------------------------------------
 
@@ -182,6 +263,10 @@ class _NoopSpan:
     def set(self, **attrs) -> None:
         return None
 
+    @property
+    def index(self) -> int:
+        return -1
+
 
 _NOOP = _NoopSpan()
 
@@ -218,6 +303,12 @@ class _Span:
         """Attach attributes to the live span (no-op when not recording)."""
         if self._rec is not None:
             self._rec.attrs.update(attrs)
+
+    @property
+    def index(self) -> int:
+        """Record index of the live span (-1 before entry / not recording);
+        lets callers re-parent adopted worker spans under this span."""
+        return self._rec.index if self._rec is not None else -1
 
 
 def span(name: str, **attrs):

@@ -51,8 +51,8 @@ from repro import diag, obs
 from repro.util.errors import ReproError
 
 #: Staged work visible to pool workers via fork inheritance. Shape:
-#: ``{"fn", "tasks", "setup", "teardown", "init_counter"}``. Only valid
-#: between staging and pool shutdown.
+#: ``{"fn", "tasks", "setup", "teardown", "init_counter", "capture",
+#: "span_prefix"}``. Only valid between staging and pool shutdown.
 _STAGE: Optional[dict] = None
 
 #: Set when this worker's initializer had to degrade; counted inside the
@@ -65,6 +65,12 @@ _POLL_S = 0.02
 
 #: Exponential-backoff cap for chunk retries (seconds).
 _BACKOFF_CAP_S = 8.0
+
+#: Per-chunk cap on spans shipped back to the parent. A chunk that records
+#: more keeps its earliest spans (parents precede children in the log, so
+#: links stay valid) and reports the overflow as ``<prefix>.spans_dropped``
+#: — tracing must never turn a result pipe into a firehose.
+_MAX_CHUNK_SPANS = 2000
 
 
 # ---------------------------------------------------------------------------
@@ -146,33 +152,52 @@ def _worker_init() -> None:
         _INIT_FAILED = True
 
 
-def _run_chunk(args: tuple[tuple[int, int], int]) -> tuple[list[Any], dict[str, float]]:
+def _run_chunk(
+    args: tuple[tuple[int, int], int],
+) -> tuple[list[Any], dict[str, float], Optional[dict]]:
     """Evaluate one chunk of staged tasks inside a pool worker.
 
     ``args`` is ``((lo, hi), attempt)`` — the attempt number exists so the
     chaos hook can fire only on a chunk's first execution, which is what
     makes fault-injected runs converge to the fault-free result.
 
-    Returns the results plus the worker-side counter deltas so the parent
-    can merge them into its collector.
+    Returns ``(results, counter deltas, trace payload)``. The payload is
+    ``None`` unless the parent was collecting when the pool was staged
+    (``capture``): then the whole chunk runs under a ``<prefix>.chunk``
+    span and the worker's span log (capped at :data:`_MAX_CHUNK_SPANS`) and
+    histograms travel back for :meth:`Collector.adopt_chunk`, giving the
+    parent's trace a per-worker pid lane.
     """
     (lo, hi), attempt = args
     assert _STAGE is not None
     fn = _STAGE["fn"]
     tasks = _STAGE["tasks"]
+    capture = _STAGE.get("capture", False)
+    prefix = _STAGE.get("span_prefix", "pool")
     plan = _parse_chaos(os.environ.get("REPRO_CHAOS", ""))
     with obs.collect() as col:
-        if _INIT_FAILED:
-            obs.add(_STAGE.get("init_counter") or "pool.worker_init_errors")
-        out = []
-        for idx in range(lo, hi):
-            if plan:
-                _chaos_fire(plan, idx, attempt)
-            out.append(fn(tasks[idx]))
-        teardown = _STAGE.get("teardown")
-        if teardown is not None:
-            teardown()
-    return out, dict(col.counters)
+        with obs.span(f"{prefix}.chunk", lo=lo, hi=hi, attempt=attempt):
+            if _INIT_FAILED:
+                obs.add(_STAGE.get("init_counter") or "pool.worker_init_errors")
+            out = []
+            for idx in range(lo, hi):
+                if plan:
+                    _chaos_fire(plan, idx, attempt)
+                out.append(fn(tasks[idx]))
+            teardown = _STAGE.get("teardown")
+            if teardown is not None:
+                teardown()
+    payload = None
+    if capture:
+        spans, dropped = col.export_spans(limit=_MAX_CHUNK_SPANS)
+        payload = {
+            "pid": os.getpid(),
+            "epoch_wall": col.epoch_wall,
+            "spans": spans,
+            "hists": col.export_hists(),
+            "dropped": dropped,
+        }
+    return out, dict(col.counters), payload
 
 
 # ---------------------------------------------------------------------------
@@ -221,7 +246,15 @@ class PoolResult:
 class _PoolRun:
     """Mutable bookkeeping for one ``run`` call."""
 
-    __slots__ = ("values", "degraded", "on_result", "tick", "fail_value", "collector")
+    __slots__ = (
+        "values",
+        "degraded",
+        "on_result",
+        "tick",
+        "fail_value",
+        "collector",
+        "pool_span",
+    )
 
     def __init__(self, n_tasks, on_result, tick, fail_value):
         self.values: list[Any] = [None] * n_tasks
@@ -230,6 +263,9 @@ class _PoolRun:
         self.tick = tick
         self.fail_value = fail_value
         self.collector = obs.current_collector()
+        #: record index of the parent-side pool span; adopted worker chunk
+        #: spans hang under it so the trace stays one navigable tree
+        self.pool_span: int = -1
 
 
 class _ChunkState:
@@ -347,13 +383,14 @@ class ChunkedPool:
         run = _PoolRun(len(tasks), on_result, tick, fail_value)
         if not tasks:
             return PoolResult(run.values, run.degraded, False)
-        jobs = min(self.jobs, len(tasks))
-        if jobs > 1 and "fork" not in multiprocessing.get_all_start_methods():
-            jobs = 1  # no fork (e.g. Windows): degrade to the serial path
-        if jobs == 1:
+        # jobs > 1 always forks, even for a single task: the caller asked
+        # for process isolation, and the watchdog/trace machinery (worker
+        # pid lanes, chunk retries) only exists on the forked path. Worker
+        # count is still clamped — one task never gets two processes.
+        if self.jobs == 1 or "fork" not in multiprocessing.get_all_start_methods():
             self._run_serial(fn, tasks, run)
             return PoolResult(run.values, run.degraded, False)
-        self._run_parallel(fn, tasks, run, jobs)
+        self._run_parallel(fn, tasks, run, min(self.jobs, len(tasks)))
         return PoolResult(run.values, run.degraded, True)
 
     # -- serial ------------------------------------------------------------
@@ -381,10 +418,15 @@ class ChunkedPool:
             "setup": self.worker_setup,
             "teardown": self.worker_teardown,
             "init_counter": self.init_counter,
+            # workers only serialize spans/hists when someone is listening:
+            # the disabled path must stay free of per-chunk payload cost
+            "capture": run.collector is not None,
+            "span_prefix": self.counter_prefix,
         }
         ctx = multiprocessing.get_context("fork")
         try:
-            with obs.span(f"{self.counter_prefix}.pool", jobs=jobs, chunks=len(chunks)):
+            with obs.span(f"{self.counter_prefix}.pool", jobs=jobs, chunks=len(chunks)) as sp:
+                run.pool_span = sp.index
                 with ctx.Pool(processes=jobs, initializer=_worker_init) as pool:
                     self._drive(pool, chunks, run)
         finally:
@@ -415,7 +457,7 @@ class ChunkedPool:
             return False
         if chunk.inflight.ready():
             try:
-                out, counters = chunk.inflight.get()
+                out, counters, payload = chunk.inflight.get()
             except Exception as e:  # worker raised (or pool lost the task)
                 return self._register_failure(chunk, now, e, run)
             lo, hi = chunk.bounds
@@ -426,6 +468,21 @@ class ChunkedPool:
             if run.collector is not None:
                 for name, value in counters.items():
                     run.collector.add(name, value)
+                if payload is not None:
+                    # at most once per chunk: abandoned in-flight results
+                    # were dropped, so a rescheduled chunk adopts only the
+                    # delivery that won
+                    run.collector.adopt_chunk(
+                        payload["spans"],
+                        payload["hists"],
+                        pid=payload["pid"],
+                        epoch_wall=payload["epoch_wall"],
+                        parent=run.pool_span,
+                    )
+                    if payload["dropped"]:
+                        run.collector.add(
+                            f"{self.counter_prefix}.spans_dropped", payload["dropped"]
+                        )
             return True
         if now > chunk.deadline:
             obs.add(f"{self.counter_prefix}.chunk_timeouts")

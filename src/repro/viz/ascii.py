@@ -102,6 +102,31 @@ def ascii_counters(
     return "\n".join(out)
 
 
+def ascii_hist_table(summaries: Mapping[str, Mapping[str, float]]) -> str:
+    """Aligned latency-percentile table for ``--profile``/``obs report``.
+
+    ``summaries`` maps histogram name → :meth:`repro.obs.Histogram.summary`
+    (count/sum/min/max/p50/p90/p99 in seconds); empty histograms are
+    skipped so the table only shows distributions that actually recorded.
+    """
+    rows = [(k, s) for k, s in sorted(summaries.items()) if s.get("count")]
+    if not rows:
+        return "(no latency samples)"
+    w = max(len(k) for k, _s in rows) + 1
+
+    def ms(s: Mapping[str, float], key: str) -> str:
+        return f"{s.get(key, 0.0) * 1e3:10.3f}"
+
+    head = f"{'':<{w}}{'count':>8}{'p50 ms':>11}{'p90 ms':>11}{'p99 ms':>11}{'max ms':>11}"
+    out = [head]
+    for k, s in rows:
+        out.append(
+            f"{k:<{w}}{int(s['count']):>8}"
+            f"{ms(s, 'p50_s')}{ms(s, 'p90_s')}{ms(s, 'p99_s')}{ms(s, 'max_s')}"
+        )
+    return "\n".join(out)
+
+
 def ascii_bars(values: Mapping[str, float], width: int = 40, vmax: float = 1.0) -> str:
     label_w = max((len(k) for k in values), default=8) + 1
     lines = []

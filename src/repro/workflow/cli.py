@@ -9,12 +9,22 @@ Subcommands mirror the paper's workflow:
 * ``phi``     — Φ table / cascade data from the performance model,
 * ``stats``   — run a workload and dump spans / counters / cache stats,
 * ``cache``   — inspect or clear the persistent TED cache,
+* ``obs``     — run-ledger trend tools: ``history``, ``diff``, ``report``,
 * ``apps``    — list corpus apps and models.
 
-Every subcommand accepts ``--profile`` (print a nested span report and the
-counter table after the run), ``--trace-out FILE`` (Chrome trace-event
-JSON — load in ``chrome://tracing`` / Perfetto) and ``--metrics-out FILE``
-(flat metrics JSON the benchmark harness diffs across PRs).
+Every subcommand accepts ``--profile`` (print a nested span report, the
+counter table and per-span latency percentiles after the run),
+``--trace-out FILE`` (Chrome trace-event JSON — load in
+``chrome://tracing`` / Perfetto; pool workers appear as their own pid
+lanes) and ``--metrics-out FILE`` (flat metrics JSON the benchmark
+harness diffs across PRs).
+
+Run ledger: every workload subcommand (``index``, ``compare``,
+``cluster``, ``heatmap``, ``figures``, ``stats``) records a metrics
+snapshot into the ``obs`` namespace of the shared artifact root on
+completion (``--no-ledger`` opts out); ``silvervale obs history`` tabulates
+recent runs, ``obs diff prev last`` shows counter and latency deltas with
+regression highlighting, and ``obs report`` summarises one run.
 
 Matrix-sweeping subcommands additionally accept ``--jobs N`` (parallel
 distance engine; default serial), ``--cache-dir DIR`` (persistent TED cache,
@@ -60,11 +70,13 @@ from repro.distance.ted import cache_stats
 from repro.perfport.cascade import cascade
 from repro.perfport.perfmodel import PerfModel
 from repro.perfport.pp_metric import phi_table
+from repro.obs import ledger as runledger
 from repro.viz.ascii import (
     ascii_bars,
     ascii_counters,
     ascii_dendrogram,
     ascii_heatmap,
+    ascii_hist_table,
     ascii_span_tree,
 )
 from repro.util.errors import ReproError
@@ -301,6 +313,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print()
     print("counters:")
     print(ascii_counters(collector.counters, collector.gauges))
+    if collector.hists:
+        print()
+        print("latency percentiles:")
+        print(ascii_hist_table({k: h.summary() for k, h in collector.hists.items()}))
     timers = all_timers()
     if timers:
         print()
@@ -315,8 +331,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect (``stats``) or empty (``clear``) the shared artifact root.
 
     The root holds every artifact namespace side by side — TED cache shards
-    (``ted``), partial-matrix checkpoints (``ckpt``) and per-unit index
-    artifacts (``unit``). ``stats`` keeps the historical top-level TED keys
+    (``ted``), partial-matrix checkpoints (``ckpt``), per-unit index
+    artifacts (``unit``) and run-ledger snapshots (``obs``). ``stats``
+    keeps the historical top-level TED keys
     (the CI warm-cache gate reads ``entries``) and adds a ``namespaces``
     section; ``clear`` empties every namespace unless ``--namespace``
     narrows it.
@@ -331,6 +348,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
         "ted": TedCacheStore(cache_dir),
         "ckpt": CheckpointStore(cache_dir),
         "unit": UnitArtifactStore(cache_dir),
+        "obs": runledger.RunLedgerStore(cache_dir),
     }
     if args.cache_command == "clear":
         namespace = getattr(args, "namespace", None)
@@ -375,6 +393,165 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ledger_root(args: argparse.Namespace) -> str:
+    """Run-ledger root: the same resolution as incremental indexing, so
+    snapshots live next to the unit/ted/ckpt namespaces. ``--no-cache``
+    only affects the TED cache, not the ledger."""
+    return (
+        getattr(args, "cache_dir", None)
+        or os.environ.get("REPRO_CACHE_DIR")
+        or ".silvervale-cache"
+    )
+
+
+def _record_ledger(
+    args: argparse.Namespace,
+    collector: obs.Collector,
+    rc: int,
+    duration_s: float,
+    argv: list[str] | None,
+) -> None:
+    """Persist one run snapshot; a broken ledger never fails the run."""
+    try:
+        store = runledger.RunLedgerStore(_ledger_root(args))
+        workload = {
+            k: getattr(args, k)
+            for k in ("app", "model", "baseline", "metric", "jobs")
+            if getattr(args, k, None) is not None
+        }
+        corpus = (
+            runledger.corpus_fingerprint(args.app) if getattr(args, "app", None) else None
+        )
+        snap = runledger.snapshot_from_collector(
+            collector,
+            command=args.command,
+            argv=argv if argv is not None else sys.argv[1:],
+            duration_s=duration_s,
+            workload=workload,
+            corpus=corpus,
+            exit_code=rc,
+        )
+        run_id = runledger.record_run(store, snap)
+        if getattr(args, "profile", False):
+            print(f"ledger snapshot {run_id} -> {store.root}")
+    except Exception as e:
+        print(f"warning: run ledger not recorded: {e}", file=sys.stderr)
+
+
+def _hist_summaries(snap: dict) -> dict:
+    return snap.get("metrics", {}).get("hists", {})
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Read the run ledger: ``history`` (trend table), ``diff`` (counter and
+    latency deltas between two runs), ``report`` (one run's summary)."""
+    import json
+
+    store = runledger.RunLedgerStore(_ledger_root(args))
+    if args.obs_command == "history":
+        snaps = runledger.history(
+            store,
+            command=getattr(args, "command_filter", None),
+            app=getattr(args, "app", None),
+            limit=getattr(args, "limit", None),
+        )
+        if args.json:
+            print(json.dumps(snaps, indent=1, sort_keys=True))
+            return 0
+        if not snaps:
+            print("run ledger is empty (workload runs record snapshots automatically)")
+            return 0
+        w = max(len(s["run"]) for s in snaps) + 1
+        print(
+            f"{'run':<{w}}{'command':<10}{'app':<14}{'corpus':<10}"
+            f"{'jobs':>4}{'dur(s)':>9}{'exit':>5}"
+        )
+        for s in snaps:
+            wl = s.get("workload", {})
+            print(
+                f"{s['run']:<{w}}{s.get('command', '?'):<10}"
+                f"{wl.get('app', '-') or '-':<14}"
+                f"{(s.get('corpus') or '-')[:8]:<10}"
+                f"{wl.get('jobs', 1):>4}{s.get('duration_s', 0.0):>9.2f}"
+                f"{s.get('exit_code', 0):>5}"
+            )
+        return 0
+    if args.obs_command == "diff":
+        a = store.load(runledger.resolve_run(store, args.run_a))
+        b = store.load(runledger.resolve_run(store, args.run_b))
+        d = runledger.diff_snapshots(a, b)
+        if args.json:
+            print(json.dumps(d, indent=1, sort_keys=True))
+            return 0 if d["schema_ok"] else 1
+        print(f"diff {d['before']} -> {d['after']}")
+        if not d["schema_ok"]:
+            sch = d["schemas"]
+            print(
+                f"error: metrics schemas differ ({sch['before']} vs {sch['after']}); "
+                "numbers are not comparable across schema versions",
+                file=sys.stderr,
+            )
+            return 1
+        if not d["comparable"]:
+            print(
+                "note: runs differ in command or corpus fingerprint; "
+                "latency deltas may reflect workload changes, not regressions"
+            )
+        dur = d["duration_s"]
+        print(f"wall time: {dur['before']:.2f}s -> {dur['after']:.2f}s ({dur['delta']:+.2f}s)")
+        if d["counters"]:
+            print("counters:")
+            w = max(len(k) for k in d["counters"]) + 1
+            for name, rec in d["counters"].items():
+                print(f"  {name:<{w}}{rec['before']:>12g} -> {rec['after']:<12g}({rec['delta']:+g})")
+        else:
+            print("counters: no changes")
+        if d["hists"]:
+            print("latency (p50/p99 ms):")
+            w = max(len(k) for k in d["hists"]) + 1
+            for name, rec in d["hists"].items():
+                flag = "  ← regressed" if name in d["regressions"] else ""
+                p50, p99 = rec.get("p50_s"), rec.get("p99_s")
+                parts = [f"  {name:<{w}}"]
+                if p50:
+                    parts.append(f"p50 {p50['before'] * 1e3:.3f}->{p50['after'] * 1e3:.3f}")
+                if p99:
+                    parts.append(f"  p99 {p99['before'] * 1e3:.3f}->{p99['after'] * 1e3:.3f}")
+                print("".join(parts) + flag)
+        if d["regressions"]:
+            print(
+                f"warning: {len(d['regressions'])} span(s) regressed "
+                f"(p99 grew >{int(runledger.REGRESSION_FRAC * 100)}%): "
+                + ", ".join(d["regressions"]),
+                file=sys.stderr,
+            )
+        return 0
+    # report
+    snap = store.load(runledger.resolve_run(store, args.run))
+    if args.json:
+        print(json.dumps(snap, indent=1, sort_keys=True))
+        return 0
+    wl = snap.get("workload", {})
+    print(f"run      : {snap['run']}")
+    print(f"command  : {snap.get('command', '?')}  argv: {' '.join(snap.get('argv', []))}")
+    if wl:
+        print(f"workload : {', '.join(f'{k}={v}' for k, v in sorted(wl.items()))}")
+    if snap.get("corpus"):
+        print(f"corpus   : {snap['corpus']}")
+    print(f"wall time: {snap.get('duration_s', 0.0):.2f}s  exit {snap.get('exit_code', 0)}")
+    counters = snap.get("metrics", {}).get("counters", {})
+    if counters:
+        print()
+        print("counters:")
+        print(ascii_counters(counters, snap.get("metrics", {}).get("gauges", {})))
+    hists = _hist_summaries(snap)
+    if hists:
+        print()
+        print("latency percentiles:")
+        print(ascii_hist_table(hists))
+    return 0
+
+
 def cmd_phi(args: argparse.Namespace) -> int:
     models = app_models(args.app)
     matrix = PerfModel().efficiency_matrix(args.app, models)
@@ -401,6 +578,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     g.add_argument("--trace-out", metavar="FILE", help="write Chrome trace-event JSON")
     g.add_argument("--metrics-out", metavar="FILE", help="write flat metrics JSON")
+    g.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip recording this run's metrics snapshot in the obs run ledger",
+    )
     # error-handling option shared by every indexing subcommand
     tol = argparse.ArgumentParser(add_help=False)
     tol.add_argument(
@@ -478,7 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
     pi.add_argument("model")
     pi.add_argument("-o", "--output")
     pi.add_argument("--coverage", action="store_true", help="run for coverage first")
-    pi.set_defaults(fn=cmd_index)
+    pi.set_defaults(fn=cmd_index, _ledger=True)
 
     pc = sub.add_parser(
         "compare", help="divergence of a model from a baseline", parents=[prof, eng, tol]
@@ -487,21 +669,21 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("model")
     pc.add_argument("-b", "--baseline", default="serial")
     pc.add_argument("-m", "--metric", default="Tsem")
-    pc.set_defaults(fn=cmd_compare)
+    pc.set_defaults(fn=cmd_compare, _ledger=True)
 
     pk = sub.add_parser(
         "cluster", help="dendrogram of all models under a metric", parents=[prof, eng, tol]
     )
     pk.add_argument("app")
     pk.add_argument("-m", "--metric", default="Tsem")
-    pk.set_defaults(fn=cmd_cluster)
+    pk.set_defaults(fn=cmd_cluster, _ledger=True)
 
     ph = sub.add_parser(
         "heatmap", help="divergence-from-baseline heatmap", parents=[prof, eng, tol]
     )
     ph.add_argument("app")
     ph.add_argument("-b", "--baseline", default="serial")
-    ph.set_defaults(fn=cmd_heatmap)
+    ph.set_defaults(fn=cmd_heatmap, _ledger=True)
 
     pp = sub.add_parser("phi", help="Φ table from the performance model", parents=[prof])
     pp.add_argument("app")
@@ -516,7 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("app")
     ps.add_argument("-m", "--metric", default="Tsem")
     ps.add_argument("--json", action="store_true", help="print the metrics JSON instead of text")
-    ps.set_defaults(fn=cmd_stats, _always_collect=True)
+    ps.set_defaults(fn=cmd_stats, _always_collect=True, _ledger=True)
 
     pf = sub.add_parser(
         "figures", help="render all figure SVGs for an app", parents=[prof, eng, tol]
@@ -525,7 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("-o", "--output", default="figures")
     pf.add_argument("-b", "--baseline", default="serial")
     pf.add_argument("-m", "--metric", default="Tsem")
-    pf.set_defaults(fn=cmd_figures)
+    pf.set_defaults(fn=cmd_figures, _ledger=True)
 
     pcache = sub.add_parser("cache", help="persistent TED cache maintenance", parents=[prof])
     cache_sub = pcache.add_subparsers(dest="cache_command", required=True)
@@ -538,9 +720,45 @@ def build_parser() -> argparse.ArgumentParser:
     pcc.add_argument(
         "--namespace",
         metavar="NS",
-        help="clear only one namespace (ted, ckpt or unit; default: all)",
+        help="clear only one namespace (ted, ckpt, unit or obs; default: all)",
     )
     pcc.set_defaults(fn=cmd_cache)
+
+    po = sub.add_parser(
+        "obs", help="run-ledger trend tools: history, diff, report", parents=[prof]
+    )
+    obs_sub = po.add_subparsers(dest="obs_command", required=True)
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="artifact root holding the ledger (default: $REPRO_CACHE_DIR "
+        "or .silvervale-cache)",
+    )
+    common.add_argument("--json", action="store_true", help="print JSON instead of a table")
+    poh = obs_sub.add_parser("history", help="trend table of recorded runs", parents=[common])
+    poh.add_argument(
+        "--command", dest="command_filter", metavar="CMD", help="only runs of this subcommand"
+    )
+    poh.add_argument("--app", metavar="APP", help="only runs over this corpus app")
+    poh.add_argument(
+        "--limit", type=int, default=20, metavar="N", help="newest N runs (default: 20)"
+    )
+    poh.set_defaults(fn=cmd_obs)
+    pod = obs_sub.add_parser(
+        "diff",
+        help="counter and latency deltas between two runs (tokens: run-id "
+        "prefix, 'last', 'prev')",
+        parents=[common],
+    )
+    pod.add_argument("run_a", help="before run (id prefix, 'last' or 'prev')")
+    pod.add_argument("run_b", help="after run (id prefix, 'last' or 'prev')")
+    pod.set_defaults(fn=cmd_obs)
+    por = obs_sub.add_parser("report", help="summary of one recorded run", parents=[common])
+    por.add_argument(
+        "run", nargs="?", default="last", help="run id prefix, 'last' (default) or 'prev'"
+    )
+    por.set_defaults(fn=cmd_obs)
     return p
 
 
@@ -553,6 +771,10 @@ def _emit_reports(args: argparse.Namespace, collector: obs.Collector) -> None:
         if collector.counters or collector.gauges:
             print()
             print(ascii_counters(collector.counters, collector.gauges))
+        if collector.hists:
+            print()
+            print("latency percentiles:")
+            print(ascii_hist_table({k: h.summary() for k, h in collector.hists.items()}))
     if getattr(args, "trace_out", None):
         path = obs.write_chrome_trace(collector, args.trace_out)
         print(f"trace written to {path}")
@@ -574,13 +796,18 @@ def _emit_diagnostics(sink: diag.DiagnosticSink, limit: int = 50) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    import time
+
     args = build_parser().parse_args(argv)
+    wants_ledger = getattr(args, "_ledger", False) and not getattr(args, "no_ledger", False)
     wants_collect = (
         getattr(args, "profile", False)
         or getattr(args, "trace_out", None)
         or getattr(args, "metrics_out", None)
         or getattr(args, "_always_collect", False)
+        or wants_ledger
     )
+    t0 = time.perf_counter()
     try:
         with diag.capture() as sink:
             try:
@@ -590,6 +817,11 @@ def main(argv: list[str] | None = None) -> int:
                     with obs.collect() as collector:
                         rc = args.fn(args)
                         _emit_reports(args, collector)
+                        if wants_ledger:
+                            # snapshot before the save, so the ledger's own
+                            # obs.ledger.saved counter never pollutes it;
+                            # interrupted/failed runs record nothing
+                            _record_ledger(args, collector, rc, time.perf_counter() - t0, argv)
             finally:
                 _emit_diagnostics(sink)
     except ReproError as e:

@@ -497,7 +497,10 @@ def index_codebase(
                 units[role] = unit
         elif misses:
             worker = _make_unit_worker(spec, fs, options, run_coverage)
-            if jobs > 1 and len(misses) > 1:
+            # fork even for a single miss: a one-unit model still gets its
+            # own worker lane in the trace, and compare --jobs N visibly
+            # fans its per-model cold indexes across distinct pids
+            if jobs > 1 and misses:
                 pool = ChunkedPool(
                     jobs=jobs,
                     chunk_size=1,

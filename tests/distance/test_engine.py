@@ -234,6 +234,6 @@ class TestWorkerInitDegrade:
         pool_mod._STAGE = None
         _worker_init()  # sets _INIT_FAILED
         pool_mod._STAGE = _stage()
-        out, counters = _run_chunk(((0, 3), 0))
+        out, counters, _payload = _run_chunk(((0, 3), 0))
         assert out == [0, 1, 4]
         assert counters["engine.worker_init_errors"] == 1

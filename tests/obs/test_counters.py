@@ -26,9 +26,32 @@ class TestAccumulation:
             assert obs.get("missing") == 0.0
         assert obs.get("x") == 0.0  # no collector -> 0
 
+    def test_get_is_counter_only(self):
+        # gauges and histograms are separate namespaces: get() must treat a
+        # gauge name exactly like an unknown counter, not read through
+        with obs.collect():
+            obs.gauge("size", 9)
+            obs.observe("lat", 0.5)
+            assert obs.get("size") == 0.0
+            assert obs.get("lat") == 0.0
+            assert obs.get_gauge("size") == 9.0
+            assert obs.get_gauge("missing", default=-1.0) == -1.0
+            assert obs.get_histogram("lat").count == 1
+            assert obs.get_histogram("missing") is None
+        assert obs.get_gauge("size") == 0.0  # no collector -> default
+        assert obs.get_histogram("lat") is None
+
+    def test_observe_records_distribution(self):
+        with obs.collect() as c:
+            obs.observe("lat", 0.002)
+            obs.observe("lat", 0.004)
+        assert c.hists["lat"].count == 2
+        assert c.hists["lat"].sum == 0.006
+
     def test_noop_without_collector(self):
         obs.add("ignored")
         obs.gauge("ignored", 1)  # must not raise or leak anywhere
+        obs.observe("ignored", 0.1)
 
 
 class TestTedCounters:

@@ -94,8 +94,19 @@ class TestMetricsJson:
         children = data["spans"]["stage"]["total_s"] + data["spans"]["other"]["total_s"]
         assert abs(pipeline["self_s"] - max(pipeline["total_s"] - children, 0.0)) < 1e-9
 
+    def test_v2_hists_section(self):
+        c = _sample_collector()
+        data = obs.metrics_json(c)
+        assert data["schema"] == "repro.obs/v2"
+        # every span name doubles as a latency histogram (auto-observed)
+        assert set(data["hists"]) == {"pipeline", "stage", "other"}
+        stage = data["hists"]["stage"]
+        assert stage["count"] == 3
+        assert {"p50_s", "p90_s", "p99_s"} <= set(stage)
+
     def test_empty_collector_exports_cleanly(self):
         with obs.collect() as c:
             pass
         assert obs.metrics_json(c)["spans"] == {}
+        assert obs.metrics_json(c)["hists"] == {}
         assert obs.chrome_trace(c)["traceEvents"][0]["ph"] == "M"

@@ -1,0 +1,126 @@
+"""Histogram primitive: bucketing, moments, percentiles, merge, transport."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.hist import BOUNDS, Histogram, bucket_index
+
+
+class TestBounds:
+    def test_geometric_series_is_strictly_increasing(self):
+        assert all(a < b for a, b in zip(BOUNDS, BOUNDS[1:]))
+
+    def test_covers_100ns_to_10000s(self):
+        assert BOUNDS[0] == pytest.approx(1e-7)
+        assert BOUNDS[-1] == pytest.approx(1e4)
+
+    def test_bucket_index_edges(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(BOUNDS[0]) == 0  # values <= first bound land in 0
+        assert bucket_index(BOUNDS[-1] * 2) == len(BOUNDS)  # overflow bucket
+
+    def test_relative_resolution_about_26_percent(self):
+        ratios = [b / a for a, b in zip(BOUNDS, BOUNDS[1:])]
+        assert all(abs(r - 10 ** 0.1) < 1e-9 for r in ratios)
+
+
+class TestObserve:
+    def test_exact_moments(self):
+        h = Histogram()
+        for v in (0.001, 0.004, 0.002):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.007)
+        assert h.min == pytest.approx(0.001)
+        assert h.max == pytest.approx(0.004)
+
+    def test_single_value_percentiles_are_exact(self):
+        h = Histogram()
+        h.observe(0.123)
+        for q in (1, 50, 90, 99, 100):
+            assert h.percentile(q) == pytest.approx(0.123)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99) == 0.0
+
+    def test_percentile_within_bucket_resolution(self):
+        h = Histogram()
+        rng = random.Random(7)
+        values = [rng.uniform(0.001, 1.0) for _ in range(500)]
+        for v in values:
+            h.observe(v)
+        values.sort()
+        true_p50 = values[len(values) // 2]
+        # one geometric bucket is a ~26% step; allow one step either way
+        assert h.percentile(50) == pytest.approx(true_p50, rel=0.3)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        h = Histogram()
+        h.observe(0.010)
+        h.observe(0.011)
+        assert h.min <= h.percentile(1) <= h.percentile(99) <= h.max
+
+    def test_overflow_values_counted(self):
+        h = Histogram()
+        h.observe(1e6)  # beyond the last bound
+        assert h.count == 1
+        assert h.counts[-1] == 1
+        assert h.percentile(99) == pytest.approx(1e6)
+
+    def test_summary_keys_contract(self):
+        h = Histogram()
+        h.observe(0.5)
+        s = h.summary()
+        assert set(s) == {"count", "sum_s", "min_s", "max_s", "p50_s", "p90_s", "p99_s"}
+        empty = Histogram().summary()
+        assert empty == {"count": 0, "sum_s": 0.0, "min_s": 0.0, "max_s": 0.0}
+
+
+class TestMerge:
+    def test_merge_equals_combined_observation(self):
+        rng = random.Random(3)
+        values = [rng.uniform(1e-6, 10.0) for _ in range(200)]
+        combined = Histogram()
+        a, b = Histogram(), Histogram()
+        for i, v in enumerate(values):
+            combined.observe(v)
+            (a if i % 2 else b).observe(v)
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.count == combined.count
+        assert a.sum == pytest.approx(combined.sum)
+        assert a.min == combined.min
+        assert a.max == combined.max
+
+    def test_merge_with_empty_keeps_moments(self):
+        h = Histogram()
+        h.observe(0.25)
+        h.merge(Histogram())
+        assert h.count == 1
+        assert h.min == pytest.approx(0.25)
+        assert not math.isinf(h.min)
+
+
+class TestTransport:
+    def test_roundtrip(self):
+        h = Histogram()
+        for v in (1e-8, 0.003, 0.2, 1e5):
+            h.observe(v)
+        back = Histogram.from_obj(h.to_obj())
+        assert back.counts == h.counts
+        assert back.count == h.count
+        assert back.sum == pytest.approx(h.sum)
+        assert back.min == h.min and back.max == h.max
+
+    def test_sparse_encoding_skips_empty_buckets(self):
+        h = Histogram()
+        h.observe(0.01)
+        obj = h.to_obj()
+        assert len(obj["buckets"]) == 1
+
+    def test_from_obj_tolerates_garbage_bucket_indices(self):
+        h = Histogram.from_obj({"buckets": [[-3, 5], [10 ** 6, 2], [4, 1]], "count": 1})
+        assert h.counts[4] == 1
+        assert sum(h.counts) == 1

@@ -1,0 +1,214 @@
+"""Run ledger: snapshot persistence, run resolution, history, diffing."""
+
+import pytest
+
+from repro import obs
+from repro.obs import ledger
+from repro.obs.export import METRICS_SCHEMA
+from repro.util.errors import ReproError
+
+
+def make_snapshot(run_id, command="compare", duration=1.0, corpus="abc123", **kw):
+    """A ledger snapshot with a real (tiny) collected metrics section."""
+    with obs.collect() as col:
+        with obs.span("ted"):
+            pass
+        obs.add("work.calls", 3)
+    snap = ledger.snapshot_from_collector(
+        col,
+        command=command,
+        argv=["silvervale", command],
+        duration_s=duration,
+        workload={"app": kw.pop("app", "tealeaf")},
+        corpus=corpus,
+        run_id=run_id,
+    )
+    snap.update(kw)
+    return snap
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ledger.RunLedgerStore(tmp_path)
+
+
+class TestStore:
+    def test_run_ids_sorted_oldest_first(self, store):
+        for rid in ("20260103T000000-000000-1", "20260101T000000-000000-1",
+                    "20260102T000000-000000-1"):
+            ledger.record_run(store, make_snapshot(rid))
+        assert store.run_ids() == [
+            "20260101T000000-000000-1",
+            "20260102T000000-000000-1",
+            "20260103T000000-000000-1",
+        ]
+
+    def test_roundtrip_preserves_snapshot(self, store):
+        snap = make_snapshot("20260101T000000-000000-1")
+        ledger.record_run(store, snap)
+        back = store.load(snap["run"])
+        assert back == snap
+        assert back["metrics"]["schema"] == METRICS_SCHEMA
+        assert back["metrics"]["counters"]["work.calls"] == 3
+        assert "ted" in back["metrics"]["hists"]
+
+    def test_new_run_ids_are_time_ordered(self):
+        a = ledger.new_run_id(now=1000.0)
+        b = ledger.new_run_id(now=2000.5)
+        assert a < b
+
+    def test_corpus_fingerprint_stable_and_model_sensitive(self):
+        full = ledger.corpus_fingerprint("tealeaf")
+        assert full == ledger.corpus_fingerprint("tealeaf")
+        assert len(full) == 16
+        sliced = ledger.corpus_fingerprint("tealeaf", models=["omp"])
+        assert sliced != full
+
+    def test_corpus_fingerprint_unknown_app_is_none(self):
+        assert ledger.corpus_fingerprint("no-such-app") is None
+
+
+class TestResolveRun:
+    def test_empty_ledger_raises(self, store):
+        with pytest.raises(ReproError, match="empty"):
+            ledger.resolve_run(store, "last")
+
+    def test_last_and_prev(self, store):
+        for rid in ("20260101T000000-000000-1", "20260102T000000-000000-1"):
+            ledger.record_run(store, make_snapshot(rid))
+        assert ledger.resolve_run(store, "last") == "20260102T000000-000000-1"
+        assert ledger.resolve_run(store, "latest") == "20260102T000000-000000-1"
+        assert ledger.resolve_run(store, "prev") == "20260101T000000-000000-1"
+        assert ledger.resolve_run(store, "previous") == "20260101T000000-000000-1"
+
+    def test_prev_requires_two_runs(self, store):
+        ledger.record_run(store, make_snapshot("20260101T000000-000000-1"))
+        with pytest.raises(ReproError, match="previous"):
+            ledger.resolve_run(store, "prev")
+
+    def test_unique_prefix_resolves(self, store):
+        ledger.record_run(store, make_snapshot("20260101T000000-000000-1"))
+        ledger.record_run(store, make_snapshot("20260215T000000-000000-1"))
+        assert ledger.resolve_run(store, "202602") == "20260215T000000-000000-1"
+
+    def test_ambiguous_prefix_raises(self, store):
+        ledger.record_run(store, make_snapshot("20260101T000000-000000-1"))
+        ledger.record_run(store, make_snapshot("20260102T000000-000000-1"))
+        with pytest.raises(ReproError, match="ambiguous"):
+            ledger.resolve_run(store, "2026")
+
+    def test_no_match_raises(self, store):
+        ledger.record_run(store, make_snapshot("20260101T000000-000000-1"))
+        with pytest.raises(ReproError, match="no ledger snapshot"):
+            ledger.resolve_run(store, "1999")
+
+
+class TestHistory:
+    def test_filters_and_limit(self, store):
+        ledger.record_run(store, make_snapshot("20260101T000000-000000-1", command="index"))
+        ledger.record_run(store, make_snapshot("20260102T000000-000000-1", command="compare"))
+        ledger.record_run(
+            store, make_snapshot("20260103T000000-000000-1", command="compare", app="babelstream")
+        )
+        assert [s["run"][:8] for s in ledger.history(store)] == [
+            "20260101", "20260102", "20260103",
+        ]
+        assert len(ledger.history(store, command="compare")) == 2
+        assert len(ledger.history(store, app="babelstream")) == 1
+        newest = ledger.history(store, limit=1)
+        assert [s["run"][:8] for s in newest] == ["20260103"]  # keeps the newest
+
+    def test_unreadable_snapshot_skipped(self, store, tmp_path):
+        ledger.record_run(store, make_snapshot("20260101T000000-000000-1"))
+        (tmp_path / "obs-20260102T000000-000000-1.svc").write_text("not json {")
+        assert len(ledger.history(store)) == 1
+
+
+class TestDiff:
+    def test_counter_and_latency_deltas(self, store):
+        a = make_snapshot("20260101T000000-000000-1", duration=2.0)
+        b = make_snapshot("20260102T000000-000000-1", duration=1.0)
+        b["metrics"]["counters"]["work.calls"] = 5
+        d = ledger.diff_snapshots(a, b)
+        assert d["schema_ok"] is True
+        assert d["comparable"] is True  # same corpus + command
+        assert d["counters"]["work.calls"] == {"before": 3, "after": 5, "delta": 2}
+        assert d["duration_s"]["delta"] == pytest.approx(-1.0)
+        assert "ted" in d["hists"]
+
+    def test_schema_mismatch_is_flagged(self):
+        a = make_snapshot("20260101T000000-000000-1")
+        b = make_snapshot("20260102T000000-000000-1")
+        b["metrics"]["schema"] = "repro.obs/v1"
+        d = ledger.diff_snapshots(a, b)
+        assert d["schema_ok"] is False
+        assert d["schemas"] == {"before": METRICS_SCHEMA, "after": "repro.obs/v1"}
+
+    def test_different_corpus_not_comparable(self):
+        a = make_snapshot("20260101T000000-000000-1", corpus="aaaa")
+        b = make_snapshot("20260102T000000-000000-1", corpus="bbbb")
+        assert ledger.diff_snapshots(a, b)["comparable"] is False
+
+    def test_missing_corpus_not_comparable(self):
+        a = make_snapshot("20260101T000000-000000-1", corpus=None)
+        b = make_snapshot("20260102T000000-000000-1", corpus=None)
+        assert ledger.diff_snapshots(a, b)["comparable"] is False
+
+    def test_regression_detection_respects_frac_and_floor(self):
+        a = make_snapshot("20260101T000000-000000-1")
+        b = make_snapshot("20260102T000000-000000-1")
+        a["metrics"]["hists"] = {
+            "slow": {"count": 10, "p50_s": 0.10, "p99_s": 0.100},
+            "tiny": {"count": 10, "p50_s": 0.0001, "p99_s": 0.0001},
+            "steady": {"count": 10, "p50_s": 0.10, "p99_s": 0.100},
+        }
+        b["metrics"]["hists"] = {
+            # +50% and above the absolute floor -> regression
+            "slow": {"count": 10, "p50_s": 0.15, "p99_s": 0.150},
+            # +900% but below REGRESSION_FLOOR_S absolute -> ignored
+            "tiny": {"count": 10, "p50_s": 0.001, "p99_s": 0.001},
+            # +10% -> below REGRESSION_FRAC -> ignored
+            "steady": {"count": 10, "p50_s": 0.11, "p99_s": 0.110},
+        }
+        assert ledger.diff_snapshots(a, b)["regressions"] == ["slow"]
+
+    def test_empty_hists_do_not_crash(self):
+        a = make_snapshot("20260101T000000-000000-1")
+        b = make_snapshot("20260102T000000-000000-1")
+        a["metrics"]["hists"]["ted"] = {"count": 0, "sum_s": 0.0, "min_s": 0.0, "max_s": 0.0}
+        d = ledger.diff_snapshots(a, b)
+        assert "ted" not in d["hists"]
+
+
+class TestHarnessEnvelope:
+    def test_artifact_shape(self):
+        art = ledger.harness_artifact("bench", {"cases": []})
+        assert art["schema"] == ledger.HARNESS_SCHEMA
+        assert art["kind"] == "bench"
+        assert art["metrics_schema"] == METRICS_SCHEMA
+        assert art["report"] == {"cases": []}
+
+    def test_write_harness_artifact(self, tmp_path):
+        import json
+
+        p = ledger.write_harness_artifact(tmp_path / "X.json", "fuzz", {"crashes": []})
+        data = json.loads(p.read_text())
+        assert data["schema"] == ledger.HARNESS_SCHEMA
+        assert data["report"] == {"crashes": []}
+
+    def test_record_harness_run_lands_in_ledger(self, tmp_path):
+        rid = ledger.record_harness_run(str(tmp_path), "chaos", None, {"ok": True}, duration_s=2.5)
+        store = ledger.RunLedgerStore(tmp_path)
+        snap = store.load(rid)
+        assert snap["command"] == "harness:chaos"
+        assert snap["report"] == {"ok": True}
+        assert snap["duration_s"] == 2.5
+
+    def test_record_harness_run_never_raises(self, tmp_path, capsys):
+        target = tmp_path / "blocked"
+        target.write_text("a file where a directory must go")
+        assert ledger.record_harness_run(str(target), "bench", None, {}) is None
+        assert "warning" in capsys.readouterr().err
+
+    def test_record_harness_run_noop_without_dir(self):
+        assert ledger.record_harness_run(None, "bench", None, {}) is None

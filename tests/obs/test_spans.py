@@ -31,6 +31,19 @@ class TestDisabled:
     def test_current_collector_none_when_disabled(self):
         assert obs.current_collector() is None
 
+    def test_noop_span_index_is_minus_one(self):
+        # pool code reads span.index to re-parent adopted worker spans;
+        # the disabled path must yield the "no parent" sentinel
+        assert obs.span("x").index == -1
+
+    def test_live_span_index_matches_record(self):
+        with obs.collect() as c:
+            with obs.span("a") as sa:
+                assert sa.index == 0
+                with obs.span("b") as sb:
+                    assert sb.index == 1
+        assert [r.index for r in c.spans] == [0, 1]
+
 
 class TestNesting:
     def test_parent_child_links(self):

@@ -1,0 +1,187 @@
+"""``silvervale obs`` + run-ledger recording through the real CLI entry point.
+
+Every workload subcommand records a metrics snapshot into the ``obs``
+namespace of the artifact root (opt-out: ``--no-ledger``); the ``obs``
+subcommand family reads the snapshots back. These tests drive ``main()``
+end-to-end over a tmp cache root.
+"""
+
+import json
+
+import pytest
+
+from repro.corpus.registry import clear_index_cache
+from repro.distance.ted import clear_ted_cache
+from repro.obs import ledger
+from repro.workflow.cli import main
+
+
+@pytest.fixture
+def root(tmp_path, monkeypatch):
+    # keep any default-root fallback (.silvervale-cache) out of the repo CWD
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unused-default"))
+    return tmp_path / "root"
+
+
+def record_run(root, out_dir, tag="a"):
+    """One fast real workload run that lands in the ledger.
+
+    In-process memos would satisfy repeat runs without doing (or recording)
+    any work — clear them so every run collects real spans and writes unit
+    artifacts under its own root.
+    """
+    clear_index_cache()
+    clear_ted_cache()
+    rc = main(
+        [
+            "index", "babelstream", "serial",
+            "-o", str(out_dir / f"{tag}.svdb"),
+            "--cache-dir", str(root),
+        ]
+    )
+    assert rc == 0
+
+
+class TestRecording:
+    def test_workload_run_records_snapshot(self, root, tmp_path, capsys):
+        record_run(root, tmp_path)
+        store = ledger.RunLedgerStore(root)
+        ids = store.run_ids()
+        assert len(ids) == 1
+        snap = store.load(ids[0])
+        assert snap["command"] == "index"
+        assert snap["workload"]["app"] == "babelstream"
+        assert snap["workload"]["model"] == "serial"
+        assert snap["exit_code"] == 0
+        assert snap["corpus"]  # fingerprint of a known app resolves
+        assert snap["metrics"]["schema"] == ledger.METRICS_SCHEMA
+
+    def test_no_ledger_opts_out(self, root, tmp_path):
+        rc = main(
+            [
+                "index", "babelstream", "serial",
+                "-o", str(tmp_path / "x.svdb"),
+                "--cache-dir", str(root),
+                "--no-ledger",
+            ]
+        )
+        assert rc == 0
+        assert ledger.RunLedgerStore(root).run_ids() == []
+
+    def test_read_only_subcommands_do_not_record(self, root, capsys):
+        assert main(["obs", "history", "--cache-dir", str(root)]) == 0
+        assert main(["apps"]) == 0
+        assert ledger.RunLedgerStore(root).run_ids() == []
+
+
+class TestHistory:
+    def test_empty_ledger_message(self, root, capsys):
+        assert main(["obs", "history", "--cache-dir", str(root)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_table_and_json(self, root, tmp_path, capsys):
+        record_run(root, tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "history", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "index" in out and "babelstream" in out
+        assert main(["obs", "history", "--cache-dir", str(root), "--json"]) == 0
+        snaps = json.loads(capsys.readouterr().out)
+        assert len(snaps) == 1 and snaps[0]["command"] == "index"
+
+    def test_command_filter(self, root, tmp_path, capsys):
+        record_run(root, tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["obs", "history", "--cache-dir", str(root), "--command", "compare", "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+
+class TestDiff:
+    def test_prev_vs_last(self, root, tmp_path, capsys):
+        record_run(root, tmp_path, "a")
+        record_run(root, tmp_path, "b")
+        capsys.readouterr()
+        assert main(["obs", "diff", "prev", "last", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("diff ")
+        assert "wall time:" in out
+
+    def test_json_shape(self, root, tmp_path, capsys):
+        record_run(root, tmp_path, "a")
+        record_run(root, tmp_path, "b")
+        capsys.readouterr()
+        assert main(["obs", "diff", "prev", "last", "--cache-dir", str(root), "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["schema_ok"] is True
+        assert d["comparable"] is True  # same command, same corpus
+
+    def test_schema_mismatch_hard_fails(self, root, tmp_path, capsys):
+        record_run(root, tmp_path, "a")
+        record_run(root, tmp_path, "b")
+        store = ledger.RunLedgerStore(root)
+        last = store.run_ids()[-1]
+        snap = store.load(last)
+        snap["metrics"]["schema"] = "repro.obs/v0"
+        store.save(last, snap)
+        capsys.readouterr()
+        assert main(["obs", "diff", "prev", "last", "--cache-dir", str(root)]) == 1
+        assert "not comparable" in capsys.readouterr().err
+
+    def test_regression_flagged_in_text(self, root, capsys):
+        store = ledger.RunLedgerStore(root)
+        base = {
+            "command": "compare", "corpus": "c0de", "argv": [], "workload": {},
+            "duration_s": 1.0, "exit_code": 0,
+            "metrics": {
+                "schema": ledger.METRICS_SCHEMA, "spans": {}, "counters": {},
+                "gauges": {},
+                "hists": {"ted": {"count": 5, "p50_s": 0.1, "p99_s": 0.1}},
+            },
+        }
+        slow = json.loads(json.dumps(base))
+        slow["metrics"]["hists"]["ted"] = {"count": 5, "p50_s": 0.2, "p99_s": 0.2}
+        store.save("20260101T000000-000000-1", dict(base, run="20260101T000000-000000-1"))
+        store.save("20260102T000000-000000-1", dict(slow, run="20260102T000000-000000-1"))
+        assert main(["obs", "diff", "prev", "last", "--cache-dir", str(root)]) == 0
+        captured = capsys.readouterr()
+        assert "regressed" in captured.out
+        assert "1 span(s) regressed" in captured.err
+
+
+class TestReport:
+    def test_latest_by_default(self, root, tmp_path, capsys):
+        record_run(root, tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "command  : index" in out
+        assert "latency percentiles:" in out
+
+    def test_json(self, root, tmp_path, capsys):
+        record_run(root, tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", "--cache-dir", str(root), "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["command"] == "index"
+
+    def test_empty_ledger_errors(self, root, capsys):
+        assert main(["obs", "report", "--cache-dir", str(root)]) != 0
+
+
+class TestCacheIntegration:
+    def test_stats_enumerates_obs_namespace(self, root, tmp_path, capsys):
+        record_run(root, tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(root), "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["namespaces"]["obs"]["files"] == 1
+
+    def test_clear_namespace_obs_only_prunes_ledger(self, root, tmp_path, capsys):
+        record_run(root, tmp_path)
+        other = {p.name for p in root.glob("*.svc") if not p.name.startswith("obs-")}
+        assert other  # the index run also wrote unit artifacts
+        assert main(["cache", "clear", "--cache-dir", str(root), "--namespace", "obs"]) == 0
+        assert ledger.RunLedgerStore(root).run_ids() == []
+        assert {p.name for p in root.glob("*.svc") if not p.name.startswith("obs-")} == other
