@@ -1,0 +1,291 @@
+"""CI load-test harness for the ``silvervale serve`` daemon.
+
+Boots the daemon in-process against a small fixed corpus, then runs three
+phases:
+
+1. **cold** — one request per analysis endpoint, populating the hot tier;
+   latencies recorded but not gated (cold queries do real engine work).
+2. **identity** — the same analyses computed through the batch path
+   in-process; every serve response must be **bit-identical** (no float
+   tolerance) to the batch result. This is the tentpole guarantee.
+3. **warm** — N concurrent keep-alive clients each issue a mixed stream of
+   warm queries. Gates:
+
+   * warm p50 ≤ ``--p50-gate-ms`` and p99 ≤ ``--p99-gate-ms``,
+   * the warm phase performs **zero Zhang–Shasha evaluations**
+     (``ted.zs.calls`` delta over the phase == 0 — every value comes out
+     of the hot tier),
+   * every response with the same query returned the identical payload.
+
+Writes the ``SERVE_pr.json`` harness artifact and (with ``--ledger-dir``)
+records a ``harness:serve`` snapshot so ``silvervale obs diff`` can compare
+the serve run against the batch baseline recorded earlier in the job.
+
+Usage: PYTHONPATH=src python benchmarks/load_serve.py [--out SERVE_pr.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+
+from repro import obs
+from repro.analysis.cluster import cluster_codebases
+from repro.analysis.heatmap import HEATMAP_SPECS, divergence_heatmap
+from repro.corpus.registry import app_models, clear_index_cache, index_app
+from repro.distance.engine import DistanceEngine
+from repro.distance.ted import clear_ted_cache
+from repro.obs import ledger as runledger
+from repro.serve.daemon import ServeDaemon
+from repro.workflow.comparer import divergence_row, parse_metric
+
+APP = "babelstream-fortran"
+BASELINE = "sequential"
+METRIC = "Tsem"
+
+
+class Client:
+    """One keep-alive connection issuing timed JSON requests."""
+
+    def __init__(self, port: int):
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+
+    def get(self, path: str) -> tuple[int, dict, float]:
+        t0 = time.perf_counter()
+        self.conn.request("GET", path)
+        resp = self.conn.getresponse()
+        payload = json.loads(resp.read())
+        return resp.status, payload, time.perf_counter() - t0
+
+    def post(self, path: str) -> tuple[int, dict]:
+        self.conn.request("POST", path, body=b"")
+        resp = self.conn.getresponse()
+        return resp.status, json.loads(resp.read())
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def percentile(samples: list[float], frac: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(frac * len(ordered)))]
+
+
+def counters_from_stats(client: Client) -> dict:
+    status, payload, _ = client.get("/v1/stats")
+    assert status == 200
+    return payload["metrics"].get("counters", {})
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="SERVE_pr.json", help="result JSON path")
+    parser.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="record a harness:serve snapshot into this run-ledger root",
+    )
+    parser.add_argument("--clients", type=int, default=8, help="concurrent warm clients")
+    parser.add_argument(
+        "--queries", type=int, default=25, help="warm queries per client"
+    )
+    parser.add_argument(
+        "--p50-gate-ms", type=float, default=100.0, help="warm p50 gate (ms)"
+    )
+    parser.add_argument(
+        "--p99-gate-ms", type=float, default=1000.0, help="warm p99 gate (ms)"
+    )
+    args = parser.parse_args()
+    t_start = time.perf_counter()
+
+    clear_index_cache()
+    clear_ted_cache()
+    models = [m for m in app_models(APP) if m != BASELINE]
+    failures: list[str] = []
+
+    with obs.collect() as col:
+        daemon = ServeDaemon(
+            DistanceEngine(), port=0, warm=[APP], window_s=0.005, quiet=True
+        )
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        if not daemon.ready.wait(300):
+            print("FAIL: daemon did not become ready", file=sys.stderr)
+            return 1
+        client = Client(daemon.port)
+        print(f"daemon ready on port {daemon.port} (warm corpus: {APP})")
+
+        # -- phase 1: cold queries populate the hot tier ---------------------
+        cold: dict[str, float] = {}
+        cold_payloads: dict[str, dict] = {}
+        cold_paths = {
+            "compare": f"/v1/compare?app={APP}&model={models[0]}&baseline={BASELINE}&metric={METRIC}",
+            "cluster": f"/v1/cluster?app={APP}&metric={METRIC}",
+            "heatmap": f"/v1/heatmap?app={APP}&baseline={BASELINE}",
+            "nearest": f"/v1/nearest?app={APP}&model={BASELINE}&k=3",
+        }
+        for name, path in cold_paths.items():
+            status, payload, dt = client.get(path)
+            if status != 200:
+                failures.append(f"cold {name} returned {status}: {payload.get('error')}")
+                continue
+            cold[name], cold_payloads[name] = dt, payload
+            print(f"cold {name:8s} {dt * 1e3:9.1f} ms")
+
+        # -- phase 2: bit-identity against the batch path --------------------
+        spec = parse_metric(METRIC)
+        cbs = index_app(APP, coverage=spec.coverage)
+        expected_cmp = divergence_row(cbs[BASELINE], [cbs[models[0]]], spec)[models[0]]
+        if cold_payloads["compare"]["divergence"] != expected_cmp:
+            failures.append(
+                f"compare diverges from batch path: served "
+                f"{cold_payloads['compare']['divergence']!r}, batch {expected_cmp!r}"
+            )
+        names = list(cbs)
+        dend = cluster_codebases([cbs[m] for m in names], names, spec)
+        if cold_payloads["cluster"]["newick"] != dend.newick():
+            failures.append("cluster newick diverges from batch path")
+        cov = index_app(APP, coverage=True)
+        grid = divergence_heatmap(
+            cov[BASELINE], [cov[m] for m in names if m != BASELINE], HEATMAP_SPECS
+        )
+        if cold_payloads["heatmap"]["csv"] != grid.to_csv():
+            failures.append("heatmap grid diverges from batch path")
+        if not failures:
+            print("identity: serve responses bit-identical to the batch path")
+
+        # -- phase 3: concurrent warm load ------------------------------------
+        zs_before = counters_from_stats(client).get("ted.zs.calls", 0)
+        mix = list(cold_paths.values()) + [
+            f"/v1/compare?app={APP}&model={m}&baseline={BASELINE}&metric={METRIC}"
+            for m in models
+        ]
+        samples: list[float] = []
+        errors: list[str] = []
+        reference: dict[str, dict] = {}
+        lock = threading.Lock()
+        barrier = threading.Barrier(args.clients)
+
+        def worker(worker_id: int) -> None:
+            c = Client(daemon.port)
+            try:
+                barrier.wait()
+                for i in range(args.queries):
+                    path = mix[(worker_id + i) % len(mix)]
+                    status, payload, dt = c.get(path)
+                    payload.pop("request_id", None)
+                    payload.pop("uptime_s", None)
+                    with lock:
+                        samples.append(dt)
+                        if status != 200:
+                            errors.append(f"{path} -> {status}")
+                        elif path in reference:
+                            if reference[path] != payload:
+                                errors.append(f"{path} returned differing payloads")
+                        else:
+                            reference[path] = payload
+            finally:
+                c.close()
+
+        workers = [
+            threading.Thread(target=worker, args=(i,)) for i in range(args.clients)
+        ]
+        t0 = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        warm_wall = time.perf_counter() - t0
+        zs_after = counters_from_stats(client).get("ted.zs.calls", 0)
+
+        p50 = percentile(samples, 0.50)
+        p99 = percentile(samples, 0.99)
+        total = len(samples)
+        print(
+            f"warm load: {args.clients} clients x {args.queries} queries "
+            f"({total} total) in {warm_wall:.2f}s "
+            f"({total / warm_wall:.0f} req/s)"
+        )
+        print(
+            f"warm latency: p50 {p50 * 1e3:.2f} ms  p99 {p99 * 1e3:.2f} ms  "
+            f"mean {statistics.fmean(samples) * 1e3:.2f} ms"
+        )
+
+        if errors:
+            failures.extend(errors[:5])
+        if p50 * 1e3 > args.p50_gate_ms:
+            failures.append(
+                f"warm p50 {p50 * 1e3:.2f} ms over gate {args.p50_gate_ms} ms"
+            )
+        if p99 * 1e3 > args.p99_gate_ms:
+            failures.append(
+                f"warm p99 {p99 * 1e3:.2f} ms over gate {args.p99_gate_ms} ms"
+            )
+        zs_delta = zs_after - zs_before
+        if zs_delta != 0:
+            failures.append(
+                f"warm phase performed {zs_delta:g} Zhang-Shasha evaluations (want 0)"
+            )
+        else:
+            print("warm phase: 0 Zhang-Shasha evaluations (all hot-tier)")
+
+        serve_counters = {
+            k: v
+            for k, v in counters_from_stats(client).items()
+            if k.startswith(("serve.", "engine.waves", "ted.zs"))
+        }
+        client.close()
+        daemon.stop()
+        thread.join(timeout=60)
+        if thread.is_alive():
+            failures.append("daemon did not shut down within 60s")
+
+    report = {
+        "workload": {
+            "app": APP,
+            "baseline": BASELINE,
+            "metric": METRIC,
+            "clients": args.clients,
+            "queries_per_client": args.queries,
+        },
+        "cold_latency_s": cold,
+        "warm": {
+            "requests": total,
+            "wall_s": warm_wall,
+            "p50_ms": p50 * 1e3,
+            "p99_ms": p99 * 1e3,
+            "zs_calls": zs_delta,
+        },
+        "gates": {
+            "p50_ms": args.p50_gate_ms,
+            "p99_ms": args.p99_gate_ms,
+            "zs_calls": 0,
+        },
+        "counters": serve_counters,
+        "failures": failures,
+        "metrics": obs.metrics_json(col),
+    }
+    runledger.write_harness_artifact(args.out, "serve", report)
+    runledger.record_harness_run(
+        args.ledger_dir, "serve", col, report, duration_s=time.perf_counter() - t_start
+    )
+    print(f"wrote {args.out}")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(
+            f"PASS: {total} warm queries, p50 {p50 * 1e3:.2f} ms / "
+            f"p99 {p99 * 1e3:.2f} ms, bit-identical to batch, 0 ZS calls"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,32 @@ HEATMAP_SPECS: tuple[MetricSpec, ...] = (
 )
 
 
+def heatmap_demands(
+    baseline: IndexedCodebase,
+    models: Sequence[IndexedCodebase],
+    specs: Sequence[MetricSpec] = HEATMAP_SPECS,
+) -> tuple[list[tuple], list[str]]:
+    """Flat (row-major) directed demand list of one heatmap grid.
+
+    Returns ``(tasks, keys)`` for :func:`divergence_task` /
+    :func:`directed_task_key`. Shared by the batch path below and the serve
+    layer's request batcher — same work, same memo keys, bit-identical
+    grids on both surfaces.
+    """
+    tasks = [(baseline, cb, spec) for spec in specs for cb in models]
+    keys = [directed_task_key(baseline, cb, spec) for spec in specs for cb in models]
+    return tasks, keys
+
+
+def heatmap_from_values(
+    rows: Sequence[str], cols: Sequence[str], flat: Sequence[float]
+) -> HeatmapData:
+    """Assemble :class:`HeatmapData` from row-major flat values."""
+    values = np.zeros((len(rows), len(cols)))
+    values[:] = np.asarray(list(flat), dtype=np.float64).reshape(len(rows), len(cols))
+    return HeatmapData(list(rows), list(cols), values)
+
+
 def divergence_heatmap(
     baseline: IndexedCodebase,
     models: Sequence[IndexedCodebase],
@@ -74,10 +100,7 @@ def divergence_heatmap(
     eng = engine if engine is not None else DistanceEngine()
     cols = [cb.model for cb in models]
     rows = [s.label for s in specs]
-    values = np.zeros((len(rows), len(cols)))
     with obs.span("heatmap", rows=len(rows), cols=len(cols), jobs=eng.jobs):
-        tasks = [(baseline, cb, spec) for spec in specs for cb in models]
-        keys = [directed_task_key(baseline, cb, spec) for spec in specs for cb in models]
+        tasks, keys = heatmap_demands(baseline, models, specs)
         flat = eng.map_tasks(divergence_task, tasks, keys=keys)
-        values[:] = np.asarray(flat, dtype=np.float64).reshape(len(rows), len(cols))
-    return HeatmapData(rows, cols, values)
+        return heatmap_from_values(rows, cols, flat)

@@ -220,6 +220,20 @@ class ShardMapStore(ArtifactStore):
         (used after other processes may have flushed new entries)."""
         self._loaded.clear()
 
+    def preload(self) -> int:
+        """Read every shard on disk into the in-memory snapshot (lenient).
+
+        The hot-tier warm-up path for long-lived processes (``silvervale
+        serve``): after a preload every :meth:`get` is a pure dict lookup —
+        no first-request disk read, no cold-shard latency spike. Returns the
+        number of entries now resident. Invalid shards count toward
+        ``INVALID_COUNTER`` and load as empty, exactly like the lazy path.
+        """
+        total = 0
+        for shard in self._shard_ids_on_disk():
+            total += len(self._load(shard))
+        return total
+
     # -- maintenance -------------------------------------------------------
 
     def __len__(self) -> int:

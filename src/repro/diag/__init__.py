@@ -24,6 +24,7 @@ from repro.diag.diagnostics import (
     Diagnostic,
     DiagnosticSink,
     capture,
+    capture_local,
     current_sink,
     emit,
     emit_exception,
@@ -39,6 +40,7 @@ __all__ = [
     "Diagnostic",
     "DiagnosticSink",
     "capture",
+    "capture_local",
     "current_sink",
     "emit",
     "emit_exception",

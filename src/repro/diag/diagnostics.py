@@ -164,6 +164,28 @@ def capture(limit: int = 10_000) -> Iterator[DiagnosticSink]:
         _STATE.reset(token)
 
 
+@contextmanager
+def capture_local(limit: int = 10_000) -> Iterator[DiagnosticSink]:
+    """Context-local :func:`capture`: no module-global fallback update.
+
+    Built for concurrent request handlers (``silvervale serve``): each
+    asyncio task installs its own sink without touching the shared
+    ``_GLOBAL`` slot, so interleaved enter/exit orders across tasks can
+    never leave the thread-fallback pointing at a finished request's sink.
+    Diagnostics from contexts that never saw this install (bare worker
+    threads) keep reporting into the enclosing :func:`capture` sink.
+    """
+    global _ACTIVE
+    sink = DiagnosticSink(limit=limit)
+    token = _STATE.set(sink)
+    _ACTIVE += 1
+    try:
+        yield sink
+    finally:
+        _ACTIVE -= 1
+        _STATE.reset(token)
+
+
 # ---------------------------------------------------------------------------
 # Emission
 # ---------------------------------------------------------------------------

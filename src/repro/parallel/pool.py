@@ -29,12 +29,14 @@ Retries skip the injection, so a chaos run must still converge to the
 fault-free result — ``benchmarks/chaos_engine.py`` asserts exactly that.
 
 Counters are emitted under the pool's ``counter_prefix`` (the engine keeps
-its historical ``engine.*`` names): ``<prefix>.chunks``,
-``<prefix>.workers`` (gauge), ``<prefix>.retries``,
-``<prefix>.chunk_timeouts``, ``<prefix>.worker_deaths``,
-``<prefix>.chunks_failed`` plus the staged ``init_counter`` for degraded
-worker initialisation. Workers collect counters in-process and the parent
-merges them, so ``--profile`` output is complete either way.
+its historical ``engine.*`` names): ``<prefix>.waves`` (one per non-empty
+``run`` call — the unit the serve layer's request coalescing is measured
+in), ``<prefix>.chunks``, ``<prefix>.workers`` (gauge),
+``<prefix>.retries``, ``<prefix>.chunk_timeouts``,
+``<prefix>.worker_deaths``, ``<prefix>.chunks_failed`` plus the staged
+``init_counter`` for degraded worker initialisation. Workers collect
+counters in-process and the parent merges them, so ``--profile`` output is
+complete either way.
 """
 
 from __future__ import annotations
@@ -383,6 +385,9 @@ class ChunkedPool:
         run = _PoolRun(len(tasks), on_result, tick, fail_value)
         if not tasks:
             return PoolResult(run.values, run.degraded, False)
+        # one wave = one scheduling pass over a task list; the serve layer's
+        # request coalescing asserts its batching on exactly this counter
+        obs.add(f"{self.counter_prefix}.waves")
         # jobs > 1 always forks, even for a single task: the caller asked
         # for process isolation, and the watchdog/trace machinery (worker
         # pid lanes, chunk retries) only exists on the forked path. Worker

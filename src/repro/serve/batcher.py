@@ -1,0 +1,151 @@
+"""Request batching: coalesce concurrent TED demands into engine waves.
+
+The daemon's endpoints all reduce to lists of *demands* — pure divergence
+evaluations named by their engine task key (``dir:…`` / ``pair:…``). When
+many requests arrive together (the load-test case, and the production
+story), evaluating each request's demands separately would schedule many
+tiny :class:`ChunkedPool` runs; this batcher instead:
+
+* **collects** demands for one batching window (``window_s``, default
+  5 ms) after the first demand arrives,
+* **dedupes** them by task key — N requests racing over overlapping pair
+  sets contribute each unique pair once (``serve.batch.coalesced`` counts
+  the folded duplicates),
+* **joins in-flight work** — a demand whose key is already being computed
+  awaits the existing future instead of resubmitting,
+* then runs the unique tasks as a *single* engine wave per task kind
+  (``engine.waves`` is the pool-side counter the coalescing tests gate on)
+  on the daemon's one engine thread, and fans results back out to every
+  waiting request.
+
+Demands are pure functions of their key (same contract as the engine's
+checkpoint values), which is what makes sharing one result across requests
+— and with the batch CLI — sound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional, Sequence
+
+from repro import obs
+
+
+class _Pending:
+    """One unique demand and everyone waiting on it."""
+
+    __slots__ = ("kind", "task", "future")
+
+    def __init__(self, kind: str, task: Any, future: "asyncio.Future[Any]"):
+        self.kind = kind
+        self.task = task
+        self.future = future
+
+
+class WaveBatcher:
+    """Coalesces demands into single engine waves (see module docstring).
+
+    ``runner(kind, tasks, keys)`` evaluates one wave synchronously and is
+    invoked on ``executor`` (the daemon's engine thread); it must return one
+    value per task, in order. ``window_s = 0`` still coalesces demands that
+    arrive in the same event-loop iteration.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[str, list, list], list],
+        executor,
+        window_s: float = 0.005,
+    ):
+        self.runner = runner
+        self.executor = executor
+        self.window_s = window_s
+        self._pending: dict[str, _Pending] = {}
+        self._inflight: dict[str, "asyncio.Future[Any]"] = {}
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+
+    # -- demand side (event-loop thread) ------------------------------------
+
+    async def demand(self, kind: str, key: str, task: Any) -> Any:
+        """One value for one demand, shared with everyone else asking."""
+        return (await self.demand_many(kind, [key], [task]))[0]
+
+    async def demand_many(
+        self, kind: str, keys: Sequence[str], tasks: Sequence[Any]
+    ) -> list[Any]:
+        """Values for a demand list, in order; registers misses for the next
+        wave and awaits everything at once."""
+        loop = asyncio.get_running_loop()
+        futures: list[asyncio.Future[Any]] = []
+        for key, task in zip(keys, tasks):
+            obs.add("serve.batch.demands")
+            existing = self._pending.get(key)
+            if existing is not None:
+                obs.add("serve.batch.coalesced")
+                futures.append(existing.future)
+                continue
+            running = self._inflight.get(key)
+            if running is not None:
+                obs.add("serve.batch.coalesced")
+                futures.append(running)
+                continue
+            fut: asyncio.Future[Any] = loop.create_future()
+            self._pending[key] = _Pending(kind, task, fut)
+            futures.append(fut)
+            if self._flush_handle is None:
+                self._flush_handle = loop.call_later(self.window_s, self._start_flush)
+        # gather instead of sequential awaits: one failed wave must not
+        # leave sibling futures unretrieved (noisy "exception never
+        # retrieved" warnings at shutdown)
+        return list(await asyncio.gather(*futures))
+
+    async def drain(self) -> None:
+        """Flush and await any demands still pending (shutdown path)."""
+        while self._pending or self._inflight:
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._start_flush()
+            waiting = [p.future for p in self._pending.values()]
+            waiting += list(self._inflight.values())
+            if waiting:
+                await asyncio.gather(*waiting, return_exceptions=True)
+            # let the wave task reach its cleanup before re-checking
+            await asyncio.sleep(0)
+
+    # -- wave side -----------------------------------------------------------
+
+    def _start_flush(self) -> None:
+        self._flush_handle = None
+        batch = self._pending
+        self._pending = {}
+        if not batch:
+            return
+        for key, p in batch.items():
+            self._inflight[key] = p.future
+        obs.add("serve.batch.waves")
+        obs.add("serve.batch.tasks", len(batch))
+        asyncio.get_running_loop().create_task(self._run_wave(batch))
+
+    async def _run_wave(self, batch: dict[str, _Pending]) -> None:
+        """Evaluate one flushed batch: one engine call per task kind."""
+        loop = asyncio.get_running_loop()
+        by_kind: dict[str, list[tuple[str, _Pending]]] = {}
+        for key, p in batch.items():
+            by_kind.setdefault(p.kind, []).append((key, p))
+        try:
+            for kind, items in sorted(by_kind.items()):
+                keys = [k for k, _ in items]
+                tasks = [p.task for _, p in items]
+                values = await loop.run_in_executor(
+                    self.executor, self.runner, kind, tasks, keys
+                )
+                for (_, p), value in zip(items, values):
+                    if not p.future.done():
+                        p.future.set_result(value)
+        except Exception as e:
+            for _, p in [it for its in by_kind.values() for it in its]:
+                if not p.future.done():
+                    p.future.set_exception(e)
+        finally:
+            for key in batch:
+                self._inflight.pop(key, None)

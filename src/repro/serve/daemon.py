@@ -1,0 +1,247 @@
+"""The ``silvervale serve`` daemon: asyncio server + one engine thread.
+
+Threading model (the whole story, because it is the subtle part):
+
+* The **event loop** owns connections, request parsing, the wave batcher
+  and the divergence memo. Handlers never run engine work inline.
+* One **engine thread** (a ``ThreadPoolExecutor(max_workers=1)``) runs all
+  indexing and every :class:`ChunkedPool` wave. One thread, by design:
+  the pool already parallelises *inside* a wave (``--jobs``), the engine's
+  memo/caches assume single-writer, and serialising waves is exactly what
+  makes "N concurrent requests → one wave per unique demand set" true.
+* Engine work runs under a **copy of the daemon's base context** —
+  captured at startup inside the CLI's session collector — so spans,
+  counters and session-level diagnostics land in the same collector the
+  ledger snapshot is written from, no module-global fallbacks needed.
+* Each request handler installs a **context-local diagnostic sink**
+  (:func:`repro.diag.capture_local`): responses carry their own request's
+  diagnostics and nothing from concurrent requests.
+
+Graceful shutdown (``POST /v1/shutdown`` or SIGINT/SIGTERM): stop
+accepting, let in-flight responses finish (bounded grace), drain the
+batcher, close idle keep-alive connections, join the engine thread, return
+from :meth:`run` — the CLI then flushes the profile and writes the run
+ledger snapshot like any batch command.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextvars
+import signal
+import threading
+from typing import Any, Optional, Sequence
+
+from repro import diag, obs
+from repro.serve.app import ServeApp
+from repro.serve.batcher import WaveBatcher
+from repro.serve.http import HttpError, read_request, response_bytes
+from repro.serve.state import ServeState
+from repro.util.errors import ReproError
+
+
+class ServeDaemon:
+    """One serve session: state, batcher, app and server lifecycle.
+
+    Construct, then :meth:`run` (blocking; typically from the CLI) or run
+    it on a thread and wait on :attr:`ready` — :attr:`port` holds the bound
+    port (for ``--port 0``) once ready is set. :meth:`stop` is thread-safe.
+    """
+
+    def __init__(
+        self,
+        engine,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        artifacts=None,
+        strict: bool = False,
+        jobs: int = 1,
+        warm: Sequence[str] = (),
+        window_s: float = 0.005,
+        port_file: Optional[str] = None,
+        grace_s: float = 2.0,
+        quiet: bool = False,
+    ):
+        self.host = host
+        self.port = port
+        self.warm_apps = list(warm)
+        self.window_s = window_s
+        self.port_file = port_file
+        self.grace_s = grace_s
+        self.quiet = quiet
+        self.state = ServeState(engine, artifacts=artifacts, strict=strict, jobs=jobs)
+        self.ready = threading.Event()
+        self.app: Optional[ServeApp] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._conn_tasks: set["asyncio.Task[Any]"] = set()
+        self._request_seq = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve until shutdown is requested (blocking)."""
+        try:
+            asyncio.run(self._main())
+        finally:
+            self.ready.set()  # never leave a waiter hanging on a failed boot
+
+    def stop(self) -> None:
+        """Request graceful shutdown; safe from any thread."""
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(shutdown.set)
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._install_signal_handlers()
+        # the context every engine-thread job runs under: whatever collector
+        # and session-level sink the CLI installed around run()
+        base_ctx = contextvars.copy_context()
+        executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-engine"
+        )
+
+        async def run_engine(fn):
+            return await self._loop.run_in_executor(executor, base_ctx.copy().run, fn)
+
+        app = ServeApp(
+            self.state,
+            batcher=None,  # wired below; the runner closes over the app
+            run_engine=run_engine,
+            shutdown_cb=self._shutdown.set,
+        )
+
+        def ctx_runner(kind: str, tasks: list, keys: list) -> list:
+            return base_ctx.copy().run(app.wave_runner, kind, tasks, keys)
+
+        app.batcher = WaveBatcher(ctx_runner, executor, window_s=self.window_s)
+        self.app = app
+
+        server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        try:
+            if self.warm_apps:
+                with obs.span("serve.warm", apps=",".join(self.warm_apps)):
+                    warmed = await run_engine(lambda: self.state.warm(self.warm_apps))
+                self._say(
+                    f"warm: {warmed['codebases']} codebases across "
+                    f"{warmed['apps']} apps, {warmed['ted_entries']} TED entries"
+                )
+            if self.port_file:
+                with open(self.port_file, "w", encoding="utf-8") as f:
+                    f.write(f"{self.port}\n")
+            self._say(f"serving on http://{self.host}:{self.port}")
+            self.ready.set()
+            await self._shutdown.wait()
+            self._say("shutdown requested; draining")
+            server.close()
+            await server.wait_closed()
+            await self._drain_connections()
+            await app.batcher.drain()
+        finally:
+            server.close()
+            executor.shutdown(wait=True)
+        self._say("bye")
+
+    def _install_signal_handlers(self) -> None:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._loop.add_signal_handler(sig, self._shutdown.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # non-main thread (tests) or platforms without loop signals;
+                # stop() / POST /v1/shutdown remain available
+                break
+
+    async def _drain_connections(self) -> None:
+        """Give in-flight responses a grace window, then cut idle readers."""
+        deadline = self._loop.time() + self.grace_s
+        while self._conn_tasks and self._loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    def _say(self, message: str) -> None:
+        if not self.quiet:
+            print(f"serve: {message}", flush=True)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        obs.add("serve.connections")
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # shutdown cut an idle keep-alive reader
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        """One keep-alive connection: read → dispatch → respond, repeat."""
+        while not self._shutdown.is_set():
+            try:
+                req = await read_request(reader)
+            except HttpError as e:
+                writer.write(
+                    response_bytes(e.status, {"error": e.message}, keep_alive=False)
+                )
+                await writer.drain()
+                return
+            if req is None:
+                return  # client closed between requests
+            self._request_seq += 1
+            req.request_id = self._request_seq
+            status, payload = await self._dispatch(req)
+            keep = req.keep_alive and not self._shutdown.is_set()
+            writer.write(
+                response_bytes(
+                    status,
+                    payload,
+                    keep_alive=keep,
+                    extra_headers={"X-Request-Id": str(req.request_id)},
+                )
+            )
+            await writer.drain()
+            if not keep:
+                return
+
+    async def _dispatch(self, req) -> tuple[int, dict]:
+        """Run one request under its own diagnostic sink; map errors."""
+        obs.add("serve.requests")
+        with diag.capture_local() as sink:
+            with obs.span("serve.request", method=req.method, path=req.path):
+                try:
+                    status, payload = 200, await self.app.handle(req)
+                except HttpError as e:
+                    diag.warning("serve/bad-request", e.message)
+                    status, payload = e.status, {"error": e.message}
+                    obs.add("serve.errors")
+                except ReproError as e:
+                    diag.warning("serve/bad-request", str(e))
+                    status, payload = 400, {"error": str(e)}
+                    obs.add("serve.errors")
+                except asyncio.CancelledError:
+                    raise
+                except Exception as e:
+                    diag.error("serve/internal-error", f"{type(e).__name__}: {e}")
+                    status, payload = 500, {
+                        "error": f"internal error: {type(e).__name__}: {e}"
+                    }
+                    obs.add("serve.errors")
+        payload = dict(payload)
+        payload["request_id"] = req.request_id
+        payload["diagnostics"] = [d.format() for d in sink.diagnostics]
+        return status, payload

@@ -1,0 +1,181 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The daemon's transport layer: just enough of RFC 9112 to serve JSON over
+keep-alive connections to ``curl``, the load harness and browsers — request
+line + headers + ``Content-Length`` bodies in, status line + JSON body out.
+No chunked transfer coding, no TLS, no HTTP/2: the service sits on
+localhost or behind a real reverse proxy, which owns all of that.
+
+Hard limits (header block ≤ 16 KiB, body ≤ 1 MiB) bound what one connection
+can make the daemon buffer; anything over is a clean 4xx, not an OOM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Largest accepted request-line + header block, bytes.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Largest accepted request body, bytes.
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served; carries the response status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    target: str  # raw request target, e.g. "/v1/compare?app=x"
+    path: str
+    query: dict[str, str]
+    version: str  # "HTTP/1.1"
+    headers: dict[str, str]  # keys lowercased
+    body: bytes = b""
+
+    #: set by the daemon: monotonically increasing per-session request id,
+    #: echoed in responses so client logs and server diagnostics correlate
+    request_id: int = field(default=0, compare=False)
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+    def json(self) -> Any:
+        """Decode the body as JSON (empty body → ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            raise HttpError(400, f"request body is not valid JSON: {e}") from None
+
+    def param(self, name: str, default: Optional[str] = None) -> str:
+        """Required-unless-defaulted query parameter."""
+        value = self.query.get(name, default)
+        if value is None:
+            raise HttpError(400, f"missing required query parameter {name!r}")
+        return value
+
+    def flag(self, name: str, default: bool = False) -> bool:
+        """Boolean query parameter (``1/true/yes/on`` → True)."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        return raw.lower() in ("1", "true", "yes", "on")
+
+
+async def read_request(reader, max_header: int = MAX_HEADER_BYTES,
+                       max_body: int = MAX_BODY_BYTES) -> Optional[Request]:
+    """Read one request off the stream.
+
+    Returns ``None`` on a clean EOF before any bytes (client closed a
+    keep-alive connection between requests). Raises :class:`HttpError` for
+    malformed or oversized requests and lets transport exceptions
+    (``ConnectionResetError``, ``asyncio.IncompleteReadError`` mid-message)
+    propagate to the connection handler.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as e:
+        # EOF with nothing buffered is the normal end of a keep-alive
+        # connection; EOF mid-header is a protocol error
+        if not e.partial:
+            return None
+        raise HttpError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request header block too large") from None
+    if len(head) > max_header:
+        raise HttpError(413, f"request header block over {max_header} bytes")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+        raise HttpError(400, "undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, f"malformed Content-Length {length!r}") from None
+        if n < 0:
+            raise HttpError(400, f"negative Content-Length {n}")
+        if n > max_body:
+            raise HttpError(413, f"request body over {max_body} bytes")
+        if n:
+            body = await reader.readexactly(n)
+    elif "transfer-encoding" in headers:
+        raise HttpError(400, "chunked request bodies are not supported")
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=split.path,
+        query=query,
+        version=version,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    payload: Any,
+    keep_alive: bool = True,
+    extra_headers: Optional[dict[str, str]] = None,
+) -> bytes:
+    """Serialise one JSON response (status line + headers + body)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json; charset=utf-8",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body

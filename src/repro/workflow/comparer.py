@@ -47,6 +47,28 @@ class MetricSpec:
         return s
 
 
+def parse_metric(name: str) -> MetricSpec:
+    """Parse the CLI/HTTP metric syntax (``Tsem``, ``Source+pp+cov``,
+    ``Tsem+i``) into a :class:`MetricSpec`.
+
+    One parser shared by the batch CLI and ``silvervale serve`` — part of
+    the bit-identity-with-CLI guarantee: both surfaces cannot drift in how
+    they read a metric name.
+    """
+    base = name
+    pp = cov = inl = False
+    for suffix, flag in (("+pp", "pp"), ("+cov", "cov"), ("+i", "inl")):
+        if suffix in base:
+            base = base.replace(suffix, "")
+            if flag == "pp":
+                pp = True
+            elif flag == "cov":
+                cov = True
+            else:
+                inl = True
+    return MetricSpec(base, pp=pp, coverage=cov, inlining=inl)
+
+
 #: The six metrics of the Fig. 5/6 dendrogram panels.
 DEFAULT_METRICS: tuple[MetricSpec, ...] = (
     MetricSpec("LLOC"),
@@ -103,13 +125,18 @@ def divergence_task(task: tuple[IndexedCodebase, IndexedCodebase, MetricSpec]) -
     return divergence(a, b, spec)
 
 
-def _pair_task(
+def divergence_pair_task(
     task: tuple[IndexedCodebase, IndexedCodebase, MetricSpec],
 ) -> tuple[float, float]:
     """Both directions of one unordered pair; the underlying TED results are
     shared through the memo, so computing them together halves kernel work."""
     a, b, spec = task
     return divergence(a, b, spec), divergence(b, a, spec)
+
+
+#: Historical internal name (pre-serve); the engine task registry and tests
+#: still reach it here.
+_pair_task = divergence_pair_task
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +234,42 @@ def divergence_row(
     return {cb.model: v for cb, v in zip(others, values)}
 
 
+def matrix_demands(
+    codebases: Sequence[IndexedCodebase], spec: MetricSpec
+) -> tuple[list[tuple[int, int]], list[tuple], list[str]]:
+    """Upper-triangle pair demand list of one divergence matrix.
+
+    Returns ``(pairs, tasks, keys)``: ``pairs`` are ``(i, j)`` index tuples,
+    ``tasks`` the matching :func:`divergence_pair_task` inputs, ``keys`` the
+    matching :func:`pair_task_key` identities. Shared by the batch path
+    below and the serve layer's request batcher so both schedule the *same*
+    work under the *same* checkpoint/memo keys — the matrix a service
+    assembles from these demands is bit-identical to the batch one.
+    """
+    n = len(codebases)
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    tasks = [(codebases[i], codebases[j], spec) for i, j in pairs]
+    keys = [pair_task_key(codebases[i], codebases[j], spec) for i, j in pairs]
+    return pairs, tasks, keys
+
+
+def matrix_from_pair_values(
+    n: int,
+    pairs: Sequence[tuple[int, int]],
+    values: Sequence[tuple[float, float]],
+    symmetrize: bool = True,
+) -> np.ndarray:
+    """Assemble the dense matrix from per-pair ``(d_ij, d_ji)`` values —
+    the (deterministic) second half of :func:`divergence_matrix`."""
+    m = np.zeros((n, n))
+    for (i, j), (d_ij, d_ji) in zip(pairs, values):
+        m[i, j] = d_ij
+        m[j, i] = d_ji
+    if symmetrize:
+        m = (m + m.T) / 2.0
+    return m
+
+
 def divergence_matrix(
     codebases: Sequence[IndexedCodebase],
     spec: MetricSpec,
@@ -227,16 +290,8 @@ def divergence_matrix(
     """
     eng = engine if engine is not None else DistanceEngine()
     n = len(codebases)
-    m = np.zeros((n, n))
-    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
     with obs.span("compare.matrix", metric=spec.label, models=n, jobs=eng.jobs):
-        tasks = [(codebases[i], codebases[j], spec) for i, j in pairs]
-        keys = [pair_task_key(codebases[i], codebases[j], spec) for i, j in pairs]
-        values = eng.map_tasks(_pair_task, tasks, keys=keys, fail_value=_NAN_PAIR)
-        for (i, j), (d_ij, d_ji) in zip(pairs, values):
-            m[i, j] = d_ij
-            m[j, i] = d_ji
+        pairs, tasks, keys = matrix_demands(codebases, spec)
+        values = eng.map_tasks(divergence_pair_task, tasks, keys=keys, fail_value=_NAN_PAIR)
         obs.add("compare.pairs", n * (n - 1))
-    if symmetrize:
-        m = (m + m.T) / 2.0
-    return m
+        return matrix_from_pair_values(n, pairs, values, symmetrize=symmetrize)

@@ -144,3 +144,29 @@ class TestDefaults:
         with obs.collect() as col:
             store._count_invalid()
         assert col.counters == {}
+
+
+class TestPreload:
+    def test_preload_reads_every_shard_into_memory(self, tmp_path):
+        w = ToyShards(tmp_path)
+        for key in ("aa11", "ab22", "cd33"):
+            w.put(key, key)
+        w.flush()
+        r = ToyShards(tmp_path)
+        assert r.preload() == 3
+        # resident: every get is now a pure dict lookup
+        assert set(r._loaded) == {"aa", "ab", "cd"}
+        assert r.get("cd33") == "cd33"
+
+    def test_preload_empty_root(self, tmp_path):
+        assert ToyShards(tmp_path).preload() == 0
+
+    def test_preload_counts_invalid_shard_as_empty(self, tmp_path):
+        w = ToyShards(tmp_path)
+        w.put("ee44", 1.0)
+        w.flush()
+        w.shard_path("ee").write_bytes(b"corrupt")
+        r = ToyShards(tmp_path)
+        with obs.collect() as col:
+            assert r.preload() == 0
+        assert col.counters["toy.invalid"] == 1

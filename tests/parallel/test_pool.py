@@ -117,3 +117,27 @@ class TestValidation:
             ChunkedPool(chunk_timeout=0.0)
         with pytest.raises(ValueError, match="retries must be >= 0"):
             ChunkedPool(retries=-1)
+
+
+class TestWaveCounter:
+    """`<prefix>.waves` — one increment per non-empty run(); the serve
+    layer's request-coalescing tests gate on exactly this counter."""
+
+    def test_one_wave_per_run(self):
+        with obs.collect() as col:
+            pool = ChunkedPool(counter_prefix="myengine")
+            pool.run(_square, [1, 2, 3])
+            pool.run(_square, [4])
+        assert col.counters["myengine.waves"] == 2
+
+    def test_empty_run_is_not_a_wave(self):
+        with obs.collect() as col:
+            ChunkedPool(counter_prefix="myengine").run(_square, [])
+        assert "myengine.waves" not in col.counters
+
+    def test_parallel_run_is_still_one_wave(self):
+        with obs.collect() as col:
+            ChunkedPool(jobs=2, chunk_size=1, counter_prefix="myengine").run(
+                _square, [1, 2, 3, 4]
+            )
+        assert col.counters["myengine.waves"] == 1

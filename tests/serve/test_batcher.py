@@ -1,0 +1,157 @@
+"""WaveBatcher contract: dedup, in-flight join, wave counting, errors.
+
+These tests use a recording fake runner (no engine) on a real event loop;
+the daemon-level suite proves the same properties against ChunkedPool via
+the ``engine.waves`` counter.
+"""
+
+import asyncio
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro import obs
+from repro.serve.batcher import WaveBatcher
+
+
+class Runner:
+    """Synchronous wave runner that records every call it receives."""
+
+    def __init__(self, fn=None, block: threading.Event = None):
+        self.calls = []
+        self.fn = fn or (lambda kind, task: ("val", kind, task))
+        self.block = block
+
+    def __call__(self, kind, tasks, keys):
+        if self.block is not None:
+            assert self.block.wait(10)
+        self.calls.append((kind, list(keys)))
+        return [self.fn(kind, t) for t in tasks]
+
+
+def run_with_batcher(coro_fn, runner, window_s=0.001):
+    """Drive one async scenario with a fresh batcher + one-thread executor."""
+
+    async def go():
+        with concurrent.futures.ThreadPoolExecutor(max_workers=1) as ex:
+            batcher = WaveBatcher(runner, ex, window_s=window_s)
+            return await coro_fn(batcher)
+
+    return asyncio.run(go())
+
+
+class TestCoalescing:
+    def test_concurrent_overlapping_demands_one_wave(self):
+        """N concurrent demand sets with overlap → one wave of unique keys."""
+        runner = Runner()
+
+        async def scenario(batcher):
+            results = await asyncio.gather(
+                batcher.demand_many("pair", ["a", "b"], [1, 2]),
+                batcher.demand_many("pair", ["b", "c"], [2, 3]),
+                batcher.demand_many("pair", ["a", "c"], [1, 3]),
+            )
+            return results
+
+        with obs.collect() as col:
+            results = run_with_batcher(scenario, runner)
+        assert len(runner.calls) == 1
+        kind, keys = runner.calls[0]
+        assert kind == "pair" and sorted(keys) == ["a", "b", "c"]
+        # every requester got its values, shared results included
+        assert results[0] == [("val", "pair", 1), ("val", "pair", 2)]
+        assert results[1] == [("val", "pair", 2), ("val", "pair", 3)]
+        assert results[2] == [("val", "pair", 1), ("val", "pair", 3)]
+        assert col.counters["serve.batch.waves"] == 1
+        assert col.counters["serve.batch.tasks"] == 3
+        assert col.counters["serve.batch.demands"] == 6
+        assert col.counters["serve.batch.coalesced"] == 3
+
+    def test_kinds_grouped_within_one_wave(self):
+        runner = Runner()
+
+        async def scenario(batcher):
+            return await asyncio.gather(
+                batcher.demand("directed", "d1", 10),
+                batcher.demand("pair", "p1", 20),
+            )
+
+        with obs.collect() as col:
+            values = run_with_batcher(scenario, runner)
+        # one flush window, one runner call per task kind
+        assert col.counters["serve.batch.waves"] == 1
+        assert sorted(kind for kind, _ in runner.calls) == ["directed", "pair"]
+        assert values == [("val", "directed", 10), ("val", "pair", 20)]
+
+    def test_inflight_join_shares_running_work(self):
+        """A demand for a key already being computed joins it, no re-run."""
+        release = threading.Event()
+        runner = Runner(block=release)
+
+        async def scenario(batcher):
+            first = asyncio.ensure_future(batcher.demand("pair", "k", 1))
+            # let the first demand flush and start running (runner blocks)
+            await asyncio.sleep(0.05)
+            second = asyncio.ensure_future(batcher.demand("pair", "k", 1))
+            await asyncio.sleep(0.05)
+            release.set()
+            return await asyncio.gather(first, second)
+
+        with obs.collect() as col:
+            v1, v2 = run_with_batcher(scenario, runner, window_s=0.001)
+        assert v1 == v2 == ("val", "pair", 1)
+        assert len(runner.calls) == 1
+        assert col.counters["serve.batch.coalesced"] == 1
+
+    def test_sequential_demands_make_separate_waves(self):
+        runner = Runner()
+
+        async def scenario(batcher):
+            await batcher.demand("pair", "a", 1)
+            await batcher.demand("pair", "b", 2)
+
+        with obs.collect() as col:
+            run_with_batcher(scenario, runner)
+        assert len(runner.calls) == 2
+        assert col.counters["serve.batch.waves"] == 2
+
+
+class TestFailure:
+    def test_runner_error_reaches_every_waiter(self):
+        def boom(kind, tasks, keys):
+            raise RuntimeError("wave failed")
+
+        async def scenario(batcher):
+            with pytest.raises(RuntimeError, match="wave failed"):
+                await asyncio.gather(
+                    batcher.demand("pair", "a", 1),
+                    batcher.demand("pair", "b", 2),
+                )
+            # a failed wave must not leave its keys stuck in-flight
+            assert batcher._inflight == {}
+
+        run_with_batcher(scenario, boom)
+
+
+class TestDrain:
+    def test_drain_flushes_pending(self):
+        runner = Runner()
+
+        async def scenario(batcher):
+            # long window: without drain() this demand would sit pending
+            fut = asyncio.ensure_future(batcher.demand("pair", "a", 1))
+            await asyncio.sleep(0)
+            await batcher.drain()
+            assert fut.done()
+            return await fut
+
+        value = run_with_batcher(scenario, runner, window_s=30.0)
+        assert value == ("val", "pair", 1)
+        assert len(runner.calls) == 1
+
+    def test_drain_idle_is_noop(self):
+        async def scenario(batcher):
+            await batcher.drain()
+
+        run_with_batcher(scenario, Runner())

@@ -1,0 +1,159 @@
+"""HTTP framing unit tests: request parsing, limits, response serialisation.
+
+Pure stream-level tests — a ``StreamReader`` is fed bytes by hand; no
+sockets, no daemon.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    read_request,
+    response_bytes,
+)
+
+
+def parse(raw: bytes, **kw):
+    """Run ``read_request`` over a pre-filled reader."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kw)
+
+    return asyncio.run(go())
+
+
+class TestRequestParsing:
+    def test_get_with_query(self):
+        req = parse(b"GET /v1/compare?app=x&model=omp HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/v1/compare"
+        assert req.query == {"app": "x", "model": "omp"}
+        assert req.headers["host"] == "h"
+        assert req.body == b""
+
+    def test_header_names_lowercased(self):
+        req = parse(b"GET / HTTP/1.1\r\nX-ThInG: V\r\n\r\n")
+        assert req.headers["x-thing"] == "V"
+
+    def test_post_body_via_content_length(self):
+        body = json.dumps({"app": "x"}).encode()
+        raw = (
+            b"POST /v1/index HTTP/1.1\r\ncontent-length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        req = parse(raw)
+        assert req.json() == {"app": "x"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_mid_header_eof_is_400(self):
+        with pytest.raises(HttpError) as ei:
+            parse(b"GET / HTTP/1.1\r\nHos")
+        assert ei.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as ei:
+            parse(b"GET /\r\n\r\n")
+        assert ei.value.status == 400
+
+    def test_unsupported_version(self):
+        with pytest.raises(HttpError) as ei:
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert ei.value.status == 400
+
+    def test_malformed_header_line(self):
+        with pytest.raises(HttpError) as ei:
+            parse(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n")
+        assert ei.value.status == 400
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError) as ei:
+            parse(b"GET / HTTP/1.1\r\ncontent-length: nope\r\n\r\n")
+        assert ei.value.status == 400
+
+    def test_negative_content_length(self):
+        with pytest.raises(HttpError) as ei:
+            parse(b"GET / HTTP/1.1\r\ncontent-length: -5\r\n\r\n")
+        assert ei.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        n = MAX_BODY_BYTES + 1
+        with pytest.raises(HttpError) as ei:
+            parse(f"GET / HTTP/1.1\r\ncontent-length: {n}\r\n\r\n".encode())
+        assert ei.value.status == 413
+
+    def test_oversized_header_block_is_413(self):
+        raw = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 4096 + b"\r\n\r\n"
+        with pytest.raises(HttpError) as ei:
+            parse(raw, max_header=1024)
+        assert ei.value.status == 413
+
+    def test_chunked_bodies_rejected(self):
+        with pytest.raises(HttpError) as ei:
+            parse(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n")
+        assert ei.value.status == 400
+
+
+class TestRequestHelpers:
+    def test_keep_alive_default_by_version(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive is True
+        assert parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive is False
+
+    def test_keep_alive_connection_header(self):
+        assert parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive is False
+        assert (
+            parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive is True
+        )
+
+    def test_param_required(self):
+        req = parse(b"GET /?a=1 HTTP/1.1\r\n\r\n")
+        assert req.param("a") == "1"
+        assert req.param("b", "dflt") == "dflt"
+        with pytest.raises(HttpError) as ei:
+            req.param("b")
+        assert ei.value.status == 400
+
+    def test_flag(self):
+        req = parse(b"GET /?x=true&y=0 HTTP/1.1\r\n\r\n")
+        assert req.flag("x") is True
+        assert req.flag("y") is False
+        assert req.flag("z") is False
+        assert req.flag("z", default=True) is True
+
+    def test_bad_json_body_is_400(self):
+        raw = b"POST / HTTP/1.1\r\ncontent-length: 3\r\n\r\n{{{"
+        with pytest.raises(HttpError) as ei:
+            parse(raw).json()
+        assert ei.value.status == 400
+
+    def test_empty_body_json_is_empty_dict(self):
+        assert parse(b"POST / HTTP/1.1\r\n\r\n").json() == {}
+
+
+class TestResponseBytes:
+    def test_framing(self):
+        raw = response_bytes(200, {"b": 1, "a": 2})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert f"Content-Length: {len(body)}" in lines
+        assert "Connection: keep-alive" in lines
+        # deterministic body: sorted keys, trailing newline
+        assert body == b'{"a": 2, "b": 1}\n'
+
+    def test_close_and_extra_headers(self):
+        raw = response_bytes(404, {}, keep_alive=False, extra_headers={"X-Request-Id": "7"})
+        head = raw.split(b"\r\n\r\n")[0].decode()
+        assert "HTTP/1.1 404 Not Found" in head
+        assert "Connection: close" in head
+        assert "X-Request-Id: 7" in head

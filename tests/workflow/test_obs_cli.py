@@ -99,6 +99,27 @@ class TestHistory:
 
 
 class TestDiff:
+    def test_empty_ledger_exits_zero_with_message(self, root, capsys):
+        """``obs diff`` on a fresh root is a no-op, not an error — advisory
+        CI steps run it unconditionally."""
+        assert main(["obs", "diff", "prev", "last", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "0 snapshot(s)" in out and "need two" in out
+
+    def test_single_run_exits_zero_with_message(self, root, tmp_path, capsys):
+        record_run(root, tmp_path, "a")
+        capsys.readouterr()
+        assert main(["obs", "diff", "prev", "last", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "1 snapshot(s)" in out and "need two" in out
+
+    def test_short_ledger_json_reports_skipped(self, root, capsys):
+        assert (
+            main(["obs", "diff", "prev", "last", "--cache-dir", str(root), "--json"]) == 0
+        )
+        d = json.loads(capsys.readouterr().out)
+        assert d["skipped"] is True and d["runs"] == 0
+
     def test_prev_vs_last(self, root, tmp_path, capsys):
         record_run(root, tmp_path, "a")
         record_run(root, tmp_path, "b")
