@@ -1,17 +1,23 @@
 """CI bench-regression harness for the distance engine and the indexer.
 
 Runs one small, fixed TED workload (a TeaLeaf model subset under T_sem)
-three ways — cold serial, cold parallel (``jobs=2``), and warm-from-disk —
-and writes wall times plus the relevant counters to ``BENCH_pr.json``.
+four ways — cold serial (pruning cascade on, the default), cold serial
+with the cascade disabled, cold parallel (``jobs=2``), and warm-from-disk
+— and writes wall times plus the relevant counters to ``BENCH_pr.json``.
 The same models are also indexed twice against a fresh unit-artifact root
 (cold, then warm) to time incremental re-indexing.
 
 The hard gates: the warm-cache TED run must be strictly faster than the
-cold serial run AND perform zero Zhang–Shasha evaluations; the warm
-re-index must invoke zero frontends and take no longer than the cold
-index. Everything else is recorded for the PR artifact, not asserted,
-because shared CI runners make cross-process timing comparisons (serial
-vs parallel) too noisy to fail a build on.
+cold serial run AND perform zero Zhang–Shasha evaluations; the
+cascade-enabled cold build must beat the cascade-disabled one and must
+actually prune (nonzero ``ted.pruned.<stage>`` beyond the hash shortcut);
+every run's matrix checksum must match cold-serial's; the warm re-index
+must invoke zero frontends and take no longer than the cold index.
+Everything else is recorded for the PR artifact, not asserted, because
+shared CI runners make cross-process timing comparisons (serial vs
+parallel) too noisy to fail a build on. The cascade-on run goes FIRST so
+any process-level warm-up (tree attribute memos, stripped-unit caches) it
+leaves behind biases the timing gate against it, not for it.
 
 Usage: PYTHONPATH=src python benchmarks/bench_regression.py [--out BENCH_pr.json]
 """
@@ -29,6 +35,7 @@ from repro.obs import ledger as runledger
 from repro.cache import TedCacheStore
 from repro.corpus import index_app
 from repro.corpus.registry import app_models, build_fs, get_spec
+from repro.distance.cascade import set_cascade_enabled
 from repro.distance.engine import DistanceEngine
 from repro.distance.ted import clear_ted_cache
 from repro.workflow.comparer import MetricSpec, divergence_matrix
@@ -43,11 +50,23 @@ SPEC = MetricSpec("Tsem")
 COUNTER_KEYS = (
     "ted.pairs",
     "ted.zs.calls",
+    "ted.cascade.calls",
+    "ted.cascade.exact",
+    "ted.pruned.hash",
+    "ted.pruned.stats",
+    "ted.pruned.histogram",
+    "ted.pruned.sequence",
+    "zs.cross_pairs",
     "cache.disk.hit",
     "cache.disk.miss",
     "engine.chunks",
     "engine.retries",
 )
+
+#: The cascade stages proper — pruning that replaced a DP evaluation with a
+#: matched bound pair. The hash shortcut is excluded: it predates the
+#: cascade and fires even when the cascade is disabled.
+PRUNED_STAGE_KEYS = ("ted.pruned.stats", "ted.pruned.histogram", "ted.pruned.sequence")
 
 
 def run_case(name: str, codebases, engine: DistanceEngine) -> dict:
@@ -106,6 +125,11 @@ def main(argv: list[str] | None = None) -> int:
     with tempfile.TemporaryDirectory(prefix="svc-bench-") as tmp:
         cache_dir = Path(tmp) / "ted-cache"
         results.append(run_case("cold-serial", codebases, DistanceEngine(jobs=1)))
+        prev = set_cascade_enabled(False)
+        try:
+            results.append(run_case("cold-nocascade", codebases, DistanceEngine(jobs=1)))
+        finally:
+            set_cascade_enabled(prev)
         results.append(run_case("cold-jobs2", codebases, DistanceEngine(jobs=2)))
         # populate, then measure warm (fresh store handle, no pending buffers)
         clear_ted_cache()
@@ -147,6 +171,19 @@ def main(argv: list[str] | None = None) -> int:
         if r["checksum"] != cold["checksum"]:
             failures.append(f"{r['name']} checksum diverged from cold-serial")
 
+    nocascade = by_name["cold-nocascade"]
+    pruned = sum(cold["counters"][k] for k in PRUNED_STAGE_KEYS)
+    if pruned <= 0:
+        failures.append("cascade-enabled cold run pruned zero pairs (want > 0)")
+    if not cold["wall_s"] < nocascade["wall_s"]:
+        failures.append(
+            f"cascade-enabled cold build not faster than cascade-disabled "
+            f"({cold['wall_s']:.3f}s vs {nocascade['wall_s']:.3f}s)"
+        )
+    for k in PRUNED_STAGE_KEYS + ("ted.cascade.calls",):
+        if nocascade["counters"][k] != 0:
+            failures.append(f"cascade-disabled run still emitted {k}")
+
     idx_cold, idx_warm = index_results
     if idx_warm["counters"]["index.units"] != 0:
         failures.append(
@@ -164,6 +201,11 @@ def main(argv: list[str] | None = None) -> int:
         speedup = cold["wall_s"] / warm["wall_s"]
         idx_speedup = idx_cold["wall_s"] / idx_warm["wall_s"]
         print(f"PASS: warm cache {speedup:.1f}x faster than cold serial, 0 ZS calls")
+        cascade_speedup = nocascade["wall_s"] / cold["wall_s"]
+        print(
+            f"PASS: cascade {cascade_speedup:.2f}x faster than no-cascade, "
+            f"{pruned:g} pairs pruned"
+        )
         print(f"PASS: warm re-index {idx_speedup:.1f}x faster than cold, 0 frontend calls")
     return 1 if failures else 0
 

@@ -4,13 +4,16 @@ Asserts, on a small fixed TeaLeaf workload, that
 
 1. the parallel (``jobs=2``) divergence matrix is ``np.array_equal`` to the
    serial one — scheduling must not change a single bit;
-2. a matrix rebuilt entirely from the persistent cache (fresh process-level
+2. a matrix built with the TED pruning cascade disabled is bit-identical to
+   the default cascade-enabled one — pruning may only skip DP work whose
+   outcome is already pinned, never change a value;
+3. a matrix rebuilt entirely from the persistent cache (fresh process-level
    memo, every pair a disk hit) is bit-identical to the directly computed
    one — the cache round-trip loses nothing;
-3. a run killed halfway and resumed from its checkpoint produces the same
+4. a run killed halfway and resumed from its checkpoint produces the same
    matrix while recomputing only the unfinished pairs — resume must neither
    lose work nor redo it;
-4. an incremental re-index from unit artifacts yields a bit-identical
+5. an incremental re-index from unit artifacts yields a bit-identical
    Codebase DB with zero frontend invocations, and touching one source file
    re-fronts exactly that one unit.
 
@@ -29,6 +32,7 @@ from repro import obs
 from repro.cache import TedCacheStore
 from repro.ckpt import CheckpointStore
 from repro.corpus import index_app
+from repro.distance.cascade import set_cascade_enabled
 from repro.distance.engine import DistanceEngine
 from repro.distance.ted import clear_ted_cache
 from repro.corpus.registry import app_models, build_fs, get_spec
@@ -55,7 +59,7 @@ class InterruptingEngine(DistanceEngine):
         self.stop_after = stop_after
         self.computed = 0
 
-    def map_tasks(self, fn, tasks, keys=None, fail_value=float("nan")):
+    def map_tasks(self, fn, tasks, keys=None, fail_value=float("nan"), prepare=None):
         def guarded(task):
             if self.computed >= self.stop_after:
                 raise KeyboardInterrupt
@@ -63,7 +67,9 @@ class InterruptingEngine(DistanceEngine):
             self.computed += 1
             return out
 
-        return super().map_tasks(guarded, tasks, keys=keys, fail_value=fail_value)
+        return super().map_tasks(
+            guarded, tasks, keys=keys, fail_value=fail_value, prepare=prepare
+        )
 
 
 def check_resume(codebases, serial: np.ndarray, failures: list[str]) -> None:
@@ -170,6 +176,16 @@ def main() -> int:
         print("ok: parallel matrix bit-identical to serial")
     else:
         failures.append("parallel (jobs=2) matrix differs from serial")
+
+    prev = set_cascade_enabled(False)
+    try:
+        no_cascade = build(codebases, DistanceEngine(jobs=1))
+    finally:
+        set_cascade_enabled(prev)
+    if np.array_equal(serial, no_cascade):
+        print("ok: cascade-off matrix bit-identical to cascade-on")
+    else:
+        failures.append("cascade-off matrix differs from the cascade-on serial run")
 
     with tempfile.TemporaryDirectory(prefix="svc-det-") as tmp:
         cache_dir = Path(tmp) / "ted-cache"

@@ -16,7 +16,12 @@ import numpy as np
 from repro import obs
 from repro.distance.engine import DistanceEngine
 from repro.workflow.codebase import IndexedCodebase
-from repro.workflow.comparer import MetricSpec, directed_task_key, divergence_task
+from repro.workflow.comparer import (
+    MetricSpec,
+    directed_task_key,
+    divergence_prepare,
+    divergence_task,
+)
 
 
 @dataclass
@@ -102,5 +107,7 @@ def divergence_heatmap(
     rows = [s.label for s in specs]
     with obs.span("heatmap", rows=len(rows), cols=len(cols), jobs=eng.jobs):
         tasks, keys = heatmap_demands(baseline, models, specs)
-        flat = eng.map_tasks(divergence_task, tasks, keys=keys)
+        flat = eng.map_tasks(
+            divergence_task, tasks, keys=keys, prepare=divergence_prepare
+        )
         return heatmap_from_values(rows, cols, flat)

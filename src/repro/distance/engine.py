@@ -307,6 +307,7 @@ class DistanceEngine:
         tasks: Sequence[Any],
         keys: Optional[Sequence[str]] = None,
         fail_value: Any = float("nan"),
+        prepare: Optional[Callable[[Sequence[Any]], None]] = None,
     ) -> list[Any]:
         """Apply ``fn`` to every task, preserving order.
 
@@ -319,6 +320,11 @@ class DistanceEngine:
         identity strings; they enable checkpoint/resume when the engine has
         a checkpoint store attached. ``fail_value`` is substituted for each
         task of a chunk that exhausts its retries in non-strict mode.
+
+        ``prepare`` is the pool's chunk-level warm-up hook (see
+        :meth:`ChunkedPool.run`): it sees each chunk's task slice before
+        the per-task loop, which is how divergence sweeps expose all of a
+        chunk's tree pairs to the TED layer for cross-pair batching.
         """
         tasks = list(tasks)
         if not tasks:
@@ -353,6 +359,7 @@ class DistanceEngine:
                     fail_value=fail_value,
                     on_result=_note,
                     tick=ckpt.maybe_save if ckpt is not None else None,
+                    prepare=prepare,
                 )
             except BaseException as e:
                 if ckpt is not None and ckpt.entries:

@@ -43,3 +43,49 @@ def levenshtein(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
         cur[1:] = np.minimum(shifted + jr, i + jr)
         prev = cur
     return int(prev[m])
+
+
+def levenshtein_bounded(
+    a: Sequence[Hashable], b: Sequence[Hashable], cap: int
+) -> int:
+    """:func:`levenshtein`, but allowed to stop early once the distance is
+    provably ``>= cap``.
+
+    Row minima of the Levenshtein DP are non-decreasing (every cell depends
+    only on neighbours that are ``>=`` their own row minimum minus one), so
+    once ``min(row) >= cap`` the final distance cannot come back under
+    ``cap`` and the sweep can stop. Returns the exact distance when it is
+    ``< cap``; otherwise returns some value ``>= cap`` (the row minimum at
+    the bail-out point — still a valid lower bound on the true distance).
+
+    The TED pruning cascade uses this with ``cap`` = the current upper
+    bound: a result ``>= cap`` means the sequence stage cannot prune, and
+    the exact tail of the DP would be wasted work.
+    """
+    if len(a) < len(b):
+        a, b = b, a
+    n, m = len(a), len(b)
+    if m == 0:
+        return n
+    if n - m >= cap:
+        return n - m
+    vocab: dict[Hashable, int] = {}
+    aa = np.fromiter((vocab.setdefault(x, len(vocab)) for x in a), np.int64, n)
+    bb = np.fromiter((vocab.setdefault(x, len(vocab)) for x in b), np.int64, m)
+
+    prev = np.arange(m + 1, dtype=np.int64)
+    jr = np.arange(1, m + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        sub = prev[:-1] + (aa[i - 1] != bb)
+        dele = prev[1:] + 1
+        cand = np.minimum(sub, dele)
+        shifted = cand - jr
+        np.minimum.accumulate(shifted, out=shifted)
+        cur = np.empty(m + 1, dtype=np.int64)
+        cur[0] = i
+        cur[1:] = np.minimum(shifted + jr, i + jr)
+        prev = cur
+        row_min = int(prev.min())
+        if row_min >= cap:
+            return row_min
+    return int(prev[m])

@@ -12,10 +12,11 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro import obs
+from repro.distance.cascade import cascade_distance
 from repro.distance.zhang_shasha import zhang_shasha_distance, zhang_shasha_generic
 from repro.trees.hashing import cached_structural_hash, structural_hash
 from repro.trees.node import Node
-from repro.trees.stats import histogram_lower_bound, label_histogram
+from repro.trees.stats import cached_label_histogram, histogram_lower_bound
 from repro.util.timing import timed
 
 
@@ -62,6 +63,10 @@ class TedResult:
     #: True when the distance was served from the memo cache (distinct from
     #: ``shortcut``: a cached pair did run the DP once, on a previous call).
     cached: bool = False
+    #: Cascade stage that pinned the distance without running the DP
+    #: ("stats" / "histogram" / "sequence"), or "" when the DP ran or the
+    #: result came from a cache. The value is exact either way.
+    pruned: str = ""
 
     @property
     def dmax(self) -> int:
@@ -70,8 +75,19 @@ class TedResult:
 
     @property
     def normalized(self) -> float:
-        """distance / dmax, clipped into [0, inf); 0 for two empty trees."""
-        return self.distance / self.dmax if self.dmax else 0.0
+        """distance / dmax; 0 only when the distance itself is 0.
+
+        Eq. (7)'s budget is the target tree size, which degenerates to zero
+        for an empty target even though deleting the whole source is a real,
+        positive distance. Dividing by the non-degenerate budget
+        ``max(size1, size2)`` in that case reports full divergence instead
+        of silently returning 0.0.
+        """
+        if self.dmax:
+            return self.distance / self.dmax
+        if self.distance:
+            return self.distance / (max(self.size1, self.size2) or 1)
+        return 0.0
 
 
 #: Memo of unit-cost distances keyed by structural-hash pairs. Trees are
@@ -144,33 +160,116 @@ def _cached_hash(t: Node) -> str:
     return cached_structural_hash(t)
 
 
+def _record(key: tuple[str, str], d: float) -> None:
+    """Publish one freshly computed unit-cost distance to memo + disk."""
+    _cache_insert(key, d)
+    if _DISK_CACHE is not None:
+        _DISK_CACHE.record(key[0], key[1], d)
+        if obs.enabled():
+            obs.add("cache.disk.miss")
+    if obs.enabled():
+        obs.add("ted.cache.miss")
+        obs.gauge("ted.cache.size", len(_CACHE))
+
+
 @timed("ted")
 def ted(t1: Node, t2: Node, cost: Optional[Cost] = None) -> TedResult:
     """Exact TED between two trees.
 
-    Unit costs route to the hybrid vectorised kernel and are memoised by
-    structural hash (divergence matrices revisit the same tree pairs across
-    clustering, heatmaps and navigation charts). Custom costs use the
-    pure-Python generic kernel, uncached. Structurally identical trees
-    short-circuit to zero (shared boilerplate between models "simply
-    evaluate[s] to a divergence of zero", §V).
+    Unit costs route through the pruning cascade (hash → stats → histogram
+    → sequence bounds; see :mod:`repro.distance.cascade`) into the hybrid
+    vectorised kernel, memoised by structural hash (divergence matrices
+    revisit the same tree pairs across clustering, heatmaps and navigation
+    charts). Structurally identical trees short-circuit to zero (shared
+    boilerplate between models "simply evaluate[s] to a divergence of
+    zero", §V).
+
+    Custom costs use the pure-Python generic kernel, uncached — and skip
+    the shortcut, the memo and the cascade entirely: under a non-unit model
+    ``relabel(a, a)`` may legitimately be nonzero, so structural identity
+    does not imply distance zero, and the cached unit distances are simply
+    for a different metric.
     """
     n1 = t1.size()
     n2 = t2.size()
+    if cost is not None and not cost.is_unit():
+        d = zhang_shasha_generic(t1, t2, cost.delete, cost.insert, cost.relabel)
+        return TedResult(d, n1, n2)
     h1 = _cached_hash(t1)
     h2 = _cached_hash(t2)
     if h1 == h2:
         _STATS["shortcut"] += 1
         if obs.enabled():
             obs.add("ted.shortcut")
+            obs.add("ted.pruned.hash")
         return TedResult(0.0, n1, n2, shortcut=True)
-    if cost is None or cost.is_unit():
+    key = (h1, h2)
+    if key in _CACHE:
+        _STATS["hit"] += 1
+        if obs.enabled():
+            obs.add("ted.cache.hit")
+        return TedResult(_CACHE[key], n1, n2, cached=True)
+    if _DISK_CACHE is not None:
+        stored = _DISK_CACHE.lookup(h1, h2)
+        if stored is not None:
+            _STATS["hit"] += 1
+            _cache_insert(key, stored)
+            if obs.enabled():
+                obs.add("cache.disk.hit")
+            return TedResult(stored, n1, n2, cached=True)
+    _STATS["miss"] += 1
+    hit = cascade_distance(t1, t2, n1, n2)
+    if hit is not None:
+        d, stage = hit
+        _record(key, d)
+        return TedResult(d, n1, n2, pruned=stage)
+    d = float(zhang_shasha_distance(t1, t2))
+    _record(key, d)
+    return TedResult(d, n1, n2)
+
+
+def ted_many(pairs: list[tuple[Node, Node]], cost: Optional[Cost] = None) -> list[TedResult]:
+    """Batch TED: the same distances as ``[ted(a, b) for a, b in pairs]``.
+
+    The batch form exists so chunk-level callers (the pool ``prepare`` hook,
+    the serve warm path) can expose *all* of a chunk's tree pairs to the
+    distance layer at once: after the per-pair shortcut / memo / disk /
+    cascade passes, the surviving small pairs are packed into one cross-pair
+    row sweep (:mod:`repro.distance.zs_cross`) instead of being fed one at a
+    time to the classic kernel. Results land in the memo exactly as the
+    per-pair path would have put them, so a later ``ted()`` on any of these
+    pairs is a cache hit.
+
+    Duplicate pairs (by structural-hash identity) are computed once.
+    """
+    if cost is not None and not cost.is_unit():
+        return [ted(a, b, cost) for a, b in pairs]
+    results: list[Optional[TedResult]] = [None] * len(pairs)
+    fresh: dict[tuple[str, str], list[int]] = {}
+    for idx, (t1, t2) in enumerate(pairs):
+        n1 = t1.size()
+        n2 = t2.size()
+        h1 = _cached_hash(t1)
+        h2 = _cached_hash(t2)
+        if h1 == h2:
+            _STATS["shortcut"] += 1
+            if obs.enabled():
+                obs.add("ted.shortcut")
+                obs.add("ted.pruned.hash")
+            results[idx] = TedResult(0.0, n1, n2, shortcut=True)
+            continue
         key = (h1, h2)
         if key in _CACHE:
             _STATS["hit"] += 1
             if obs.enabled():
                 obs.add("ted.cache.hit")
-            return TedResult(_CACHE[key], n1, n2, cached=True)
+            results[idx] = TedResult(_CACHE[key], n1, n2, cached=True)
+            continue
+        rev = (h2, h1)
+        if key in fresh or rev in fresh:
+            # duplicate within this batch: fold onto the first occurrence
+            fresh[key if key in fresh else rev].append(idx)
+            continue
         if _DISK_CACHE is not None:
             stored = _DISK_CACHE.lookup(h1, h2)
             if stored is not None:
@@ -178,35 +277,75 @@ def ted(t1: Node, t2: Node, cost: Optional[Cost] = None) -> TedResult:
                 _cache_insert(key, stored)
                 if obs.enabled():
                     obs.add("cache.disk.hit")
-                return TedResult(stored, n1, n2, cached=True)
+                results[idx] = TedResult(stored, n1, n2, cached=True)
+                continue
+        fresh[key] = [idx]
+
+    small: list[tuple[tuple[str, str], int]] = []  # (key, first idx)
+    for key, idxs in fresh.items():
+        idx = idxs[0]
+        t1, t2 = pairs[idx]
+        n1 = t1.size()
+        n2 = t2.size()
         _STATS["miss"] += 1
-        d = float(zhang_shasha_distance(t1, t2))
-        _cache_insert(key, d)
-        if _DISK_CACHE is not None:
-            _DISK_CACHE.record(h1, h2, d)
-            if obs.enabled():
-                obs.add("cache.disk.miss")
-        if obs.enabled():
-            obs.add("ted.cache.miss")
-            obs.gauge("ted.cache.size", len(_CACHE))
-    else:
-        d = zhang_shasha_generic(t1, t2, cost.delete, cost.insert, cost.relabel)
-    return TedResult(d, n1, n2)
+        hit = cascade_distance(t1, t2, n1, n2)
+        if hit is not None:
+            d, stage = hit
+            _record(key, d)
+            results[idx] = TedResult(d, n1, n2, pruned=stage)
+            continue
+        if n1 * n2 >= _CROSS_MAX_CELLS:
+            # Large survivors: the per-pair batched kernel already sweeps
+            # all T2 segments at full width; packing buys nothing.
+            d = float(zhang_shasha_distance(t1, t2))
+            _record(key, d)
+            results[idx] = TedResult(d, n1, n2)
+        else:
+            small.append((key, idx))
+
+    if small:
+        if len(small) == 1:
+            key, idx = small[0]
+            t1, t2 = pairs[idx]
+            dists = [zhang_shasha_distance(t1, t2)]
+        else:
+            from repro.distance.zs_cross import zhang_shasha_cross
+
+            dists = zhang_shasha_cross([pairs[idx] for _, idx in small])
+        for (key, idx), dist in zip(small, dists):
+            t1, t2 = pairs[idx]
+            d = float(dist)
+            _record(key, d)
+            results[idx] = TedResult(d, t1.size(), t2.size(), pruned="")
+
+    # fan duplicate-pair results back out (sizes are per-occurrence)
+    for key, idxs in fresh.items():
+        first = results[idxs[0]]
+        for idx in idxs[1:]:
+            t1, t2 = pairs[idx]
+            results[idx] = TedResult(
+                first.distance, t1.size(), t2.size(), cached=True
+            )
+    return results  # type: ignore[return-value]
+
+
+#: ``ted_many`` routes survivors below this cell count into the cross-pair
+#: packed kernel; at or above it, the per-pair batched kernel is faster
+#: (matches the hybrid kernel's own dispatch threshold).
+_CROSS_MAX_CELLS = 30_000
 
 
 def ted_lower_bound(t1: Node, t2: Node) -> int:
-    """Cheap lower bound on unit-cost TED (label-histogram filter).
+    """Cheap lower bound on unit-cost TED (label-histogram bound).
 
-    When collecting, the filter's effectiveness is tracked as
-    ``ted.filter.calls`` vs ``ted.filter.pruned`` (a non-zero bound proves
-    the trees differ without running the DP — the prefilter "hit" case).
+    This is the cascade's *histogram* stage (see
+    :mod:`repro.distance.cascade`); pruning effectiveness is tracked by the
+    ``ted.pruned.<stage>`` counter family. The histograms are memoised on
+    the tree roots, matrices revisit the same trees constantly.
     """
-    bound = histogram_lower_bound(label_histogram(t1), label_histogram(t2))
-    if obs.enabled():
-        obs.add("ted.filter.calls")
-        if bound > 0:
-            obs.add("ted.filter.pruned")
-    return bound
+    return histogram_lower_bound(
+        cached_label_histogram(t1), cached_label_histogram(t2)
+    )
 
 
 def ted_normalized(t1: Node, t2: Node) -> float:

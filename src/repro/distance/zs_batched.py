@@ -95,13 +95,22 @@ class _Tree2Layout:
         self.djn_cols = np.nonzero(self.col_dj > 0)[0]
 
 
-def _flatten_arrays(root) -> tuple[np.ndarray, np.ndarray, list[int], dict]:
-    labels: list[str] = []
+def _flatten_arrays(
+    root, vocab: dict | None = None
+) -> tuple[np.ndarray, np.ndarray, list[int], dict]:
+    """Postorder label ids, leftmost-leaf indices and keyroots for one tree.
+
+    ``vocab`` interns labels to ids; pass the dict returned for the first
+    tree when flattening the second so label ids stay comparable across the
+    pair. The cross-pair packer (:mod:`repro.distance.zs_cross`) reuses this
+    helper with one vocab per pair.
+    """
+    if vocab is None:
+        vocab = {}
     lmld: list[int] = []
     stack = [(root, 0)]
     leftmost: dict[int, int] = {}
     order_len = 0
-    vocab: dict[str, int] = {}
     lab_ids: list[int] = []
     while stack:
         node, state = stack.pop()
@@ -114,7 +123,6 @@ def _flatten_arrays(root) -> tuple[np.ndarray, np.ndarray, list[int], dict]:
             order_len += 1
             lm = leftmost[id(node.children[0])] if node.children else idx
             leftmost[id(node)] = lm
-            labels.append(node.label)
             lab_ids.append(vocab.setdefault(node.label, len(vocab)))
             lmld.append(lm)
     l_arr = np.asarray(lmld, dtype=np.int64)
@@ -128,37 +136,14 @@ def _flatten_arrays(root) -> tuple[np.ndarray, np.ndarray, list[int], dict]:
 def zhang_shasha_batched(t1, t2) -> int:
     """Exact unit-cost TED via the batched row-sweep formulation."""
     lab1, l1, kr1, vocab = _flatten_arrays(t1)
-    n = len(lab1)
     # second tree shares the vocabulary for label-id comparability
-    labels2: list[int] = []
-    lmld2: list[int] = []
-    stack = [(t2, 0)]
-    leftmost: dict[int, int] = {}
-    count = 0
-    while stack:
-        node, state = stack.pop()
-        if state == 0:
-            stack.append((node, 1))
-            for c in reversed(node.children):
-                stack.append((c, 0))
-        else:
-            idx = count
-            count += 1
-            lm = leftmost[id(node.children[0])] if node.children else idx
-            leftmost[id(node)] = lm
-            labels2.append(vocab.setdefault(node.label, len(vocab)))
-            lmld2.append(lm)
-    m = count
+    lab2, l2, kr2, _ = _flatten_arrays(t2, vocab)
+    n = len(lab1)
+    m = len(lab2)
     if n == 0:
         return m
     if m == 0:
         return n
-    lab2 = np.asarray(labels2, dtype=np.int64)
-    l2 = np.asarray(lmld2, dtype=np.int64)
-    seen: dict[int, int] = {}
-    for j in range(m):
-        seen[lmld2[j]] = j
-    kr2 = sorted(seen.values())
 
     layout = _Tree2Layout(l2, lab2, kr2)
     W = layout.W

@@ -60,6 +60,28 @@ def unit_trees(
     return t
 
 
+def _matched_trees(
+    a: IndexedCodebase,
+    b: IndexedCodebase,
+    which: str,
+    mask_a: Optional[LineMask],
+    mask_b: Optional[LineMask],
+    include_system: bool,
+):
+    """Matched unit-tree pairs of one codebase pair (either side may be
+    ``None``). The single iteration shared by :func:`tree_distance` and
+    :func:`tree_ted_demands`, so the demand list can never drift from what
+    the distance actually evaluates."""
+    if which not in TREE_KINDS:
+        raise ValueError(f"unknown tree metric {which!r}; expected one of {TREE_KINDS}")
+    for ua, ub in match_units(a, b):
+        ta = unit_trees(ua, which, mask_a, include_system) if ua is not None else None
+        tb = unit_trees(ub, which, mask_b, include_system) if ub is not None else None
+        if ta is None and tb is None:
+            continue
+        yield ta, tb
+
+
 @timed("metric.tree")
 def tree_distance(
     a: IndexedCodebase,
@@ -70,15 +92,9 @@ def tree_distance(
     include_system: bool = False,
 ) -> tuple[float, float]:
     """Summed TED over matched unit pairs; returns (d, dmax)."""
-    if which not in TREE_KINDS:
-        raise ValueError(f"unknown tree metric {which!r}; expected one of {TREE_KINDS}")
     d = 0.0
     dmax = 0.0
-    for ua, ub in match_units(a, b):
-        ta = unit_trees(ua, which, mask_a, include_system) if ua is not None else None
-        tb = unit_trees(ub, which, mask_b, include_system) if ub is not None else None
-        if ta is None and tb is None:
-            continue
+    for ta, tb in _matched_trees(a, b, which, mask_a, mask_b, include_system):
         if ta is None:
             size = tb.size()
             d += size
@@ -93,3 +109,25 @@ def tree_distance(
         d += r.distance
         dmax += max(r.size2, r.size1)
     return d, dmax
+
+
+def tree_ted_demands(
+    a: IndexedCodebase,
+    b: IndexedCodebase,
+    which: str = "sem",
+    mask_a: Optional[LineMask] = None,
+    mask_b: Optional[LineMask] = None,
+    include_system: bool = False,
+) -> list[tuple[Node, Node]]:
+    """The TED tree pairs :func:`tree_distance` would evaluate.
+
+    Unmatched units (a ``None`` side) are pure size sums and need no
+    kernel, so they are omitted. Chunk-level ``prepare`` hooks feed these
+    pairs to :func:`repro.distance.ted.ted_many` so the whole chunk's
+    kernel work is batched cross-pair before the per-task loop runs.
+    """
+    return [
+        (ta, tb)
+        for ta, tb in _matched_trees(a, b, which, mask_a, mask_b, include_system)
+        if ta is not None and tb is not None
+    ]

@@ -181,6 +181,7 @@ def _run_chunk(
         with obs.span(f"{prefix}.chunk", lo=lo, hi=hi, attempt=attempt):
             if _INIT_FAILED:
                 obs.add(_STAGE.get("init_counter") or "pool.worker_init_errors")
+            _run_prepare(_STAGE.get("prepare"), tasks[lo:hi], prefix)
             out = []
             for idx in range(lo, hi):
                 if plan:
@@ -200,6 +201,24 @@ def _run_chunk(
             "dropped": dropped,
         }
     return out, dict(col.counters), payload
+
+
+def _run_prepare(prepare, chunk_tasks, prefix: str) -> None:
+    """Run a chunk-level ``prepare`` hook, degrading on failure.
+
+    ``prepare`` sees the whole chunk's task slice before the per-task loop;
+    it exists so batch-shaped warm-up (cross-pair TED packing) can run once
+    per chunk. It must be a pure cache warmer: per-task ``fn`` recomputes
+    anything it failed to publish, so an exception here costs speed, never
+    correctness — degrade visibly and move on.
+    """
+    if prepare is None:
+        return
+    try:
+        with obs.span(f"{prefix}.prepare", tasks=len(chunk_tasks)):
+            prepare(chunk_tasks)
+    except Exception:
+        obs.add(f"{prefix}.prepare_errors")
 
 
 # ---------------------------------------------------------------------------
@@ -371,6 +390,7 @@ class ChunkedPool:
         fail_value: Any = None,
         on_result: Optional[Callable[[int, Any], None]] = None,
         tick: Optional[Callable[[], None]] = None,
+        prepare: Optional[Callable[[Sequence[Any]], None]] = None,
     ) -> PoolResult:
         """Apply ``fn`` to every task, preserving order.
 
@@ -380,6 +400,13 @@ class ChunkedPool:
         called as ``(index, value)`` when a task completes (never for
         degraded tasks); ``tick`` runs once per watchdog poll so callers
         can piggy-back periodic work (checkpoint flushes) on the loop.
+
+        ``prepare``, when given, receives each chunk's task slice (the
+        whole list on the serial path) before its per-task loop — in the
+        worker process on the forked path. It must be a pure cache warmer:
+        failures degrade to a ``<prefix>.prepare_errors`` counter and the
+        per-task path recomputes, so results are unchanged with or without
+        it.
         """
         tasks = list(tasks)
         run = _PoolRun(len(tasks), on_result, tick, fail_value)
@@ -393,15 +420,16 @@ class ChunkedPool:
         # pid lanes, chunk retries) only exists on the forked path. Worker
         # count is still clamped — one task never gets two processes.
         if self.jobs == 1 or "fork" not in multiprocessing.get_all_start_methods():
-            self._run_serial(fn, tasks, run)
+            self._run_serial(fn, tasks, run, prepare)
             return PoolResult(run.values, run.degraded, False)
-        self._run_parallel(fn, tasks, run, min(self.jobs, len(tasks)))
+        self._run_parallel(fn, tasks, run, min(self.jobs, len(tasks)), prepare)
         return PoolResult(run.values, run.degraded, True)
 
     # -- serial ------------------------------------------------------------
 
-    def _run_serial(self, fn, tasks, run: "_PoolRun") -> None:
+    def _run_serial(self, fn, tasks, run: "_PoolRun", prepare=None) -> None:
         obs.gauge(f"{self.counter_prefix}.workers", 1)
+        _run_prepare(prepare, tasks, self.counter_prefix)
         for i, task in enumerate(tasks):
             value = fn(task)
             run.values[i] = value
@@ -410,7 +438,7 @@ class ChunkedPool:
 
     # -- parallel (watchdogged) --------------------------------------------
 
-    def _run_parallel(self, fn, tasks, run: "_PoolRun", jobs: int) -> None:
+    def _run_parallel(self, fn, tasks, run: "_PoolRun", jobs: int, prepare=None) -> None:
         global _STAGE
         n = len(tasks)
         size = self.chunk_size or max(1, -(-n // (jobs * 4)))
@@ -420,6 +448,7 @@ class ChunkedPool:
         _STAGE = {
             "fn": fn,
             "tasks": tasks,
+            "prepare": prepare,
             "setup": self.worker_setup,
             "teardown": self.worker_teardown,
             "init_counter": self.init_counter,

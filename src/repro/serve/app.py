@@ -293,11 +293,22 @@ class ServeApp:
     # -- wave runner (engine thread; wired into the batcher) -----------------
 
     def wave_runner(self, kind: str, tasks: list, keys: list) -> list:
-        """Evaluate one wave of unique demands through the engine."""
-        from repro.workflow.comparer import divergence_pair_task, divergence_task
+        """Evaluate one wave of unique demands through the engine.
+
+        ``divergence_prepare`` rides along so a coalesced wave's TED pairs
+        are cascade-pruned and cross-pair batched exactly like a batch-CLI
+        chunk — the serve warm path and the CLI share one kernel schedule.
+        """
+        from repro.workflow.comparer import (
+            divergence_pair_task,
+            divergence_prepare,
+            divergence_task,
+        )
 
         fn = {KIND_DIRECTED: divergence_task, KIND_PAIR: divergence_pair_task}[kind]
-        return self.state.engine.map_tasks(fn, tasks, keys=keys)
+        return self.state.engine.map_tasks(
+            fn, tasks, keys=keys, prepare=divergence_prepare
+        )
 
 
 def bad_request_from(e: ReproError) -> HttpError:

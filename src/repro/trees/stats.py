@@ -55,9 +55,34 @@ def tree_stats(root: Node) -> TreeStats:
     return TreeStats(size, depth, leaves, max_fanout, mean_fanout, len(labels))
 
 
+def cached_tree_stats(root: Node) -> TreeStats:
+    """:func:`tree_stats` memoised on the root's attrs (``_tstats``).
+
+    Metric-pipeline trees are frozen once built (same contract as
+    :func:`repro.trees.hashing.cached_structural_hash`); divergence matrices
+    revisit the same unit trees across every pair, so the pruning cascade's
+    size/depth stage reads these statistics through this memo.
+    """
+    s = root.attrs.get("_tstats")
+    if s is None:
+        s = tree_stats(root)
+        root.attrs["_tstats"] = s
+    return s
+
+
 def label_histogram(root: Node) -> Counter:
     """Multiset of node labels; basis of the TED lower bound."""
     return Counter(n.label for n in root.preorder())
+
+
+def cached_label_histogram(root: Node) -> Counter:
+    """:func:`label_histogram` memoised on the root's attrs (``_lhist``);
+    same frozen-tree contract as :func:`cached_tree_stats`."""
+    h = root.attrs.get("_lhist")
+    if h is None:
+        h = label_histogram(root)
+        root.attrs["_lhist"] = h
+    return h
 
 
 def histogram_lower_bound(h1: Counter, h2: Counter) -> int:

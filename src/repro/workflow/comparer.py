@@ -86,6 +86,21 @@ def divergence(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> floa
         return _divergence(a, b, spec)
 
 
+def _tree_kind(spec: MetricSpec) -> Optional[str]:
+    """The tree variant a tree-metric spec compares, or ``None`` for
+    non-tree metrics. One resolver shared by :func:`_divergence` and
+    :func:`divergence_prepare` so the warm-up can never batch a different
+    tree than the evaluation reads."""
+    if spec.name not in ("Tsrc", "Tsem", "Tir"):
+        return None
+    which = {"Tsrc": "src", "Tsem": "sem", "Tir": "ir"}[spec.name]
+    if spec.pp and spec.name == "Tsrc":
+        which = "src+pp"
+    if spec.inlining and spec.name == "Tsem":
+        which = "sem+i"
+    return which
+
+
 def _divergence(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> float:
     # deferred imports: repro.metrics consumes the codebase model this
     # package defines, so importing it at module scope would be circular
@@ -108,15 +123,41 @@ def _divergence(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> flo
     if spec.name == "Source":
         d, dmax = source_distance(a, b, variant, mask_a, mask_b)
         return d / dmax if dmax else 0.0
-    if spec.name in ("Tsrc", "Tsem", "Tir"):
-        which = {"Tsrc": "src", "Tsem": "sem", "Tir": "ir"}[spec.name]
-        if spec.pp and spec.name == "Tsrc":
-            which = "src+pp"
-        if spec.inlining and spec.name == "Tsem":
-            which = "sem+i"
+    which = _tree_kind(spec)
+    if which is not None:
         d, dmax = tree_distance(a, b, which, mask_a, mask_b, spec.include_system)
         return d / dmax if dmax else 0.0
     raise ValueError(f"unknown metric {spec.name!r}")
+
+
+def divergence_prepare(tasks: Sequence[tuple]) -> None:
+    """Chunk-level warm-up: batch all of a chunk's TED pairs at once.
+
+    Accepts the same ``(a, b, spec)`` task tuples as :func:`divergence_task`
+    / :func:`divergence_pair_task` (both directions share one symmetric
+    memo entry, so one pass covers pair tasks too). Tree-metric tasks
+    contribute their matched unit-tree pairs; everything is handed to
+    :func:`repro.distance.ted.ted_many`, which prunes via the cascade and
+    packs the small survivors into one cross-pair row sweep. Purely a memo
+    warmer — the per-task evaluation recomputes anything missing, so
+    results are identical with or without it.
+    """
+    from repro.distance.ted import ted_many
+    from repro.metrics.treemetrics import tree_ted_demands
+
+    demands: list[tuple] = []
+    for task in tasks:
+        a, b, spec = task
+        which = _tree_kind(spec)
+        if which is None:
+            continue
+        mask_a = a.mask() if spec.coverage else None
+        mask_b = b.mask() if spec.coverage else None
+        demands.extend(
+            tree_ted_demands(a, b, which, mask_a, mask_b, spec.include_system)
+        )
+    if demands:
+        ted_many(demands)
 
 
 def divergence_task(task: tuple[IndexedCodebase, IndexedCodebase, MetricSpec]) -> float:
@@ -230,6 +271,7 @@ def divergence_row(
         divergence_task,
         [(base, cb, spec) for cb in others],
         keys=[directed_task_key(base, cb, spec) for cb in others],
+        prepare=divergence_prepare,
     )
     return {cb.model: v for cb, v in zip(others, values)}
 
@@ -292,6 +334,12 @@ def divergence_matrix(
     n = len(codebases)
     with obs.span("compare.matrix", metric=spec.label, models=n, jobs=eng.jobs):
         pairs, tasks, keys = matrix_demands(codebases, spec)
-        values = eng.map_tasks(divergence_pair_task, tasks, keys=keys, fail_value=_NAN_PAIR)
+        values = eng.map_tasks(
+            divergence_pair_task,
+            tasks,
+            keys=keys,
+            fail_value=_NAN_PAIR,
+            prepare=divergence_prepare,
+        )
         obs.add("compare.pairs", n * (n - 1))
         return matrix_from_pair_values(n, pairs, values, symmetrize=symmetrize)

@@ -68,13 +68,22 @@ class TestTedCounters:
         assert c.counters["ted.shortcut"] == 1
         assert c.gauges["ted.cache.size"] == 2
 
-    def test_filter_counters(self):
+    def test_lower_bound_emits_no_filter_counters(self):
+        # the old ted.filter.* taxonomy is retired: pruning effectiveness is
+        # now tracked per cascade stage as ted.pruned.<stage>
         with obs.collect() as c:
             same = from_sexpr("(a b)")
-            ted_lower_bound(same, same.copy())  # bound 0: not pruned
-            ted_lower_bound(from_sexpr("(a b)"), from_sexpr("(x y z)"))  # pruned
-        assert c.counters["ted.filter.calls"] == 2
-        assert c.counters["ted.filter.pruned"] == 1
+            assert ted_lower_bound(same, same.copy()) == 0
+            assert ted_lower_bound(from_sexpr("(a b)"), from_sexpr("(x y z)")) > 0
+        assert not any(k.startswith("ted.filter.") for k in c.counters)
+
+    def test_hash_prune_counter(self):
+        clear_ted_cache()
+        a = from_sexpr("(a (b c) (d e))")
+        with obs.collect() as c:
+            ted(a, a.copy())
+        assert c.counters["ted.pruned.hash"] == 1
+        assert c.counters["ted.shortcut"] == 1
 
     def test_zs_work_counters(self):
         clear_ted_cache()

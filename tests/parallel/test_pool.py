@@ -28,6 +28,14 @@ def _explode_on_three(x):
     return x * x
 
 
+def _prepare_count(tasks):
+    obs.add("pooltest.prepare_tasks", len(tasks))
+
+
+def _prepare_boom(tasks):
+    raise RuntimeError("warm-up exploded")
+
+
 class TestSerial:
     def test_empty_tasks(self):
         res = ChunkedPool().run(_square, [])
@@ -117,6 +125,44 @@ class TestValidation:
             ChunkedPool(chunk_timeout=0.0)
         with pytest.raises(ValueError, match="retries must be >= 0"):
             ChunkedPool(retries=-1)
+
+
+class TestPrepareHook:
+    """Chunk-level warm-up: sees each chunk's task slice once, and a
+    failure degrades to a counter without touching the values."""
+
+    def test_serial_prepare_sees_all_tasks_once(self):
+        with obs.collect() as col:
+            res = ChunkedPool(jobs=1).run(_square, [1, 2, 3], prepare=_prepare_count)
+        assert res.values == [1, 4, 9]
+        assert col.counters["pooltest.prepare_tasks"] == 3
+
+    def test_parallel_prepare_runs_per_chunk(self):
+        with obs.collect() as col:
+            res = ChunkedPool(jobs=2, chunk_size=2, counter_prefix="myindex").run(
+                _square, list(range(6)), prepare=_prepare_count
+            )
+        assert res.values == [x * x for x in range(6)]
+        # 3 chunks x one prepare each, together covering every task
+        assert col.counters["pooltest.prepare_tasks"] == 6
+        assert "myindex.prepare_errors" not in col.counters
+
+    def test_prepare_failure_degrades_to_counter(self):
+        with obs.collect() as col:
+            res = ChunkedPool(jobs=1, counter_prefix="myindex").run(
+                _square, [1, 2, 3], prepare=_prepare_boom
+            )
+        assert res.values == [1, 4, 9]
+        assert res.degraded == []
+        assert col.counters["myindex.prepare_errors"] == 1
+
+    def test_parallel_prepare_failure_degrades_to_counter(self):
+        with obs.collect() as col:
+            res = ChunkedPool(jobs=2, chunk_size=2, counter_prefix="myindex").run(
+                _square, [1, 2, 3, 4], prepare=_prepare_boom
+            )
+        assert res.values == [1, 4, 9, 16]
+        assert col.counters["myindex.prepare_errors"] == 2
 
 
 class TestWaveCounter:
