@@ -50,15 +50,27 @@ METRIC = "Tsem"
 
 
 class Client:
-    """One keep-alive connection issuing timed JSON requests."""
+    """One keep-alive connection issuing timed JSON requests.
+
+    Reconnects once per request: the daemon's slow-client guard silently
+    closes keep-alive connections idle past ``--io-timeout-s``, which this
+    harness's long in-process identity phase legitimately exceeds.
+    """
 
     def __init__(self, port: int):
+        self.port = port
         self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
 
     def get(self, path: str) -> tuple[int, dict, float]:
         t0 = time.perf_counter()
-        self.conn.request("GET", path)
-        resp = self.conn.getresponse()
+        try:
+            self.conn.request("GET", path)
+            resp = self.conn.getresponse()
+        except (http.client.HTTPException, OSError):
+            self.conn.close()
+            self.conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=300)
+            self.conn.request("GET", path)
+            resp = self.conn.getresponse()
         payload = json.loads(resp.read())
         return resp.status, payload, time.perf_counter() - t0
 

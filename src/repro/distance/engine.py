@@ -221,6 +221,10 @@ class DistanceEngine:
         (None = no deadline). A chunk past its deadline is abandoned and
         rescheduled; this is also how chunks lost to killed workers are
         recovered.
+    wave_timeout:
+        Whole-wave wall-clock deadline in seconds (None = no deadline);
+        see :class:`repro.parallel.pool.ChunkedPool`. The serve daemon
+        sets this so one wedged wave cannot pin the engine thread forever.
     retries:
         Extra attempts per chunk after the first (timeouts and worker
         exceptions both count). Retried submissions back off exponentially
@@ -248,6 +252,7 @@ class DistanceEngine:
         cache=None,
         chunk_size: Optional[int] = None,
         chunk_timeout: Optional[float] = None,
+        wave_timeout: Optional[float] = None,
         retries: int = 2,
         strict: bool = False,
         checkpoint=None,
@@ -261,6 +266,7 @@ class DistanceEngine:
             jobs=jobs,
             chunk_size=chunk_size,
             chunk_timeout=chunk_timeout,
+            wave_timeout=wave_timeout,
             retries=retries,
             strict=strict,
             backoff_s=backoff_s,
@@ -275,6 +281,7 @@ class DistanceEngine:
         self.cache = cache
         self.chunk_size = chunk_size
         self.chunk_timeout = chunk_timeout
+        self.wave_timeout = wave_timeout
         self.retries = retries
         self.strict = strict
         self.checkpoint = checkpoint

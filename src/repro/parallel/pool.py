@@ -33,8 +33,9 @@ its historical ``engine.*`` names): ``<prefix>.waves`` (one per non-empty
 ``run`` call — the unit the serve layer's request coalescing is measured
 in), ``<prefix>.chunks``, ``<prefix>.workers`` (gauge),
 ``<prefix>.retries``, ``<prefix>.chunk_timeouts``,
-``<prefix>.worker_deaths``, ``<prefix>.chunks_failed`` plus the staged
-``init_counter`` for degraded worker initialisation. Workers collect
+``<prefix>.worker_deaths``, ``<prefix>.chunks_failed``,
+``<prefix>.wave_timeouts`` plus the staged ``init_counter`` for degraded
+worker initialisation. Workers collect
 counters in-process and the parent merges them, so ``--profile`` output is
 complete either way.
 """
@@ -320,6 +321,14 @@ class ChunkedPool:
         (None = no deadline). A chunk past its deadline is abandoned and
         rescheduled; this is also how chunks lost to killed workers are
         recovered.
+    wave_timeout:
+        Whole-wave wall-clock deadline in seconds (None = no deadline).
+        When one ``run`` call — retries and backoff included — exceeds it,
+        every unfinished chunk degrades to ``fail_value`` at once
+        (``<prefix>.wave_timeouts``; strict mode raises instead) so the
+        caller's thread gets its result list back on a bounded schedule.
+        The serve daemon leans on this: its engine thread must return so
+        the batcher can route per-key failures instead of wedging.
     retries:
         Extra attempts per chunk after the first (timeouts and worker
         exceptions both count). Retried submissions back off exponentially
@@ -350,6 +359,7 @@ class ChunkedPool:
         jobs: int = 1,
         chunk_size: Optional[int] = None,
         chunk_timeout: Optional[float] = None,
+        wave_timeout: Optional[float] = None,
         retries: int = 2,
         strict: bool = False,
         backoff_s: float = 0.25,
@@ -366,11 +376,14 @@ class ChunkedPool:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if chunk_timeout is not None and chunk_timeout <= 0:
             raise ValueError(f"chunk_timeout must be > 0, got {chunk_timeout}")
+        if wave_timeout is not None and wave_timeout <= 0:
+            raise ValueError(f"wave_timeout must be > 0, got {wave_timeout}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.chunk_timeout = chunk_timeout
+        self.wave_timeout = wave_timeout
         self.retries = retries
         self.strict = strict
         self.backoff_s = backoff_s
@@ -470,8 +483,16 @@ class ChunkedPool:
         """Watchdog loop: async dispatch, deadlines, retries, degradation."""
         remaining = list(chunks)
         known_pids = _live_pids(pool)
+        wave_deadline = (
+            time.monotonic() + self.wave_timeout
+            if self.wave_timeout is not None
+            else float("inf")
+        )
         while remaining:
             now = time.monotonic()
+            if now > wave_deadline:
+                self._expire_wave(remaining, run)
+                return
             remaining = [c for c in remaining if not self._step_chunk(pool, c, now, run)]
             if run.tick is not None:
                 run.tick()
@@ -536,6 +557,28 @@ class ChunkedPool:
         chunk.deadline = (
             now + self.chunk_timeout if self.chunk_timeout is not None else float("inf")
         )
+
+    def _expire_wave(self, remaining, run: "_PoolRun") -> None:
+        """The whole wave ran out of wall clock: degrade every unfinished
+        chunk at once (in-flight attempts included — the pool context exit
+        terminates their workers). Strict mode raises instead."""
+        obs.add(f"{self.counter_prefix}.wave_timeouts")
+        if self.strict:
+            raise ReproError(
+                f"{self.label} wave exceeded wave_timeout={self.wave_timeout}s "
+                f"with {len(remaining)} chunk(s) unfinished"
+            )
+        for chunk in remaining:
+            lo, hi = chunk.bounds
+            obs.add(f"{self.counter_prefix}.chunks_failed")
+            diag.error(
+                self.fail_code,
+                f"tasks {lo}:{hi} degraded to fail_value: wave exceeded "
+                f"wave_timeout={self.wave_timeout}s",
+            )
+            for i in range(lo, hi):
+                run.values[i] = run.fail_value
+                run.degraded.append(i)
 
     def _register_failure(self, chunk, now, err, run: "_PoolRun") -> bool:
         """Handle one failed attempt: reschedule with backoff, or degrade.

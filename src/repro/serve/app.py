@@ -34,6 +34,7 @@ from repro import obs
 from repro.analysis.cluster import cluster_models
 from repro.analysis.heatmap import HEATMAP_SPECS, heatmap_demands, heatmap_from_values
 from repro.corpus.registry import APPS, app_models
+from repro.serve.batcher import WAVE_FAILED
 from repro.serve.http import HttpError, Request
 from repro.serve.state import ServeState
 from repro.util.errors import ReproError
@@ -57,7 +58,9 @@ class ServeApp:
 
     ``run_engine(fn)`` awaits ``fn()`` on the daemon's engine thread (hot
     tier misses index there); ``batcher`` coalesces divergence demands into
-    engine waves; ``shutdown_cb`` initiates the daemon's graceful drain.
+    engine waves; ``shutdown_cb`` initiates the daemon's graceful drain;
+    ``admission`` (optional) is the daemon's readiness-vs-overload
+    snapshot, surfaced on ``/healthz`` and ``/v1/stats``.
     """
 
     def __init__(
@@ -66,11 +69,13 @@ class ServeApp:
         batcher,
         run_engine: Callable[[Callable[[], Any]], Awaitable[Any]],
         shutdown_cb: Optional[Callable[[], None]] = None,
+        admission: Optional[Callable[[], dict]] = None,
     ):
         self.state = state
         self.batcher = batcher
         self.run_engine = run_engine
         self.shutdown_cb = shutdown_cb
+        self.admission = admission
         self.started_monotonic = time.monotonic()
         self._routes: dict[tuple[str, str], Callable[[Request], Awaitable[dict]]] = {
             ("GET", "/healthz"): self.healthz,
@@ -88,13 +93,25 @@ class ServeApp:
 
     # -- dispatch ------------------------------------------------------------
 
-    async def handle(self, req: Request) -> dict:
-        """Dispatch one request; raises :class:`HttpError` for 4xx paths."""
+    async def handle(self, req: Request) -> Any:
+        """Dispatch one request; raises :class:`HttpError` for 4xx paths.
+
+        Handlers usually return the payload dict (a 200); a handler may
+        instead return ``(status, payload)`` — ``/healthz`` uses this to
+        report overload as a 503.
+        """
         handler = self._routes.get((req.method, req.path))
         if handler is None:
             known = {path for _method, path in self._routes}
             if req.path in known:
-                raise HttpError(405, f"{req.method} not allowed on {req.path}")
+                allow = ", ".join(
+                    sorted({m for m, p in self._routes if p == req.path})
+                )
+                raise HttpError(
+                    405,
+                    f"{req.method} not allowed on {req.path}",
+                    headers={"Allow": allow},
+                )
             raise HttpError(404, f"no such endpoint {req.path!r}")
         with obs.span(f"serve.{handler.__name__}", path=req.path):
             return await handler(req)
@@ -150,8 +167,21 @@ class ServeApp:
 
     # -- endpoints -----------------------------------------------------------
 
-    async def healthz(self, req: Request) -> dict:
-        return {"status": "ok", "uptime_s": time.monotonic() - self.started_monotonic}
+    async def healthz(self, req: Request) -> Any:
+        """Liveness plus readiness: distinguishes a live-but-overloaded
+        daemon (503, state ``overloaded``) from a ready one (200)."""
+        payload: dict[str, Any] = {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self.started_monotonic,
+        }
+        if self.admission is not None:
+            info = self.admission()
+            payload["admission"] = info
+            payload["state"] = info.get("state", "ready")
+            if payload["state"] == "overloaded":
+                payload["status"] = "overloaded"
+                return 503, payload
+        return payload
 
     async def apps(self, req: Request) -> dict:
         return {"apps": {app: app_models(app) for app in sorted(APPS)}}
@@ -276,6 +306,7 @@ class ServeApp:
         collector = obs.current_collector()
         return {
             "serve": self.state.stats(),
+            "admission": self.admission() if self.admission is not None else {},
             "uptime_s": time.monotonic() - self.started_monotonic,
             "metrics": obs.metrics_json(collector) if collector is not None else {},
         }
@@ -298,6 +329,11 @@ class ServeApp:
         ``divergence_prepare`` rides along so a coalesced wave's TED pairs
         are cascade-pruned and cross-pair batched exactly like a batch-CLI
         chunk — the serve warm path and the CLI share one kernel schedule.
+
+        ``fail_value=WAVE_FAILED``: a task whose chunk exhausted retries
+        comes back as the sentinel, which the batcher routes to a per-key
+        :class:`~repro.serve.batcher.WaveKeyError` — one poisoned demand
+        fails its own joiners, never the rest of the wave.
         """
         from repro.workflow.comparer import (
             divergence_pair_task,
@@ -307,7 +343,7 @@ class ServeApp:
 
         fn = {KIND_DIRECTED: divergence_task, KIND_PAIR: divergence_pair_task}[kind]
         return self.state.engine.map_tasks(
-            fn, tasks, keys=keys, prepare=divergence_prepare
+            fn, tasks, keys=keys, fail_value=WAVE_FAILED, prepare=divergence_prepare
         )
 
 

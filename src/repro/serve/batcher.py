@@ -21,6 +21,27 @@ tiny :class:`ChunkedPool` runs; this batcher instead:
 Demands are pure functions of their key (same contract as the engine's
 checkpoint values), which is what makes sharing one result across requests
 — and with the batch CLI — sound.
+
+Failure isolation (pinned in DESIGN.md §"Overload and failure contract"):
+a wave is a *shared* vehicle, so one request's poisonous demand must not
+fail its neighbours. Three layers, narrowest first:
+
+* **per-key routing** — the wave runner substitutes the :data:`WAVE_FAILED`
+  sentinel for any task whose chunk exhausted retries (the pool's
+  ``fail_value`` path); only the joiners of that key get a
+  :class:`WaveKeyError` (``serve.batch.failed_keys``), siblings get values;
+* **per-kind containment** — an exception escaping one kind's engine call
+  fails only that kind's joiners, never the whole flush;
+* **wave watchdog** — ``wave_timeout_s`` bounds one kind's engine call;
+  on expiry the joiners get :class:`WavePoisonedError`
+  (``serve.batch.poisoned``) and ``on_poisoned`` fires so the daemon can
+  replace the wedged engine thread. The abandoned call's future is
+  shielded, so a late result is discarded, not delivered.
+
+Deadline interaction: a request-side ``asyncio.wait_for`` cancels the
+*handler*, but the wave futures are shared across requests, so
+``demand_many`` awaits shielded views and never propagates its own
+cancellation into the batch.
 """
 
 from __future__ import annotations
@@ -29,6 +50,28 @@ import asyncio
 from typing import Any, Callable, Optional, Sequence
 
 from repro import obs
+
+#: Sentinel a wave runner returns in place of a value for a task whose
+#: chunk failed (retries exhausted / worker killed past recovery). Routed
+#: to a per-key :class:`WaveKeyError` instead of failing the whole wave.
+WAVE_FAILED = object()
+
+
+class WaveKeyError(Exception):
+    """One coalesced demand failed; only its joiners see this."""
+
+    def __init__(self, key: str, reason: str = "task failed in engine wave"):
+        super().__init__(f"{reason} (key {key})")
+        self.key = key
+        self.reason = reason
+
+
+class WavePoisonedError(WaveKeyError):
+    """A whole kind's engine call wedged past the wave watchdog."""
+
+    def __init__(self, key: str, timeout_s: float):
+        super().__init__(key, f"engine wave exceeded {timeout_s:g}s watchdog")
+        self.timeout_s = timeout_s
 
 
 class _Pending:
@@ -42,13 +85,24 @@ class _Pending:
         self.future = future
 
 
+def _consume(future: "asyncio.Future[Any]") -> None:
+    """Done-callback retrieving a future's exception so an errored wave
+    with no surviving awaiter doesn't warn at shutdown."""
+    if future.cancelled():
+        return
+    future.exception()
+
+
 class WaveBatcher:
     """Coalesces demands into single engine waves (see module docstring).
 
     ``runner(kind, tasks, keys)`` evaluates one wave synchronously and is
     invoked on ``executor`` (the daemon's engine thread); it must return one
-    value per task, in order. ``window_s = 0`` still coalesces demands that
-    arrive in the same event-loop iteration.
+    value per task, in order, substituting :data:`WAVE_FAILED` for tasks
+    that failed individually. ``executor`` may also be a zero-arg callable
+    returning the current executor, so the daemon can swap in a fresh
+    engine thread after a poisoned wave. ``window_s = 0`` still coalesces
+    demands that arrive in the same event-loop iteration.
     """
 
     def __init__(
@@ -56,13 +110,20 @@ class WaveBatcher:
         runner: Callable[[str, list, list], list],
         executor,
         window_s: float = 0.005,
+        wave_timeout_s: Optional[float] = None,
+        on_poisoned: Optional[Callable[[str], None]] = None,
     ):
         self.runner = runner
         self.executor = executor
         self.window_s = window_s
+        self.wave_timeout_s = wave_timeout_s
+        self.on_poisoned = on_poisoned
         self._pending: dict[str, _Pending] = {}
         self._inflight: dict[str, "asyncio.Future[Any]"] = {}
         self._flush_handle: Optional[asyncio.TimerHandle] = None
+
+    def _executor_now(self):
+        return self.executor() if callable(self.executor) else self.executor
 
     # -- demand side (event-loop thread) ------------------------------------
 
@@ -90,14 +151,16 @@ class WaveBatcher:
                 futures.append(running)
                 continue
             fut: asyncio.Future[Any] = loop.create_future()
+            fut.add_done_callback(_consume)
             self._pending[key] = _Pending(kind, task, fut)
             futures.append(fut)
             if self._flush_handle is None:
                 self._flush_handle = loop.call_later(self.window_s, self._start_flush)
-        # gather instead of sequential awaits: one failed wave must not
-        # leave sibling futures unretrieved (noisy "exception never
-        # retrieved" warnings at shutdown)
-        return list(await asyncio.gather(*futures))
+        # gather over *shielded* views: the futures are shared across
+        # requests, so this request's deadline cancellation must not cancel
+        # the batch (and gather — not sequential awaits — so one failed
+        # wave can't leave sibling futures unretrieved)
+        return list(await asyncio.gather(*(asyncio.shield(f) for f in futures)))
 
     async def drain(self) -> None:
         """Flush and await any demands still pending (shutdown path)."""
@@ -127,25 +190,58 @@ class WaveBatcher:
         asyncio.get_running_loop().create_task(self._run_wave(batch))
 
     async def _run_wave(self, batch: dict[str, _Pending]) -> None:
-        """Evaluate one flushed batch: one engine call per task kind."""
-        loop = asyncio.get_running_loop()
+        """Evaluate one flushed batch: one engine call per task kind, each
+        kind's faults contained to its own joiners."""
         by_kind: dict[str, list[tuple[str, _Pending]]] = {}
         for key, p in batch.items():
             by_kind.setdefault(p.kind, []).append((key, p))
         try:
             for kind, items in sorted(by_kind.items()):
-                keys = [k for k, _ in items]
-                tasks = [p.task for _, p in items]
-                values = await loop.run_in_executor(
-                    self.executor, self.runner, kind, tasks, keys
-                )
-                for (_, p), value in zip(items, values):
-                    if not p.future.done():
-                        p.future.set_result(value)
-        except Exception as e:
-            for _, p in [it for its in by_kind.values() for it in its]:
-                if not p.future.done():
-                    p.future.set_exception(e)
+                await self._run_kind(kind, items)
         finally:
             for key in batch:
                 self._inflight.pop(key, None)
+
+    async def _run_kind(self, kind: str, items: list[tuple[str, _Pending]]) -> None:
+        loop = asyncio.get_running_loop()
+        keys = [k for k, _ in items]
+        tasks = [p.task for _, p in items]
+        call = loop.run_in_executor(
+            self._executor_now(), self.runner, kind, tasks, keys
+        )
+        try:
+            if self.wave_timeout_s:
+                # shield: on timeout the engine thread is abandoned (and
+                # restarted via on_poisoned), so a late result must be
+                # discarded rather than cancelled mid-set
+                values = await asyncio.wait_for(
+                    asyncio.shield(call), self.wave_timeout_s
+                )
+            else:
+                values = await call
+        except asyncio.TimeoutError:
+            obs.add("serve.batch.poisoned")
+            call.add_done_callback(_consume)
+            for key, p in items:
+                if not p.future.done():
+                    p.future.set_exception(
+                        WavePoisonedError(key, self.wave_timeout_s)
+                    )
+            if self.on_poisoned is not None:
+                self.on_poisoned(kind)
+            return
+        except Exception as e:
+            # one kind's engine call failing outright (setup error, strict
+            # abort) fails that kind's joiners only, never sibling kinds
+            for key, p in items:
+                if not p.future.done():
+                    p.future.set_exception(e)
+            return
+        for (key, p), value in zip(items, values):
+            if p.future.done():
+                continue
+            if value is WAVE_FAILED:
+                obs.add("serve.batch.failed_keys")
+                p.future.set_exception(WaveKeyError(key))
+            else:
+                p.future.set_result(value)

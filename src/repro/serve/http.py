@@ -8,6 +8,10 @@ localhost or behind a real reverse proxy, which owns all of that.
 
 Hard limits (header block ≤ 16 KiB, body ≤ 1 MiB) bound what one connection
 can make the daemon buffer; anything over is a clean 4xx, not an OOM.
+Slow-client protection: ``read_request`` accepts header/body read deadlines
+so a stalled or half-open socket gets a 408 (mid-message) or a silent
+close (idle keep-alive, nginx-style) instead of pinning a connection task
+forever.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Awaitable, Optional
 from urllib.parse import parse_qsl, urlsplit
 
 #: Largest accepted request-line + header block, bytes.
@@ -24,6 +28,13 @@ MAX_HEADER_BYTES = 16 * 1024
 #: Largest accepted request body, bytes.
 MAX_BODY_BYTES = 1024 * 1024
 
+#: Request methods this server recognises at the framing layer. A token
+#: outside this set is a 501 (RFC 9110 §9.1: not implemented), distinct
+#: from a 405 (recognised method not allowed on that resource).
+KNOWN_METHODS = frozenset(
+    {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH", "TRACE", "CONNECT"}
+)
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
@@ -31,18 +42,26 @@ _REASONS = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 class HttpError(Exception):
-    """A request that cannot be served; carries the response status."""
+    """A request that cannot be served; carries the response status.
 
-    def __init__(self, status: int, message: str):
+    ``headers`` (optional) are extra response headers the error mandates —
+    ``Allow`` on a 405, ``Retry-After`` on a 429.
+    """
+
+    def __init__(self, status: int, message: str, headers: Optional[dict[str, str]] = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
 
 
 @dataclass
@@ -92,18 +111,46 @@ class Request:
         return raw.lower() in ("1", "true", "yes", "on")
 
 
+async def _timed(awaitable: Awaitable[Any], timeout_s: Optional[float], what: str) -> Any:
+    """Await with a deadline; a stalled read becomes a 408."""
+    if not timeout_s:
+        return await awaitable
+    try:
+        return await asyncio.wait_for(awaitable, timeout_s)
+    except asyncio.TimeoutError:
+        raise HttpError(408, f"timed out reading {what} after {timeout_s:g}s") from None
+
+
 async def read_request(reader, max_header: int = MAX_HEADER_BYTES,
-                       max_body: int = MAX_BODY_BYTES) -> Optional[Request]:
+                       max_body: int = MAX_BODY_BYTES,
+                       header_timeout_s: Optional[float] = None,
+                       body_timeout_s: Optional[float] = None) -> Optional[Request]:
     """Read one request off the stream.
 
     Returns ``None`` on a clean EOF before any bytes (client closed a
-    keep-alive connection between requests). Raises :class:`HttpError` for
-    malformed or oversized requests and lets transport exceptions
-    (``ConnectionResetError``, ``asyncio.IncompleteReadError`` mid-message)
-    propagate to the connection handler.
+    keep-alive connection between requests) — and, when ``header_timeout_s``
+    is set, on an *idle* timeout before the first byte, so idle keep-alive
+    connections are reclaimed silently. A timeout after bytes have started
+    arriving (a slowloris or stalled body) raises a 408 instead. Raises
+    :class:`HttpError` for malformed or oversized requests and lets
+    transport exceptions (``ConnectionResetError``,
+    ``asyncio.IncompleteReadError`` mid-message) propagate to the
+    connection handler.
     """
     try:
-        head = await reader.readuntil(b"\r\n\r\n")
+        # first byte under its own deadline: zero-byte idle is a silent
+        # close, not a 408 — only a *started* request that stalls is a
+        # protocol offence
+        if header_timeout_s:
+            try:
+                first = await asyncio.wait_for(reader.readexactly(1), header_timeout_s)
+            except asyncio.TimeoutError:
+                return None
+        else:
+            first = await reader.readexactly(1)
+        head = first + await _timed(
+            reader.readuntil(b"\r\n\r\n"), header_timeout_s, "request head"
+        )
     except asyncio.IncompleteReadError as e:
         # EOF with nothing buffered is the normal end of a keep-alive
         # connection; EOF mid-header is a protocol error
@@ -125,6 +172,8 @@ async def read_request(reader, max_header: int = MAX_HEADER_BYTES,
     method, target, version = parts
     if version not in ("HTTP/1.1", "HTTP/1.0"):
         raise HttpError(400, f"unsupported protocol version {version!r}")
+    if method.upper() not in KNOWN_METHODS:
+        raise HttpError(501, f"method {method!r} not implemented")
     headers: dict[str, str] = {}
     for line in lines[1:]:
         if not line:
@@ -136,6 +185,10 @@ async def read_request(reader, max_header: int = MAX_HEADER_BYTES,
     split = urlsplit(target)
     query = dict(parse_qsl(split.query, keep_blank_values=True))
     body = b""
+    if "transfer-encoding" in headers:
+        raise HttpError(
+            501, "chunked transfer coding is not implemented; use Content-Length"
+        )
     length = headers.get("content-length")
     if length is not None:
         try:
@@ -147,9 +200,9 @@ async def read_request(reader, max_header: int = MAX_HEADER_BYTES,
         if n > max_body:
             raise HttpError(413, f"request body over {max_body} bytes")
         if n:
-            body = await reader.readexactly(n)
-    elif "transfer-encoding" in headers:
-        raise HttpError(400, "chunked request bodies are not supported")
+            body = await _timed(
+                reader.readexactly(n), body_timeout_s, "request body"
+            )
     return Request(
         method=method.upper(),
         target=target,

@@ -27,11 +27,19 @@ fingerprints, so stale reads are impossible — a changed corpus produces
 (``POST /v1/invalidate``) exists to bound memory and to force re-indexing
 after an in-place corpus edit during development; it drops every tier
 including the process-wide registry and TED memos.
+
+Bounding: both in-memory tiers are LRU-capped (``max_codebases`` /
+``max_entries``; 0 or ``None`` = unbounded). Under varied traffic the
+least-recently-used entry is evicted at the cap (``serve.hot.evicted.*``
+counters) so the always-on daemon's resident set cannot grow without
+bound; evicted entries are only a latency cost, never a correctness one,
+because the backing artifact stores replay them on the next miss.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Any, Optional, Sequence
 
 from repro import obs
@@ -55,14 +63,19 @@ class ServeState:
         artifacts=None,
         strict: bool = False,
         jobs: int = 1,
+        max_codebases: Optional[int] = None,
+        max_entries: Optional[int] = None,
     ):
         self.engine = engine
         self.artifacts = artifacts
         self.strict = strict
         self.jobs = jobs
+        self.max_codebases = int(max_codebases) if max_codebases else 0
+        self.max_entries = int(max_entries) if max_entries else 0
         self._lock = threading.Lock()
-        self._codebases: dict[tuple[str, str, bool], IndexedCodebase] = {}
-        self._memo: dict[str, Any] = {}
+        self._codebases: OrderedDict[tuple[str, str, bool], IndexedCodebase] = OrderedDict()
+        self._memo: OrderedDict[str, Any] = OrderedDict()
+        self._evicted = {"codebases": 0, "memo": 0}
 
     # -- codebase tier (engine thread only for misses) ----------------------
 
@@ -77,6 +90,8 @@ class ServeState:
         key = (app, model, coverage)
         with self._lock:
             hit = self._codebases.get(key)
+            if hit is not None:
+                self._codebases.move_to_end(key)
         if hit is not None:
             obs.add("serve.hot.codebase_hit")
             return hit
@@ -91,6 +106,11 @@ class ServeState:
         )
         with self._lock:
             self._codebases[key] = cb
+            self._codebases.move_to_end(key)
+            while self.max_codebases and len(self._codebases) > self.max_codebases:
+                self._codebases.popitem(last=False)
+                self._evicted["codebases"] += 1
+                obs.add("serve.hot.evicted.codebases")
         return cb
 
     def codebases(
@@ -103,12 +123,19 @@ class ServeState:
     def lookup(self, key: str) -> Optional[Any]:
         with self._lock:
             value = self._memo.get(key)
+            if value is not None:
+                self._memo.move_to_end(key)
         obs.add("serve.memo.hit" if value is not None else "serve.memo.miss")
         return value
 
     def remember(self, key: str, value: Any) -> None:
         with self._lock:
             self._memo[key] = value
+            self._memo.move_to_end(key)
+            while self.max_entries and len(self._memo) > self.max_entries:
+                self._memo.popitem(last=False)
+                self._evicted["memo"] += 1
+                obs.add("serve.hot.evicted.memo")
 
     # -- warm-up / invalidation / stats -------------------------------------
 
@@ -158,6 +185,9 @@ class ServeState:
             return {
                 "codebases": len(self._codebases),
                 "memo_entries": len(self._memo),
+                "max_codebases": self.max_codebases,
+                "max_entries": self.max_entries,
+                "evicted": dict(self._evicted),
                 "jobs": self.jobs,
                 "strict": self.strict,
                 "incremental": self.artifacts is not None,

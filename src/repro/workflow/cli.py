@@ -155,6 +155,7 @@ def _engine_from_args(args: argparse.Namespace) -> DistanceEngine:
         jobs=getattr(args, "jobs", 1),
         cache=cache,
         chunk_timeout=getattr(args, "chunk_timeout", None),
+        wave_timeout=getattr(args, "wave_timeout_s", None) or None,
         retries=getattr(args, "retries", 2),
         strict=getattr(args, "strict", False),
         checkpoint=_checkpoint_from_args(args),
@@ -416,6 +417,9 @@ def _record_ledger(
             for k in ("app", "model", "baseline", "metric", "jobs")
             if getattr(args, k, None) is not None
         }
+        # commands may stash extra workload fields (the serve daemon's
+        # lifetime summary) to ride along in the snapshot
+        workload.update(getattr(args, "_workload_extra", None) or {})
         corpus = (
             runledger.corpus_fingerprint(args.app) if getattr(args, "app", None) else None
         )
@@ -592,8 +596,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         window_s=args.batch_window_ms / 1000.0,
         port_file=args.port_file,
         grace_s=args.grace,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        request_timeout_s=args.request_timeout_s,
+        io_timeout_s=args.io_timeout_s,
+        # batcher watchdog sits behind the pool-level wave timeout with
+        # headroom: the pool degrading is the normal path, the batcher
+        # poisoning + engine restart is the backstop for a wedged thread
+        wave_timeout_s=(args.wave_timeout_s * 2) if args.wave_timeout_s else None,
+        hot_max_codebases=args.hot_max_codebases,
+        hot_max_entries=args.hot_max_entries,
     )
     daemon.run()
+    # the session collector is still open here; stash the serve-lifetime
+    # summary so _record_ledger folds it into the snapshot's workload
+    args._workload_extra = dict(daemon.summary)
     return 0
 
 
@@ -765,6 +782,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         metavar="S",
         help="shutdown grace window for in-flight responses (default: 2.0)",
+    )
+    ov = psv.add_argument_group("overload and failure hardening")
+    ov.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission budget: concurrent requests past health/stats "
+        "(default: 64; 0 disables admission control)",
+    )
+    ov.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        metavar="N",
+        help="requests allowed to queue for an admission slot before the "
+        "daemon sheds with 429 (default: 128; 0 sheds immediately at budget)",
+    )
+    ov.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="per-request deadline; expiry is a 504 with a serve/deadline "
+        "diagnostic. Clients may lower it per-request with X-Timeout-Ms "
+        "(default: 300; 0 disables)",
+    )
+    ov.add_argument(
+        "--io-timeout-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="slow-client guard: header/body read and response write "
+        "deadline; a started-then-stalled request gets 408, an idle "
+        "keep-alive closes silently (default: 30; 0 disables)",
+    )
+    ov.add_argument(
+        "--wave-timeout-s",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="engine wave wall-clock budget: past it the pool degrades the "
+        "wave's unfinished chunks, and at 2x the batcher declares the wave "
+        "poisoned and the daemon restarts its engine thread "
+        "(default: 300; 0 disables)",
+    )
+    ov.add_argument(
+        "--hot-max-codebases",
+        type=int,
+        default=64,
+        metavar="N",
+        help="LRU cap on hot-tier indexed codebases (default: 64; 0 = unbounded)",
+    )
+    ov.add_argument(
+        "--hot-max-entries",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="LRU cap on hot-tier divergence memo entries "
+        "(default: 65536; 0 = unbounded)",
     )
     psv.set_defaults(fn=cmd_serve, _always_collect=True, _ledger=True)
 

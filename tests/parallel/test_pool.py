@@ -123,8 +123,58 @@ class TestValidation:
             ChunkedPool(chunk_size=0)
         with pytest.raises(ValueError, match="chunk_timeout must be > 0"):
             ChunkedPool(chunk_timeout=0.0)
+        with pytest.raises(ValueError, match="wave_timeout must be > 0"):
+            ChunkedPool(wave_timeout=0.0)
         with pytest.raises(ValueError, match="retries must be >= 0"):
             ChunkedPool(retries=-1)
+
+
+def _sleepy(x):
+    import time as _time
+
+    _time.sleep(x)
+    return x
+
+
+class TestWaveTimeout:
+    """Whole-wave wall-clock budget: unfinished chunks degrade at once so
+    the calling thread (the serve daemon's engine thread) gets its result
+    list back on a bounded schedule."""
+
+    def test_expired_wave_degrades_remaining_chunks(self):
+        pool = ChunkedPool(
+            jobs=2,
+            chunk_size=1,
+            wave_timeout=0.5,
+            retries=0,
+            counter_prefix="myengine",
+            fail_code="mytest/chunk-failed",
+        )
+        with diag.capture() as sink, obs.collect() as col:
+            res = pool.run(_sleepy, [0.0, 0.0, 30.0, 30.0], fail_value=-1.0)
+        # the fast tasks finished; the sleepers degraded when the wave expired
+        assert res.values[0] == 0.0 and res.values[1] == 0.0
+        assert res.values[2] == -1.0 and res.values[3] == -1.0
+        assert sorted(res.degraded) == [2, 3]
+        assert col.counters["myengine.wave_timeouts"] == 1
+        assert col.counters["myengine.chunks_failed"] == 2
+        assert sink.by_code().get("mytest/chunk-failed") == 2
+
+    def test_strict_wave_timeout_raises(self):
+        pool = ChunkedPool(
+            jobs=2, chunk_size=1, wave_timeout=0.3, retries=0, strict=True
+        )
+        with pytest.raises(ReproError, match="wave_timeout"):
+            pool.run(_sleepy, [30.0, 30.0])
+
+    def test_fast_wave_unaffected(self):
+        with obs.collect() as col:
+            res = ChunkedPool(
+                jobs=2, chunk_size=1, wave_timeout=30.0, counter_prefix="myengine"
+            ).run(_square, [1, 2, 3])
+        assert res.values == [1, 4, 9]
+        assert res.degraded == []
+        assert "myengine.wave_timeouts" not in col.counters
 
 
 class TestPrepareHook:

@@ -12,7 +12,12 @@ import threading
 import pytest
 
 from repro import obs
-from repro.serve.batcher import WaveBatcher
+from repro.serve.batcher import (
+    WAVE_FAILED,
+    WaveBatcher,
+    WaveKeyError,
+    WavePoisonedError,
+)
 
 
 class Runner:
@@ -30,12 +35,12 @@ class Runner:
         return [self.fn(kind, t) for t in tasks]
 
 
-def run_with_batcher(coro_fn, runner, window_s=0.001):
+def run_with_batcher(coro_fn, runner, window_s=0.001, **kw):
     """Drive one async scenario with a fresh batcher + one-thread executor."""
 
     async def go():
         with concurrent.futures.ThreadPoolExecutor(max_workers=1) as ex:
-            batcher = WaveBatcher(runner, ex, window_s=window_s)
+            batcher = WaveBatcher(runner, ex, window_s=window_s, **kw)
             return await coro_fn(batcher)
 
     return asyncio.run(go())
@@ -132,6 +137,131 @@ class TestFailure:
             assert batcher._inflight == {}
 
         run_with_batcher(scenario, boom)
+
+    def test_failed_key_isolated_from_siblings(self):
+        """A WAVE_FAILED sentinel fails only its own key's joiners."""
+
+        def runner(kind, tasks, keys):
+            return [WAVE_FAILED if t == 2 else ("val", t) for t in tasks]
+
+        async def scenario(batcher):
+            results = await asyncio.gather(
+                batcher.demand("pair", "a", 1),
+                batcher.demand("pair", "b", 2),
+                batcher.demand("pair", "c", 3),
+                return_exceptions=True,
+            )
+            assert batcher._inflight == {}
+            return results
+
+        with obs.collect() as col:
+            a, b, c = run_with_batcher(scenario, runner)
+        assert a == ("val", 1)
+        assert isinstance(b, WaveKeyError) and b.key == "b"
+        assert c == ("val", 3)
+        assert col.counters["serve.batch.failed_keys"] == 1
+
+    def test_one_kind_failing_spares_sibling_kinds(self):
+        """An exception out of one kind's engine call fails only that kind."""
+
+        def runner(kind, tasks, keys):
+            if kind == "directed":
+                raise RuntimeError("directed wave blew up")
+            return [("val", t) for t in tasks]
+
+        async def scenario(batcher):
+            return await asyncio.gather(
+                batcher.demand("directed", "d1", 1),
+                batcher.demand("pair", "p1", 2),
+                return_exceptions=True,
+            )
+
+        d, p = run_with_batcher(scenario, runner)
+        assert isinstance(d, RuntimeError)
+        assert p == ("val", 2)
+
+    def test_requester_cancellation_spares_shared_future(self):
+        """One joiner's deadline cancellation must not cancel the wave."""
+        release = threading.Event()
+        runner = Runner(block=release)
+
+        async def scenario(batcher):
+            slow = asyncio.ensure_future(batcher.demand("pair", "k", 1))
+            await asyncio.sleep(0.05)  # flush; runner blocks
+            joiner = asyncio.ensure_future(batcher.demand("pair", "k", 1))
+            await asyncio.sleep(0.05)
+            joiner.cancel()  # the request-deadline path
+            release.set()
+            return await slow
+
+        value = run_with_batcher(scenario, runner)
+        assert value == ("val", "pair", 1)
+
+
+class TestWaveWatchdog:
+    def test_poisoned_wave_fails_joiners_and_fires_callback(self):
+        release = threading.Event()
+        runner = Runner(block=release)  # wedged until released
+        poisoned = []
+
+        async def scenario(batcher):
+            try:
+                results = await asyncio.gather(
+                    batcher.demand("pair", "a", 1),
+                    batcher.demand("pair", "b", 2),
+                    return_exceptions=True,
+                )
+            finally:
+                release.set()  # let the abandoned thread finish
+            assert batcher._inflight == {}
+            return results
+
+        with obs.collect() as col:
+            a, b = run_with_batcher(
+                scenario, runner, wave_timeout_s=0.1, on_poisoned=poisoned.append
+            )
+        assert isinstance(a, WavePoisonedError)
+        assert isinstance(b, WavePoisonedError)
+        assert poisoned == ["pair"]
+        assert col.counters["serve.batch.poisoned"] == 1
+
+    def test_next_wave_runs_on_replacement_executor(self):
+        """After a poisoned wave the batcher keeps serving via the executor
+        callable — the daemon's restart hook swaps in a fresh thread."""
+        release = threading.Event()
+        wedged = Runner(block=release)
+        executors = [concurrent.futures.ThreadPoolExecutor(max_workers=1)]
+
+        def runner(kind, tasks, keys):
+            if not release.is_set():
+                return wedged(kind, tasks, keys)
+            return [("ok", t) for t in tasks]
+
+        def on_poisoned(kind):
+            old = executors[0]
+            executors.append(concurrent.futures.ThreadPoolExecutor(max_workers=1))
+            executors[0] = executors[-1]
+            old.shutdown(wait=False)
+
+        async def go():
+            batcher = WaveBatcher(
+                runner,
+                lambda: executors[0],
+                window_s=0.001,
+                wave_timeout_s=0.1,
+                on_poisoned=on_poisoned,
+            )
+            with pytest.raises(WavePoisonedError):
+                await batcher.demand("pair", "a", 1)
+            release.set()
+            value = await batcher.demand("pair", "b", 2)
+            executors[0].shutdown(wait=True)
+            return value
+
+        try:
+            assert asyncio.run(go()) == ("ok", 2)
+        finally:
+            release.set()
 
 
 class TestDrain:

@@ -279,6 +279,8 @@ class TestLifecycle:
         assert status == 200 and payload["shutting_down"] is True
         thread.join(timeout=30)
         assert not thread.is_alive()
+        # drain removes the port file so supervisors can't race a dead port
+        assert not port_file.exists()
 
     def test_keep_alive_connection_reuse(self):
         daemon = ServeDaemon(DistanceEngine(), port=0, quiet=True)

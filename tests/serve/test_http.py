@@ -98,10 +98,78 @@ class TestRequestParsing:
             parse(raw, max_header=1024)
         assert ei.value.status == 413
 
-    def test_chunked_bodies_rejected(self):
+    def test_chunked_bodies_rejected_as_501(self):
         with pytest.raises(HttpError) as ei:
             parse(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n")
-        assert ei.value.status == 400
+        assert ei.value.status == 501
+
+    def test_unknown_method_is_501(self):
+        with pytest.raises(HttpError) as ei:
+            parse(b"BREW / HTTP/1.1\r\n\r\n")
+        assert ei.value.status == 501
+
+    def test_known_methods_parse(self):
+        assert parse(b"DELETE /x HTTP/1.1\r\n\r\n").method == "DELETE"
+        assert parse(b"options / HTTP/1.1\r\n\r\n").method == "OPTIONS"
+
+
+class TestReadTimeouts:
+    """Slow-client guard: idle closes silently, a stalled message is 408."""
+
+    def run_with_writer(self, coro_fn, payload_plan):
+        """Drive ``read_request`` against a reader fed per ``payload_plan``:
+        a list of (delay_s, bytes) steps, with EOF never fed."""
+
+        async def go():
+            reader = asyncio.StreamReader()
+
+            async def feeder():
+                for delay, data in payload_plan:
+                    await asyncio.sleep(delay)
+                    reader.feed_data(data)
+
+            feed = asyncio.ensure_future(feeder())
+            try:
+                return await coro_fn(reader)
+            finally:
+                feed.cancel()
+
+        return asyncio.run(go())
+
+    def test_idle_timeout_closes_silently(self):
+        # zero bytes ever sent: the keep-alive connection idled out — that
+        # is a None (silent close), never a 408 that would desync a reusing
+        # client
+        result = self.run_with_writer(
+            lambda r: read_request(r, header_timeout_s=0.05), []
+        )
+        assert result is None
+
+    def test_stalled_header_is_408(self):
+        with pytest.raises(HttpError) as ei:
+            self.run_with_writer(
+                lambda r: read_request(r, header_timeout_s=0.05),
+                [(0.0, b"GET / HT")],  # slowloris: starts, never finishes
+            )
+        assert ei.value.status == 408
+
+    def test_stalled_body_is_408(self):
+        raw = b"POST / HTTP/1.1\r\ncontent-length: 100\r\n\r\nonly-ten-b"
+        with pytest.raises(HttpError) as ei:
+            self.run_with_writer(
+                lambda r: read_request(
+                    r, header_timeout_s=0.5, body_timeout_s=0.05
+                ),
+                [(0.0, raw)],
+            )
+        assert ei.value.status == 408
+
+    def test_prompt_request_unaffected_by_timeouts(self):
+        req = self.run_with_writer(
+            lambda r: read_request(r, header_timeout_s=0.5, body_timeout_s=0.5),
+            [(0.0, b"GET /ok HTTP/1.1\r\n\r\n")],
+        )
+        assert req.path == "/ok"
 
 
 class TestRequestHelpers:

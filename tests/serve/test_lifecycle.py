@@ -1,0 +1,109 @@
+"""Daemon lifecycle under signals: SIGTERM mid-wave drains, answers, exits 0.
+
+Drives the real ``silvervale serve`` CLI in a subprocess (loop signal
+handlers only exist on a main thread, so the in-process daemons of the
+other suites can't cover this). Pins the contract: a SIGTERM arriving
+while an engine wave is in flight lets the wave finish, delivers the
+joiners' responses, removes the port file, records the serve ledger
+snapshot, and exits 0.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import ledger as runledger
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+APP = "babelstream-fortran"
+BASELINE = "sequential"
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals required")
+class TestSigtermMidWave:
+    def test_drain_completes_wave_and_exits_zero(self, tmp_path):
+        port_file = tmp_path / "port"
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.workflow.cli",
+                "serve",
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+                "--warm",
+                APP,
+                "--grace",
+                "60",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline and not port_file.exists():
+                time.sleep(0.05)
+                assert proc.poll() is None, "daemon died before becoming ready"
+            assert port_file.exists(), "daemon never wrote its port file"
+            port = int(port_file.read_text())
+
+            # issue a cold compare (real wave work) from a client thread,
+            # then SIGTERM the daemon while that wave is in flight
+            result = {}
+
+            def query():
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+                try:
+                    conn.request(
+                        "GET",
+                        f"/v1/compare?app={APP}&model=omp"
+                        f"&baseline={BASELINE}&metric=Tir",
+                    )
+                    resp = conn.getresponse()
+                    result["status"] = resp.status
+                    result["payload"] = json.loads(resp.read())
+                finally:
+                    conn.close()
+
+            t = threading.Thread(target=query)
+            t.start()
+            time.sleep(0.25)  # request in flight; the wave has started
+            proc.send_signal(signal.SIGTERM)
+            t.join(timeout=120)
+            out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        # graceful drain: the in-flight joiner got its real answer
+        assert result.get("status") == 200, f"result={result!r} stderr={err!r}"
+        assert 0.0 <= result["payload"]["divergence"] <= 1.0
+        # clean exit, not an interrupt/error path
+        assert proc.returncode == 0, f"stdout={out!r} stderr={err!r}"
+        # drain removed the port file so supervisors can't race a dead port
+        assert not port_file.exists()
+
+        # shutdown flushed the serve-lifetime snapshot into the run ledger
+        store = runledger.RunLedgerStore(str(cache_dir))
+        snaps = runledger.history(store, command="serve")
+        assert snaps, "serve session recorded no ledger snapshot"
+        workload = snaps[-1].get("workload", {})
+        assert workload.get("uptime_s", 0) > 0
+        assert "requests" in workload and workload["requests"] >= 1
