@@ -15,7 +15,10 @@ Asserts, on a small fixed TeaLeaf workload, that
    lose work nor redo it;
 5. an incremental re-index from unit artifacts yields a bit-identical
    Codebase DB with zero frontend invocations, and touching one source file
-   re-fronts exactly that one unit.
+   re-fronts exactly that one unit;
+6. nearest-neighbor answers agree bit-for-bit across all three surfaces:
+   the VP-tree index query, the brute-force linear scan, and the serve
+   daemon's ``/v1/nearest`` endpoint (both its index mode and ``brute=1``).
 
 Usage: PYTHONPATH=src python benchmarks/check_determinism.py
 """
@@ -163,6 +166,61 @@ def check_incremental(failures: list[str]) -> None:
         )
 
 
+def check_nearest(failures: list[str]) -> None:
+    import json
+    import threading
+    import urllib.request
+
+    from repro.metricindex import MetricIndex
+    from repro.serve.daemon import ServeDaemon
+    from repro.workflow.comparer import nearest_brute_force
+
+    app, k = "babelstream-fortran", 3
+    spec = MetricSpec("Tsem")
+    codebases = index_app(app)
+
+    clear_ted_cache()
+    index = MetricIndex.build(app, codebases, spec)
+    per_model = {}
+    for name, cb in codebases.items():
+        others = [c for m, c in codebases.items() if m != name]
+        brute = nearest_brute_force(cb, others, spec)[:k]
+        via_index = index.query(cb, codebases, k).neighbors
+        if via_index != brute:
+            failures.append(f"nearest: index answer for {app}/{name} differs from brute scan")
+        per_model[name] = [{"model": m, "divergence": d} for d, m in brute]
+
+    daemon = ServeDaemon(DistanceEngine(), port=0, warm=[app], quiet=True)
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    if not daemon.ready.wait(120):
+        failures.append("nearest: serve daemon did not become ready")
+        return
+    before = len(failures)
+    try:
+        for name, want in per_model.items():
+            for extra in ("", "&brute=1"):
+                url = (
+                    f"http://127.0.0.1:{daemon.port}/v1/nearest"
+                    f"?app={app}&model={name}&k={k}{extra}"
+                )
+                with urllib.request.urlopen(url, timeout=60) as resp:
+                    payload = json.loads(resp.read())
+                if payload["neighbors"] != want:
+                    failures.append(
+                        f"nearest: /v1/nearest{extra or ' (index mode)'} for "
+                        f"{app}/{name} differs from brute scan"
+                    )
+    finally:
+        daemon.stop()
+        thread.join(timeout=30)
+    if len(failures) == before:
+        print(
+            f"ok: nearest top-{k} bit-identical across index, brute scan, "
+            "and /v1/nearest (both modes)"
+        )
+
+
 def main() -> int:
     cbs = index_app("tealeaf", coverage=True)
     names = list(cbs)[:N_MODELS]
@@ -203,6 +261,7 @@ def main() -> int:
 
     check_resume(codebases, serial, failures)
     check_incremental(failures)
+    check_nearest(failures)
 
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)

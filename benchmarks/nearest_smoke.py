@@ -1,0 +1,202 @@
+"""CI smoke gate for the metric-space nearest-neighbor index.
+
+Runs two windows over every corpus app, with the TED memo cleared between
+them so each window pays for its own kernels:
+
+1. **brute** — the reference linear scan (``nearest_brute_force``) for
+   every model of the app;
+2. **index** — ``MetricIndex.build`` + one VP-tree query per model.
+
+Hard gates:
+
+* every query's top-k is **bit-identical** to the brute scan's,
+* the index window never runs **more** exact Zhang–Shasha kernels
+  (``ted.zs.calls``) than the brute window on any app, and runs strictly
+  fewer summed over the corpus (the TED memo dedupes repeat pairs, so on
+  a small app both windows can touch the same unique-pair set),
+* ``index.exact_calls`` stays below the brute pair count and some
+  ``index.pruned.*`` counter is nonzero — the index must actually prune,
+* touching one source file and refreshing the index re-inserts **exactly
+  one unit** (the incremental-maintenance contract).
+
+Wall times and counters land in ``NEAREST_pr.json`` for the PR artifact;
+``--ledger-dir`` also records a ``harness:nearest`` run-ledger snapshot.
+
+Usage: PYTHONPATH=src python benchmarks/nearest_smoke.py [--out NEAREST_pr.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.corpus.registry import APPS, build_fs, get_spec, index_app
+from repro.distance.ted import clear_ted_cache
+from repro.metricindex import MetricIndex
+from repro.obs import ledger as runledger
+from repro.workflow.comparer import nearest_brute_force, parse_metric
+from repro.workflow.indexer import index_codebase
+
+SPEC = parse_metric("Tsem")
+K = 3
+
+
+def brute_window(app: str, codebases) -> dict:
+    clear_ted_cache()
+    t0 = time.perf_counter()
+    results = {}
+    with obs.collect() as col:
+        for name, cb in codebases.items():
+            others = [c for m, c in codebases.items() if m != name]
+            results[name] = nearest_brute_force(cb, others, SPEC)[:K]
+    return {
+        "wall_s": time.perf_counter() - t0,
+        "results": results,
+        "zs_calls": col.counters.get("ted.zs.calls", 0),
+        "pairs": len(codebases) * (len(codebases) - 1),
+    }
+
+
+def index_window(app: str, codebases) -> dict:
+    clear_ted_cache()
+    t0 = time.perf_counter()
+    results = {}
+    with obs.collect() as col:
+        index = MetricIndex.build(app, codebases, SPEC)
+        for name, cb in codebases.items():
+            results[name] = index.query(cb, codebases, K).neighbors
+    pruned = {
+        k.removeprefix("index.pruned."): v
+        for k, v in col.counters.items()
+        if k.startswith("index.pruned.")
+    }
+    return {
+        "wall_s": time.perf_counter() - t0,
+        "results": results,
+        "index": index,
+        "zs_calls": col.counters.get("ted.zs.calls", 0),
+        "build_distances": col.counters.get("index.build.distances", 0),
+        "exact_calls": col.counters.get("index.exact_calls", 0),
+        "pruned": pruned,
+    }
+
+
+def check_app(app: str, failures: list[str]) -> dict:
+    codebases = index_app(app)
+    brute = brute_window(app, codebases)
+    via_index = index_window(app, codebases)
+
+    for name in codebases:
+        if via_index["results"][name] != brute["results"][name]:
+            failures.append(
+                f"{app}/{name}: index top-{K} differs from the brute scan"
+            )
+    if via_index["zs_calls"] > brute["zs_calls"]:
+        failures.append(
+            f"{app}: index window ran {via_index['zs_calls']:g} ZS kernels, "
+            f"brute ran {brute['zs_calls']:g} (the index must never run more)"
+        )
+    if not via_index["exact_calls"] < brute["pairs"]:
+        failures.append(
+            f"{app}: {via_index['exact_calls']:g} exact index evaluations vs "
+            f"{brute['pairs']} brute pair evaluations (index never saved one)"
+        )
+    if not sum(via_index["pruned"].values()) > 0:
+        failures.append(f"{app}: no index.pruned.* counter fired")
+
+    print(
+        f"{app:22s} zs {brute['zs_calls']:4g} -> {via_index['zs_calls']:4g}   "
+        f"exact {via_index['exact_calls']:3g}/{brute['pairs']:<3d} "
+        f"pruned {sum(via_index['pruned'].values()):3g} "
+        f"({', '.join(f'{k}={v:g}' for k, v in sorted(via_index['pruned'].items()))})"
+    )
+    return {
+        "app": app,
+        "models": len(codebases),
+        "k": K,
+        "brute": {k: v for k, v in brute.items() if k != "results"},
+        "index": {
+            "wall_s": via_index["wall_s"],
+            "zs_calls": via_index["zs_calls"],
+            "build_distances": via_index["build_distances"],
+            "exact_calls": via_index["exact_calls"],
+            "pruned": via_index["pruned"],
+        },
+    }
+
+
+def check_touch_one(failures: list[str]) -> dict:
+    """A one-file edit must re-insert exactly one unit on refresh."""
+    app, model = "babelstream", "serial"
+    codebases = index_app(app)
+    index = MetricIndex.build(app, codebases, SPEC)
+    spec_m = get_spec(app, model)
+    fs = build_fs(app, model)
+    main_file = spec_m.units["main"]
+    fs.files[main_file] = fs.files[main_file] + "\nint nearest_smoke_marker = 7;\n"
+    touched = dict(codebases)
+    touched[model] = index_codebase(spec_m, fs)
+    counts = index.refresh(touched)
+    if counts["models_reinserted"] != 1 or counts["units_reinserted"] != 1:
+        failures.append(
+            f"touch-one refresh re-inserted {counts['models_reinserted']} model(s) / "
+            f"{counts['units_reinserted']} unit(s), want exactly 1/1"
+        )
+    else:
+        print(f"touch-one: {app}/{model} refresh re-inserted exactly one unit")
+    others = [cb for m, cb in touched.items() if m != model]
+    want = nearest_brute_force(touched[model], others, SPEC)[:K]
+    if index.query(touched[model], touched, K).neighbors != want:
+        failures.append("post-refresh query differs from the brute scan")
+    return {"app": app, "model": model, "counts": counts}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="NEAREST_pr.json", help="result JSON path")
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        help="also record this run as an obs run-ledger snapshot under DIR",
+    )
+    args = parser.parse_args(argv)
+    t_start = time.perf_counter()
+
+    failures: list[str] = []
+    apps = sorted(APPS)
+    print(f"workload: top-{K} nearest for every model of {len(apps)} apps under {SPEC.label}\n")
+    report = {
+        "k": K,
+        "metric": SPEC.label,
+        "apps": [check_app(app, failures) for app in apps],
+    }
+    total_brute = sum(a["brute"]["zs_calls"] for a in report["apps"])
+    total_index = sum(a["index"]["zs_calls"] for a in report["apps"])
+    if not total_index < total_brute:
+        failures.append(
+            f"corpus total: index ran {total_index:g} ZS kernels, brute ran "
+            f"{total_brute:g} (want strictly fewer overall)"
+        )
+    print()
+    report["touch_one"] = check_touch_one(failures)
+
+    runledger.write_harness_artifact(args.out, "nearest", report)
+    runledger.record_harness_run(
+        args.ledger_dir, "nearest", None, report, duration_s=time.perf_counter() - t_start
+    )
+    print(f"\nwrote {args.out}")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(
+            f"PASS: bit-identical to brute force on every app, "
+            f"ZS kernels {total_brute:g} -> {total_index:g}"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,16 +131,19 @@ def cluster_codebases(
     spec,
     linkage: str = "complete",
     engine=None,
+    index=None,
 ) -> Dendrogram:
     """Cluster model ports directly: divergence matrix (through the given
     :class:`repro.distance.engine.DistanceEngine`, when any) then the
-    paper's rows → Euclidean → agglomerate recipe."""
+    paper's rows → Euclidean → agglomerate recipe. ``index`` (a
+    ``pin_pair`` provider from :mod:`repro.metricindex`) lets the matrix
+    build skip exactly-pinnable candidate pairs."""
     # deferred import: workflow.comparer is a consumer-layer module and
     # importing it at module scope would invert the analysis ← workflow
     # layering for every cluster-only caller
     from repro.workflow.comparer import divergence_matrix
 
-    matrix = divergence_matrix(codebases, spec, engine=engine)
+    matrix = divergence_matrix(codebases, spec, engine=engine, index=index)
     return cluster_models(matrix, labels, linkage)
 
 

@@ -13,16 +13,14 @@ histogram  label-multiset bound (:func:`histogram_lower_bound`) O(labels)
 sequence   Levenshtein over preorder label strings              O(n·m / W)
 ========== ==================================================== ============
 
-Every stage bound is exact-safe: each unit-cost tree edit changes size,
-depth and leaf count by at most one (so their absolute differences bound
-TED from below); deleting/inserting/relabelling a node is one edit on the
-preorder label string with the remaining labels keeping their relative
-order, so string edit distance never exceeds TED. Against these we hold one
-*upper* bound from a greedy top-down alignment (a concrete valid edit
-mapping, so its cost is achievable). A stage prunes **iff its lower bound
+Since the metric-space index PR the bounds themselves live in the shared
+oracle layer (:mod:`repro.distance.bounds`) — this module is the *TED
+engine's consumer* of that oracle: it asks for the greedy upper bound,
+walks the staged lower bounds against it, and prunes **iff a lower bound
 meets the upper bound** — at that point ``lb <= TED <= ub`` pins the exact
 distance, so cascade-pruned matrices are bit-identical to brute-force ones
-(``check_determinism.py`` gates this).
+(``check_determinism.py`` gates this). The bound functions are re-exported
+here unchanged for existing callers and tests.
 
 Counters (taxonomy documented in DESIGN.md): ``ted.cascade.calls``,
 ``ted.pruned.stats`` / ``ted.pruned.histogram`` / ``ted.pruned.sequence``
@@ -37,23 +35,23 @@ import os
 from typing import Optional
 
 from repro import obs
-from repro.distance.levenshtein import levenshtein_bounded
-from repro.trees.hashing import cached_structural_hash
-from repro.trees.node import Node
-from repro.trees.stats import (
-    cached_label_histogram,
-    cached_tree_stats,
-    histogram_lower_bound,
+from repro.distance.bounds import (  # noqa: F401  (re-exported surface)
+    UB_MAX_CELLS as _UB_MAX_CELLS,
+    BoundOracle,
+    BruteForceOracle,
+    get_oracle,
+    preorder_labels,
+    sequence_lower_bound,
+    set_oracle,
+    stats_lower_bound,
+    upper_bound,
 )
+from repro.trees.node import Node
 
 #: Pairs below this many DP cells skip the cascade entirely: the exact
 #: kernel clears them in well under a millisecond, so bound computation
 #: would only add overhead. Mirrors the batched-kernel dispatch threshold.
 _MIN_CELLS = 30_000
-
-#: Budget (in child-alignment DP cells) for the greedy upper bound; past it
-#: the bound degrades to the trivial-but-valid ``size1 + size2``.
-_UB_MAX_CELLS = 50_000
 
 _ENABLED = os.environ.get("REPRO_TED_CASCADE", "1") not in ("0", "false", "off")
 
@@ -71,181 +69,20 @@ def set_cascade_enabled(flag: bool) -> bool:
     return prev
 
 
-def preorder_labels(root: Node) -> tuple:
-    """Preorder label sequence memoised on the root's attrs (``_plabels``);
-    same frozen-tree contract as :func:`cached_tree_stats`."""
-    seq = root.attrs.get("_plabels")
-    if seq is None:
-        seq = tuple(n.label for n in root.preorder())
-        root.attrs["_plabels"] = seq
-    return seq
-
-
-# -- upper bound --------------------------------------------------------------
-
-
-def _subtree_size(n: Node, sizes: dict) -> int:
-    s = sizes.get(id(n))
-    if s is None:
-        s = n.size()
-        sizes[id(n)] = s
-    return s
-
-
-def upper_bound(t1: Node, t2: Node, max_cells: int = _UB_MAX_CELLS) -> int:
-    """A valid upper bound on unit-cost TED from a greedy top-down mapping.
-
-    Aligns the two root's child sequences with an edit DP whose surrogate
-    match cost is ``|Δlabel| + |Δsize|`` (zero for structurally identical
-    subtrees), reads matched pairs back from the DP, and recurses only on
-    those. The resulting node mapping preserves ancestry and sibling order,
-    so it is a legal TED edit script and its cost bounds TED from above.
-
-    Pure positional alignment is defeated by wrapper insertions (an OpenMP
-    port nesting the serial body under a pragma node), so each level also
-    tries *unwrap* moves: map the whole of one root into a dominant child of
-    the other, paying the size of the stripped siblings. The cheaper option
-    wins.
-
-    ``max_cells`` caps total child-alignment DP work; on overrun the bound
-    for that subproblem degrades to ``size(a) + size(b)`` (delete one tree,
-    insert the other — trivially valid), keeping worst-case cost linear-ish.
-    """
-    sizes: dict = {}
-    memo: dict = {}
-    cells = [0]
-
-    def ub(a: Node, b: Node) -> int:
-        key = (id(a), id(b))
-        r = memo.get(key)
-        if r is not None:
-            return r
-        if cached_structural_hash(a) == cached_structural_hash(b):
-            memo[key] = 0
-            return 0
-        ka, kb = a.children, b.children
-        n1, n2 = len(ka), len(kb)
-        cost = 1 if a.label != b.label else 0
-        if n1 == 0:
-            r = cost + sum(_subtree_size(c, sizes) for c in kb)
-            memo[key] = r
-            return r
-        if n2 == 0:
-            r = cost + sum(_subtree_size(c, sizes) for c in ka)
-            memo[key] = r
-            return r
-        cells[0] += n1 * n2
-        if cells[0] > max_cells:
-            r = _subtree_size(a, sizes) + _subtree_size(b, sizes)
-            memo[key] = r
-            return r
-
-        def sur(x: Node, y: Node) -> int:
-            if cached_structural_hash(x) == cached_structural_hash(y):
-                return 0
-            lbl = 1 if x.label != y.label else 0
-            return lbl + abs(_subtree_size(x, sizes) - _subtree_size(y, sizes))
-
-        D = [[0] * (n2 + 1) for _ in range(n1 + 1)]
-        for i in range(1, n1 + 1):
-            D[i][0] = D[i - 1][0] + _subtree_size(ka[i - 1], sizes)
-        for j in range(1, n2 + 1):
-            D[0][j] = D[0][j - 1] + _subtree_size(kb[j - 1], sizes)
-        for i in range(1, n1 + 1):
-            row = D[i]
-            up = D[i - 1]
-            ci = ka[i - 1]
-            csz = _subtree_size(ci, sizes)
-            for j in range(1, n2 + 1):
-                row[j] = min(
-                    up[j] + csz,
-                    row[j - 1] + _subtree_size(kb[j - 1], sizes),
-                    up[j - 1] + sur(ci, kb[j - 1]),
-                )
-        # Traceback: which children the surrogate DP chose to match.
-        i, j = n1, n2
-        matched: list[tuple[Node, Node]] = []
-        while i > 0 and j > 0:
-            if D[i][j] == D[i - 1][j - 1] + sur(ka[i - 1], kb[j - 1]):
-                matched.append((ka[i - 1], kb[j - 1]))
-                i -= 1
-                j -= 1
-            elif D[i][j] == D[i - 1][j] + _subtree_size(ka[i - 1], sizes):
-                i -= 1
-            else:
-                j -= 1
-        used_a = {id(x) for x, _ in matched}
-        used_b = {id(y) for _, y in matched}
-        tot = cost
-        for c in ka:
-            if id(c) not in used_a:
-                tot += _subtree_size(c, sizes)
-        for c in kb:
-            if id(c) not in used_b:
-                tot += _subtree_size(c, sizes)
-        for x, y in matched:
-            tot += ub(x, y)
-        best = tot
-        # Unwrap moves (dominant child, or an only child).
-        sb = _subtree_size(b, sizes)
-        for c in kb:
-            cs = _subtree_size(c, sizes)
-            if cs * 2 >= sb or n2 == 1:
-                v = (sb - cs) + ub(a, c)
-                if v < best:
-                    best = v
-        sa = _subtree_size(a, sizes)
-        for c in ka:
-            cs = _subtree_size(c, sizes)
-            if cs * 2 >= sa or n1 == 1:
-                v = (sa - cs) + ub(c, b)
-                if v < best:
-                    best = v
-        memo[key] = best
-        return best
-
-    return ub(t1, t2)
-
-
-# -- lower bounds -------------------------------------------------------------
-
-
-def stats_lower_bound(t1: Node, t2: Node) -> int:
-    """max(|Δsize|, |Δdepth|, |Δleaves|): each unit edit moves every one of
-    these tree statistics by at most one, so their gaps bound TED."""
-    s1 = cached_tree_stats(t1)
-    s2 = cached_tree_stats(t2)
-    return max(
-        abs(s1.size - s2.size),
-        abs(s1.depth - s2.depth),
-        abs(s1.leaves - s2.leaves),
-    )
-
-
-def sequence_lower_bound(t1: Node, t2: Node, cap: int) -> int:
-    """Levenshtein over preorder label strings, allowed to bail at ``cap``.
-
-    Each tree edit is one edit on the preorder label string (delete/insert
-    removes/adds one label; relabel substitutes one; splicing a deleted
-    node's children into its place preserves the order of all other
-    labels), so string edit distance <= TED. With ``cap`` set to the
-    current upper bound, a bail-out (return >= cap) proves TED == cap.
-    """
-    return levenshtein_bounded(preorder_labels(t1), preorder_labels(t2), cap)
-
-
-# -- the cascade --------------------------------------------------------------
-
-
 def cascade_distance(
-    t1: Node, t2: Node, n1: Optional[int] = None, n2: Optional[int] = None
+    t1: Node,
+    t2: Node,
+    n1: Optional[int] = None,
+    n2: Optional[int] = None,
+    oracle: Optional[BoundOracle] = None,
 ) -> Optional[tuple[float, str]]:
     """Try to pin the exact unit-cost TED without running the full DP.
 
-    Returns ``(distance, stage)`` when some stage's lower bound met the
-    greedy upper bound (the distance is then exact), or ``None`` when the
-    pair must go to the DP. ``n1``/``n2`` are the tree sizes if the caller
-    already has them (avoids a re-count).
+    Returns ``(distance, stage)`` when some oracle stage's lower bound met
+    the greedy upper bound (the distance is then exact), or ``None`` when
+    the pair must go to the DP. ``n1``/``n2`` are the tree sizes if the
+    caller already has them (avoids a re-count); ``oracle`` overrides the
+    process-wide :func:`repro.distance.bounds.get_oracle`.
     """
     if not _ENABLED:
         return None
@@ -255,27 +92,16 @@ def cascade_distance(
         n2 = t2.size()
     if n1 * n2 < _MIN_CELLS:
         return None
+    orc = oracle if oracle is not None else get_oracle()
     collecting = obs.enabled()
     if collecting:
         obs.add("ted.cascade.calls")
-    ub = upper_bound(t1, t2)
-    lb = stats_lower_bound(t1, t2)
-    if lb >= ub:
-        if collecting:
-            obs.add("ted.pruned.stats")
-        return float(ub), "stats"
-    lb_hist = histogram_lower_bound(
-        cached_label_histogram(t1), cached_label_histogram(t2)
-    )
-    if lb_hist >= ub:
-        if collecting:
-            obs.add("ted.pruned.histogram")
-        return float(ub), "histogram"
-    lb_seq = sequence_lower_bound(t1, t2, cap=ub)
-    if lb_seq >= ub:
-        if collecting:
-            obs.add("ted.pruned.sequence")
-        return float(ub), "sequence"
+    ub = orc.upper(t1, t2)
+    for stage, lb in orc.lower_stages(t1, t2, cap=ub):
+        if lb >= ub:
+            if collecting:
+                obs.add(f"ted.pruned.{stage}")
+            return float(ub), stage
     if collecting:
         obs.add("ted.cascade.exact")
     return None

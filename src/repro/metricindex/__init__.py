@@ -1,0 +1,32 @@
+"""Metric-space indexing: sub-quadratic nearest-model queries.
+
+Public surface: :class:`MetricIndex` (build/query/refresh/pin),
+:class:`PairPinner` (the cluster path's entry-level exact pinning),
+:class:`NearestResult`, and the ``vpindex`` persistence helpers
+(:class:`VpIndexStore`, :func:`load_index`, :func:`save_index`,
+:func:`index_key`). See :mod:`repro.metricindex.index` for the design
+notes and the bit-identity contract.
+"""
+
+from repro.metricindex.index import (
+    MetricIndex,
+    NearestResult,
+    PairPinner,
+    model_distance,
+    nearest_via_index,
+    unit_entries,
+)
+from repro.metricindex.store import VpIndexStore, index_key, load_index, save_index
+
+__all__ = [
+    "MetricIndex",
+    "NearestResult",
+    "PairPinner",
+    "VpIndexStore",
+    "index_key",
+    "load_index",
+    "model_distance",
+    "nearest_via_index",
+    "save_index",
+    "unit_entries",
+]

@@ -1,0 +1,83 @@
+"""Persistence for metric indexes: the ``vpindex`` artifact namespace.
+
+One ``vpindex-<app>.<metric>.svc`` blob per (app, metric-variant) pair in
+the shared artifact root, next to the ``ted``/``ckpt``/``unit``/``obs``
+namespaces (``silvervale cache stats`` enumerates it; ``cache clear
+--namespace vpindex`` empties it). The payload is the
+:meth:`~repro.metricindex.index.MetricIndex.to_payload` dict: per-model
+content fingerprints and per-unit derived-tree geometry plus the VP tree.
+
+Invalidation is the PR5 unit-store recipe: the *file* self-invalidates on
+any schema/keyspec bump or corruption (lenient load + an
+``index/artifact-invalid`` diagnostic so operators know to ``cache
+clear``), and the *content* self-invalidates through the per-model
+fingerprints — :meth:`MetricIndex.refresh` compares them against the live
+codebases and re-inserts exactly the units whose derived trees moved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import diag
+from repro.artifacts import BlobStore
+from repro.metricindex.index import MetricIndex
+
+SCHEMA = "repro.vpindex/v1"
+KEY_SPEC = "vpindex:v1"
+
+
+class VpIndexStore(BlobStore):
+    """One ``vpindex-<key>.svc`` artifact per persisted metric index."""
+
+    NAMESPACE = "vpindex"
+    SCHEMA = SCHEMA
+    KEY_SPEC = KEY_SPEC
+    DESCRIPTION = "metric index artifact"
+    KIND = "metric index"
+    INVALID_COUNTER = "index.artifact.invalid"
+    SAVED_COUNTER = "index.artifact.saved"
+
+
+def index_key(app: str, spec) -> str:
+    """Artifact key of one (app, metric-variant) index.
+
+    ``include_system`` is not part of the metric label, so it gets its own
+    suffix — two variants must never share an artifact.
+    """
+    key = f"{app}.{spec.label}"
+    if spec.include_system:
+        key += ".sys"
+    return key
+
+
+def load_index(store: VpIndexStore, app: str, spec) -> Optional[MetricIndex]:
+    """Load one persisted index; ``None`` on any kind of miss.
+
+    A missing file is a silent miss; a corrupt/foreign/misshapen artifact
+    is a miss *with* an ``index/artifact-invalid`` warning (same contract
+    as the unit store). The caller rebuilds and re-saves.
+    """
+    key = index_key(app, spec)
+    if not store.path_for(key).exists():
+        return None
+    value = store.load(key)
+    if not value:
+        diag.warning(
+            "index/artifact-invalid",
+            f"unreadable metric index artifact {store.path_for(key).name}; rebuilding",
+        )
+        return None
+    try:
+        return MetricIndex.from_payload(value)
+    except (KeyError, TypeError, ValueError):
+        diag.warning(
+            "index/artifact-invalid",
+            f"malformed metric index artifact {store.path_for(key).name}; rebuilding",
+        )
+        return None
+
+
+def save_index(store: VpIndexStore, index: MetricIndex) -> None:
+    """Persist one index (atomic write, ``index.artifact.saved`` counter)."""
+    store.save(index_key(index.app, index.spec), index.to_payload())

@@ -1,0 +1,161 @@
+"""A deterministic vantage-point tree over named points in a metric space.
+
+The tree is pure data — nested dicts of plain ints/strings — so it
+round-trips through the ``vpindex`` artifact store without a custom codec.
+Shape of one node::
+
+    {"v": "<point name>",
+     "bands": [{"lo": int, "hi": int, "max_w": int, "node": {...}}, ...]}
+
+Every point appears as exactly one node's vantage ``v``; a band groups the
+subtree of points whose distance to this vantage fell inside ``[lo, hi]``
+at insertion time, and ``max_w`` upper-bounds the *weight* (total tree
+size, for the metric index) of any point in the band's subtree.
+
+Correctness contract — the **containment invariant**: for every band and
+every point ``p`` in its subtree, ``lo <= d(v, p) <= hi`` and
+``weight(p) <= max_w``. Bands are allowed to be *conservative* (wider than
+the tightest enclosure): triangle-inequality pruning derived from a wider
+band is weaker but never wrong. That is what makes cheap incremental
+maintenance sound — removal detaches a subtree and re-inserts its other
+members without re-tightening ancestor bands, insertion widens the
+cheapest band on the descent path — while queries stay exact.
+
+Determinism: vantage selection is the lexicographically smallest name,
+splits are at the median distance, group recursion is name-ordered, and
+insertion widens the first band needing the least widening. The same
+(points, metric) always build the same tree, and ``build → serialize →
+deserialize`` is the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+Dist = Callable[[str, str], int]
+Weight = Callable[[str], int]
+
+
+def build(names: list[str], dist: Dist, weight: Weight) -> dict | None:
+    """Build a VP tree over ``names`` (``None`` for an empty point set)."""
+    order = sorted(names)
+    if not order:
+        return None
+    vantage, rest = order[0], order[1:]
+    node: dict = {"v": vantage, "bands": []}
+    if not rest:
+        return node
+    ds = {m: int(dist(vantage, m)) for m in rest}
+    cut = sorted(ds.values())[(len(rest) - 1) // 2]  # median distance
+    near = [m for m in rest if ds[m] <= cut]
+    far = [m for m in rest if ds[m] > cut]
+    for group in (near, far):
+        if not group:
+            continue
+        child = build(group, dist, weight)
+        node["bands"].append(
+            {
+                "lo": min(ds[m] for m in group),
+                "hi": max(ds[m] for m in group),
+                "max_w": max(weight(m) for m in group),
+                "node": child,
+            }
+        )
+    return node
+
+
+def members(node: dict | None) -> Iterator[str]:
+    """Every point name in the subtree rooted at ``node``."""
+    if node is None:
+        return
+    yield node["v"]
+    for band in node["bands"]:
+        yield from members(band["node"])
+
+
+def count(node: dict | None) -> int:
+    return sum(1 for _ in members(node))
+
+
+def insert(root: dict | None, name: str, dist: Dist, weight: Weight) -> dict:
+    """Insert one point, widening bands along the descent path.
+
+    Descends into the band whose ``[lo, hi]`` needs the least widening to
+    admit the new point's distance (first band on ties — deterministic),
+    stretching ``lo``/``hi``/``max_w`` as it goes; a node with no bands
+    grows a fresh exact band. Returns the (possibly new) root.
+    """
+    if root is None:
+        return {"v": name, "bands": []}
+    w = weight(name)
+    node = root
+    while True:
+        d = int(dist(name, node["v"]))
+        bands = node["bands"]
+        if not bands:
+            bands.append({"lo": d, "hi": d, "max_w": w, "node": {"v": name, "bands": []}})
+            return root
+        best = None
+        best_widen = None
+        for band in bands:
+            widen = max(0, band["lo"] - d) + max(0, d - band["hi"])
+            if best is None or widen < best_widen:
+                best, best_widen = band, widen
+        best["lo"] = min(best["lo"], d)
+        best["hi"] = max(best["hi"], d)
+        best["max_w"] = max(best["max_w"], w)
+        node = best["node"]
+
+
+def remove(root: dict | None, name: str, dist: Dist, weight: Weight) -> dict | None:
+    """Remove one point; returns the new root (``None`` if now empty).
+
+    The removed point's node is detached and its subtree's *other* members
+    are rebuilt in place (a fresh deterministic sub-build); ancestor bands
+    keep their — now possibly conservative — extents, which the
+    containment invariant explicitly allows. A missing name is a no-op.
+    """
+    if root is None:
+        return None
+    if root["v"] == name:
+        rest = [m for m in members(root) if m != name]
+        return build(rest, dist, weight)
+    node = root
+    while True:
+        hit = None
+        for band in node["bands"]:
+            if name in set(members(band["node"])):
+                hit = band
+                break
+        if hit is None:
+            return root  # not present: no-op
+        if hit["node"]["v"] == name:
+            rest = [m for m in members(hit["node"]) if m != name]
+            if rest:
+                hit["node"] = build(rest, dist, weight)
+            else:
+                node["bands"].remove(hit)
+            return root
+        node = hit["node"]
+
+
+def check_invariant(node: dict | None, dist: Dist, weight: Weight) -> list[str]:
+    """Containment-invariant violations (empty list = sound tree).
+
+    Test/debug helper: verifies every band encloses its subtree's
+    distances-to-vantage and weights. O(n²) — never on a hot path.
+    """
+    problems: list[str] = []
+    if node is None:
+        return problems
+    for band in node["bands"]:
+        for m in members(band["node"]):
+            d = int(dist(node["v"], m))
+            if not band["lo"] <= d <= band["hi"]:
+                problems.append(
+                    f"{m}: d({node['v']},{m})={d} outside [{band['lo']},{band['hi']}]"
+                )
+            if weight(m) > band["max_w"]:
+                problems.append(f"{m}: weight {weight(m)} > band max_w {band['max_w']}")
+        problems.extend(check_invariant(band["node"], dist, weight))
+    return problems

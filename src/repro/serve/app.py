@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from typing import Any, Awaitable, Callable, Optional
 
-from repro import obs
+from repro import diag, obs
 from repro.analysis.cluster import cluster_models
 from repro.analysis.heatmap import HEATMAP_SPECS, heatmap_demands, heatmap_from_values
 from repro.corpus.registry import APPS, app_models
@@ -46,6 +46,8 @@ from repro.workflow.comparer import (
     matrix_from_pair_values,
     pair_task_key,
     parse_metric,
+    symmetrized_divergence,
+    tree_metric_kind,
 )
 
 #: Demand kinds — the two engine task shapes a wave can carry.
@@ -228,15 +230,40 @@ class ServeApp:
         }
 
     async def cluster(self, req: Request) -> dict:
-        """Same matrix + linkage as ``silvervale cluster``."""
+        """Same matrix + linkage as ``silvervale cluster``.
+
+        When the app's metric index is already resident (``--warm`` or a
+        prior ``/v1/nearest``), candidate pairs that pin *exactly* from its
+        stored unit geometry skip the batcher entirely — pinned values are
+        bit-identical to evaluated ones by construction, so the matrix (and
+        the dendrogram) cannot change, only the wave gets smaller.
+        """
         app = self._app_param(req)
         spec = self._metric_param(req)
         names = app_models(app)
-        cbs = await self.run_engine(
-            lambda: self.state.codebases(app, names, spec.coverage)
+
+        def fetch():
+            cbs = self.state.codebases(app, names, spec.coverage)
+            pairs, tasks, keys = matrix_demands(cbs, spec)
+            pinned: dict[int, tuple[float, float]] = {}
+            index = self.state.peek_index(app, spec)
+            if index is not None:
+                for at, (i, j) in enumerate(pairs):
+                    hit = index.pin_pair(cbs[i], cbs[j])
+                    if hit is not None:
+                        pinned[at] = hit
+            return pairs, tasks, keys, pinned
+
+        pairs, tasks, keys, pinned = await self.run_engine(fetch)
+        live = [at for at in range(len(pairs)) if at not in pinned]
+        fresh = await self._resolve(
+            KIND_PAIR, [keys[at] for at in live], [tasks[at] for at in live]
         )
-        pairs, tasks, keys = matrix_demands(cbs, spec)
-        values = await self._resolve(KIND_PAIR, keys, tasks)
+        values: list = [None] * len(pairs)
+        for at, value in pinned.items():
+            values[at] = value
+        for at, value in zip(live, fresh):
+            values[at] = value
         matrix = matrix_from_pair_values(len(names), pairs, values)
         dend = cluster_models(matrix, names)
         return {
@@ -270,7 +297,15 @@ class ServeApp:
         }
 
     async def nearest(self, req: Request) -> dict:
-        """k nearest models by symmetrized divergence (matrix-cell values)."""
+        """k nearest models by symmetrized divergence (matrix-cell values).
+
+        Tree metrics ride the metric-space index: the VP tree plus the
+        bound oracle discard most candidates before any exact kernel, and
+        the survivors are scored with the very same floats as the linear
+        scan — the answer is gated (``benchmarks/nearest_smoke.py``) to be
+        bit-identical to brute force. ``brute=1`` forces the reference
+        scan; non-tree metrics always scan (``index/fallback``).
+        """
         app = self._app_param(req)
         spec = self._metric_param(req)
         model = self._model_param(req, app, "model")
@@ -280,6 +315,36 @@ class ServeApp:
             raise HttpError(400, f"malformed k {req.query.get('k')!r}") from None
         if k < 1:
             raise HttpError(400, f"k must be >= 1, got {k}")
+        brute = req.flag("brute")
+        if not brute and tree_metric_kind(spec) is not None:
+            from repro.metricindex import nearest_via_index
+
+            def run():
+                index = self.state.metric_index(app, spec)
+                codebases = {
+                    m: self.state.codebase(app, m, spec.coverage)
+                    for m in app_models(app)
+                }
+                with self.state.engine.cache_session():
+                    return nearest_via_index(index, codebases[model], codebases, k)
+
+            result = await self.run_engine(run)
+            return {
+                "app": app,
+                "model": model,
+                "metric": spec.label,
+                "k": k,
+                "mode": "index",
+                "neighbors": [
+                    {"model": m, "divergence": d} for d, m in result.neighbors
+                ],
+                "index": result.stats,
+            }
+        if not brute:
+            diag.note(
+                "index/fallback",
+                f"{spec.label} is not a tree metric; /v1/nearest uses the linear scan",
+            )
         others = [m for m in app_models(app) if m != model]
         cbs = await self.run_engine(
             lambda: self.state.codebases(app, [model] + others, spec.coverage)
@@ -291,7 +356,10 @@ class ServeApp:
         # symmetrized like the matrix diagonal band: the average of both
         # directions is what clustering and the heatmap row both see
         scored = sorted(
-            ((float((d_ab + d_ba) / 2.0), m) for m, (d_ab, d_ba) in zip(others, values)),
+            (
+                (float(symmetrized_divergence(d_ab, d_ba)), m)
+                for m, (d_ab, d_ba) in zip(others, values)
+            ),
             key=lambda t: (t[0], t[1]),
         )
         return {
@@ -299,6 +367,7 @@ class ServeApp:
             "model": model,
             "metric": spec.label,
             "k": k,
+            "mode": "scan",
             "neighbors": [{"model": m, "divergence": d} for d, m in scored[:k]],
         }
 

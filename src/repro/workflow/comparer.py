@@ -101,6 +101,13 @@ def _tree_kind(spec: MetricSpec) -> Optional[str]:
     return which
 
 
+#: Public name for the tree-variant resolver: the metric index and the
+#: serve/CLI nearest paths all ask "is this a tree metric, and which tree?"
+#: through this single function.
+def tree_metric_kind(spec: MetricSpec) -> Optional[str]:
+    return _tree_kind(spec)
+
+
 def _divergence(a: IndexedCodebase, b: IndexedCodebase, spec: MetricSpec) -> float:
     # deferred imports: repro.metrics consumes the codebase model this
     # package defines, so importing it at module scope would be circular
@@ -178,6 +185,51 @@ def divergence_pair_task(
 #: Historical internal name (pre-serve); the engine task registry and tests
 #: still reach it here.
 _pair_task = divergence_pair_task
+
+
+def symmetrized_divergence(d_ab: float, d_ba: float) -> float:
+    """The symmetrized matrix-cell value: the average of both directions.
+
+    TED with unit costs is symmetric but ``dmax`` normalisation is not;
+    this single helper is what the cluster matrix band, ``/v1/nearest``,
+    ``silvervale nearest`` and the metric index all apply, so the float
+    arithmetic producing a "symmetrized divergence" exists in exactly one
+    place — the bit-identity-across-surfaces guarantee depends on it.
+    """
+    return (d_ab + d_ba) / 2.0
+
+
+def nearest_brute_force(
+    target: IndexedCodebase,
+    others: Sequence[IndexedCodebase],
+    spec: MetricSpec,
+    engine: Optional[DistanceEngine] = None,
+) -> list[tuple[float, str]]:
+    """The reference linear scan behind every nearest-neighbor surface.
+
+    One exact pair evaluation per candidate through ``engine`` (the same
+    :func:`divergence_pair_task` / :func:`pair_task_key` demands the serve
+    batcher schedules), scored with :func:`symmetrized_divergence` and
+    sorted by ``(score, model)``. The metric index's answers are gated to
+    be bit-identical to this list.
+    """
+    eng = engine if engine is not None else DistanceEngine()
+    tasks = [(target, cb, spec) for cb in others]
+    keys = [pair_task_key(target, cb, spec) for cb in others]
+    values = eng.map_tasks(
+        divergence_pair_task,
+        tasks,
+        keys=keys,
+        fail_value=_NAN_PAIR,
+        prepare=divergence_prepare,
+    )
+    return sorted(
+        (
+            (symmetrized_divergence(d_ab, d_ba), cb.model)
+            for cb, (d_ab, d_ba) in zip(others, values)
+        ),
+        key=lambda t: (t[0], t[1]),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -308,7 +360,13 @@ def matrix_from_pair_values(
         m[i, j] = d_ij
         m[j, i] = d_ji
     if symmetrize:
-        m = (m + m.T) / 2.0
+        # cell-by-cell through the one shared helper (IEEE addition is
+        # commutative, so this is bit-identical to the historical
+        # whole-matrix (m + m.T) / 2 band)
+        for (i, j), (d_ij, d_ji) in zip(pairs, values):
+            s = symmetrized_divergence(d_ij, d_ji)
+            m[i, j] = s
+            m[j, i] = s
     return m
 
 
@@ -317,6 +375,7 @@ def divergence_matrix(
     spec: MetricSpec,
     symmetrize: bool = True,
     engine: Optional[DistanceEngine] = None,
+    index=None,
 ) -> np.ndarray:
     """Dense divergence matrix over all model pairs.
 
@@ -329,17 +388,47 @@ def divergence_matrix(
     serial :class:`DistanceEngine` when none is given). Every pair is a pure
     function of its two codebases, so serial and parallel schedules produce
     bit-identical matrices.
+
+    ``index`` (anything with a ``pin_pair(a, b) -> (d_ab, d_ba) | None``
+    method — a :class:`repro.metricindex.MetricIndex` or
+    :class:`~repro.metricindex.PairPinner`) enables the index-backed
+    candidate pruning path: pairs whose value pins *exactly* from stored
+    unit geometry (hash-identical matched units, unmatched size sums)
+    never reach the engine. Pinned values are bit-identical to evaluated
+    ones by construction, so the matrix is unchanged — only cheaper
+    (``index.matrix.pinned`` counts the skipped cells).
     """
     eng = engine if engine is not None else DistanceEngine()
     n = len(codebases)
     with obs.span("compare.matrix", metric=spec.label, models=n, jobs=eng.jobs):
         pairs, tasks, keys = matrix_demands(codebases, spec)
-        values = eng.map_tasks(
-            divergence_pair_task,
-            tasks,
-            keys=keys,
-            fail_value=_NAN_PAIR,
-            prepare=divergence_prepare,
-        )
+        pinned: dict[int, tuple[float, float]] = {}
+        if index is not None:
+            for at, (i, j) in enumerate(pairs):
+                hit = index.pin_pair(codebases[i], codebases[j])
+                if hit is not None:
+                    pinned[at] = hit
+        if pinned:
+            live = [at for at in range(len(pairs)) if at not in pinned]
+            fresh = eng.map_tasks(
+                divergence_pair_task,
+                [tasks[at] for at in live],
+                keys=[keys[at] for at in live],
+                fail_value=_NAN_PAIR,
+                prepare=divergence_prepare,
+            )
+            values: list[tuple[float, float]] = [None] * len(pairs)  # type: ignore[list-item]
+            for at, v in zip(live, fresh):
+                values[at] = v
+            for at, v in pinned.items():
+                values[at] = v
+        else:
+            values = eng.map_tasks(
+                divergence_pair_task,
+                tasks,
+                keys=keys,
+                fail_value=_NAN_PAIR,
+                prepare=divergence_prepare,
+            )
         obs.add("compare.pairs", n * (n - 1))
         return matrix_from_pair_values(n, pairs, values, symmetrize=symmetrize)

@@ -1,0 +1,138 @@
+"""Bound-oracle admissibility: the metric index's safety contract.
+
+The index may only prune on oracle bounds, so every stage the oracle
+yields must be admissible — ``lower(a, b) <= exact TED <= upper(a, b)``,
+including capped calls, where a yielded bound that reaches the cap only
+certifies "at least cap" (``min(lb, cap) <= exact`` always holds). These
+properties are what DESIGN.md §"Metric index contract" pins.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.distance import cascade
+from repro.distance.bounds import (
+    BoundOracle,
+    BruteForceOracle,
+    get_oracle,
+    set_oracle,
+)
+from repro.distance.cascade import cascade_distance
+from repro.distance.zhang_shasha import zhang_shasha_distance
+from repro.trees import from_sexpr
+
+from tests.distance.test_cascade import mid_trees
+
+
+# ---------------------------------------------------------------------------
+# Stage admissibility
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(mid_trees(), mid_trees())
+def test_every_uncapped_stage_is_admissible(t1, t2):
+    orc = BoundOracle()
+    exact = zhang_shasha_distance(t1, t2)
+    for stage, lb in orc.lower_stages(t1, t2):
+        assert stage in BoundOracle.STAGES
+        assert lb <= exact, f"stage {stage} overshot: {lb} > {exact}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(mid_trees(), mid_trees(), st.integers(min_value=0, max_value=60))
+def test_capped_stages_stay_admissible(t1, t2, cap):
+    # a capped call may return "at least cap" instead of the true bound:
+    # min(lb, cap) <= exact is the invariant a capped prune relies on
+    orc = BoundOracle()
+    exact = zhang_shasha_distance(t1, t2)
+    for stage, lb in orc.lower_stages(t1, t2, cap=cap):
+        assert min(lb, cap) <= exact, f"stage {stage}: min({lb}, {cap}) > {exact}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(mid_trees(), mid_trees())
+def test_lower_never_exceeds_upper_never_undercuts(t1, t2):
+    orc = BoundOracle()
+    exact = zhang_shasha_distance(t1, t2)
+    assert orc.lower(t1, t2) <= exact <= orc.upper(t1, t2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(mid_trees(), mid_trees())
+def test_tiny_budget_upper_still_valid(t1, t2):
+    # the alignment-budget overrun fallback (delete + insert everything)
+    assert BoundOracle().upper(t1, t2, max_cells=1) >= zhang_shasha_distance(t1, t2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(mid_trees())
+def test_identical_trees_hit_the_hash_stage(t):
+    stages = list(BoundOracle().lower_stages(t, t.copy()))
+    assert stages == [("hash", 0)]
+
+
+def test_degenerate_pairs():
+    # chain vs star of the same size: stats alone cannot separate them,
+    # the later stages must still be admissible
+    chain = from_sexpr("(a (a (a (a a))))")
+    star = from_sexpr("(a a a a a)")
+    orc = BoundOracle()
+    exact = zhang_shasha_distance(chain, star)
+    for stage, lb in orc.lower_stages(chain, star):
+        assert lb <= exact
+    assert orc.upper(chain, star) >= exact
+
+
+# ---------------------------------------------------------------------------
+# The null oracle and the process-wide hook
+# ---------------------------------------------------------------------------
+
+
+def test_brute_force_oracle_never_prunes():
+    orc = BruteForceOracle()
+    t1 = from_sexpr("(a (b c))")
+    t2 = from_sexpr("(x y z)")
+    assert orc.prunes is False
+    assert list(orc.lower_stages(t1, t2)) == []
+    assert orc.lower(t1, t2) == 0
+    # the vacuous upper bound: delete one tree, insert the other
+    assert orc.upper(t1, t2) == t1.size() + t2.size()
+
+
+def test_cascade_with_brute_force_oracle_never_prunes(monkeypatch):
+    monkeypatch.setattr(cascade, "_MIN_CELLS", 1)
+    t1 = from_sexpr("(a a a)")
+    t2 = from_sexpr("(a a a a a)")
+    assert cascade_distance(t1, t2) is not None  # the default oracle prunes
+    assert cascade_distance(t1, t2, oracle=BruteForceOracle()) is None
+
+
+def test_set_oracle_roundtrip():
+    base = get_oracle()
+    null = BruteForceOracle()
+    prev = set_oracle(null)
+    try:
+        assert get_oracle() is null
+    finally:
+        set_oracle(prev)
+    assert get_oracle() is base
+
+
+# ---------------------------------------------------------------------------
+# Cascade on/off bit-identity (the refactor must not move any float)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(mid_trees(), mid_trees())
+def test_cascade_decision_pins_the_exact_distance(t1, t2):
+    prev = cascade._MIN_CELLS
+    cascade._MIN_CELLS = 1
+    try:
+        hit = cascade_distance(t1, t2)
+    finally:
+        cascade._MIN_CELLS = prev
+    if hit is not None:
+        d, _stage = hit
+        assert d == zhang_shasha_distance(t1, t2)

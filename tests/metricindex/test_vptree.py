@@ -1,0 +1,133 @@
+"""VP-tree structure properties: determinism, containment, maintenance.
+
+The tree is pure data over an abstract integer metric, so these tests run
+on synthetic point sets (positions on a line — trivially a metric) and
+check the contracts the metric index relies on: deterministic builds,
+the containment invariant surviving insert/remove, and serialization
+being the identity.
+"""
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.metricindex import vptree
+
+POS = {
+    "alpha": 0,
+    "bravo": 3,
+    "charlie": 7,
+    "delta": 8,
+    "echo": 15,
+    "foxtrot": 21,
+    "golf": 22,
+    "hotel": 40,
+}
+
+
+def dist(a: str, b: str) -> int:
+    return abs(POS[a] - POS[b])
+
+
+def weight(name: str) -> int:
+    return POS[name] + 1
+
+
+def test_empty_build_is_none():
+    assert vptree.build([], dist, weight) is None
+
+
+def test_single_point():
+    node = vptree.build(["echo"], dist, weight)
+    assert node == {"v": "echo", "bands": []}
+    assert vptree.count(node) == 1
+
+
+def test_build_is_deterministic_and_order_independent():
+    names = list(POS)
+    a = vptree.build(names, dist, weight)
+    b = vptree.build(list(reversed(names)), dist, weight)
+    assert a == b
+    assert sorted(vptree.members(a)) == sorted(names)
+
+
+def test_build_satisfies_containment_invariant():
+    tree = vptree.build(list(POS), dist, weight)
+    assert vptree.check_invariant(tree, dist, weight) == []
+
+
+def test_serialization_roundtrip_is_identity():
+    # pure ints/strings: the artifact codec is plain JSON-able data
+    tree = vptree.build(list(POS), dist, weight)
+    assert json.loads(json.dumps(tree)) == tree
+
+
+def test_insert_preserves_membership_and_invariant():
+    names = sorted(POS)
+    tree = vptree.build(names[:4], dist, weight)
+    for name in names[4:]:
+        tree = vptree.insert(tree, name, dist, weight)
+    assert sorted(vptree.members(tree)) == names
+    assert vptree.check_invariant(tree, dist, weight) == []
+
+
+def test_insert_into_empty():
+    tree = vptree.insert(None, "alpha", dist, weight)
+    assert vptree.count(tree) == 1
+
+
+def test_remove_leaf_root_and_internal():
+    names = sorted(POS)
+    tree = vptree.build(names, dist, weight)
+    for victim in (names[-1], tree["v"], names[3]):
+        tree = vptree.remove(tree, victim, dist, weight)
+        assert victim not in set(vptree.members(tree))
+        assert vptree.check_invariant(tree, dist, weight) == []
+    assert vptree.count(tree) == len(names) - 3
+
+
+def test_remove_missing_is_noop():
+    tree = vptree.build(list(POS), dist, weight)
+    before = json.loads(json.dumps(tree))
+    POS["zulu"] = 99
+    try:
+        assert vptree.remove(tree, "zulu", dist, weight) == before
+    finally:
+        del POS["zulu"]
+
+
+def test_remove_last_point_returns_none():
+    tree = vptree.build(["alpha"], dist, weight)
+    assert vptree.remove(tree, "alpha", dist, weight) is None
+
+
+def test_remove_then_insert_keeps_invariant():
+    # the incremental-refresh step for one changed model
+    tree = vptree.build(list(POS), dist, weight)
+    old = POS["delta"]
+    tree = vptree.remove(tree, "delta", dist, weight)
+    POS["delta"] = 30  # the point moved
+    try:
+        tree = vptree.insert(tree, "delta", dist, weight)
+        assert sorted(vptree.members(tree)) == sorted(POS)
+        assert vptree.check_invariant(tree, dist, weight) == []
+    finally:
+        POS["delta"] = old
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=1000),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_random_point_sets_build_sound_trees(points):
+    d = lambda a, b: abs(points[a] - points[b])  # noqa: E731
+    w = lambda n: points[n] + 1  # noqa: E731
+    tree = vptree.build(list(points), d, w)
+    assert sorted(vptree.members(tree)) == sorted(points)
+    assert vptree.check_invariant(tree, d, w) == []

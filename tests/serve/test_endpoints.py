@@ -191,6 +191,43 @@ class TestBitIdentity:
         # symmetrized values are averages of two [0,1] divergences
         assert all(0.0 <= d <= 1.0 for d in ds)
 
+    def test_nearest_index_matches_brute_and_batch(self, served):
+        _, client, _ = served
+        from repro.workflow.comparer import nearest_brute_force
+
+        status, via_index = client.get(f"/v1/nearest?app={APP}&model={BASELINE}&k=3")
+        assert status == 200 and via_index["mode"] == "index"
+        assert via_index["index"]["exact_calls"] >= 1
+        status, brute = client.get(
+            f"/v1/nearest?app={APP}&model={BASELINE}&k=3&brute=1"
+        )
+        assert status == 200 and brute["mode"] == "scan"
+        assert via_index["neighbors"] == brute["neighbors"]  # bit-identical
+        spec = parse_metric("Tsem")
+        cbs = index_app(APP, coverage=spec.coverage)
+        others = [cb for m, cb in cbs.items() if m != BASELINE]
+        want = nearest_brute_force(cbs[BASELINE], others, spec)[:3]
+        assert via_index["neighbors"] == [
+            {"model": m, "divergence": d} for d, m in want
+        ]
+
+    def test_nearest_non_tree_metric_falls_back_with_diag(self, served):
+        _, client, _ = served
+        status, payload = client.get(
+            f"/v1/nearest?app={APP}&model={BASELINE}&k=2&metric=SLOC"
+        )
+        assert status == 200
+        assert payload["mode"] == "scan"
+        assert any("index/fallback" in d for d in payload["diagnostics"])
+
+    def test_stats_reports_index_tier(self, served):
+        _, client, _ = served
+        status, payload = client.get("/v1/stats")
+        assert status == 200
+        # warm builds the Tsem index for the warmed app
+        assert payload["serve"]["indexes"] >= 1
+        assert "max_indexes" in payload["serve"]
+
 
 class TestCoalescing:
     """N concurrent requests over overlapping pairs → one engine wave."""
@@ -271,9 +308,12 @@ class TestLifecycle:
 
         status, payload = client.get(f"/v1/index?app={APP}&model={BASELINE}")
         assert status == 200
+        status, payload = client.get(f"/v1/nearest?app={APP}&model={BASELINE}&k=1")
+        assert status == 200 and payload["mode"] == "index"
         status, payload = client.post("/v1/invalidate")
         assert status == 200
         assert payload["invalidated"]["codebases"] >= 1
+        assert payload["invalidated"]["indexes"] == 1  # the nearest query built it
 
         status, payload = client.post("/v1/shutdown")
         assert status == 200 and payload["shutting_down"] is True

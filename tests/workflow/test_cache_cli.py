@@ -85,3 +85,30 @@ class TestClear:
     def test_unknown_namespace_rejected(self, cache_dir, capsys):
         assert main(["cache", "clear", "--namespace", "bogus"]) == 2
         assert "unknown namespace" in capsys.readouterr().err
+
+
+class TestVpIndexNamespace:
+    def populate_index(self, cache_dir):
+        clear_index_cache()
+        clear_ted_cache()
+        assert main(["nearest", "babelstream-fortran", "sequential", "-k", "2"]) == 0
+
+    def test_stats_enumerates_vpindex(self, cache_dir, capsys):
+        self.populate_index(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["namespaces"]["vpindex"]["entries"] == 1
+        assert d["namespaces"]["vpindex"]["files"] == 1
+        # the historical top-level contract stays the TED shard summary
+        assert d["entries"] == d["namespaces"]["ted"]["entries"]
+
+    def test_clear_vpindex_only(self, cache_dir, capsys):
+        self.populate_index(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--namespace", "vpindex"]) == 0
+        assert "vpindex artifact file(s)" in capsys.readouterr().out
+        assert main(["cache", "stats", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert "vpindex" not in d["namespaces"]
+        assert d["namespaces"]["unit"]["entries"] > 0  # other namespaces survive

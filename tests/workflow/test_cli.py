@@ -54,6 +54,13 @@ class TestProfiling:
     """--profile / --trace-out / --metrics-out / stats (small Fortran corpus)."""
 
     def test_compare_profile_prints_span_report(self, capsys):
+        # assert cold-pipeline spans: other modules may have warmed the
+        # in-process registry/TED memos for this corpus
+        from repro.corpus.registry import clear_index_cache
+        from repro.distance.ted import clear_ted_cache
+
+        clear_index_cache()
+        clear_ted_cache()
         rc = main(["compare", "babelstream-fortran", "omp", "-b", "sequential", "--profile"])
         assert rc == 0
         out = capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""``silvervale nearest``: index vs brute parity, persistence, fallback."""
+
+import json
+
+import pytest
+
+from repro.corpus.registry import clear_index_cache
+from repro.distance.ted import clear_ted_cache
+from repro.workflow.cli import main
+
+APP = "babelstream-fortran"
+MODEL = "sequential"
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    d = tmp_path / "root"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(d))
+    clear_index_cache()
+    clear_ted_cache()
+    return d
+
+
+def run_json(capsys, *argv):
+    capsys.readouterr()
+    assert main(["nearest", APP, MODEL, "--json", *argv]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestParity:
+    def test_index_matches_brute_force_bit_identically(self, cache_dir, capsys):
+        via_index = run_json(capsys, "-k", "4")
+        brute = run_json(capsys, "-k", "4", "--brute-force")
+        assert via_index["mode"] == "index"
+        assert brute["mode"] == "brute"
+        assert via_index["neighbors"] == brute["neighbors"]
+
+    def test_index_reports_pruning_ledger(self, cache_dir, capsys):
+        payload = run_json(capsys, "-k", "2")
+        assert payload["index"]["exact_calls"] <= payload["index"]["candidates"] + 1
+        assert set(payload["index"]["pruned"]) == {
+            "triangle",
+            "stats",
+            "histogram",
+            "sequence",
+        }
+
+    def test_text_output_names_mode_and_ranks(self, cache_dir, capsys):
+        assert main(["nearest", APP, MODEL, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f"2 nearest to {MODEL} under Tsem (index):" in out
+        assert "  1. " in out and "  2. " in out
+        assert "exact evaluation(s)" in out
+
+
+class TestPersistence:
+    def test_vpindex_artifact_written_and_replayed(self, cache_dir, capsys):
+        run_json(capsys)
+        files = list(cache_dir.glob("vpindex-*.svc"))
+        assert len(files) == 1
+        # warm run replays the artifact; answers are unchanged
+        first = run_json(capsys)
+        again = run_json(capsys)
+        assert first["neighbors"] == again["neighbors"]
+        assert len(list(cache_dir.glob("vpindex-*.svc"))) == 1
+
+    def test_no_incremental_runs_without_persisting(self, cache_dir, capsys):
+        payload = run_json(capsys, "--no-incremental")
+        assert payload["mode"] == "index"
+        assert list(cache_dir.glob("vpindex-*.svc")) == []
+
+
+class TestFallbackAndErrors:
+    def test_non_tree_metric_scans_with_fallback_diag(self, cache_dir, capsys):
+        capsys.readouterr()
+        assert main(["nearest", APP, MODEL, "-m", "SLOC", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["mode"] == "scan"
+        assert "index" not in payload
+        assert "index/fallback" in captured.err
+
+    def test_unknown_model_is_an_error(self, cache_dir, capsys):
+        assert main(["nearest", APP, "not-a-model"]) == 1
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_k_must_be_positive(self, cache_dir, capsys):
+        assert main(["nearest", APP, MODEL, "-k", "0"]) == 1
+        assert "k must be >= 1" in capsys.readouterr().err
